@@ -1,0 +1,44 @@
+// Shared scaffolding for the figure/table bench binaries: key=value CLI,
+// figure-specific parameter defaults, uniform output, PASS/FAIL exit code.
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <iostream>
+#include <string>
+
+#include "sim/experiment.hpp"
+#include "sim/params.hpp"
+
+namespace hirep::bench {
+
+/// Runs one exhibit: parses overrides, applies `tune` for figure-specific
+/// defaults (only where the user did not override), executes, prints, and
+/// returns a process exit code (0 iff all qualitative claims held).
+inline int run_exhibit(int argc, char** argv, const std::string& title,
+                       const std::function<void(sim::Params&, const util::Config&)>& tune,
+                       const std::function<sim::ExperimentResult(const sim::Params&)>& runner) {
+  try {
+    const auto cfg = util::Config::from_args(argc, argv);
+    if (cfg.help_requested()) {
+      std::cout << title << "\nUsage: key=value overrides, e.g.\n"
+                << "  network_size=1000 transactions=200 seed=1 seeds=3 "
+                   "crypto=fast|full malicious_ratio=0.1 ...\n"
+                << "See sim/params.hpp for the full key list.\n";
+      return 0;
+    }
+    auto params = sim::Params::from_config(cfg);
+    tune(params, cfg);
+    const auto result = runner(params);
+    sim::print_result(result, title);
+    for (const auto& key : cfg.unused_keys()) {
+      std::cerr << "warning: unused parameter '" << key << "'\n";
+    }
+    return sim::all_hold(result) ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
+}
+
+}  // namespace hirep::bench

@@ -1,0 +1,16 @@
+// Figure 5 — trust-query traffic cost of hiREP vs the pure-voting process:
+// cumulative messages vs transactions, for voting at average degree 2/3/4
+// and hiREP (degree-independent).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hirep;
+  return bench::run_exhibit(
+      argc, argv,
+      "Figure 5 — Trust query traffic cost of hiREP vs pure voting "
+      "(cumulative messages)",
+      [](sim::Params& p, const util::Config& cfg) {
+        if (!cfg.has("transactions")) p.transactions = 200;
+      },
+      sim::run_fig5_traffic);
+}

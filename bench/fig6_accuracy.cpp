@@ -1,0 +1,16 @@
+// Figure 6 — trust accuracy vs transactions (10% malicious nodes):
+// sliding-window MSE for pure voting and hiREP with eviction thresholds
+// 0.4 / 0.6 / 0.8 (the paper's hirep-4/6/8 curves).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hirep;
+  return bench::run_exhibit(
+      argc, argv,
+      "Figure 6 — Trust accuracy (MSE) vs transactions, voting vs "
+      "hirep-4/6/8",
+      [](sim::Params& p, const util::Config& cfg) {
+        if (!cfg.has("transactions")) p.transactions = 500;
+      },
+      sim::run_fig6_accuracy);
+}

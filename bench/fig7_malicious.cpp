@@ -1,0 +1,14 @@
+// Figure 7 — trust accuracy vs malicious-node ratio (0..90%): measured MSE
+// of hiREP (after training) and pure voting at each attacker ratio.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hirep;
+  return bench::run_exhibit(
+      argc, argv,
+      "Figure 7 — Trust accuracy (MSE) vs attacker ratio, hiREP vs voting",
+      [](sim::Params& p, const util::Config& cfg) {
+        if (!cfg.has("transactions")) p.transactions = 600;  // training run
+      },
+      sim::run_fig7_malicious);
+}

@@ -1,0 +1,17 @@
+// Figure 8 — cumulative response time of the trust-value request process:
+// pure voting (timed flood + serial vote ingestion) vs hiREP with 10/7/5
+// onion relays, on the same queueing model (link latency U[10,40]ms +
+// 1ms serial processing per message per node).
+#include "bench_common.hpp"
+#include "sim/response_time.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hirep;
+  return bench::run_exhibit(
+      argc, argv,
+      "Figure 8 — Cumulative response time (ms), voting vs hirep-10/7/5",
+      [](sim::Params& p, const util::Config& cfg) {
+        if (!cfg.has("transactions")) p.transactions = 200;
+      },
+      sim::run_fig8_response);
+}

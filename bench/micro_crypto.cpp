@@ -1,0 +1,179 @@
+// Micro-benchmarks for the crypto substrate: hashes, RSA primitives,
+// hybrid encryption, and onion build/peel — the per-message costs behind
+// the full-crypto simulation mode.
+#include <benchmark/benchmark.h>
+
+#include "crypto/prime.hpp"
+#include "crypto/rsa.hpp"
+#include "crypto/sha1.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/stream_cipher.hpp"
+#include "onion/onion.hpp"
+
+namespace {
+
+using namespace hirep;
+
+util::Bytes random_bytes(util::Rng& rng, std::size_t n) {
+  util::Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng());
+  return out;
+}
+
+void BM_Sha1(benchmark::State& state) {
+  util::Rng rng(1);
+  const auto data = random_bytes(rng, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha1::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha1)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_Sha256(benchmark::State& state) {
+  util::Rng rng(2);
+  const auto data = random_bytes(rng, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_HmacSha256(benchmark::State& state) {
+  util::Rng rng(3);
+  const auto key = random_bytes(rng, 32);
+  const auto msg = random_bytes(rng, 256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::hmac_sha256(key, msg));
+  }
+}
+BENCHMARK(BM_HmacSha256);
+
+void BM_StreamCipher(benchmark::State& state) {
+  util::Rng rng(4);
+  crypto::StreamCipher::Key key{};
+  auto data = random_bytes(rng, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    crypto::StreamCipher cipher(key, 7);
+    cipher.apply(data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_StreamCipher)->Arg(1024)->Arg(16384);
+
+void BM_RsaKeygen(benchmark::State& state) {
+  util::Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::rsa_generate(rng, static_cast<unsigned>(state.range(0))));
+  }
+}
+BENCHMARK(BM_RsaKeygen)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+void BM_RsaSign(benchmark::State& state) {
+  util::Rng rng(6);
+  const auto pair = crypto::rsa_generate(rng, static_cast<unsigned>(state.range(0)));
+  const auto msg = random_bytes(rng, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::rsa_sign(pair.priv, msg));
+  }
+}
+BENCHMARK(BM_RsaSign)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_RsaVerify(benchmark::State& state) {
+  util::Rng rng(7);
+  const auto pair = crypto::rsa_generate(rng, static_cast<unsigned>(state.range(0)));
+  const auto msg = random_bytes(rng, 64);
+  const auto sig = crypto::rsa_sign(pair.priv, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::rsa_verify(pair.pub, msg, sig));
+  }
+}
+BENCHMARK(BM_RsaVerify)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_RsaHybridEncrypt(benchmark::State& state) {
+  util::Rng rng(8);
+  const auto pair = crypto::rsa_generate(rng, 128);
+  const auto msg = random_bytes(rng, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::rsa_encrypt_bytes(rng, pair.pub, msg));
+  }
+}
+BENCHMARK(BM_RsaHybridEncrypt)->Arg(64)->Arg(1024);
+
+void BM_OnionBuild(benchmark::State& state) {
+  util::Rng rng(9);
+  const auto owner = crypto::Identity::generate(rng, 128);
+  std::vector<onion::RelayInfo> relays;
+  std::vector<crypto::Identity> relay_ids;
+  for (int i = 0; i < state.range(0); ++i) {
+    relay_ids.push_back(crypto::Identity::generate(rng, 128));
+    relays.push_back({static_cast<net::NodeIndex>(i + 1),
+                      relay_ids.back().anonymity_public()});
+  }
+  std::uint64_t sq = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(onion::build_onion(rng, owner, 0, relays, sq++));
+  }
+}
+BENCHMARK(BM_OnionBuild)->Arg(3)->Arg(5)->Arg(10);
+
+void BM_OnionPeelFullCircuit(benchmark::State& state) {
+  util::Rng rng(10);
+  const auto owner = crypto::Identity::generate(rng, 128);
+  std::vector<onion::RelayInfo> relays;
+  std::vector<crypto::Identity> relay_ids;
+  for (int i = 0; i < state.range(0); ++i) {
+    relay_ids.push_back(crypto::Identity::generate(rng, 128));
+    relays.push_back({static_cast<net::NodeIndex>(i + 1),
+                      relay_ids.back().anonymity_public()});
+  }
+  const auto onion = onion::build_onion(rng, owner, 0, relays, 1);
+  for (auto _ : state) {
+    util::Bytes blob = onion.blob;
+    for (std::size_t i = relay_ids.size(); i-- > 0;) {
+      auto peeled = onion::peel(blob, relay_ids[i].anonymity_private());
+      blob = std::move(peeled->inner);
+    }
+    benchmark::DoNotOptimize(onion::peel(blob, owner.anonymity_private()));
+  }
+}
+BENCHMARK(BM_OnionPeelFullCircuit)->Arg(3)->Arg(5)->Arg(10);
+
+void BM_BigIntMul(benchmark::State& state) {
+  util::Rng rng(11);
+  const auto a = crypto::BigInt::random_bits(rng, static_cast<unsigned>(state.range(0)));
+  const auto b = crypto::BigInt::random_bits(rng, static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+BENCHMARK(BM_BigIntMul)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_BigIntPowmod(benchmark::State& state) {
+  util::Rng rng(12);
+  const auto bits = static_cast<unsigned>(state.range(0));
+  const auto m = crypto::BigInt::random_bits(rng, bits);
+  const auto base = crypto::BigInt::random_below(rng, m);
+  const auto exp = crypto::BigInt::random_bits(rng, bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::BigInt::powmod(base, exp, m));
+  }
+}
+BENCHMARK(BM_BigIntPowmod)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MillerRabin(benchmark::State& state) {
+  util::Rng rng(13);
+  const auto p = crypto::random_prime(rng, static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::is_probable_prime(p, rng, 8));
+  }
+}
+BENCHMARK(BM_MillerRabin)->Arg(32)->Arg(64)->Arg(128);
+
+}  // namespace

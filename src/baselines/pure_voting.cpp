@@ -1,0 +1,101 @@
+#include "baselines/pure_voting.hpp"
+
+#include <algorithm>
+
+namespace hirep::baselines {
+
+namespace {
+
+trust::WorldParams world_with_nodes(trust::WorldParams world, std::size_t nodes) {
+  world.nodes = nodes;
+  return world;
+}
+
+}  // namespace
+
+PureVotingSystem::PureVotingSystem(VotingOptions options)
+    : options_(std::move(options)),
+      rng_(options_.seed),
+      truth_(rng_, world_with_nodes(options_.world, options_.nodes)),
+      overlay_(net::power_law(rng_, options_.nodes, options_.average_degree),
+               options_.latency, options_.seed ^ 0x0ddba111ULL) {}
+
+PureVotingSystem::PollResult PureVotingSystem::poll(net::NodeIndex requestor,
+                                                    net::NodeIndex provider) {
+  PollResult result;
+  const std::uint64_t before = overlay_.metrics().total();
+  const auto flood = net::flood(overlay_, requestor, options_.ttl,
+                                net::MessageKind::kTrustRequest);
+
+  double sum = 0.0;
+  for (std::size_t i = 0; i < flood.reached.size(); ++i) {
+    const net::NodeIndex voter = flood.reached[i];
+    if (voter == provider) continue;  // the candidate does not vote on itself
+    sum += truth_.evaluate(voter, provider, rng_);
+    ++result.votes;
+    // The vote travels back along the reverse flooding path.
+    overlay_.count_send(net::MessageKind::kTrustResponse, flood.depth[i]);
+  }
+  result.estimate = result.votes
+                        ? sum / static_cast<double>(result.votes)
+                        : 0.5;
+  result.messages = overlay_.metrics().total() - before;
+  return result;
+}
+
+PureVotingSystem::TimedPoll PureVotingSystem::poll_timed(
+    net::NodeIndex requestor, net::NodeIndex provider) {
+  TimedPoll result;
+  overlay_.reset_time_state();
+  const auto arrivals = net::timed_flood(overlay_, requestor, options_.ttl, 0.0,
+                                         net::MessageKind::kTrustRequest);
+
+  // Reconstruct reverse paths from the BFS-tree parents.
+  std::vector<net::NodeIndex> parent(overlay_.node_count(), net::kInvalidNode);
+  for (const auto& a : arrivals) parent[a.node] = a.parent;
+
+  double sum = 0.0;
+  double last = 0.0;
+  for (const auto& a : arrivals) {
+    if (a.node == provider) continue;
+    sum += truth_.evaluate(a.node, provider, rng_);
+    ++result.votes;
+    // Vote returns hop-by-hop toward the requestor; each hop contends for
+    // the receiving node's serial processing capacity.
+    double t = a.time_ms;
+    net::NodeIndex at = a.node;
+    while (at != requestor) {
+      const net::NodeIndex up = at == a.node ? a.parent : parent[at];
+      t = overlay_.timed_send(t, at, up, net::MessageKind::kTrustResponse);
+      at = up;
+    }
+    last = std::max(last, t);
+  }
+  result.estimate = result.votes ? sum / static_cast<double>(result.votes) : 0.5;
+  result.response_ms = last;
+  return result;
+}
+
+PureVotingSystem::TransactionRecord PureVotingSystem::run_transaction() {
+  const auto requestor = static_cast<net::NodeIndex>(rng_.below(options_.nodes));
+  net::NodeIndex provider = requestor;
+  while (provider == requestor) {
+    provider = static_cast<net::NodeIndex>(rng_.below(options_.nodes));
+  }
+  return run_transaction(requestor, provider);
+}
+
+PureVotingSystem::TransactionRecord PureVotingSystem::run_transaction(
+    net::NodeIndex requestor, net::NodeIndex provider) {
+  const auto polled = poll(requestor, provider);
+  TransactionRecord record;
+  record.requestor = requestor;
+  record.provider = provider;
+  record.estimate = polled.estimate;
+  record.truth_value = truth_.true_trust(provider);
+  record.votes = polled.votes;
+  record.trust_messages = polled.messages;
+  return record;
+}
+
+}  // namespace hirep::baselines

@@ -1,0 +1,86 @@
+#include "baselines/rca.hpp"
+
+#include <algorithm>
+
+namespace hirep::baselines {
+
+namespace {
+
+trust::WorldParams world_with_nodes(trust::WorldParams world, std::size_t nodes) {
+  world.nodes = nodes;
+  return world;
+}
+
+}  // namespace
+
+RcaSystem::RcaSystem(RcaOptions options)
+    : options_(std::move(options)),
+      rng_(options_.seed),
+      truth_(rng_, world_with_nodes(options_.world, options_.nodes)),
+      overlay_(net::power_law(rng_, options_.nodes, options_.average_degree),
+               options_.latency, options_.seed ^ 0x5ca1ab1eULL),
+      model_factory_(trust::model_factory_by_name(options_.model)) {}
+
+RcaSystem::TransactionRecord RcaSystem::run_transaction() {
+  const auto requestor = static_cast<net::NodeIndex>(rng_.below(options_.nodes));
+  net::NodeIndex provider = requestor;
+  while (provider == requestor) {
+    provider = static_cast<net::NodeIndex>(rng_.below(options_.nodes));
+  }
+  return run_transaction(requestor, provider);
+}
+
+RcaSystem::TransactionRecord RcaSystem::run_transaction(
+    net::NodeIndex requestor, net::NodeIndex provider) {
+  TransactionRecord record;
+  record.requestor = requestor;
+  record.provider = provider;
+  record.truth_value = truth_.true_trust(provider);
+  const std::uint64_t before = overlay_.metrics().total();
+
+  if (online_) {
+    // Query + response with the RCA: two point-to-point messages.
+    overlay_.count_send(net::MessageKind::kTrustRequest);
+    overlay_.count_send(net::MessageKind::kTrustResponse);
+    const auto it = stores_.find(provider);
+    record.estimate = (it != stores_.end() && it->second->observations() > 0)
+                          ? it->second->value()
+                          : 0.5;
+    record.answered = true;
+  }
+
+  const double outcome = truth_.transaction_outcome(provider);
+  if (online_) {
+    // Signed report to the RCA: one message; the RCA's model updates.
+    overlay_.count_send(net::MessageKind::kReport);
+    auto it = stores_.find(provider);
+    if (it == stores_.end()) {
+      it = stores_.emplace(provider, model_factory_()).first;
+    }
+    it->second->record(outcome);
+  }
+
+  record.trust_messages = overlay_.metrics().total() - before;
+  return record;
+}
+
+double RcaSystem::timed_query_burst_ms(std::size_t concurrent) {
+  overlay_.reset_time_state();
+  double last = 0.0;
+  for (std::size_t i = 0; i < concurrent; ++i) {
+    const auto requestor =
+        static_cast<net::NodeIndex>(rng_.below(options_.nodes));
+    if (requestor == options_.rca_node) continue;
+    // Request into the RCA's serial queue...
+    const double at_rca = overlay_.timed_send(0.0, requestor, options_.rca_node,
+                                              net::MessageKind::kTrustRequest);
+    // ...and the response back out.
+    const double done = overlay_.timed_send(at_rca, options_.rca_node,
+                                            requestor,
+                                            net::MessageKind::kTrustResponse);
+    last = std::max(last, done);
+  }
+  return last;
+}
+
+}  // namespace hirep::baselines

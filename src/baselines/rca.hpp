@@ -1,0 +1,73 @@
+// Centralized baseline — Gupta et al. [NOSSDAV'03]: a dedicated
+// *reputation computation agent* (RCA) stores every peer's reputation.
+// Queries and reports are point-to-point with the RCA, so per-transaction
+// traffic is O(1) — but the RCA is a traffic bottleneck (every message in
+// the system funnels through one node's serial queue) and a single point
+// of failure, which is exactly the §3.1 argument for hiREP's hierarchy.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "net/overlay.hpp"
+#include "net/topology.hpp"
+#include "trust/ground_truth.hpp"
+#include "trust/trust_model.hpp"
+#include "util/rng.hpp"
+
+namespace hirep::baselines {
+
+struct RcaOptions {
+  std::size_t nodes = 1000;
+  double average_degree = 4.0;
+  net::NodeIndex rca_node = 0;  ///< the dedicated server's overlay seat
+  std::string model = "ewma";
+  trust::WorldParams world;
+  net::LatencyParams latency;
+  std::uint64_t seed = 1;
+};
+
+class RcaSystem {
+ public:
+  explicit RcaSystem(RcaOptions options);
+
+  net::Overlay& overlay() noexcept { return overlay_; }
+  trust::GroundTruth& truth() noexcept { return truth_; }
+  const RcaOptions& options() const noexcept { return options_; }
+
+  bool rca_online() const noexcept { return online_; }
+  /// The single point of failure, made explicit.
+  void set_rca_online(bool online) noexcept { online_ = online; }
+
+  struct TransactionRecord {
+    net::NodeIndex requestor = net::kInvalidNode;
+    net::NodeIndex provider = net::kInvalidNode;
+    double estimate = 0.5;
+    double truth_value = 0.0;
+    bool answered = false;  ///< false when the RCA was down
+    std::uint64_t trust_messages = 0;
+  };
+  TransactionRecord run_transaction();
+  TransactionRecord run_transaction(net::NodeIndex requestor,
+                                    net::NodeIndex provider);
+
+  /// Timed query response (ms) under the queueing model; every concurrent
+  /// requestor contends for the RCA's serial processing — the bottleneck.
+  /// `concurrent` simultaneous queries are issued; returns the LAST
+  /// completion.
+  double timed_query_burst_ms(std::size_t concurrent);
+
+  std::size_t reports_stored() const noexcept { return stores_.size(); }
+
+ private:
+  RcaOptions options_;
+  util::Rng rng_;
+  trust::GroundTruth truth_;
+  net::Overlay overlay_;
+  bool online_ = true;
+  std::map<net::NodeIndex, std::unique_ptr<trust::TrustModel>> stores_;
+  trust::TrustModelFactory model_factory_;
+};
+
+}  // namespace hirep::baselines

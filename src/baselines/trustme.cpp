@@ -1,0 +1,108 @@
+#include "baselines/trustme.hpp"
+
+namespace hirep::baselines {
+
+namespace {
+
+trust::WorldParams world_with_nodes(trust::WorldParams world, std::size_t nodes) {
+  world.nodes = nodes;
+  return world;
+}
+
+}  // namespace
+
+TrustMeSystem::TrustMeSystem(TrustMeOptions options)
+    : options_(std::move(options)),
+      rng_(options_.seed),
+      truth_(rng_, world_with_nodes(options_.world, options_.nodes)),
+      overlay_(net::power_law(rng_, options_.nodes, options_.average_degree),
+               options_.latency, options_.seed ^ 0x7157731eULL),
+      thas_(options_.nodes),
+      model_factory_(trust::model_factory_by_name(options_.model)) {
+  // Bootstrap-server THA assignment: random, so "the probability of each
+  // peer to be a THA is similar" (§2).
+  for (std::size_t peer = 0; peer < options_.nodes; ++peer) {
+    auto picks = rng_.sample_indices(options_.nodes, options_.thas_per_peer + 1);
+    for (std::size_t idx : picks) {
+      if (thas_[peer].size() >= options_.thas_per_peer) break;
+      if (idx == peer) continue;
+      thas_[peer].push_back(static_cast<net::NodeIndex>(idx));
+    }
+  }
+}
+
+const std::vector<net::NodeIndex>& TrustMeSystem::thas_of(
+    net::NodeIndex peer) const {
+  return thas_.at(peer);
+}
+
+double TrustMeSystem::tha_answer(net::NodeIndex tha, net::NodeIndex subject) {
+  // A malicious THA inverts whatever it would report.
+  const auto it = stores_.find({tha, subject});
+  double value;
+  if (it != stores_.end() && it->second->observations() > 0) {
+    value = it->second->value();
+  } else {
+    value = 0.5;  // no evidence yet
+  }
+  return truth_.poor_evaluator(tha) ? 1.0 - value : value;
+}
+
+TrustMeSystem::TransactionRecord TrustMeSystem::run_transaction() {
+  const auto requestor = static_cast<net::NodeIndex>(rng_.below(options_.nodes));
+  net::NodeIndex provider = requestor;
+  while (provider == requestor) {
+    provider = static_cast<net::NodeIndex>(rng_.below(options_.nodes));
+  }
+  return run_transaction(requestor, provider);
+}
+
+TrustMeSystem::TransactionRecord TrustMeSystem::run_transaction(
+    net::NodeIndex requestor, net::NodeIndex provider) {
+  TransactionRecord record;
+  record.requestor = requestor;
+  record.provider = provider;
+  record.truth_value = truth_.true_trust(provider);
+  const std::uint64_t before = overlay_.metrics().total();
+
+  // Broadcast #1: the trust query floods the system; the provider's THAs
+  // that heard it answer along the reverse path.
+  const auto query_flood = net::flood(overlay_, requestor, options_.ttl,
+                                      net::MessageKind::kTrustRequest);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < query_flood.reached.size(); ++i) {
+    const net::NodeIndex node = query_flood.reached[i];
+    for (net::NodeIndex tha : thas_[provider]) {
+      if (tha != node) continue;
+      sum += tha_answer(tha, provider);
+      ++record.responses;
+      overlay_.count_send(net::MessageKind::kTrustResponse,
+                          query_flood.depth[i]);
+    }
+  }
+  record.estimate = record.responses
+                        ? sum / static_cast<double>(record.responses)
+                        : 0.5;
+
+  // The transaction happens; broadcast #2 spreads the result so the
+  // provider's THAs can store it.
+  const double outcome = truth_.transaction_outcome(provider);
+  const auto report_flood = net::flood(overlay_, requestor, options_.ttl,
+                                       net::MessageKind::kReport);
+  for (net::NodeIndex node : report_flood.reached) {
+    for (net::NodeIndex tha : thas_[provider]) {
+      if (tha != node) continue;
+      auto key = std::make_pair(tha, provider);
+      auto it = stores_.find(key);
+      if (it == stores_.end()) {
+        it = stores_.emplace(key, model_factory_()).first;
+      }
+      it->second->record(outcome);
+    }
+  }
+
+  record.trust_messages = overlay_.metrics().total() - before;
+  return record;
+}
+
+}  // namespace hirep::baselines

@@ -1,0 +1,78 @@
+// TrustMe baseline [Singh & Liu, P2P'03] as characterized in the paper's
+// related-work section (§2): trust values are stored remotely at
+// *trust-holding agents* (THAs) that the bootstrap server assigns randomly
+// — not chosen by the peer — and the protocol broadcasts twice:
+//
+//   * a requestor broadcasts the trust query to the entire system; the
+//     THAs of the candidate reply;
+//   * after a transaction, the peer broadcasts the result to the entire
+//     system so the partner's THAs can store it.
+//
+// Included to quantify the paper's qualitative claim that TrustMe is "not
+// a hierarchical system" and keeps flooding in the loop.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/flood.hpp"
+#include "net/overlay.hpp"
+#include "net/topology.hpp"
+#include "trust/ground_truth.hpp"
+#include "trust/trust_model.hpp"
+#include "util/rng.hpp"
+
+namespace hirep::baselines {
+
+struct TrustMeOptions {
+  std::size_t nodes = 1000;
+  double average_degree = 4.0;
+  std::uint32_t ttl = 4;
+  std::size_t thas_per_peer = 4;  ///< THAs assigned at bootstrap
+  std::string model = "ewma";
+  trust::WorldParams world;
+  net::LatencyParams latency;
+  std::uint64_t seed = 1;
+};
+
+class TrustMeSystem {
+ public:
+  explicit TrustMeSystem(TrustMeOptions options);
+
+  net::Overlay& overlay() noexcept { return overlay_; }
+  trust::GroundTruth& truth() noexcept { return truth_; }
+  const TrustMeOptions& options() const noexcept { return options_; }
+  const std::vector<net::NodeIndex>& thas_of(net::NodeIndex peer) const;
+
+  struct TransactionRecord {
+    net::NodeIndex requestor = net::kInvalidNode;
+    net::NodeIndex provider = net::kInvalidNode;
+    double estimate = 0.5;
+    double truth_value = 0.0;
+    std::size_t responses = 0;
+    std::uint64_t trust_messages = 0;
+  };
+  TransactionRecord run_transaction();
+  TransactionRecord run_transaction(net::NodeIndex requestor,
+                                    net::NodeIndex provider);
+
+ private:
+  /// What a THA answers about its subject: its stored model value, or its
+  /// own (possibly malicious) evaluation before any report arrived.
+  double tha_answer(net::NodeIndex tha, net::NodeIndex subject);
+
+  TrustMeOptions options_;
+  util::Rng rng_;
+  trust::GroundTruth truth_;
+  net::Overlay overlay_;
+  std::vector<std::vector<net::NodeIndex>> thas_;  // per peer
+  // THA-side stores: (tha, subject) -> model
+  std::map<std::pair<net::NodeIndex, net::NodeIndex>,
+           std::unique_ptr<trust::TrustModel>>
+      stores_;
+  trust::TrustModelFactory model_factory_;
+};
+
+}  // namespace hirep::baselines

@@ -1,0 +1,407 @@
+#include "crypto/bigint.hpp"
+
+#include "crypto/montgomery.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hirep::crypto {
+
+namespace {
+constexpr unsigned kLimbBits = 32;
+}
+
+BigInt::BigInt(std::uint64_t value) {
+  if (value) limbs_.push_back(static_cast<std::uint32_t>(value));
+  if (value >> 32) limbs_.push_back(static_cast<std::uint32_t>(value >> 32));
+}
+
+void BigInt::trim() noexcept {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigInt BigInt::from_bytes(std::span<const std::uint8_t> be_bytes) {
+  BigInt out;
+  for (std::uint8_t b : be_bytes) {
+    out = (out << 8) + BigInt(b);
+  }
+  return out;
+}
+
+util::Bytes BigInt::to_bytes() const {
+  util::Bytes out;
+  const unsigned bytes = (bit_length() + 7) / 8;
+  out.resize(bytes);
+  for (unsigned i = 0; i < bytes; ++i) {
+    const unsigned limb = i / 4;
+    const unsigned shift = (i % 4) * 8;
+    out[bytes - 1 - i] = static_cast<std::uint8_t>(limbs_[limb] >> shift);
+  }
+  return out;
+}
+
+BigInt BigInt::from_hex(const std::string& hex) {
+  BigInt out;
+  for (char c : hex) {
+    int nib;
+    if (c >= '0' && c <= '9') nib = c - '0';
+    else if (c >= 'a' && c <= 'f') nib = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') nib = c - 'A' + 10;
+    else throw std::invalid_argument("bad hex digit");
+    out = (out << 4) + BigInt(static_cast<std::uint64_t>(nib));
+  }
+  return out;
+}
+
+std::string BigInt::to_hex() const {
+  if (is_zero()) return "0";
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  bool leading = true;
+  for (std::size_t li = limbs_.size(); li-- > 0;) {
+    for (int nib = 7; nib >= 0; --nib) {
+      const unsigned v = (limbs_[li] >> (nib * 4)) & 0xfu;
+      if (leading && v == 0) continue;
+      leading = false;
+      out.push_back(kDigits[v]);
+    }
+  }
+  return out;
+}
+
+std::string BigInt::to_decimal() const {
+  if (is_zero()) return "0";
+  std::string digits;
+  BigInt n = *this;
+  const BigInt ten(10);
+  while (!n.is_zero()) {
+    auto [q, r] = divmod(n, ten);
+    digits.push_back(static_cast<char>('0' + r.low_u64()));
+    n = std::move(q);
+  }
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+BigInt BigInt::random_below(util::Rng& rng, const BigInt& bound) {
+  if (bound.is_zero()) throw std::domain_error("random_below(0)");
+  const unsigned bits = bound.bit_length();
+  for (;;) {
+    BigInt candidate;
+    const unsigned limbs = (bits + kLimbBits - 1) / kLimbBits;
+    candidate.limbs_.resize(limbs);
+    for (auto& l : candidate.limbs_) l = static_cast<std::uint32_t>(rng());
+    // Mask the top limb down to the bound's bit length.
+    const unsigned top_bits = bits % kLimbBits;
+    if (top_bits != 0) {
+      candidate.limbs_.back() &= (std::uint32_t{1} << top_bits) - 1;
+    }
+    candidate.trim();
+    if (candidate < bound) return candidate;
+  }
+}
+
+BigInt BigInt::random_bits(util::Rng& rng, unsigned bits) {
+  if (bits == 0) throw std::domain_error("random_bits(0)");
+  BigInt out;
+  const unsigned limbs = (bits + kLimbBits - 1) / kLimbBits;
+  out.limbs_.resize(limbs);
+  for (auto& l : out.limbs_) l = static_cast<std::uint32_t>(rng());
+  const unsigned top = (bits - 1) % kLimbBits;
+  // Clear bits above the requested width, then force the top bit on.
+  out.limbs_.back() &= (top == 31) ? ~std::uint32_t{0}
+                                   : ((std::uint32_t{1} << (top + 1)) - 1);
+  out.limbs_.back() |= std::uint32_t{1} << top;
+  out.trim();
+  return out;
+}
+
+unsigned BigInt::bit_length() const noexcept {
+  if (limbs_.empty()) return 0;
+  const std::uint32_t top = limbs_.back();
+  unsigned bits = (static_cast<unsigned>(limbs_.size()) - 1) * kLimbBits;
+  return bits + (kLimbBits - static_cast<unsigned>(__builtin_clz(top)));
+}
+
+bool BigInt::bit(unsigned i) const noexcept {
+  const unsigned limb = i / kLimbBits;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % kLimbBits)) & 1u;
+}
+
+std::uint64_t BigInt::low_u64() const noexcept {
+  std::uint64_t v = 0;
+  if (!limbs_.empty()) v = limbs_[0];
+  if (limbs_.size() > 1) v |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  return v;
+}
+
+int BigInt::compare(const BigInt& a, const BigInt& b) noexcept {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  }
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::strong_ordering BigInt::operator<=>(const BigInt& rhs) const noexcept {
+  const int c = compare(*this, rhs);
+  if (c < 0) return std::strong_ordering::less;
+  if (c > 0) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+BigInt BigInt::operator+(const BigInt& rhs) const {
+  BigInt out;
+  const std::size_t n = std::max(limbs_.size(), rhs.limbs_.size());
+  out.limbs_.resize(n + 1, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry;
+    if (i < limbs_.size()) sum += limbs_[i];
+    if (i < rhs.limbs_.size()) sum += rhs.limbs_[i];
+    out.limbs_[i] = static_cast<std::uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  out.limbs_[n] = static_cast<std::uint32_t>(carry);
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::operator-(const BigInt& rhs) const {
+  if (*this < rhs) throw std::underflow_error("BigInt subtraction underflow");
+  BigInt out;
+  out.limbs_.resize(limbs_.size(), 0);
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(limbs_[i]) - borrow;
+    if (i < rhs.limbs_.size()) diff -= rhs.limbs_[i];
+    if (diff < 0) {
+      diff += (std::int64_t{1} << 32);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(diff);
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::operator*(const BigInt& rhs) const {
+  if (is_zero() || rhs.is_zero()) return BigInt();
+  BigInt out;
+  out.limbs_.assign(limbs_.size() + rhs.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t a = limbs_[i];
+    for (std::size_t j = 0; j < rhs.limbs_.size(); ++j) {
+      const std::uint64_t cur =
+          static_cast<std::uint64_t>(out.limbs_[i + j]) + a * rhs.limbs_[j] + carry;
+      out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + rhs.limbs_.size();
+    while (carry) {
+      const std::uint64_t cur = static_cast<std::uint64_t>(out.limbs_[k]) + carry;
+      out.limbs_[k] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::operator<<(unsigned bits) const {
+  if (is_zero() || bits == 0) return *this;
+  const unsigned limb_shift = bits / kLimbBits;
+  const unsigned bit_shift = bits % kLimbBits;
+  BigInt out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const std::uint64_t v = static_cast<std::uint64_t>(limbs_[i]) << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<std::uint32_t>(v);
+    out.limbs_[i + limb_shift + 1] |= static_cast<std::uint32_t>(v >> 32);
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::operator>>(unsigned bits) const {
+  if (bits == 0) return *this;
+  const unsigned limb_shift = bits / kLimbBits;
+  const unsigned bit_shift = bits % kLimbBits;
+  if (limb_shift >= limbs_.size()) return BigInt();
+  BigInt out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    std::uint64_t v = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      v |= static_cast<std::uint64_t>(limbs_[i + limb_shift + 1])
+           << (kLimbBits - bit_shift);
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(v);
+  }
+  out.trim();
+  return out;
+}
+
+std::pair<BigInt, BigInt> BigInt::divmod(const BigInt& num, const BigInt& den) {
+  if (den.is_zero()) throw std::domain_error("division by zero");
+  if (num < den) return {BigInt(), num};
+  if (den.limbs_.size() == 1) {
+    // Single-limb fast path.
+    const std::uint64_t d = den.limbs_[0];
+    BigInt q;
+    q.limbs_.resize(num.limbs_.size());
+    std::uint64_t rem = 0;
+    for (std::size_t i = num.limbs_.size(); i-- > 0;) {
+      const std::uint64_t cur = (rem << 32) | num.limbs_[i];
+      q.limbs_[i] = static_cast<std::uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    q.trim();
+    return {std::move(q), BigInt(rem)};
+  }
+
+  // Knuth Algorithm D. Normalise so the divisor's top limb has its high bit
+  // set, which keeps the quotient-digit estimate within 2 of correct.
+  const unsigned shift =
+      static_cast<unsigned>(__builtin_clz(den.limbs_.back()));
+  const BigInt u = num << shift;
+  const BigInt v = den << shift;
+  const std::size_t n = v.limbs_.size();
+  const std::size_t m = u.limbs_.size() - n;
+
+  std::vector<std::uint32_t> un(u.limbs_);
+  un.push_back(0);  // extra high limb for the algorithm
+  const std::vector<std::uint32_t>& vn = v.limbs_;
+
+  BigInt q;
+  q.limbs_.assign(m + 1, 0);
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    const std::uint64_t top =
+        (static_cast<std::uint64_t>(un[j + n]) << 32) | un[j + n - 1];
+    std::uint64_t qhat = top / vn[n - 1];
+    std::uint64_t rhat = top % vn[n - 1];
+    while (qhat > 0xffffffffULL ||
+           qhat * vn[n - 2] > ((rhat << 32) | un[j + n - 2])) {
+      --qhat;
+      rhat += vn[n - 1];
+      if (rhat > 0xffffffffULL) break;
+    }
+    // Multiply-subtract qhat * v from u[j .. j+n].
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t p = qhat * vn[i] + carry;
+      carry = p >> 32;
+      const std::int64_t t =
+          static_cast<std::int64_t>(un[i + j]) -
+          static_cast<std::int64_t>(static_cast<std::uint32_t>(p)) - borrow;
+      un[i + j] = static_cast<std::uint32_t>(t);
+      borrow = t < 0 ? 1 : 0;
+    }
+    const std::int64_t t = static_cast<std::int64_t>(un[j + n]) -
+                           static_cast<std::int64_t>(carry) - borrow;
+    un[j + n] = static_cast<std::uint32_t>(t);
+
+    if (t < 0) {
+      // Estimate was one too large: add the divisor back.
+      --qhat;
+      std::uint64_t c = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t s =
+            static_cast<std::uint64_t>(un[i + j]) + vn[i] + c;
+        un[i + j] = static_cast<std::uint32_t>(s);
+        c = s >> 32;
+      }
+      un[j + n] = static_cast<std::uint32_t>(un[j + n] + c);
+    }
+    q.limbs_[j] = static_cast<std::uint32_t>(qhat);
+  }
+  q.trim();
+
+  BigInt r;
+  r.limbs_.assign(un.begin(), un.begin() + static_cast<std::ptrdiff_t>(n));
+  r.trim();
+  return {std::move(q), r >> shift};
+}
+
+BigInt BigInt::operator/(const BigInt& rhs) const { return divmod(*this, rhs).first; }
+BigInt BigInt::operator%(const BigInt& rhs) const { return divmod(*this, rhs).second; }
+
+BigInt BigInt::mulmod(const BigInt& a, const BigInt& b, const BigInt& m) {
+  return (a * b) % m;
+}
+
+BigInt BigInt::powmod(const BigInt& base, const BigInt& exp, const BigInt& m) {
+  if (m.is_zero()) throw std::domain_error("powmod modulus zero");
+  if (m == BigInt(1)) return BigInt();
+  // Odd moduli with non-trivial exponents take the Montgomery fast path —
+  // every RSA/Miller-Rabin exponentiation lands here.  The context setup
+  // (one shift-mod + one mulmod) amortizes over the exponent bits.
+  if (m.is_odd() && m.bit_length() >= 64 && exp.bit_length() >= 8) {
+    return MontgomeryContext(m).pow(base, exp);
+  }
+  BigInt result(1);
+  BigInt b = base % m;
+  const unsigned bits = exp.bit_length();
+  for (unsigned i = 0; i < bits; ++i) {
+    if (exp.bit(i)) result = mulmod(result, b, m);
+    b = mulmod(b, b, m);
+  }
+  return result;
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  while (!b.is_zero()) {
+    BigInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigInt BigInt::modinv(const BigInt& a, const BigInt& m) {
+  // Extended Euclid with coefficients tracked as (sign, magnitude) pairs,
+  // since BigInt itself is unsigned.
+  BigInt old_r = a % m, r = m;
+  BigInt old_s(1), s(0);
+  bool old_s_neg = false, s_neg = false;
+  while (!r.is_zero()) {
+    const auto [q, rem] = divmod(old_r, r);
+    old_r = std::move(r);
+    r = rem;
+    // new_s = old_s - q * s   (signed)
+    const BigInt qs = q * s;
+    BigInt new_s;
+    bool new_s_neg;
+    if (old_s_neg == s_neg) {
+      if (old_s >= qs) {
+        new_s = old_s - qs;
+        new_s_neg = old_s_neg;
+      } else {
+        new_s = qs - old_s;
+        new_s_neg = !old_s_neg;
+      }
+    } else {
+      new_s = old_s + qs;
+      new_s_neg = old_s_neg;
+    }
+    old_s = std::move(s);
+    old_s_neg = s_neg;
+    s = std::move(new_s);
+    s_neg = new_s_neg;
+  }
+  if (old_r != BigInt(1)) throw std::domain_error("modinv: not coprime");
+  BigInt inv = old_s % m;
+  if (old_s_neg && !inv.is_zero()) inv = m - inv;
+  return inv;
+}
+
+}  // namespace hirep::crypto

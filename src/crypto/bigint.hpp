@@ -1,0 +1,85 @@
+// Arbitrary-precision unsigned integers sized for RSA moduli up to a few
+// thousand bits.  Little-endian base-2^32 limbs, schoolbook multiplication
+// (adequate at these sizes) and Knuth Algorithm D division.
+//
+// Only non-negative values are representable: every quantity in the RSA /
+// Miller-Rabin code paths is non-negative, and keeping the type unsigned
+// removes a whole class of sign-handling bugs.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace hirep::crypto {
+
+class BigInt {
+ public:
+  BigInt() = default;
+  BigInt(std::uint64_t value);  // NOLINT(google-explicit-constructor): numeric literal convenience
+
+  /// Big-endian byte import/export (the conventional wire format for keys).
+  static BigInt from_bytes(std::span<const std::uint8_t> be_bytes);
+  util::Bytes to_bytes() const;  ///< minimal big-endian encoding; empty for 0
+
+  /// Hex (no 0x prefix). Throws std::invalid_argument on bad digits.
+  static BigInt from_hex(const std::string& hex);
+  std::string to_hex() const;
+
+  /// Decimal rendering, for docs/examples.
+  std::string to_decimal() const;
+
+  /// Uniform value in [0, bound) — rejection sampling over whole limbs.
+  static BigInt random_below(util::Rng& rng, const BigInt& bound);
+  /// Uniform value with exactly `bits` bits (top bit set). bits >= 1.
+  static BigInt random_bits(util::Rng& rng, unsigned bits);
+
+  bool is_zero() const noexcept { return limbs_.empty(); }
+  bool is_odd() const noexcept { return !limbs_.empty() && (limbs_[0] & 1u); }
+  bool is_even() const noexcept { return !is_odd(); }
+  /// Number of significant bits; 0 for value 0.
+  unsigned bit_length() const noexcept;
+  bool bit(unsigned i) const noexcept;
+  /// Low 64 bits (truncating).
+  std::uint64_t low_u64() const noexcept;
+
+  std::strong_ordering operator<=>(const BigInt& rhs) const noexcept;
+  bool operator==(const BigInt& rhs) const noexcept = default;
+
+  BigInt operator+(const BigInt& rhs) const;
+  /// Requires *this >= rhs; throws std::underflow_error otherwise.
+  BigInt operator-(const BigInt& rhs) const;
+  BigInt operator*(const BigInt& rhs) const;
+  BigInt operator/(const BigInt& rhs) const;
+  BigInt operator%(const BigInt& rhs) const;
+  BigInt operator<<(unsigned bits) const;
+  BigInt operator>>(unsigned bits) const;
+
+  /// Quotient and remainder in one division. Divisor must be non-zero
+  /// (throws std::domain_error).
+  static std::pair<BigInt, BigInt> divmod(const BigInt& num, const BigInt& den);
+
+  /// (a * b) mod m.
+  static BigInt mulmod(const BigInt& a, const BigInt& b, const BigInt& m);
+  /// (base ^ exp) mod m by square-and-multiply. m must be > 0.
+  static BigInt powmod(const BigInt& base, const BigInt& exp, const BigInt& m);
+  static BigInt gcd(BigInt a, BigInt b);
+  /// Modular inverse of a mod m; throws std::domain_error when gcd(a,m) != 1.
+  static BigInt modinv(const BigInt& a, const BigInt& m);
+
+  const std::vector<std::uint32_t>& limbs() const noexcept { return limbs_; }
+
+ private:
+  void trim() noexcept;
+  static int compare(const BigInt& a, const BigInt& b) noexcept;
+
+  std::vector<std::uint32_t> limbs_;  // little-endian, no trailing zeros
+};
+
+}  // namespace hirep::crypto

@@ -1,0 +1,84 @@
+// Peer identity layer (§3.3): every peer owns a signature key pair (SP, SR)
+// and an anonymity key pair (AP, AR).  The self-certifying identifier is
+//
+//     nodeId = SHA-1(serialize(SP))
+//
+// which binds the public signature key to the identifier without any
+// third-party certificate authority: an attacker cannot substitute its own
+// key under an existing nodeId without inverting the hash.
+//
+// Key rotation (§3.5, "allowing peers to update their public key pair
+// periodically") is supported: a rotation announcement carries the new SP
+// signed by the *current* SR, so receivers can migrate the mapping
+// old-nodeId → new-nodeId.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "crypto/rsa.hpp"
+#include "crypto/sha1.hpp"
+#include "util/rng.hpp"
+
+namespace hirep::crypto {
+
+/// 160-bit self-certifying peer identifier.
+struct NodeId {
+  std::array<std::uint8_t, Sha1::kDigestSize> bytes{};
+
+  auto operator<=>(const NodeId&) const = default;
+  std::string to_hex() const;
+  /// Short prefix for logs ("a3f09c…").
+  std::string short_hex(std::size_t nibbles = 8) const;
+
+  static NodeId of_key(const RsaPublicKey& signature_public_key);
+};
+
+struct NodeIdHash {
+  std::size_t operator()(const NodeId& id) const noexcept;
+};
+
+/// A peer's complete cryptographic identity.
+class Identity {
+ public:
+  /// Generates both key pairs. `bits` is the RSA modulus size.
+  static Identity generate(util::Rng& rng, unsigned bits);
+
+  const NodeId& node_id() const noexcept { return node_id_; }
+  const RsaPublicKey& signature_public() const noexcept { return signature_.pub; }
+  const RsaPrivateKey& signature_private() const noexcept { return signature_.priv; }
+  const RsaPublicKey& anonymity_public() const noexcept { return anonymity_.pub; }
+  const RsaPrivateKey& anonymity_private() const noexcept { return anonymity_.priv; }
+
+  util::Bytes sign(std::span<const std::uint8_t> data) const;
+  bool verify_own(std::span<const std::uint8_t> data,
+                  std::span<const std::uint8_t> sig) const;
+
+  /// Key rotation: produce an announcement {new SP, signature under old SR},
+  /// then adopt the new pair.  Returns the announcement.
+  struct RotationAnnouncement {
+    NodeId old_id;
+    RsaPublicKey new_signature_public;
+    util::Bytes signature;  ///< old SR over serialize(new SP)
+
+    util::Bytes serialize() const;
+    static std::optional<RotationAnnouncement> deserialize(
+        std::span<const std::uint8_t> data);
+  };
+  RotationAnnouncement rotate_signature_key(util::Rng& rng, unsigned bits);
+
+  /// Verifies that `ann` legitimately migrates `old_key`'s identity.
+  static bool verify_rotation(const RsaPublicKey& old_key,
+                              const RotationAnnouncement& ann);
+
+ private:
+  Identity() = default;
+  RsaKeyPair signature_;
+  RsaKeyPair anonymity_;
+  NodeId node_id_;
+};
+
+}  // namespace hirep::crypto

@@ -1,0 +1,143 @@
+#include "crypto/montgomery.hpp"
+
+#include <stdexcept>
+
+namespace hirep::crypto {
+
+namespace {
+
+// Inverse of an odd 32-bit value modulo 2^32 by Newton iteration: each
+// step doubles the number of correct low bits (5 steps reach 32+).
+std::uint32_t inv32(std::uint32_t odd) {
+  std::uint32_t inv = 1;
+  for (int i = 0; i < 5; ++i) {
+    inv *= 2u - odd * inv;
+  }
+  return inv;
+}
+
+}  // namespace
+
+MontgomeryContext::MontgomeryContext(const BigInt& modulus)
+    : modulus_(modulus) {
+  if (modulus.is_even() || modulus < BigInt(3)) {
+    throw std::invalid_argument("Montgomery modulus must be odd and >= 3");
+  }
+  n_ = modulus.limbs();
+  n_prime_ = static_cast<std::uint32_t>(0u - inv32(n_[0]));
+
+  const unsigned r_bits = static_cast<unsigned>(n_.size()) * 32;
+  r_mod_n_ = (BigInt(1) << r_bits) % modulus_;
+  r2_mod_n_ = BigInt::mulmod(r_mod_n_, r_mod_n_, modulus_);
+}
+
+MontgomeryContext::Limbs MontgomeryContext::mont_mul(const Limbs& a,
+                                                     const Limbs& b) const {
+  // CIOS (coarsely integrated operand scanning), Koc et al.
+  const std::size_t k = n_.size();
+  Limbs t(k + 2, 0);
+  for (std::size_t i = 0; i < k; ++i) {
+    // t += a[i] * b
+    std::uint64_t carry = 0;
+    const std::uint64_t ai = i < a.size() ? a[i] : 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      const std::uint64_t bj = j < b.size() ? b[j] : 0;
+      const std::uint64_t cur = t[j] + ai * bj + carry;
+      t[j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::uint64_t cur = static_cast<std::uint64_t>(t[k]) + carry;
+    t[k] = static_cast<std::uint32_t>(cur);
+    t[k + 1] = static_cast<std::uint32_t>(cur >> 32);
+
+    // m = t[0] * n' mod 2^32;  t += m * n;  t >>= 32
+    const std::uint32_t m = t[0] * n_prime_;
+    carry = 0;
+    {
+      const std::uint64_t first =
+          static_cast<std::uint64_t>(t[0]) +
+          static_cast<std::uint64_t>(m) * n_[0];
+      carry = first >> 32;  // low 32 bits are zero by construction
+    }
+    for (std::size_t j = 1; j < k; ++j) {
+      const std::uint64_t cur2 = static_cast<std::uint64_t>(t[j]) +
+                                 static_cast<std::uint64_t>(m) * n_[j] + carry;
+      t[j - 1] = static_cast<std::uint32_t>(cur2);
+      carry = cur2 >> 32;
+    }
+    const std::uint64_t cur3 = static_cast<std::uint64_t>(t[k]) + carry;
+    t[k - 1] = static_cast<std::uint32_t>(cur3);
+    const std::uint64_t cur4 =
+        static_cast<std::uint64_t>(t[k + 1]) + (cur3 >> 32);
+    t[k] = static_cast<std::uint32_t>(cur4);
+    t[k + 1] = static_cast<std::uint32_t>(cur4 >> 32);
+  }
+
+  // Final conditional subtraction: t (k+1 limbs significant) vs n.
+  Limbs result(t.begin(), t.begin() + static_cast<std::ptrdiff_t>(k));
+  bool geq = t[k] != 0;
+  if (!geq) {
+    geq = true;
+    for (std::size_t j = k; j-- > 0;) {
+      if (result[j] != n_[j]) {
+        geq = result[j] > n_[j];
+        break;
+      }
+    }
+  }
+  if (geq) {
+    std::int64_t borrow = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      std::int64_t diff = static_cast<std::int64_t>(result[j]) -
+                          static_cast<std::int64_t>(n_[j]) - borrow;
+      if (diff < 0) {
+        diff += (std::int64_t{1} << 32);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      result[j] = static_cast<std::uint32_t>(diff);
+    }
+  }
+  return result;
+}
+
+MontgomeryContext::Limbs MontgomeryContext::to_mont(const BigInt& x) const {
+  // xR mod n = mont_mul(x, R^2)
+  return mont_mul(x.limbs(), r2_mod_n_.limbs());
+}
+
+BigInt MontgomeryContext::from_mont(const Limbs& x) const {
+  // xR^{-1} mod n = mont_mul(x, 1)
+  const Limbs one{1};
+  const Limbs out = mont_mul(x, one);
+  // Rebuild via bytes to stay within BigInt's public interface.
+  util::Bytes be;
+  be.reserve(out.size() * 4);
+  for (std::size_t i = out.size(); i-- > 0;) {
+    be.push_back(static_cast<std::uint8_t>(out[i] >> 24));
+    be.push_back(static_cast<std::uint8_t>(out[i] >> 16));
+    be.push_back(static_cast<std::uint8_t>(out[i] >> 8));
+    be.push_back(static_cast<std::uint8_t>(out[i]));
+  }
+  return BigInt::from_bytes(be);
+}
+
+BigInt MontgomeryContext::mul(const BigInt& a, const BigInt& b) const {
+  const Limbs am = to_mont(a % modulus_);
+  const Limbs bm = to_mont(b % modulus_);
+  return from_mont(mont_mul(am, bm));
+}
+
+BigInt MontgomeryContext::pow(const BigInt& base, const BigInt& exp) const {
+  Limbs result = to_mont(BigInt(1));
+  Limbs b = to_mont(base % modulus_);
+  const unsigned bits = exp.bit_length();
+  for (unsigned i = 0; i < bits; ++i) {
+    if (exp.bit(i)) result = mont_mul(result, b);
+    b = mont_mul(b, b);
+  }
+  return from_mont(result);
+}
+
+}  // namespace hirep::crypto

@@ -1,0 +1,44 @@
+// Montgomery modular arithmetic (CIOS reduction) for odd moduli — the fast
+// path behind BigInt::powmod and therefore every RSA operation in the
+// simulator.  A context precomputes n' = -n^{-1} mod 2^32 and R^2 mod n
+// once per modulus; each modular multiplication then costs one fused
+// multiply-reduce pass over the limbs instead of a full division.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/bigint.hpp"
+
+namespace hirep::crypto {
+
+class MontgomeryContext {
+ public:
+  /// modulus must be odd and >= 3 (every RSA modulus is); throws
+  /// std::invalid_argument otherwise.
+  explicit MontgomeryContext(const BigInt& modulus);
+
+  const BigInt& modulus() const noexcept { return modulus_; }
+
+  /// (base ^ exp) mod n, base reduced mod n first.
+  BigInt pow(const BigInt& base, const BigInt& exp) const;
+
+  /// (a * b) mod n — exposed for tests; both reduced mod n first.
+  BigInt mul(const BigInt& a, const BigInt& b) const;
+
+ private:
+  using Limbs = std::vector<std::uint32_t>;
+
+  Limbs to_mont(const BigInt& x) const;   ///< xR mod n
+  BigInt from_mont(const Limbs& x) const; ///< xR^{-1} mod n
+  /// CIOS: returns abR^{-1} mod n for a, b in Montgomery form.
+  Limbs mont_mul(const Limbs& a, const Limbs& b) const;
+
+  BigInt modulus_;
+  Limbs n_;                 // modulus limbs, length k
+  std::uint32_t n_prime_;   // -n^{-1} mod 2^32
+  BigInt r_mod_n_;          // R mod n      (Montgomery form of 1)
+  BigInt r2_mod_n_;         // R^2 mod n    (conversion constant)
+};
+
+}  // namespace hirep::crypto

@@ -1,0 +1,81 @@
+#include "crypto/prime.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace hirep::crypto {
+
+namespace {
+
+// Trial division screen: rules out ~88% of odd candidates cheaply before
+// the expensive Miller-Rabin exponentiations.
+constexpr std::array<std::uint32_t, 53> kSmallPrimes = {
+    3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,  47,
+    53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107, 109,
+    113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
+
+bool miller_rabin_round(const BigInt& n, const BigInt& n_minus_1,
+                        const BigInt& d, unsigned r, const BigInt& a) {
+  BigInt x = BigInt::powmod(a, d, n);
+  if (x == BigInt(1) || x == n_minus_1) return true;
+  for (unsigned i = 1; i < r; ++i) {
+    x = BigInt::mulmod(x, x, n);
+    if (x == n_minus_1) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool is_probable_prime(const BigInt& n, util::Rng& rng, int rounds) {
+  if (n < BigInt(2)) return false;
+  if (n == BigInt(2)) return true;
+  if (n.is_even()) return false;
+  for (std::uint32_t p : kSmallPrimes) {
+    if (n == BigInt(p)) return true;
+    if ((n % BigInt(p)).is_zero()) return false;
+  }
+
+  // Write n-1 = d * 2^r with d odd.
+  const BigInt n_minus_1 = n - BigInt(1);
+  BigInt d = n_minus_1;
+  unsigned r = 0;
+  while (d.is_even()) {
+    d = d >> 1;
+    ++r;
+  }
+
+  // First two bases fixed (2 and 3) — catches most composites immediately —
+  // then random bases in [2, n-2].
+  if (!miller_rabin_round(n, n_minus_1, d, r, BigInt(2))) return false;
+  if (n > BigInt(3) && !miller_rabin_round(n, n_minus_1, d, r, BigInt(3))) {
+    return false;
+  }
+  const BigInt span = n - BigInt(3);  // bases drawn from [2, n-2]
+  for (int i = 0; i < rounds; ++i) {
+    const BigInt a = BigInt::random_below(rng, span) + BigInt(2);
+    if (!miller_rabin_round(n, n_minus_1, d, r, a)) return false;
+  }
+  return true;
+}
+
+BigInt random_prime(util::Rng& rng, unsigned bits, int rounds) {
+  if (bits < 2) throw std::invalid_argument("prime needs >= 2 bits");
+  for (;;) {
+    BigInt candidate = BigInt::random_bits(rng, bits);
+    if (candidate.is_even()) candidate = candidate + BigInt(1);
+    if (candidate.bit_length() != bits) continue;  // +1 overflowed the width
+    if (is_probable_prime(candidate, rng, rounds)) return candidate;
+  }
+}
+
+BigInt random_rsa_prime(util::Rng& rng, unsigned bits, const BigInt& e,
+                        int rounds) {
+  for (;;) {
+    const BigInt p = random_prime(rng, bits, rounds);
+    if (BigInt::gcd(p - BigInt(1), e) == BigInt(1)) return p;
+  }
+}
+
+}  // namespace hirep::crypto

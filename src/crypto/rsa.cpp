@@ -1,0 +1,143 @@
+#include "crypto/rsa.hpp"
+
+#include <stdexcept>
+
+#include "crypto/prime.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/stream_cipher.hpp"
+
+namespace hirep::crypto {
+
+util::Bytes RsaPublicKey::serialize() const {
+  util::ByteWriter w;
+  const auto nb = n.to_bytes();
+  const auto eb = e.to_bytes();
+  w.blob(nb);
+  w.blob(eb);
+  return w.take();
+}
+
+RsaPublicKey RsaPublicKey::deserialize(std::span<const std::uint8_t> data) {
+  util::ByteReader r(data);
+  RsaPublicKey key;
+  key.n = BigInt::from_bytes(r.blob());
+  key.e = BigInt::from_bytes(r.blob());
+  return key;
+}
+
+RsaKeyPair rsa_generate(util::Rng& rng, unsigned bits) {
+  if (bits < 32) throw std::invalid_argument("rsa_generate: bits must be >= 32");
+  const unsigned half = bits / 2;
+  const BigInt e_preferred(65537);
+
+  for (;;) {
+    // For tiny demo moduli 65537 may not be coprime to phi or may exceed it;
+    // random_rsa_prime enforces gcd(p-1, e) == 1 against the chosen e.
+    const BigInt e = (half > 17) ? e_preferred : BigInt(3);
+    const BigInt p = random_rsa_prime(rng, half, e);
+    BigInt q = random_rsa_prime(rng, bits - half, e);
+    if (p == q) continue;
+    const BigInt n = p * q;
+    const BigInt phi = (p - BigInt(1)) * (q - BigInt(1));
+    if (BigInt::gcd(e, phi) != BigInt(1)) continue;
+    const BigInt d = BigInt::modinv(e, phi);
+    RsaKeyPair pair;
+    pair.priv = RsaPrivateKey{n, e, d, p, q};
+    pair.pub = pair.priv.public_key();
+    return pair;
+  }
+}
+
+BigInt rsa_encrypt_raw(const RsaPublicKey& key, const BigInt& m) {
+  if (m >= key.n) throw std::invalid_argument("rsa message >= modulus");
+  return BigInt::powmod(m, key.e, key.n);
+}
+
+BigInt rsa_decrypt_raw(const RsaPrivateKey& key, const BigInt& c) {
+  if (c >= key.n) throw std::invalid_argument("rsa ciphertext >= modulus");
+  return BigInt::powmod(c, key.d, key.n);
+}
+
+namespace {
+
+StreamCipher::Key kem_key(const BigInt& r, std::uint8_t domain) {
+  // Domain-separated KDF: cipher key (domain 0) and MAC key (domain 1).
+  auto rb = r.to_bytes();
+  rb.push_back(domain);
+  const auto digest = Sha256::hash(rb);
+  StreamCipher::Key key;
+  std::copy(digest.begin(), digest.end(), key.begin());
+  return key;
+}
+
+constexpr std::size_t kMacBytes = 16;
+
+util::Bytes mac_of(const StreamCipher::Key& mac_key,
+                   std::span<const std::uint8_t> ct) {
+  const auto digest = hmac_sha256(mac_key, ct);
+  return util::Bytes(digest.begin(), digest.begin() + kMacBytes);
+}
+
+}  // namespace
+
+util::Bytes rsa_encrypt_bytes(util::Rng& rng, const RsaPublicKey& key,
+                              std::span<const std::uint8_t> data) {
+  // KEM: wrap a random r; the symmetric key is SHA256(r).  r >= 2 so the
+  // trivial fixed points 0 and 1 never leak the key.
+  BigInt r;
+  do {
+    r = BigInt::random_below(rng, key.n);
+  } while (r < BigInt(2));
+  const BigInt c0 = rsa_encrypt_raw(key, r);
+
+  StreamCipher cipher(kem_key(r, 0));
+  util::Bytes ct(data.begin(), data.end());
+  cipher.apply(ct);
+  const util::Bytes mac = mac_of(kem_key(r, 1), ct);
+
+  util::ByteWriter w;
+  const auto c0b = c0.to_bytes();
+  w.blob(c0b);
+  w.blob(ct);
+  w.blob(mac);
+  return w.take();
+}
+
+std::optional<util::Bytes> rsa_decrypt_bytes(const RsaPrivateKey& key,
+                                             std::span<const std::uint8_t> data) {
+  try {
+    util::ByteReader reader(data);
+    const util::Bytes c0b = reader.blob();
+    util::Bytes ct = reader.blob();
+    const util::Bytes mac = reader.blob();
+    if (!reader.done()) return std::nullopt;
+    const BigInt c0 = BigInt::from_bytes(c0b);
+    if (c0 >= key.n) return std::nullopt;
+    const BigInt r = rsa_decrypt_raw(key, c0);
+    // Authenticate before decrypting: a wrong private key (or tampering)
+    // fails here deterministically instead of yielding garbage plaintext.
+    if (!util::ct_equal(mac, mac_of(kem_key(r, 1), ct))) return std::nullopt;
+    StreamCipher cipher(kem_key(r, 0));
+    cipher.apply(ct);
+    return ct;
+  } catch (const util::TruncatedInput&) {
+    return std::nullopt;
+  }
+}
+
+util::Bytes rsa_sign(const RsaPrivateKey& key, std::span<const std::uint8_t> data) {
+  const auto digest = Sha256::hash(data);
+  const BigInt m = BigInt::from_bytes(digest) % key.n;
+  return BigInt::powmod(m, key.d, key.n).to_bytes();
+}
+
+bool rsa_verify(const RsaPublicKey& key, std::span<const std::uint8_t> data,
+                std::span<const std::uint8_t> signature) {
+  const BigInt s = BigInt::from_bytes(signature);
+  if (s >= key.n) return false;
+  const auto digest = Sha256::hash(data);
+  const BigInt m = BigInt::from_bytes(digest) % key.n;
+  return BigInt::powmod(s, key.e, key.n) == m;
+}
+
+}  // namespace hirep::crypto

@@ -1,0 +1,126 @@
+#include "crypto/sha1.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace hirep::crypto {
+
+namespace {
+constexpr std::uint32_t rotl(std::uint32_t x, int k) noexcept {
+  return (x << k) | (x >> (32 - k));
+}
+}  // namespace
+
+Sha1::Sha1()
+    : h_{0x67452301u, 0xefcdab89u, 0x98badcfeu, 0x10325476u, 0xc3d2e1f0u} {}
+
+void Sha1::update(std::span<const std::uint8_t> data) {
+  assert(!finished_);
+  total_len_ += data.size();
+  std::size_t offset = 0;
+  if (buffer_len_ > 0) {
+    const std::size_t take = std::min(data.size(), buffer_.size() - buffer_len_);
+    std::memcpy(buffer_.data() + buffer_len_, data.data(), take);
+    buffer_len_ += take;
+    offset = take;
+    if (buffer_len_ == buffer_.size()) {
+      process_block(buffer_.data());
+      buffer_len_ = 0;
+    }
+  }
+  while (offset + 64 <= data.size()) {
+    process_block(data.data() + offset);
+    offset += 64;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
+    buffer_len_ = data.size() - offset;
+  }
+}
+
+void Sha1::update(const std::string& s) {
+  update(std::span(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+Sha1::Digest Sha1::finish() {
+  assert(!finished_);
+  finished_ = true;
+  const std::uint64_t bit_len = total_len_ * 8;
+  // Padding: 0x80, zeros, 64-bit big-endian length.
+  std::uint8_t pad[72] = {0x80};
+  const std::size_t pad_len =
+      (buffer_len_ < 56) ? 56 - buffer_len_ : 120 - buffer_len_;
+  finished_ = false;  // allow the padding updates
+  update(std::span(pad, pad_len));
+  std::uint8_t len_be[8];
+  for (int i = 0; i < 8; ++i) {
+    len_be[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  update(std::span(len_be, 8));
+  finished_ = true;
+
+  Digest out;
+  for (int i = 0; i < 5; ++i) {
+    out[4 * i] = static_cast<std::uint8_t>(h_[i] >> 24);
+    out[4 * i + 1] = static_cast<std::uint8_t>(h_[i] >> 16);
+    out[4 * i + 2] = static_cast<std::uint8_t>(h_[i] >> 8);
+    out[4 * i + 3] = static_cast<std::uint8_t>(h_[i]);
+  }
+  return out;
+}
+
+void Sha1::process_block(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
+           (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
+           static_cast<std::uint32_t>(block[4 * i + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5a827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ed9eba1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8f1bbcdcu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xca62c1d6u;
+    }
+    const std::uint32_t temp = rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = temp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+Sha1::Digest Sha1::hash(std::span<const std::uint8_t> data) {
+  Sha1 s;
+  s.update(data);
+  return s.finish();
+}
+
+Sha1::Digest Sha1::hash(const std::string& s) {
+  Sha1 h;
+  h.update(s);
+  return h.finish();
+}
+
+}  // namespace hirep::crypto

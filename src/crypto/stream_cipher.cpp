@@ -1,0 +1,35 @@
+#include "crypto/stream_cipher.hpp"
+
+#include "crypto/sha256.hpp"
+#include "util/bytes.hpp"
+
+namespace hirep::crypto {
+
+StreamCipher::StreamCipher(const Key& key, std::uint64_t nonce)
+    : key_(key), nonce_(nonce) {}
+
+void StreamCipher::refill() {
+  // block = HMAC(key, nonce || counter); HMAC as PRF in counter mode.
+  util::ByteWriter w;
+  w.u64(nonce_);
+  w.u64(counter_++);
+  const auto digest = hmac_sha256(std::span<const std::uint8_t>(key_),
+                                  std::span<const std::uint8_t>(w.bytes()));
+  block_ = digest;
+  block_used_ = 0;
+}
+
+void StreamCipher::apply(std::span<std::uint8_t> data) {
+  for (auto& byte : data) {
+    if (block_used_ == block_.size()) refill();
+    byte ^= block_[block_used_++];
+  }
+}
+
+util::Bytes StreamCipher::transform(std::span<const std::uint8_t> data) {
+  util::Bytes out(data.begin(), data.end());
+  apply(out);
+  return out;
+}
+
+}  // namespace hirep::crypto

@@ -1,0 +1,72 @@
+#include "gnutella/content.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hirep::gnutella {
+
+ContentCatalog::ContentCatalog(util::Rng& rng, std::size_t nodes,
+                               CatalogParams params)
+    : params_(params), providers_(params.files), shelves_(nodes) {
+  if (nodes < 2 || params.files == 0) {
+    throw std::invalid_argument("catalog needs nodes >= 2 and files >= 1");
+  }
+  if (params.min_replicas == 0 || params.max_replicas < params.min_replicas) {
+    throw std::invalid_argument("bad replica bounds");
+  }
+
+  // Replica count interpolates from max (rank 0) down to min (last rank),
+  // mirroring the usual popularity/availability correlation.
+  for (std::size_t rank = 0; rank < params.files; ++rank) {
+    const double frac = params.files > 1
+                            ? static_cast<double>(rank) /
+                                  static_cast<double>(params.files - 1)
+                            : 0.0;
+    auto replicas = static_cast<std::size_t>(
+        std::round(static_cast<double>(params.max_replicas) * (1.0 - frac) +
+                   static_cast<double>(params.min_replicas) * frac));
+    replicas = std::min(replicas, nodes);
+    const auto chosen = rng.sample_indices(nodes, replicas);
+    auto& list = providers_[rank];
+    list.reserve(replicas);
+    for (std::size_t idx : chosen) {
+      const auto node = static_cast<net::NodeIndex>(idx);
+      list.push_back(node);
+      shelves_[node].push_back(static_cast<FileId>(rank));
+    }
+  }
+
+  // Request-popularity CDF (Zipf over rank).
+  request_cdf_.resize(params.files);
+  double sum = 0.0;
+  for (std::size_t rank = 0; rank < params.files; ++rank) {
+    sum += 1.0 / std::pow(static_cast<double>(rank + 1), params.popularity_zipf_s);
+    request_cdf_[rank] = sum;
+  }
+  for (double& v : request_cdf_) v /= sum;
+}
+
+const std::vector<net::NodeIndex>& ContentCatalog::providers_of(
+    FileId file) const {
+  return providers_.at(file);
+}
+
+const std::vector<FileId>& ContentCatalog::files_at(net::NodeIndex node) const {
+  return shelves_.at(node);
+}
+
+bool ContentCatalog::has_file(net::NodeIndex node, FileId file) const {
+  const auto& shelf = shelves_.at(node);
+  return std::find(shelf.begin(), shelf.end(), file) != shelf.end();
+}
+
+FileId ContentCatalog::sample_request(util::Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it =
+      std::lower_bound(request_cdf_.begin(), request_cdf_.end(), u);
+  const auto rank = static_cast<std::size_t>(it - request_cdf_.begin());
+  return static_cast<FileId>(std::min(rank, providers_.size() - 1));
+}
+
+}  // namespace hirep::gnutella

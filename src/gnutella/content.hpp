@@ -1,0 +1,61 @@
+// Shared-content model for the Gnutella-style substrate (the environment
+// the paper's introduction motivates: KaZaA-scale file sharing with
+// polluted copies injected by malicious peers).
+//
+// Files have Zipf-distributed popularity; popular files are replicated on
+// more providers.  A provider's copy of any file is *polluted* exactly
+// when the provider is untrustable in the ground truth — downloading from
+// it yields a failed transaction (outcome 0), which is what the
+// reputation layer exists to prevent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "trust/ground_truth.hpp"
+#include "util/rng.hpp"
+
+namespace hirep::gnutella {
+
+using FileId = std::uint32_t;
+
+struct CatalogParams {
+  std::size_t files = 100;
+  std::size_t min_replicas = 2;    ///< the rarest file's provider count
+  std::size_t max_replicas = 40;   ///< the hottest file's provider count
+  double popularity_zipf_s = 1.0;  ///< request-popularity skew
+};
+
+class ContentCatalog {
+ public:
+  ContentCatalog(util::Rng& rng, std::size_t nodes, CatalogParams params);
+
+  std::size_t file_count() const noexcept { return providers_.size(); }
+  std::size_t node_count() const noexcept { return shelves_.size(); }
+  const CatalogParams& params() const noexcept { return params_; }
+
+  /// Nodes holding a copy of `file` (rank 0 = most popular file).
+  const std::vector<net::NodeIndex>& providers_of(FileId file) const;
+  /// Files a node shares.
+  const std::vector<FileId>& files_at(net::NodeIndex node) const;
+  bool has_file(net::NodeIndex node, FileId file) const;
+
+  /// A copy served by `provider` is polluted iff the provider is
+  /// untrustable.
+  bool copy_polluted(const trust::GroundTruth& truth,
+                     net::NodeIndex provider) const {
+    return !truth.trustable(provider);
+  }
+
+  /// Draws a file according to request popularity (Zipf over rank).
+  FileId sample_request(util::Rng& rng) const;
+
+ private:
+  CatalogParams params_;
+  std::vector<std::vector<net::NodeIndex>> providers_;  // per file
+  std::vector<std::vector<FileId>> shelves_;            // per node
+  std::vector<double> request_cdf_;
+};
+
+}  // namespace hirep::gnutella

@@ -1,0 +1,51 @@
+#include "gnutella/search.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace hirep::gnutella {
+
+SearchResult search(net::Overlay& overlay, const ContentCatalog& catalog,
+                    net::NodeIndex requestor, FileId file, std::uint32_t ttl) {
+  SearchResult result;
+  result.file = file;
+  const auto flood =
+      net::flood(overlay, requestor, ttl, net::MessageKind::kQuery);
+  result.query_messages = flood.messages;
+  for (std::size_t i = 0; i < flood.reached.size(); ++i) {
+    const net::NodeIndex node = flood.reached[i];
+    if (!catalog.has_file(node, file)) continue;
+    result.hits.push_back({node, flood.depth[i]});
+    // The QueryHit travels back hop-by-hop along the reverse path.
+    overlay.count_send(net::MessageKind::kQuery, flood.depth[i]);
+    result.hit_messages += flood.depth[i];
+  }
+  return result;
+}
+
+double search_first_hit_ms(net::Overlay& overlay,
+                           const ContentCatalog& catalog,
+                           net::NodeIndex requestor, FileId file,
+                           std::uint32_t ttl) {
+  overlay.reset_time_state();
+  const auto arrivals =
+      net::timed_flood(overlay, requestor, ttl, 0.0, net::MessageKind::kQuery);
+  std::vector<net::NodeIndex> parent(overlay.node_count(), net::kInvalidNode);
+  for (const auto& a : arrivals) parent[a.node] = a.parent;
+
+  double first = std::numeric_limits<double>::max();
+  for (const auto& a : arrivals) {
+    if (!catalog.has_file(a.node, file)) continue;
+    double t = a.time_ms;
+    net::NodeIndex at = a.node;
+    while (at != requestor) {
+      const net::NodeIndex up = parent[at];
+      t = overlay.timed_send(t, at, up, net::MessageKind::kQuery);
+      at = up;
+    }
+    first = std::min(first, t);
+  }
+  return first == std::numeric_limits<double>::max() ? -1.0 : first;
+}
+
+}  // namespace hirep::gnutella

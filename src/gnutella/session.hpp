@@ -1,0 +1,70 @@
+// FileSharingSession — the paper's Figure-1 transaction flow, end to end:
+//
+//   1. the requestor floods a QUERY for a file (Gnutella semantics);
+//   2. QueryHits name candidate providers;
+//   3. the requestor fetches trust values of the candidates FROM ITS
+//      TRUSTED AGENTS ONLY (this is hiREP's whole point — no trust-value
+//      flooding) and picks the candidate with the highest estimate;
+//   4. it downloads, observes whether the copy was polluted, updates the
+//      expertise of its agents and sends them signed transaction reports.
+//
+// The session owns the content catalog and drives a HirepSystem.
+#pragma once
+
+#include <optional>
+
+#include "gnutella/search.hpp"
+#include "hirep/system.hpp"
+
+namespace hirep::gnutella {
+
+struct SessionOptions {
+  CatalogParams catalog;
+  std::uint32_t query_ttl = 4;
+  /// Cap on how many QueryHit candidates are trust-checked per download
+  /// (the Figure-1 "group of file provider candidates").
+  std::size_t max_candidates = 5;
+};
+
+class FileSharingSession {
+ public:
+  /// `system` must outlive the session.
+  FileSharingSession(core::HirepSystem* system, SessionOptions options);
+
+  const ContentCatalog& catalog() const noexcept { return catalog_; }
+  core::HirepSystem& system() noexcept { return *system_; }
+
+  struct DownloadRecord {
+    FileId file = 0;
+    bool found = false;            ///< any QueryHit at all
+    net::NodeIndex provider = net::kInvalidNode;
+    bool polluted = false;         ///< the downloaded copy was bad
+    double estimate = 0.5;         ///< trust estimate of the chosen provider
+    std::size_t candidates = 0;    ///< hits trust-checked
+    std::uint64_t search_messages = 0;  ///< QUERY + QUERYHIT traffic
+    std::uint64_t trust_messages = 0;   ///< hiREP traffic for this download
+  };
+
+  /// One full Figure-1 download for a popularity-sampled file.
+  DownloadRecord download(net::NodeIndex requestor);
+  /// Same for a specific file.
+  DownloadRecord download(net::NodeIndex requestor, FileId file);
+
+  /// Cumulative pollution statistics over all downloads so far.
+  std::size_t downloads() const noexcept { return downloads_; }
+  std::size_t polluted_downloads() const noexcept { return polluted_; }
+  double pollution_rate() const noexcept {
+    return downloads_ ? static_cast<double>(polluted_) /
+                            static_cast<double>(downloads_)
+                      : 0.0;
+  }
+
+ private:
+  core::HirepSystem* system_;
+  SessionOptions options_;
+  ContentCatalog catalog_;
+  std::size_t downloads_ = 0;
+  std::size_t polluted_ = 0;
+};
+
+}  // namespace hirep::gnutella

@@ -1,0 +1,82 @@
+#include "hirep/agent_list.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hirep::core {
+
+TrustedAgentList::TrustedAgentList(ListParams params) : params_(params) {
+  if (params_.alpha <= 0.0 || params_.alpha >= 1.0) {
+    throw std::invalid_argument("alpha must be in (0,1)");
+  }
+  if (params_.capacity == 0) throw std::invalid_argument("capacity == 0");
+}
+
+bool TrustedAgentList::needs_refill() const noexcept {
+  return static_cast<double>(entries_.size()) <
+         params_.refill_fraction * static_cast<double>(params_.capacity);
+}
+
+bool TrustedAgentList::contains(const crypto::NodeId& agent) const {
+  return find(agent) != nullptr;
+}
+
+const AgentEntry* TrustedAgentList::find(const crypto::NodeId& agent) const {
+  for (const auto& e : entries_) {
+    if (e.agent_id == agent) return &e;
+  }
+  return nullptr;
+}
+
+bool TrustedAgentList::add(AgentEntry entry) {
+  if (full() || contains(entry.agent_id)) return false;
+  entries_.push_back(std::move(entry));
+  return true;
+}
+
+std::optional<double> TrustedAgentList::update_expertise(
+    const crypto::NodeId& agent, bool consistent) {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].agent_id != agent) continue;
+    const double a_c = consistent ? 1.0 : 0.0;
+    const double updated =
+        params_.alpha * a_c + (1.0 - params_.alpha) * entries_[i].weight;
+    entries_[i].weight = updated;
+    if (updated < params_.eviction_threshold) {
+      entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    return updated;
+  }
+  return std::nullopt;
+}
+
+void TrustedAgentList::handle_offline(const crypto::NodeId& agent) {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].agent_id != agent) continue;
+    AgentEntry entry = std::move(entries_[i]);
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+    // "If an agent is offline and its accuracy value is positive, it will
+    // be moved to the backup agent cache" — in good standing means at or
+    // above the eviction threshold here.
+    if (entry.weight >= params_.eviction_threshold) {
+      backup_.insert(backup_.begin(), std::move(entry));
+      if (backup_.size() > params_.backup_capacity) backup_.pop_back();
+    }
+    return;
+  }
+}
+
+std::optional<AgentEntry> TrustedAgentList::pop_backup() {
+  if (backup_.empty()) return std::nullopt;
+  AgentEntry entry = std::move(backup_.front());
+  backup_.erase(backup_.begin());
+  return entry;
+}
+
+double TrustedAgentList::total_weight() const noexcept {
+  double sum = 0.0;
+  for (const auto& e : entries_) sum += e.weight;
+  return sum;
+}
+
+}  // namespace hirep::core

@@ -1,0 +1,84 @@
+// Trusted-agent list and backup agent cache (paper §3.4).
+//
+// Each entry is {weight, agent nodeId, Onion_agent, SP_e} exactly as §3.4.1
+// describes; `weight` doubles as the maintained *expertise* value:
+//
+//   expertise <- alpha * A_c + (1 - alpha) * A_p,  A_c in {0, 1}
+//
+// where A_c is 1 iff the agent's evaluation was consistent with the actual
+// transaction result.  Agents whose expertise falls below the eviction
+// threshold are dropped; agents that go offline while still in good
+// standing move to the most-recently-first backup cache (§3.4.3) and can be
+// probed back when the list runs low.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/identity.hpp"
+#include "onion/onion.hpp"
+
+namespace hirep::core {
+
+struct AgentEntry {
+  double weight = 1.0;                 ///< expertise (initially 1, §3.4.3)
+  crypto::NodeId agent_id;
+  onion::Onion onion;                  ///< reply path to the agent
+  crypto::RsaPublicKey agent_key;      ///< SP_e
+  std::vector<net::NodeIndex> relay_path;  ///< sim-side: onion's true path
+};
+
+struct ListParams {
+  double alpha = 0.3;              ///< EWMA weight on the newest outcome
+  double eviction_threshold = 0.4; ///< hirep-4/6/8 sweeps use 0.4/0.6/0.8
+  std::size_t capacity = 10;       ///< trusted agents per peer (Table 1)
+  std::size_t backup_capacity = 20;
+  /// Refill when the list falls below this fraction of capacity (§3.4.3's
+  /// "smaller than some threshold, say 50" for a 100-entry list).
+  double refill_fraction = 0.5;
+};
+
+class TrustedAgentList {
+ public:
+  explicit TrustedAgentList(ListParams params);
+
+  const ListParams& params() const noexcept { return params_; }
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool full() const noexcept { return entries_.size() >= params_.capacity; }
+  bool needs_refill() const noexcept;
+  const std::vector<AgentEntry>& entries() const noexcept { return entries_; }
+  std::vector<AgentEntry>& entries() noexcept { return entries_; }
+
+  bool contains(const crypto::NodeId& agent) const;
+  const AgentEntry* find(const crypto::NodeId& agent) const;
+
+  /// Adds an agent (ignored when present or at capacity; returns success).
+  bool add(AgentEntry entry);
+
+  /// EWMA expertise update for one agent after a transaction.  When the
+  /// updated expertise drops below the eviction threshold the entry is
+  /// removed (returns the new expertise; nullopt when the agent is not
+  /// listed).
+  std::optional<double> update_expertise(const crypto::NodeId& agent,
+                                         bool consistent);
+
+  /// Handles an agent observed offline: positive-standing entries move to
+  /// the backup cache (most-recent-first), failed ones are dropped (§3.4.3).
+  void handle_offline(const crypto::NodeId& agent);
+
+  /// Pops the most recently cached backup (nullopt when empty); the caller
+  /// probes it and re-adds on success.
+  std::optional<AgentEntry> pop_backup();
+  std::size_t backup_size() const noexcept { return backup_.size(); }
+
+  /// Sum of expertise weights (for weighted trust aggregation).
+  double total_weight() const noexcept;
+
+ private:
+  ListParams params_;
+  std::vector<AgentEntry> entries_;
+  std::vector<AgentEntry> backup_;  // front = most recent
+};
+
+}  // namespace hirep::core

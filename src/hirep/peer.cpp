@@ -1,0 +1,42 @@
+#include "hirep/peer.hpp"
+
+namespace hirep::core {
+
+Peer::Peer(const crypto::Identity* identity, net::NodeIndex ip,
+           ListParams params)
+    : identity_(identity), ip_(ip), agents_(params) {}
+
+void Peer::set_relays(std::vector<onion::RelayInfo> relays) {
+  relays_ = std::move(relays);
+}
+
+std::vector<net::NodeIndex> Peer::relay_path() const {
+  // build_onion takes relays ordered owner-adjacent first; the wire path
+  // (entry first) is the reverse, ending at the owner.
+  std::vector<net::NodeIndex> path;
+  path.reserve(relays_.size() + 1);
+  for (auto it = relays_.rbegin(); it != relays_.rend(); ++it) {
+    path.push_back(it->ip);
+  }
+  path.push_back(ip_);
+  return path;
+}
+
+onion::Onion Peer::issue_onion(util::Rng& rng) {
+  return onion::build_onion(rng, *identity_, ip_, relays_, next_sq());
+}
+
+double Peer::aggregate(
+    const std::vector<std::pair<double, double>>& value_weight_pairs) {
+  if (value_weight_pairs.empty()) return 0.5;
+  double weighted = 0.0, weight_sum = 0.0, plain = 0.0;
+  for (const auto& [value, weight] : value_weight_pairs) {
+    weighted += value * weight;
+    weight_sum += weight;
+    plain += value;
+  }
+  if (weight_sum > 0.0) return weighted / weight_sum;
+  return plain / static_cast<double>(value_weight_pairs.size());
+}
+
+}  // namespace hirep::core

@@ -1,0 +1,200 @@
+#include "hirep/protocol.hpp"
+
+#include <algorithm>
+
+namespace hirep::core {
+
+namespace {
+
+constexpr std::uint8_t kTagRequestBody = 0x21;
+constexpr std::uint8_t kTagResponseBody = 0x22;
+constexpr std::uint8_t kTagReportBody = 0x23;
+
+void write_node_id(util::ByteWriter& w, const crypto::NodeId& id) {
+  w.raw(id.bytes);
+}
+
+crypto::NodeId read_node_id(util::ByteReader& r) {
+  const auto raw = r.raw(crypto::Sha1::kDigestSize);
+  crypto::NodeId id;
+  std::copy(raw.begin(), raw.end(), id.bytes.begin());
+  return id;
+}
+
+}  // namespace
+
+util::Bytes TrustValueRequest::serialize() const {
+  util::ByteWriter w;
+  w.blob(encrypted);
+  w.blob(sp_p.serialize());
+  w.blob(reply_onion.serialize());
+  return w.take();
+}
+
+std::optional<TrustValueRequest> TrustValueRequest::deserialize(
+    std::span<const std::uint8_t> data) {
+  try {
+    util::ByteReader r(data);
+    TrustValueRequest req;
+    req.encrypted = r.blob();
+    req.sp_p = crypto::RsaPublicKey::deserialize(r.blob());
+    auto onion = onion::Onion::deserialize(r.blob());
+    if (!onion || !r.done()) return std::nullopt;
+    req.reply_onion = std::move(*onion);
+    return req;
+  } catch (const util::TruncatedInput&) {
+    return std::nullopt;
+  }
+}
+
+util::Bytes TrustValueResponse::serialize() const {
+  util::ByteWriter w;
+  w.blob(encrypted);
+  w.blob(sp_e.serialize());
+  w.blob(report_onion.serialize());
+  return w.take();
+}
+
+std::optional<TrustValueResponse> TrustValueResponse::deserialize(
+    std::span<const std::uint8_t> data) {
+  try {
+    util::ByteReader r(data);
+    TrustValueResponse resp;
+    resp.encrypted = r.blob();
+    resp.sp_e = crypto::RsaPublicKey::deserialize(r.blob());
+    auto onion = onion::Onion::deserialize(r.blob());
+    if (!onion || !r.done()) return std::nullopt;
+    resp.report_onion = std::move(*onion);
+    return resp;
+  } catch (const util::TruncatedInput&) {
+    return std::nullopt;
+  }
+}
+
+util::Bytes TransactionReport::serialize() const {
+  util::ByteWriter w;
+  write_node_id(w, reporter);
+  w.blob(body);
+  w.blob(signature);
+  return w.take();
+}
+
+std::optional<TransactionReport> TransactionReport::deserialize(
+    std::span<const std::uint8_t> data) {
+  try {
+    util::ByteReader r(data);
+    TransactionReport rep;
+    rep.reporter = read_node_id(r);
+    rep.body = r.blob();
+    rep.signature = r.blob();
+    if (!r.done()) return std::nullopt;
+    return rep;
+  } catch (const util::TruncatedInput&) {
+    return std::nullopt;
+  }
+}
+
+TrustValueRequest build_trust_request(util::Rng& rng,
+                                      const crypto::RsaPublicKey& agent_sp,
+                                      const crypto::Identity& requestor,
+                                      const crypto::NodeId& subject,
+                                      std::uint64_t nonce,
+                                      onion::Onion reply_onion) {
+  util::ByteWriter body;
+  body.u8(kTagRequestBody);
+  write_node_id(body, subject);
+  body.u64(nonce);
+  TrustValueRequest req;
+  req.encrypted = crypto::rsa_encrypt_bytes(rng, agent_sp, body.bytes());
+  req.sp_p = requestor.signature_public();
+  req.reply_onion = std::move(reply_onion);
+  return req;
+}
+
+std::optional<OpenedRequest> open_trust_request(const crypto::Identity& agent,
+                                                const TrustValueRequest& request) {
+  const auto plain =
+      crypto::rsa_decrypt_bytes(agent.signature_private(), request.encrypted);
+  if (!plain) return std::nullopt;
+  try {
+    util::ByteReader r(*plain);
+    if (r.u8() != kTagRequestBody) return std::nullopt;
+    OpenedRequest opened;
+    opened.subject = read_node_id(r);
+    opened.nonce = r.u64();
+    if (!r.done()) return std::nullopt;
+    return opened;
+  } catch (const util::TruncatedInput&) {
+    return std::nullopt;
+  }
+}
+
+TrustValueResponse build_trust_response(util::Rng& rng,
+                                        const crypto::RsaPublicKey& requestor_sp,
+                                        const crypto::Identity& agent,
+                                        double value, std::uint64_t nonce,
+                                        onion::Onion report_onion) {
+  util::ByteWriter body;
+  body.u8(kTagResponseBody);
+  body.f64(value);
+  body.u64(nonce);
+  TrustValueResponse resp;
+  resp.encrypted = crypto::rsa_encrypt_bytes(rng, requestor_sp, body.bytes());
+  resp.sp_e = agent.signature_public();
+  resp.report_onion = std::move(report_onion);
+  return resp;
+}
+
+std::optional<OpenedResponse> open_trust_response(
+    const crypto::Identity& requestor, const TrustValueResponse& response) {
+  const auto plain = crypto::rsa_decrypt_bytes(requestor.signature_private(),
+                                               response.encrypted);
+  if (!plain) return std::nullopt;
+  try {
+    util::ByteReader r(*plain);
+    if (r.u8() != kTagResponseBody) return std::nullopt;
+    OpenedResponse opened;
+    opened.value = r.f64();
+    opened.nonce = r.u64();
+    if (!r.done()) return std::nullopt;
+    return opened;
+  } catch (const util::TruncatedInput&) {
+    return std::nullopt;
+  }
+}
+
+TransactionReport build_report(const crypto::Identity& reporter,
+                               const crypto::NodeId& subject, double outcome,
+                               std::uint64_t nonce) {
+  util::ByteWriter body;
+  body.u8(kTagReportBody);
+  write_node_id(body, subject);
+  body.f64(outcome);
+  body.u64(nonce);
+  TransactionReport report;
+  report.reporter = reporter.node_id();
+  report.body = body.take();
+  report.signature = reporter.sign(report.body);
+  return report;
+}
+
+std::optional<OpenedReport> verify_report(const crypto::RsaPublicKey& reporter_sp,
+                                          const TransactionReport& report) {
+  if (!crypto::rsa_verify(reporter_sp, report.body, report.signature)) {
+    return std::nullopt;
+  }
+  try {
+    util::ByteReader r(report.body);
+    if (r.u8() != kTagReportBody) return std::nullopt;
+    OpenedReport opened;
+    opened.subject = read_node_id(r);
+    opened.outcome = r.f64();
+    opened.nonce = r.u64();
+    if (!r.done()) return std::nullopt;
+    return opened;
+  } catch (const util::TruncatedInput&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace hirep::core

@@ -1,0 +1,102 @@
+// hiREP wire protocol (paper §3.5).
+//
+//   trust value request   { SP_e(R),  SP_p, Onion_p }   R = {subject, nonce}
+//   trust value response  { SP_p(T),  SP_e, Onion_e }   T = {value, nonce}
+//   transaction report    ( SR_p(result, nonce), nodeId_p )
+//
+// All three give voter anonymity (carried inside onions; identities hidden
+// from relays and from each other's transport address) and authenticity
+// (encryption to the recipient's public key; reports signed with the
+// reporter's private key, verifiable against its nodeId-bound SP).
+#pragma once
+
+#include <optional>
+
+#include "crypto/identity.hpp"
+#include "onion/onion.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace hirep::core {
+
+struct TrustValueRequest {
+  util::Bytes encrypted;       ///< SP_e( subject nodeId, nonce )
+  crypto::RsaPublicKey sp_p;   ///< requestor's signature public key
+  onion::Onion reply_onion;    ///< Onion_p — path back to the requestor
+
+  util::Bytes serialize() const;
+  static std::optional<TrustValueRequest> deserialize(
+      std::span<const std::uint8_t> data);
+};
+
+struct TrustValueResponse {
+  util::Bytes encrypted;       ///< SP_p( trust value, nonce )
+  crypto::RsaPublicKey sp_e;   ///< agent's signature public key
+  onion::Onion report_onion;   ///< fresh Onion_e for the next report
+
+  util::Bytes serialize() const;
+  static std::optional<TrustValueResponse> deserialize(
+      std::span<const std::uint8_t> data);
+};
+
+struct TransactionReport {
+  crypto::NodeId reporter;     ///< nodeId_p — lets the agent find SP_p
+  util::Bytes body;            ///< (subject nodeId, outcome, nonce)
+  util::Bytes signature;       ///< SR_p over body
+
+  util::Bytes serialize() const;
+  static std::optional<TransactionReport> deserialize(
+      std::span<const std::uint8_t> data);
+};
+
+// --- requestor side -------------------------------------------------------
+
+TrustValueRequest build_trust_request(util::Rng& rng,
+                                      const crypto::RsaPublicKey& agent_sp,
+                                      const crypto::Identity& requestor,
+                                      const crypto::NodeId& subject,
+                                      std::uint64_t nonce,
+                                      onion::Onion reply_onion);
+
+struct OpenedResponse {
+  double value = 0.0;
+  std::uint64_t nonce = 0;
+};
+/// Decrypts a response with the requestor's private key; the caller must
+/// check the nonce against the one it issued.
+std::optional<OpenedResponse> open_trust_response(
+    const crypto::Identity& requestor, const TrustValueResponse& response);
+
+TransactionReport build_report(const crypto::Identity& reporter,
+                               const crypto::NodeId& subject, double outcome,
+                               std::uint64_t nonce);
+
+// --- agent side -----------------------------------------------------------
+
+struct OpenedRequest {
+  crypto::NodeId subject;
+  std::uint64_t nonce = 0;
+};
+/// Decrypts a request with the agent's private key; nullopt when the
+/// request is not addressed to this agent or malformed.
+std::optional<OpenedRequest> open_trust_request(const crypto::Identity& agent,
+                                                const TrustValueRequest& request);
+
+TrustValueResponse build_trust_response(util::Rng& rng,
+                                        const crypto::RsaPublicKey& requestor_sp,
+                                        const crypto::Identity& agent,
+                                        double value, std::uint64_t nonce,
+                                        onion::Onion report_onion);
+
+struct OpenedReport {
+  crypto::NodeId subject;
+  double outcome = 0.0;
+  std::uint64_t nonce = 0;
+};
+/// Verifies the reporter's signature against `reporter_sp` (which the agent
+/// looked up by nodeId) and parses the body.  "If the result cannot be
+/// decrypted, the message will be dropped" (§3.5.3) → nullopt.
+std::optional<OpenedReport> verify_report(const crypto::RsaPublicKey& reporter_sp,
+                                          const TransactionReport& report);
+
+}  // namespace hirep::core

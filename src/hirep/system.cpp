@@ -1,0 +1,480 @@
+#include "hirep/system.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace hirep::core {
+
+namespace {
+
+trust::WorldParams world_with_nodes(trust::WorldParams world, std::size_t nodes) {
+  world.nodes = nodes;
+  return world;
+}
+
+ListParams list_params_from(const HirepOptions& o) {
+  ListParams lp;
+  lp.alpha = o.expertise_alpha;
+  lp.eviction_threshold = o.eviction_threshold;
+  lp.capacity = o.trusted_agents;
+  lp.backup_capacity = o.backup_capacity;
+  lp.refill_fraction = o.refill_fraction;
+  return lp;
+}
+
+}  // namespace
+
+HirepSystem::HirepSystem(HirepOptions options)
+    : options_(std::move(options)),
+      rng_(options_.seed),
+      truth_(rng_, world_with_nodes(options_.world, options_.nodes)),
+      overlay_(net::power_law(rng_, options_.nodes, options_.average_degree),
+               options_.latency, options_.seed ^ 0x1eafcafeULL),
+      router_(&overlay_, [this](net::NodeIndex v) -> const crypto::Identity* {
+        return v < identities_.size() ? &identities_[v] : nullptr;
+      }) {
+  if (options_.nodes < 8) throw std::invalid_argument("need >= 8 nodes");
+
+  // Identities: two RSA key pairs per node; nodeId = SHA1(SP).
+  for (std::size_t v = 0; v < options_.nodes; ++v) {
+    identities_.push_back(crypto::Identity::generate(rng_, options_.rsa_bits));
+    id_to_ip_.emplace(identities_.back().node_id(),
+                      static_cast<net::NodeIndex>(v));
+  }
+
+  // Peers, each with its verified onion relays.
+  const ListParams lp = list_params_from(options_);
+  peers_.reserve(options_.nodes);
+  for (std::size_t v = 0; v < options_.nodes; ++v) {
+    const auto ip = static_cast<net::NodeIndex>(v);
+    peers_.emplace_back(&identities_[v], ip, lp);
+    peers_.back().set_relays(pick_and_verify_relays(ip));
+  }
+
+  // Agent community: every bandwidth-qualified node claims agent-hood.
+  const auto model = trust::model_factory_by_name(options_.agent_model);
+  for (net::NodeIndex v : truth_.agent_capable_nodes()) {
+    AgentRuntime rt;
+    rt.agent = std::make_unique<ReputationAgent>(&identities_[v], v, &truth_,
+                                                 model,
+                                                 options_.min_reports_for_model);
+    rt.relays = peers_[v].relays();  // agents reuse their verified relays
+    agents_.emplace(v, std::move(rt));
+  }
+
+  // Community formation: each peer discovers its trusted agents.  Peers
+  // run in random order; early responders only know agent self-entries,
+  // later ones inherit curated lists — the emergent hierarchy of §3.4.
+  std::vector<net::NodeIndex> order(options_.nodes);
+  for (std::size_t v = 0; v < options_.nodes; ++v) {
+    order[v] = static_cast<net::NodeIndex>(v);
+  }
+  rng_.shuffle(order);
+  for (net::NodeIndex v : order) discover_agents(v);
+}
+
+ReputationAgent* HirepSystem::agent_at(net::NodeIndex v) {
+  const auto it = agents_.find(v);
+  return it == agents_.end() ? nullptr : it->second.agent.get();
+}
+
+std::optional<net::NodeIndex> HirepSystem::ip_of(const crypto::NodeId& id) const {
+  const auto it = id_to_ip_.find(id);
+  if (it == id_to_ip_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool HirepSystem::agent_online(net::NodeIndex v) const {
+  const auto it = agents_.find(v);
+  return it != agents_.end() && it->second.online;
+}
+
+void HirepSystem::set_agent_online(net::NodeIndex v, bool online) {
+  const auto it = agents_.find(v);
+  if (it == agents_.end()) throw std::invalid_argument("node is not an agent");
+  it->second.online = online;
+}
+
+HirepSystem::AgentRuntime* HirepSystem::runtime_of(const crypto::NodeId& id) {
+  const auto ip = ip_of(id);
+  if (!ip) return nullptr;
+  const auto it = agents_.find(*ip);
+  return it == agents_.end() ? nullptr : &it->second;
+}
+
+std::vector<net::NodeIndex> HirepSystem::path_of(
+    const std::vector<onion::RelayInfo>& relays, net::NodeIndex owner) const {
+  std::vector<net::NodeIndex> path;
+  path.reserve(relays.size() + 1);
+  for (auto it = relays.rbegin(); it != relays.rend(); ++it) {
+    path.push_back(it->ip);
+  }
+  path.push_back(owner);
+  return path;
+}
+
+std::vector<onion::RelayInfo> HirepSystem::pick_and_verify_relays(
+    net::NodeIndex owner) {
+  // Current overlay population (the graph is authoritative even during
+  // bootstrap and after joins): joiners relay too.
+  const auto ips = onion::pick_relay_ips(rng_, overlay_.node_count(),
+                                         options_.onion_relays, owner);
+  std::vector<onion::RelayInfo> relays;
+  relays.reserve(ips.size());
+  for (net::NodeIndex ip : ips) {
+    if (options_.crypto == CryptoMode::kFull) {
+      onion::HonestRelay endpoint(ip, &identities_[ip]);
+      auto info = onion::fetch_anonymity_key(overlay_, rng_,
+                                             identities_[owner], owner,
+                                             endpoint);
+      if (info) relays.push_back(std::move(*info));
+    } else {
+      // Same four handshake messages, key taken on faith (counted identically).
+      overlay_.count_send(net::MessageKind::kKeyExchange, 4);
+      relays.push_back({ip, identities_[ip].anonymity_public()});
+    }
+  }
+  return relays;
+}
+
+onion::Onion HirepSystem::issue_agent_onion(net::NodeIndex agent_ip,
+                                            AgentRuntime& rt) {
+  if (options_.crypto == CryptoMode::kFull) {
+    return onion::build_onion(rng_, identities_[agent_ip], agent_ip, rt.relays,
+                              rt.sq++);
+  }
+  onion::Onion onion;
+  onion.entry = rt.relays.empty() ? agent_ip : rt.relays.back().ip;
+  onion.sq = rt.sq++;
+  onion.relay_count = static_cast<std::uint32_t>(rt.relays.size());
+  onion.owner_sig_key = identities_[agent_ip].signature_public();
+  return onion;
+}
+
+AgentEntry HirepSystem::self_entry(net::NodeIndex agent_ip, AgentRuntime& rt) {
+  AgentEntry entry;
+  entry.weight = 1.0;
+  entry.agent_id = identities_[agent_ip].node_id();
+  entry.agent_key = identities_[agent_ip].signature_public();
+  entry.onion = issue_agent_onion(agent_ip, rt);
+  entry.relay_path = path_of(rt.relays, agent_ip);
+  return entry;
+}
+
+std::vector<AgentEntry> HirepSystem::shareable_list(net::NodeIndex v) {
+  const auto& list = peers_.at(v).agents();
+  if (list.size() > 0) return list.entries();
+  const auto it = agents_.find(v);
+  if (it != agents_.end() && it->second.online) {
+    return {self_entry(v, it->second)};
+  }
+  return {};
+}
+
+std::size_t HirepSystem::discover_agents(net::NodeIndex peer_ip) {
+  Peer& p = peers_.at(peer_ip);
+  if (p.agents().full()) return 0;
+
+  const auto lists = collect_agent_lists(
+      overlay_, rng_, peer_ip, options_.discovery_tokens,
+      options_.discovery_ttl,
+      [this, peer_ip](net::NodeIndex v) {
+        return v == peer_ip ? std::vector<AgentEntry>{} : shareable_list(v);
+      });
+
+  std::vector<std::vector<AgentEntry>> raw;
+  raw.reserve(lists.size());
+  for (const auto& l : lists) raw.push_back(l.entries);
+
+  std::size_t added = 0;
+  for (AgentEntry& e : rank_and_select(raw, p.agents().params().capacity, rng_)) {
+    if (p.agents().full()) break;
+    // A peer does not pick itself, and re-verification of the nodeId/key
+    // binding rejects forged recommendations.
+    if (e.agent_id == p.node_id()) continue;
+    if (crypto::NodeId::of_key(e.agent_key) != e.agent_id) continue;
+    if (p.agents().add(std::move(e))) ++added;
+  }
+  return added;
+}
+
+void HirepSystem::refill(net::NodeIndex peer_ip) {
+  Peer& p = peers_.at(peer_ip);
+  // Probe the backup cache, most recent first (§3.4.3).
+  while (!p.agents().full()) {
+    auto backup = p.agents().pop_backup();
+    if (!backup) break;
+    overlay_.count_send(net::MessageKind::kControl);  // probe message
+    const auto* rt = runtime_of(backup->agent_id);
+    if (rt != nullptr && rt->online) {
+      p.agents().add(std::move(*backup));
+    }
+  }
+  if (p.agents().needs_refill()) discover_agents(peer_ip);
+}
+
+net::NodeIndex HirepSystem::join_peer() {
+  // Transport level: preferential-attachment links, as a joining servent
+  // bootstrapping off well-known high-degree hosts would get.
+  const auto m = std::max<std::size_t>(
+      1, static_cast<std::size_t>(options_.average_degree / 2.0));
+  std::vector<net::NodeIndex> neighbors;
+  while (neighbors.size() < m) {
+    const auto candidate = overlay_.sample_by_degree(rng_);
+    if (std::find(neighbors.begin(), neighbors.end(), candidate) ==
+        neighbors.end()) {
+      neighbors.push_back(candidate);
+    }
+  }
+  const net::NodeIndex v = overlay_.add_node(neighbors);
+
+  // World + identity level.
+  const auto truth_index = truth_.add_node(rng_);
+  (void)truth_index;  // same index by construction
+  identities_.push_back(crypto::Identity::generate(rng_, options_.rsa_bits));
+  id_to_ip_.emplace(identities_.back().node_id(), v);
+
+  // Peer state: verified relays, then trusted-agent discovery (§3.4.1).
+  peers_.emplace_back(&identities_.back(), v, list_params_from(options_));
+  peers_.back().set_relays(pick_and_verify_relays(v));
+  if (truth_.agent_capable(v)) {
+    AgentRuntime rt;
+    rt.agent = std::make_unique<ReputationAgent>(
+        &identities_.back(), v, &truth_,
+        trust::model_factory_by_name(options_.agent_model),
+        options_.min_reports_for_model);
+    rt.relays = peers_.back().relays();
+    agents_.emplace(v, std::move(rt));
+  }
+  discover_agents(v);
+  return v;
+}
+
+crypto::NodeId HirepSystem::rotate_peer_key(net::NodeIndex v) {
+  crypto::Identity& identity = identities_.at(v);
+  const crypto::NodeId old_id = identity.node_id();
+  const auto announcement =
+      identity.rotate_signature_key(rng_, options_.rsa_bits);
+
+  // Simulation-side reverse mapping follows the identity.
+  id_to_ip_.erase(old_id);
+  id_to_ip_.emplace(identity.node_id(), v);
+
+  // "New public keys signed by current private key can be sent out using
+  // the most recently received onions" (§3.5): the announcement travels to
+  // every trusted agent over the freshest Onion_e the peer holds.
+  Peer& p = peers_.at(v);
+  const util::Bytes wire = announcement.serialize();
+  for (auto& entry : p.agents().entries()) {
+    AgentRuntime* rt = runtime_of(entry.agent_id);
+    if (rt == nullptr || !rt->online) continue;
+    if (options_.crypto == CryptoMode::kFast) {
+      overlay_.count_send(net::MessageKind::kControl, entry.relay_path.size());
+      rt->agent->migrate_key(old_id, announcement);
+      continue;
+    }
+    const auto routed = router_.route(v, entry.onion, wire,
+                                      net::MessageKind::kControl);
+    if (!routed.delivered) continue;
+    const auto parsed =
+        crypto::Identity::RotationAnnouncement::deserialize(routed.payload);
+    if (!parsed) continue;
+    rt->agent->migrate_key(old_id, *parsed);
+  }
+  return identity.node_id();
+}
+
+std::optional<double> HirepSystem::exchange_with_agent(
+    Peer& requestor, AgentEntry& entry, net::NodeIndex subject_ip,
+    const crypto::NodeId& subject_id) {
+  AgentRuntime* rt = runtime_of(entry.agent_id);
+  if (rt == nullptr || !rt->online) return std::nullopt;
+  const auto agent_ip = *ip_of(entry.agent_id);
+  const std::uint64_t nonce = rng_();
+
+  if (options_.crypto == CryptoMode::kFast) {
+    // Identical message counts, protocol work elided.
+    overlay_.count_send(net::MessageKind::kTrustRequest,
+                        entry.relay_path.size());
+    rt->agent->register_key(requestor.node_id(),
+                            requestor.identity().signature_public());
+    const double value = rt->agent->trust_value(subject_id, subject_ip, rng_);
+    overlay_.count_send(net::MessageKind::kTrustResponse,
+                        requestor.relay_path().size());
+    entry.onion = issue_agent_onion(agent_ip, *rt);
+    entry.relay_path = path_of(rt->relays, agent_ip);
+    return value;
+  }
+
+  // --- full crypto path ---
+  auto onion_p = requestor.issue_onion(rng_);
+  const TrustValueRequest request = build_trust_request(
+      rng_, entry.agent_key, requestor.identity(), subject_id, nonce,
+      std::move(onion_p));
+  const auto to_agent =
+      router_.route(requestor.ip(), entry.onion, request.serialize(),
+                    net::MessageKind::kTrustRequest);
+  if (!to_agent.delivered || to_agent.destination != agent_ip) {
+    return std::nullopt;
+  }
+
+  // Agent side.
+  const auto parsed = TrustValueRequest::deserialize(to_agent.payload);
+  if (!parsed) return std::nullopt;
+  const auto opened = open_trust_request(rt->agent->identity(), *parsed);
+  if (!opened) return std::nullopt;
+  rt->agent->register_key(crypto::NodeId::of_key(parsed->sp_p), parsed->sp_p);
+  const double value = rt->agent->trust_value(opened->subject, subject_ip, rng_);
+  const TrustValueResponse response = build_trust_response(
+      rng_, parsed->sp_p, rt->agent->identity(), value, opened->nonce,
+      issue_agent_onion(agent_ip, *rt));
+  const auto to_peer =
+      router_.route(agent_ip, parsed->reply_onion, response.serialize(),
+                    net::MessageKind::kTrustResponse);
+  if (!to_peer.delivered || to_peer.destination != requestor.ip()) {
+    return std::nullopt;
+  }
+
+  // Back at the requestor.
+  const auto parsed_resp = TrustValueResponse::deserialize(to_peer.payload);
+  if (!parsed_resp) return std::nullopt;
+  const auto opened_resp = open_trust_response(requestor.identity(), *parsed_resp);
+  if (!opened_resp || opened_resp->nonce != nonce) return std::nullopt;
+  // Refresh the reply path with the agent's newest onion.
+  entry.onion = parsed_resp->report_onion;
+  entry.relay_path = path_of(rt->relays, agent_ip);
+  return opened_resp->value;
+}
+
+HirepSystem::QueryResult HirepSystem::query_trust(net::NodeIndex requestor_ip,
+                                                  net::NodeIndex subject_ip) {
+  Peer& p = peers_.at(requestor_ip);
+  const crypto::NodeId subject_id = identities_.at(subject_ip).node_id();
+
+  QueryResult result;
+  std::vector<crypto::NodeId> offline;
+  for (auto& entry : p.agents().entries()) {
+    ++result.contacted;
+    const auto value = exchange_with_agent(p, entry, subject_ip, subject_id);
+    if (!value) {
+      offline.push_back(entry.agent_id);
+      continue;
+    }
+    result.ratings.push_back({entry.agent_id, *value, entry.weight});
+  }
+  for (const auto& id : offline) p.agents().handle_offline(id);
+
+  std::vector<std::pair<double, double>> vw;
+  vw.reserve(result.ratings.size());
+  for (const auto& r : result.ratings) vw.emplace_back(r.value, r.weight);
+  result.estimate = Peer::aggregate(vw);
+  return result;
+}
+
+void HirepSystem::send_report(Peer& reporter, AgentEntry& entry,
+                              const crypto::NodeId& subject_id,
+                              double outcome) {
+  AgentRuntime* rt = runtime_of(entry.agent_id);
+  if (rt == nullptr || !rt->online) return;
+
+  if (options_.crypto == CryptoMode::kFast) {
+    overlay_.count_send(net::MessageKind::kReport, entry.relay_path.size());
+    rt->agent->accept_report(subject_id, outcome);
+    return;
+  }
+
+  const TransactionReport report =
+      build_report(reporter.identity(), subject_id, outcome, rng_());
+  const auto routed = router_.route(reporter.ip(), entry.onion,
+                                    report.serialize(), net::MessageKind::kReport);
+  if (!routed.delivered) return;
+  const auto parsed = TransactionReport::deserialize(routed.payload);
+  if (!parsed) return;
+  const auto sp = rt->agent->lookup_key(parsed->reporter);
+  if (!sp) return;  // unknown reporter: §3.5.3 drop
+  const auto opened = verify_report(*sp, *parsed);
+  if (!opened) return;  // bad signature: drop
+  rt->agent->accept_report(opened->subject, opened->outcome);
+}
+
+HirepSystem::TransactionRecord HirepSystem::run_transaction() {
+  const std::size_t population = peers_.size();
+  const auto requestor = static_cast<net::NodeIndex>(rng_.below(population));
+  // Candidate providers (paper default: one random candidate).
+  net::NodeIndex provider = requestor;
+  if (options_.provider_candidates <= 1) {
+    while (provider == requestor) {
+      provider = static_cast<net::NodeIndex>(rng_.below(population));
+    }
+    return run_transaction(requestor, provider);
+  }
+  // Multi-candidate selection: query each candidate, pick the best estimate.
+  double best = -1.0;
+  for (std::size_t i = 0; i < options_.provider_candidates; ++i) {
+    net::NodeIndex candidate = requestor;
+    while (candidate == requestor) {
+      candidate = static_cast<net::NodeIndex>(rng_.below(population));
+    }
+    const auto q = query_trust(requestor, candidate);
+    if (q.estimate > best) {
+      best = q.estimate;
+      provider = candidate;
+    }
+  }
+  return run_transaction(requestor, provider);
+}
+
+HirepSystem::TransactionRecord HirepSystem::run_transaction(
+    net::NodeIndex requestor, net::NodeIndex provider) {
+  const std::uint64_t before = trust_message_total();
+  const QueryResult query = query_trust(requestor, provider);
+  TransactionRecord record = complete_transaction(requestor, provider, query);
+  record.trust_messages = trust_message_total() - before;
+  return record;
+}
+
+HirepSystem::TransactionRecord HirepSystem::complete_transaction(
+    net::NodeIndex requestor, net::NodeIndex provider,
+    const QueryResult& query) {
+  const std::uint64_t before = trust_message_total();
+  Peer& p = peers_.at(requestor);
+  const crypto::NodeId subject_id = identities_.at(provider).node_id();
+
+  TransactionRecord record;
+  record.requestor = requestor;
+  record.provider = provider;
+  record.estimate = query.estimate;
+  record.truth_value = truth_.true_trust(provider);
+  record.responses = query.ratings.size();
+  record.outcome = truth_.transaction_outcome(provider);
+  p.note_transaction();
+
+  // Expertise update: A_c = 1 iff the agent's evaluation matched the result.
+  for (const auto& rating : query.ratings) {
+    p.agents().update_expertise(rating.agent,
+                                Peer::consistent(rating.value, record.outcome));
+  }
+
+  // Signed transaction reports to all remaining trusted agents (§3.6).
+  for (auto& entry : p.agents().entries()) {
+    send_report(p, entry, subject_id, record.outcome);
+  }
+
+  // Maintenance (§3.4.3).
+  if (p.agents().needs_refill()) refill(requestor);
+
+  record.trust_messages = trust_message_total() - before;
+  return record;
+}
+
+std::uint64_t HirepSystem::trust_message_total() const {
+  const auto& m = overlay_.metrics();
+  return m.of(net::MessageKind::kTrustRequest) +
+         m.of(net::MessageKind::kTrustResponse) +
+         m.of(net::MessageKind::kReport) +
+         m.of(net::MessageKind::kOnionRelay);
+}
+
+}  // namespace hirep::core

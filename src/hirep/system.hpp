@@ -1,0 +1,200 @@
+// HirepSystem — the public API facade wiring every substrate together:
+// power-law overlay, per-node identities, onion routing, the reputation
+// agent community, and the per-transaction hiREP protocol.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   hirep::core::HirepOptions opts;
+//   opts.nodes = 1000;
+//   hirep::core::HirepSystem system(opts);
+//   auto record = system.run_transaction();
+//   // record.estimate vs record.truth_value, record.trust_messages, ...
+//
+// Crypto modes: kFull runs every onion layer, signature and encryption for
+// real; kFast executes the identical protocol/state machine and counts the
+// identical messages but skips the cipher work (large parameter sweeps).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hirep/agent.hpp"
+#include "hirep/discovery.hpp"
+#include "hirep/peer.hpp"
+#include "hirep/protocol.hpp"
+#include "net/overlay.hpp"
+#include "net/topology.hpp"
+#include "onion/router.hpp"
+#include "trust/ground_truth.hpp"
+
+namespace hirep::core {
+
+enum class CryptoMode {
+  kFull,  ///< real RSA/onion work end to end
+  kFast   ///< same protocol flow + message counts, ciphers skipped
+};
+
+struct HirepOptions {
+  std::size_t nodes = 1000;        ///< network size (Table 1)
+  double average_degree = 4.0;     ///< neighbors per node (Table 1)
+  unsigned rsa_bits = 128;         ///< RSA modulus size (scale up at will)
+  std::size_t trusted_agents = 10; ///< c — trusted agents per peer (Table 1)
+  std::size_t onion_relays = 5;    ///< o — relays per onion (Table 1)
+  std::uint32_t discovery_tokens = 10;  ///< token number (Table 1)
+  std::uint32_t discovery_ttl = 7;      ///< agent-list request TTL (§3.4.1)
+  double expertise_alpha = 0.3;    ///< EWMA alpha for agent expertise
+  double eviction_threshold = 0.4; ///< hirep-4/6/8 = 0.4/0.6/0.8 (Figure 6)
+  double refill_fraction = 0.5;    ///< refill when list < fraction*capacity
+  std::size_t backup_capacity = 20;
+  std::size_t provider_candidates = 1;  ///< candidates per query (paper: 1)
+  std::string agent_model = "ewma";     ///< agent-side computation model
+  /// Reports a good agent needs about a subject before it answers from its
+  /// computation model instead of its own evaluation (§4.2.3).
+  std::size_t min_reports_for_model = 1;
+  CryptoMode crypto = CryptoMode::kFull;
+  trust::WorldParams world;        ///< .nodes is overridden by `nodes`
+  net::LatencyParams latency;
+  std::uint64_t seed = 1;
+};
+
+class HirepSystem {
+ public:
+  explicit HirepSystem(HirepOptions options);
+
+  const HirepOptions& options() const noexcept { return options_; }
+  net::Overlay& overlay() noexcept { return overlay_; }
+  const net::Overlay& overlay() const noexcept { return overlay_; }
+  trust::GroundTruth& truth() noexcept { return truth_; }
+  const trust::GroundTruth& truth() const noexcept { return truth_; }
+  onion::Router& router() noexcept { return router_; }
+  util::Rng& rng() noexcept { return rng_; }
+
+  std::size_t node_count() const noexcept { return peers_.size(); }
+  Peer& peer(net::NodeIndex v) { return peers_.at(v); }
+  const Peer& peer(net::NodeIndex v) const { return peers_.at(v); }
+  /// nullptr when node v is not a reputation agent.
+  ReputationAgent* agent_at(net::NodeIndex v);
+  std::size_t agent_count() const noexcept { return agents_.size(); }
+  /// A deque so references stay stable while peers join a running system.
+  const std::deque<crypto::Identity>& identities() const noexcept {
+    return identities_;
+  }
+  /// Reverse lookup nodeId -> overlay index (simulation-side only).
+  std::optional<net::NodeIndex> ip_of(const crypto::NodeId& id) const;
+
+  // -- agent community ------------------------------------------------------
+
+  /// True when the node is a live reputation agent.
+  bool agent_online(net::NodeIndex v) const;
+  /// Takes an agent down / brings it back (churn & DoS experiments).
+  void set_agent_online(net::NodeIndex v, bool online);
+
+  /// The trusted-agent list a node shares with discovery requests; an agent
+  /// with no list of its own answers with its self-entry (§3.4.1).
+  std::vector<AgentEntry> shareable_list(net::NodeIndex v);
+
+  /// Runs the token+TTL discovery walk for `peer_ip` and installs up to
+  /// (capacity - current) newly selected agents.  Returns agents added.
+  std::size_t discover_agents(net::NodeIndex peer_ip);
+
+  /// §3.4.3 maintenance: probe the backup cache first, then re-discover.
+  void refill(net::NodeIndex peer_ip);
+
+  /// Open membership: a brand-new peer joins the RUNNING system — fresh
+  /// identity (two key pairs), preferential-attachment links into the
+  /// overlay, verified onion relays, agent-capability roll, and the
+  /// §3.4.1 trusted-agent discovery.  Returns the new node's index.
+  net::NodeIndex join_peer();
+
+  /// §3.5 key rotation: peer v generates a fresh signature key pair and
+  /// sends the old-key-signed announcement to every agent that knows it
+  /// (via the freshest onions, as the paper prescribes).  Agents verify
+  /// the announcement and migrate the public-key-list entry, so the peer
+  /// keeps its standing under the new nodeId.  Returns the new nodeId.
+  crypto::NodeId rotate_peer_key(net::NodeIndex v);
+
+  // -- protocol -------------------------------------------------------------
+
+  struct AgentRating {
+    crypto::NodeId agent;
+    double value = 0.0;
+    double weight = 0.0;
+  };
+  struct QueryResult {
+    double estimate = 0.5;
+    std::vector<AgentRating> ratings;
+    std::size_t contacted = 0;  ///< online agents queried
+  };
+  /// Full trust-value query: request -> every trusted agent -> responses,
+  /// expertise-weighted aggregation.  Offline agents fall to backup.
+  QueryResult query_trust(net::NodeIndex requestor_ip,
+                          net::NodeIndex subject_ip);
+
+  struct TransactionRecord {
+    net::NodeIndex requestor = net::kInvalidNode;
+    net::NodeIndex provider = net::kInvalidNode;
+    double estimate = 0.5;     ///< aggregated pre-transaction trust estimate
+    double truth_value = 0.0;  ///< the provider's true trust (0/1)
+    double outcome = 0.0;      ///< observed transaction result
+    std::size_t responses = 0; ///< agent ratings received
+    std::uint64_t trust_messages = 0;  ///< messages this transaction spent
+  };
+  /// One full transaction between random peers (paper §3.6): query,
+  /// download, expertise update, signed reports, maintenance.
+  TransactionRecord run_transaction();
+  TransactionRecord run_transaction(net::NodeIndex requestor,
+                                    net::NodeIndex provider);
+
+  /// Second half of a transaction when the trust query already happened
+  /// (e.g. the requestor compared several QueryHit candidates): download,
+  /// expertise update, signed reports, maintenance.  `query` must be the
+  /// result of query_trust(requestor, provider).  trust_messages covers
+  /// only this call's traffic (the caller already paid for the query).
+  TransactionRecord complete_transaction(net::NodeIndex requestor,
+                                         net::NodeIndex provider,
+                                         const QueryResult& query);
+
+  /// Trust-related message count so far (requests+responses+reports+relay).
+  std::uint64_t trust_message_total() const;
+
+ private:
+  struct AgentRuntime {
+    std::unique_ptr<ReputationAgent> agent;
+    std::vector<onion::RelayInfo> relays;
+    std::uint64_t sq = 1;
+    bool online = true;
+  };
+
+  AgentRuntime* runtime_of(const crypto::NodeId& id);
+  onion::Onion issue_agent_onion(net::NodeIndex agent_ip, AgentRuntime& rt);
+  AgentEntry self_entry(net::NodeIndex agent_ip, AgentRuntime& rt);
+  std::vector<onion::RelayInfo> pick_and_verify_relays(net::NodeIndex owner);
+  std::vector<net::NodeIndex> path_of(const std::vector<onion::RelayInfo>& relays,
+                                      net::NodeIndex owner) const;
+
+  /// Runs one request/response round with a single agent entry; returns the
+  /// rating, or nullopt when the agent is offline/unreachable (the entry is
+  /// then handled per §3.4.3).  Updates entry.onion to the fresh Onion_e.
+  std::optional<double> exchange_with_agent(Peer& requestor, AgentEntry& entry,
+                                            net::NodeIndex subject_ip,
+                                            const crypto::NodeId& subject_id);
+
+  void send_report(Peer& reporter, AgentEntry& entry,
+                   const crypto::NodeId& subject_id, double outcome);
+
+  HirepOptions options_;
+  util::Rng rng_;
+  trust::GroundTruth truth_;
+  net::Overlay overlay_;
+  std::deque<crypto::Identity> identities_;  // reference-stable on growth
+  onion::Router router_;
+  std::vector<Peer> peers_;
+  std::map<net::NodeIndex, AgentRuntime> agents_;
+  std::map<crypto::NodeId, net::NodeIndex> id_to_ip_;
+};
+
+}  // namespace hirep::core

@@ -1,0 +1,48 @@
+#include "net/event_sim.hpp"
+
+#include <algorithm>
+
+namespace hirep::net {
+
+void EventSim::schedule_at(double at, Callback fn) {
+  queue_.push(Event{std::max(at, now_), next_seq_++, std::move(fn)});
+}
+
+void EventSim::schedule_in(double delay, Callback fn) {
+  schedule_at(now_ + std::max(delay, 0.0), std::move(fn));
+}
+
+std::size_t EventSim::run() {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    // Moving out of a priority_queue requires the const_cast dance; the
+    // element is popped immediately after.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.at;
+    ev.fn();
+    ++executed;
+  }
+  return executed;
+}
+
+std::size_t EventSim::run_until(double deadline) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.at;
+    ev.fn();
+    ++executed;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return executed;
+}
+
+void EventSim::reset() {
+  while (!queue_.empty()) queue_.pop();
+  now_ = 0.0;
+  next_seq_ = 0;
+}
+
+}  // namespace hirep::net

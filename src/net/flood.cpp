@@ -1,0 +1,173 @@
+#include "net/flood.hpp"
+
+#include <deque>
+#include <limits>
+#include <queue>
+
+namespace hirep::net {
+
+FloodResult flood(Overlay& overlay, NodeIndex source, std::uint32_t ttl,
+                  MessageKind kind) {
+  const Graph& g = overlay.graph();
+  FloodResult result;
+  if (ttl == 0) return result;
+
+  constexpr auto kUnseen = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> depth(g.node_count(), kUnseen);
+  depth[source] = 0;
+
+  struct Pending {
+    NodeIndex node;
+    NodeIndex from;
+    std::uint32_t hops;  // hops taken so far
+  };
+  std::deque<Pending> frontier;
+
+  // Source transmits to every neighbor.
+  for (NodeIndex nb : g.neighbors(source)) {
+    ++result.messages;
+    frontier.push_back({nb, source, 1});
+  }
+
+  while (!frontier.empty()) {
+    const Pending p = frontier.front();
+    frontier.pop_front();
+    if (depth[p.node] != kUnseen) continue;  // duplicate copy: counted, dropped
+    depth[p.node] = p.hops;
+    result.reached.push_back(p.node);
+    result.depth.push_back(p.hops);
+    if (p.hops >= ttl) continue;  // TTL exhausted: no forward
+    for (NodeIndex nb : g.neighbors(p.node)) {
+      if (nb == p.from) continue;
+      ++result.messages;
+      frontier.push_back({nb, p.node, p.hops + 1});
+    }
+  }
+  overlay.count_send(kind, result.messages);
+  return result;
+}
+
+std::vector<TimedArrival> timed_flood(Overlay& overlay, NodeIndex source,
+                                      std::uint32_t ttl, double start_ms,
+                                      MessageKind kind) {
+  const Graph& g = overlay.graph();
+  std::vector<TimedArrival> arrivals;
+  if (ttl == 0) return arrivals;
+
+  constexpr auto kUnseen = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> depth(g.node_count(), kUnseen);
+  depth[source] = 0;
+
+  struct Transmission {
+    double handled_ms;  // completion of receiver-side handling
+    NodeIndex node;
+    NodeIndex from;
+    std::uint32_t hops;
+  };
+  struct Later {
+    bool operator()(const Transmission& a, const Transmission& b) const noexcept {
+      return a.handled_ms > b.handled_ms;
+    }
+  };
+  std::priority_queue<Transmission, std::vector<Transmission>, Later> queue;
+
+  for (NodeIndex nb : g.neighbors(source)) {
+    const double t = overlay.timed_send(start_ms, source, nb, kind);
+    queue.push({t, nb, source, 1});
+  }
+  while (!queue.empty()) {
+    const Transmission tx = queue.top();
+    queue.pop();
+    if (depth[tx.node] != kUnseen) continue;
+    depth[tx.node] = tx.hops;
+    arrivals.push_back({tx.node, tx.from, tx.hops, tx.handled_ms});
+    if (tx.hops >= ttl) continue;
+    for (NodeIndex nb : g.neighbors(tx.node)) {
+      if (nb == tx.from) continue;
+      const double t = overlay.timed_send(tx.handled_ms, tx.node, nb, kind);
+      queue.push({t, nb, tx.node, tx.hops + 1});
+    }
+  }
+  return arrivals;
+}
+
+std::uint64_t response_cost(const FloodResult& result) {
+  std::uint64_t cost = 0;
+  for (std::uint32_t d : result.depth) cost += d;
+  return cost;
+}
+
+std::vector<TokenVisit> token_walk(Overlay& overlay, util::Rng& rng,
+                                   NodeIndex source, std::uint32_t tokens,
+                                   std::uint32_t ttl,
+                                   const std::function<bool(NodeIndex)>& consumes,
+                                   MessageKind kind) {
+  const Graph& g = overlay.graph();
+  std::vector<TokenVisit> visits;
+  if (tokens == 0 || ttl == 0) return visits;
+
+  std::vector<bool> visited(g.node_count(), false);
+  visited[source] = true;
+
+  struct Pending {
+    NodeIndex node;
+    std::uint32_t tokens;
+    std::uint32_t ttl;
+  };
+  std::deque<Pending> frontier;
+
+  // The source splits its token budget across its neighbors (Figure 4:
+  // requestor R distributes the request with 6 tokens to its neighbors).
+  {
+    std::vector<NodeIndex> nbs;
+    for (NodeIndex nb : g.neighbors(source)) {
+      if (!visited[nb]) nbs.push_back(nb);
+    }
+    rng.shuffle(nbs);
+    std::uint32_t remaining = tokens;
+    for (std::size_t i = 0; i < nbs.size() && remaining > 0; ++i) {
+      // Even split of what is left across the rest.
+      const auto share = static_cast<std::uint32_t>(
+          (remaining + nbs.size() - 1 - i) / (nbs.size() - i));
+      overlay.count_send(kind);
+      frontier.push_back({nbs[i], share, ttl});
+      remaining -= share;
+    }
+  }
+
+  while (!frontier.empty()) {
+    Pending p = frontier.front();
+    frontier.pop_front();
+    if (visited[p.node]) {
+      // A later copy reaches an already-visited node: its tokens are lost
+      // with it (the node will not answer twice) unless it still forwards.
+      continue;
+    }
+    visited[p.node] = true;
+    std::uint32_t remaining = p.tokens;
+    if (consumes(p.node) && remaining > 0) {
+      // One token pays for this node's reply, returned directly to the
+      // requestor (one message).
+      visits.push_back({p.node, 1});
+      overlay.count_send(kind);
+      --remaining;
+    }
+    if (remaining == 0 || p.ttl <= 1) continue;
+    std::vector<NodeIndex> nbs;
+    for (NodeIndex nb : g.neighbors(p.node)) {
+      if (!visited[nb]) nbs.push_back(nb);
+    }
+    if (nbs.empty()) continue;
+    rng.shuffle(nbs);
+    for (std::size_t i = 0; i < nbs.size() && remaining > 0; ++i) {
+      const auto share = static_cast<std::uint32_t>(
+          (remaining + nbs.size() - 1 - i) / (nbs.size() - i));
+      overlay.count_send(kind);
+      frontier.push_back({nbs[i], share, p.ttl - 1});
+      remaining -= share;
+    }
+  }
+  return visits;
+}
+
+}  // namespace hirep::net

@@ -1,0 +1,65 @@
+// Gnutella-style TTL-limited flooding (the BFS the paper uses to simulate
+// the pure-voting poll) and the token-limited forwarding used by hiREP's
+// trusted-agent-list request (Figure 4).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/overlay.hpp"
+#include "util/rng.hpp"
+
+namespace hirep::net {
+
+struct FloodResult {
+  /// Nodes reached (excluding the source), with their BFS depth (>= 1).
+  std::vector<NodeIndex> reached;
+  std::vector<std::uint32_t> depth;  ///< parallel to `reached`
+  /// Forwarding transmissions performed, including duplicate deliveries —
+  /// the real cost of flooding.
+  std::uint64_t messages = 0;
+};
+
+/// Floods from `source` with the given TTL; every transmission is counted
+/// into the overlay metrics under `kind`.  A node forwards only the first
+/// copy it sees, to all neighbors except the sender, while ttl > 0.
+FloodResult flood(Overlay& overlay, NodeIndex source, std::uint32_t ttl,
+                  MessageKind kind);
+
+struct TimedArrival {
+  NodeIndex node = kInvalidNode;
+  NodeIndex parent = kInvalidNode;  ///< BFS-tree predecessor (reverse path)
+  std::uint32_t depth = 0;
+  double time_ms = 0.0;
+};
+
+/// Timed flooding over the queueing model: transmissions propagate in time
+/// order (a global time-ordered expansion), and each node's serial
+/// processing delays its forwards.  Returns first-copy arrival times.
+std::vector<TimedArrival> timed_flood(Overlay& overlay, NodeIndex source,
+                                      std::uint32_t ttl, double start_ms,
+                                      MessageKind kind);
+
+/// One response message returned hop-by-hop along the BFS tree toward the
+/// source costs `depth` transmissions; helper for the polling baseline.
+std::uint64_t response_cost(const FloodResult& result);
+
+struct TokenVisit {
+  NodeIndex node;
+  std::uint32_t tokens_spent;
+};
+
+/// Token + TTL limited request propagation (Figure 4): the request fans out
+/// from `source` carrying `tokens`; a node for which `consumes(node)` is
+/// true uses up one token (it answers the request), and remaining tokens
+/// are forwarded to unvisited neighbors (split across them).  Propagation
+/// stops when tokens or TTL run out.  Returns the consuming nodes in visit
+/// order; transmissions are counted under `kind`.
+std::vector<TokenVisit> token_walk(Overlay& overlay, util::Rng& rng,
+                                   NodeIndex source, std::uint32_t tokens,
+                                   std::uint32_t ttl,
+                                   const std::function<bool(NodeIndex)>& consumes,
+                                   MessageKind kind);
+
+}  // namespace hirep::net

@@ -1,0 +1,115 @@
+#include "net/graph.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace hirep::net {
+
+Graph::Graph(std::size_t nodes) : adjacency_(nodes) {}
+
+void Graph::check(NodeIndex v) const {
+  if (v >= adjacency_.size()) throw std::out_of_range("node index out of range");
+}
+
+NodeIndex Graph::add_node() {
+  adjacency_.emplace_back();
+  return static_cast<NodeIndex>(adjacency_.size() - 1);
+}
+
+bool Graph::add_edge(NodeIndex a, NodeIndex b) {
+  check(a);
+  check(b);
+  if (a == b || has_edge(a, b)) return false;
+  adjacency_[a].push_back(b);
+  adjacency_[b].push_back(a);
+  ++edge_count_;
+  return true;
+}
+
+bool Graph::has_edge(NodeIndex a, NodeIndex b) const {
+  check(a);
+  check(b);
+  // Scan the smaller adjacency list.
+  const auto& list =
+      adjacency_[a].size() <= adjacency_[b].size() ? adjacency_[a] : adjacency_[b];
+  const NodeIndex needle = adjacency_[a].size() <= adjacency_[b].size() ? b : a;
+  return std::find(list.begin(), list.end(), needle) != list.end();
+}
+
+std::span<const NodeIndex> Graph::neighbors(NodeIndex v) const {
+  check(v);
+  return adjacency_[v];
+}
+
+std::size_t Graph::degree(NodeIndex v) const {
+  check(v);
+  return adjacency_[v].size();
+}
+
+double Graph::average_degree() const noexcept {
+  if (adjacency_.empty()) return 0.0;
+  return 2.0 * static_cast<double>(edge_count_) /
+         static_cast<double>(adjacency_.size());
+}
+
+std::size_t Graph::max_degree() const noexcept {
+  std::size_t best = 0;
+  for (const auto& adj : adjacency_) best = std::max(best, adj.size());
+  return best;
+}
+
+bool Graph::connected() const {
+  if (adjacency_.empty()) return true;
+  return component_size(0) == adjacency_.size();
+}
+
+std::size_t Graph::component_size(NodeIndex v) const {
+  check(v);
+  std::vector<bool> seen(adjacency_.size(), false);
+  std::queue<NodeIndex> frontier;
+  frontier.push(v);
+  seen[v] = true;
+  std::size_t count = 0;
+  while (!frontier.empty()) {
+    const NodeIndex cur = frontier.front();
+    frontier.pop();
+    ++count;
+    for (NodeIndex next : adjacency_[cur]) {
+      if (!seen[next]) {
+        seen[next] = true;
+        frontier.push(next);
+      }
+    }
+  }
+  return count;
+}
+
+std::vector<std::uint32_t> Graph::bfs_distances(NodeIndex source) const {
+  check(source);
+  constexpr auto kUnreachable = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> dist(adjacency_.size(), kUnreachable);
+  std::queue<NodeIndex> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeIndex cur = frontier.front();
+    frontier.pop();
+    for (NodeIndex next : adjacency_[cur]) {
+      if (dist[next] == kUnreachable) {
+        dist[next] = dist[cur] + 1;
+        frontier.push(next);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::size_t> Graph::degree_histogram() const {
+  std::vector<std::size_t> hist(max_degree() + 1, 0);
+  for (const auto& adj : adjacency_) ++hist[adj.size()];
+  return hist;
+}
+
+}  // namespace hirep::net

@@ -1,0 +1,55 @@
+// Undirected overlay graph.  Nodes are dense indices (NodeIndex) — the
+// simulator's "IP address" level identifiers, distinct from cryptographic
+// NodeIds which live one layer up and are deliberately unlinkable to these.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hirep::net {
+
+using NodeIndex = std::uint32_t;
+inline constexpr NodeIndex kInvalidNode = static_cast<NodeIndex>(-1);
+
+class Graph {
+ public:
+  explicit Graph(std::size_t nodes = 0);
+
+  std::size_t node_count() const noexcept { return adjacency_.size(); }
+  std::size_t edge_count() const noexcept { return edge_count_; }
+
+  /// Appends an isolated node; returns its index.  Supports open
+  /// membership — peers joining a running overlay.
+  NodeIndex add_node();
+
+  /// Adds an undirected edge; self-loops and duplicates are ignored
+  /// (returns false for those).
+  bool add_edge(NodeIndex a, NodeIndex b);
+  bool has_edge(NodeIndex a, NodeIndex b) const;
+
+  std::span<const NodeIndex> neighbors(NodeIndex v) const;
+  std::size_t degree(NodeIndex v) const;
+  double average_degree() const noexcept;
+  std::size_t max_degree() const noexcept;
+
+  /// True when every node can reach every other.
+  bool connected() const;
+
+  /// Size of the connected component containing v.
+  std::size_t component_size(NodeIndex v) const;
+
+  /// BFS hop distances from source; kInvalidNode-distance = unreachable
+  /// (encoded as max uint32).
+  std::vector<std::uint32_t> bfs_distances(NodeIndex source) const;
+
+  /// Degree histogram: result[d] = number of nodes with degree d.
+  std::vector<std::size_t> degree_histogram() const;
+
+ private:
+  void check(NodeIndex v) const;
+  std::vector<std::vector<NodeIndex>> adjacency_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace hirep::net

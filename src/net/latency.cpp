@@ -1,0 +1,31 @@
+#include "net/latency.hpp"
+
+#include <algorithm>
+
+namespace hirep::net {
+
+namespace {
+
+// SplitMix64-style mix; good avalanche, cheap, dependency-free.
+std::uint64_t mix(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+LatencyModel::LatencyModel(LatencyParams params, std::uint64_t seed)
+    : params_(params), seed_(seed) {}
+
+double LatencyModel::link_ms(NodeIndex a, NodeIndex b) const noexcept {
+  const NodeIndex lo = std::min(a, b);
+  const NodeIndex hi = std::max(a, b);
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(lo) << 32) | static_cast<std::uint64_t>(hi);
+  const std::uint64_t h = mix(key ^ mix(seed_));
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return params_.link_min_ms + (params_.link_max_ms - params_.link_min_ms) * u;
+}
+
+}  // namespace hirep::net

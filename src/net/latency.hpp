@@ -1,0 +1,34 @@
+// Link latency and node processing-cost model for the timed experiments
+// (Figure 8).  Latencies are per-link and stable for a simulation's
+// lifetime: the latency of (a,b) is derived from a keyed hash of the
+// unordered pair, so both directions agree and no O(n^2) matrix is stored.
+#pragma once
+
+#include <cstdint>
+
+#include "net/graph.hpp"
+
+namespace hirep::net {
+
+struct LatencyParams {
+  double link_min_ms = 10.0;   ///< lower bound of per-hop propagation delay
+  double link_max_ms = 40.0;   ///< upper bound
+  double processing_ms = 1.0;  ///< serial per-message handling cost per node
+};
+
+class LatencyModel {
+ public:
+  LatencyModel(LatencyParams params, std::uint64_t seed);
+
+  /// Propagation delay of the (a,b) link in ms; symmetric.
+  double link_ms(NodeIndex a, NodeIndex b) const noexcept;
+
+  double processing_ms() const noexcept { return params_.processing_ms; }
+  const LatencyParams& params() const noexcept { return params_; }
+
+ private:
+  LatencyParams params_;
+  std::uint64_t seed_;
+};
+
+}  // namespace hirep::net

@@ -1,0 +1,52 @@
+#include "net/metrics.hpp"
+
+#include <sstream>
+
+namespace hirep::net {
+
+const char* to_string(MessageKind kind) noexcept {
+  switch (kind) {
+    case MessageKind::kQuery: return "query";
+    case MessageKind::kTrustRequest: return "trust_request";
+    case MessageKind::kTrustResponse: return "trust_response";
+    case MessageKind::kReport: return "report";
+    case MessageKind::kAgentDiscovery: return "agent_discovery";
+    case MessageKind::kOnionRelay: return "onion_relay";
+    case MessageKind::kKeyExchange: return "key_exchange";
+    case MessageKind::kControl: return "control";
+    case MessageKind::kCount: break;
+  }
+  return "?";
+}
+
+void TrafficMetrics::count(MessageKind kind, std::uint64_t messages) noexcept {
+  counts_[static_cast<std::size_t>(kind)] += messages;
+}
+
+void TrafficMetrics::reset() noexcept { counts_.fill(0); }
+
+std::uint64_t TrafficMetrics::total() const noexcept {
+  std::uint64_t sum = 0;
+  for (auto c : counts_) sum += c;
+  return sum;
+}
+
+std::uint64_t TrafficMetrics::of(MessageKind kind) const noexcept {
+  return counts_[static_cast<std::size_t>(kind)];
+}
+
+std::uint64_t TrafficMetrics::trust_traffic() const noexcept {
+  return total() - of(MessageKind::kQuery);
+}
+
+std::string TrafficMetrics::summary() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    out << to_string(static_cast<MessageKind>(i)) << '=' << counts_[i] << ' ';
+  }
+  out << "total=" << total();
+  return out.str();
+}
+
+}  // namespace hirep::net

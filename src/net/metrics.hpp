@@ -1,0 +1,43 @@
+// Traffic accounting.  The paper's primary efficiency metric (Figure 5) is
+// "messages induced in the trust query process"; every overlay delivery
+// increments one of these counters, tagged by purpose.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace hirep::net {
+
+enum class MessageKind : std::uint8_t {
+  kQuery = 0,        ///< content/search queries (context traffic)
+  kTrustRequest,     ///< trust value request
+  kTrustResponse,    ///< trust value response
+  kReport,           ///< transaction result report
+  kAgentDiscovery,   ///< trusted-agent-list request/response
+  kOnionRelay,       ///< hop carried on behalf of an onion circuit
+  kKeyExchange,      ///< anonymity-key fetch handshake
+  kControl,          ///< everything else (maintenance, probes)
+  kCount
+};
+
+const char* to_string(MessageKind kind) noexcept;
+
+class TrafficMetrics {
+ public:
+  void count(MessageKind kind, std::uint64_t messages = 1) noexcept;
+  void reset() noexcept;
+
+  std::uint64_t total() const noexcept;
+  std::uint64_t of(MessageKind kind) const noexcept;
+  /// Total excluding kQuery — the paper's "trust query process" traffic.
+  std::uint64_t trust_traffic() const noexcept;
+
+  std::string summary() const;
+
+ private:
+  std::array<std::uint64_t, static_cast<std::size_t>(MessageKind::kCount)>
+      counts_{};
+};
+
+}  // namespace hirep::net

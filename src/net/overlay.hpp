@@ -1,0 +1,80 @@
+// The unstructured overlay: topology + latency model + traffic accounting +
+// a simple store-and-forward queueing model (each node handles messages
+// serially with a fixed per-message processing cost).
+//
+// Two views of the same network:
+//  * counted sends   — increment TrafficMetrics only (Figures 5–7)
+//  * timed sends     — additionally compute delivery timestamps (Figure 8)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "net/latency.hpp"
+#include "net/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace hirep::net {
+
+class Overlay {
+ public:
+  Overlay(Graph graph, LatencyParams latency, std::uint64_t seed);
+
+  const Graph& graph() const noexcept { return graph_; }
+  const LatencyModel& latency() const noexcept { return latency_; }
+  std::size_t node_count() const noexcept { return graph_.node_count(); }
+
+  TrafficMetrics& metrics() noexcept { return metrics_; }
+  const TrafficMetrics& metrics() const noexcept { return metrics_; }
+
+  /// Counted point-to-point send (direct IP-level message, e.g. one onion
+  /// hop or a key-exchange packet). Overlay adjacency is NOT required:
+  /// relays/agents are addressed by IP, not by neighborhood.
+  void count_send(MessageKind kind, std::uint64_t messages = 1) noexcept {
+    metrics_.count(kind, messages);
+  }
+
+  /// Timed delivery of one message leaving `from` at `depart_ms` toward the
+  /// directly-addressed `to`.  Models serial processing at the receiver:
+  /// the message is handled at max(arrival, receiver-free) + processing.
+  /// Returns the handling-completion time and advances the receiver's
+  /// busy-until state.  Also counts the message.
+  double timed_send(double depart_ms, NodeIndex from, NodeIndex to,
+                    MessageKind kind);
+
+  /// Same cost model without the queueing side effect (pure estimate).
+  double estimate_send(double depart_ms, NodeIndex from, NodeIndex to) const;
+
+  /// Sequential timed traversal of a multi-hop path (path[0] departs at
+  /// depart_ms). Returns completion at the final node. Counts path.size()-1
+  /// messages.
+  double timed_path(double depart_ms, const std::vector<NodeIndex>& path,
+                    MessageKind kind);
+
+  /// Timed traversal WITHOUT the queueing side effects: pure propagation +
+  /// processing cost.  Use when hop events are generated out of global time
+  /// order (e.g. independent onion circuits evaluated one after another) —
+  /// the busy-until model is only meaningful for time-ordered event streams
+  /// like timed_flood.  Counts messages normally.
+  double stateless_path(double depart_ms, const std::vector<NodeIndex>& path,
+                        MessageKind kind);
+
+  /// Clears all busy-until state (start of a fresh timed experiment).
+  void reset_time_state();
+
+  /// Open membership: appends a node and wires it to `neighbors`.
+  NodeIndex add_node(std::span<const NodeIndex> neighbors);
+
+  /// Degree-weighted node sample (preferential attachment for joiners).
+  NodeIndex sample_by_degree(util::Rng& rng) const;
+
+ private:
+  Graph graph_;
+  LatencyModel latency_;
+  TrafficMetrics metrics_;
+  std::vector<double> busy_until_;
+};
+
+}  // namespace hirep::net

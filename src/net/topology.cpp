@@ -1,0 +1,146 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hirep::net {
+
+Graph barabasi_albert(util::Rng& rng, std::size_t nodes,
+                      std::size_t edges_per_node) {
+  if (edges_per_node == 0) throw std::invalid_argument("edges_per_node == 0");
+  if (nodes <= edges_per_node) {
+    throw std::invalid_argument("need nodes > edges_per_node");
+  }
+  Graph g(nodes);
+  // Seed clique of m+1 nodes so early attachments have enough targets.
+  const std::size_t seed = edges_per_node + 1;
+  // endpoint multiset: each edge contributes both endpoints; sampling from
+  // it is sampling proportional to degree.
+  std::vector<NodeIndex> endpoints;
+  for (NodeIndex a = 0; a < seed; ++a) {
+    for (NodeIndex b = a + 1; b < seed; ++b) {
+      g.add_edge(a, b);
+      endpoints.push_back(a);
+      endpoints.push_back(b);
+    }
+  }
+  for (NodeIndex v = static_cast<NodeIndex>(seed); v < nodes; ++v) {
+    std::vector<NodeIndex> targets;
+    while (targets.size() < edges_per_node) {
+      const NodeIndex t = endpoints[rng.below(endpoints.size())];
+      if (t != v &&
+          std::find(targets.begin(), targets.end(), t) == targets.end()) {
+        targets.push_back(t);
+      }
+    }
+    for (NodeIndex t : targets) {
+      g.add_edge(v, t);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return g;
+}
+
+Graph power_law(util::Rng& rng, std::size_t nodes, double average_degree) {
+  if (average_degree < 2.0) average_degree = 2.0;
+  // BA average degree ~= 2m; interpolate odd averages by flipping between
+  // m and m+1 per node with the right probability.
+  const auto m_lo = static_cast<std::size_t>(average_degree / 2.0);
+  const double frac = average_degree / 2.0 - static_cast<double>(m_lo);
+  const std::size_t m_hi = m_lo + 1;
+  if (nodes <= m_hi + 1) throw std::invalid_argument("too few nodes");
+
+  Graph g(nodes);
+  const std::size_t seed = m_hi + 1;
+  std::vector<NodeIndex> endpoints;
+  for (NodeIndex a = 0; a < seed; ++a) {
+    for (NodeIndex b = a + 1; b < seed; ++b) {
+      g.add_edge(a, b);
+      endpoints.push_back(a);
+      endpoints.push_back(b);
+    }
+  }
+  for (NodeIndex v = static_cast<NodeIndex>(seed); v < nodes; ++v) {
+    const std::size_t m = rng.chance(frac) ? m_hi : m_lo;
+    std::vector<NodeIndex> targets;
+    std::size_t attempts = 0;
+    while (targets.size() < m && attempts < 64 * m) {
+      ++attempts;
+      const NodeIndex t = endpoints[rng.below(endpoints.size())];
+      if (t != v &&
+          std::find(targets.begin(), targets.end(), t) == targets.end()) {
+        targets.push_back(t);
+      }
+    }
+    for (NodeIndex t : targets) {
+      g.add_edge(v, t);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  ensure_connected(rng, g);
+  return g;
+}
+
+Graph erdos_renyi(util::Rng& rng, std::size_t nodes, double average_degree) {
+  if (nodes < 2) throw std::invalid_argument("need >= 2 nodes");
+  Graph g(nodes);
+  const double p =
+      std::clamp(average_degree / static_cast<double>(nodes - 1), 0.0, 1.0);
+  for (NodeIndex a = 0; a < nodes; ++a) {
+    for (NodeIndex b = a + 1; b < nodes; ++b) {
+      if (rng.chance(p)) g.add_edge(a, b);
+    }
+  }
+  return g;
+}
+
+Graph ring_lattice(std::size_t nodes, std::size_t k) {
+  if (nodes < 3) throw std::invalid_argument("need >= 3 nodes");
+  Graph g(nodes);
+  for (NodeIndex v = 0; v < nodes; ++v) {
+    for (std::size_t j = 1; j <= k; ++j) {
+      g.add_edge(v, static_cast<NodeIndex>((v + j) % nodes));
+    }
+  }
+  return g;
+}
+
+void ensure_connected(util::Rng& rng, Graph& graph) {
+  const std::size_t n = graph.node_count();
+  if (n == 0) return;
+  // Union components by linking a random member of each unseen component to
+  // a random already-connected node.
+  std::vector<bool> seen(n, false);
+  std::vector<NodeIndex> stack{0};
+  seen[0] = true;
+  auto sweep = [&](NodeIndex start) {
+    stack.clear();
+    stack.push_back(start);
+    seen[start] = true;
+    while (!stack.empty()) {
+      const NodeIndex cur = stack.back();
+      stack.pop_back();
+      for (NodeIndex next : graph.neighbors(cur)) {
+        if (!seen[next]) {
+          seen[next] = true;
+          stack.push_back(next);
+        }
+      }
+    }
+  };
+  sweep(0);
+  for (NodeIndex v = 1; v < n; ++v) {
+    if (!seen[v]) {
+      NodeIndex anchor;
+      do {
+        anchor = static_cast<NodeIndex>(rng.below(n));
+      } while (!seen[anchor]);
+      graph.add_edge(v, anchor);
+      sweep(v);
+    }
+  }
+}
+
+}  // namespace hirep::net

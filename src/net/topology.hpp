@@ -1,0 +1,35 @@
+// Overlay topology generators.  The paper generates "a P2P network with
+// power law topology using BRITE"; BRITE's flat router-level mode is the
+// Barabási–Albert preferential-attachment process, which we implement
+// directly.  Erdős–Rényi and ring-lattice generators are provided for
+// tests and sensitivity studies.
+#pragma once
+
+#include "net/graph.hpp"
+#include "util/rng.hpp"
+
+namespace hirep::net {
+
+/// Barabási–Albert preferential attachment: starts from a small clique and
+/// attaches each new node to `edges_per_node` existing nodes with
+/// probability proportional to current degree.  Average degree converges to
+/// ~2*edges_per_node; the paper's voting-n curves use edges_per_node = n/2
+/// scaled via `target_average_degree` below.
+Graph barabasi_albert(util::Rng& rng, std::size_t nodes,
+                      std::size_t edges_per_node);
+
+/// BA variant parameterised by the paper's "average number of neighbors":
+/// picks attachment counts (possibly alternating) so the realised average
+/// degree approximates `average_degree`, including odd values like 3.
+Graph power_law(util::Rng& rng, std::size_t nodes, double average_degree);
+
+/// Erdős–Rényi G(n, p) with p chosen for the given expected average degree.
+Graph erdos_renyi(util::Rng& rng, std::size_t nodes, double average_degree);
+
+/// Ring lattice with k neighbors on each side (deterministic; for tests).
+Graph ring_lattice(std::size_t nodes, std::size_t k);
+
+/// Adds random edges until the graph is one component (no-op if connected).
+void ensure_connected(util::Rng& rng, Graph& graph);
+
+}  // namespace hirep::net

@@ -1,0 +1,147 @@
+#include "onion/onion.hpp"
+
+#include <algorithm>
+
+namespace hirep::onion {
+
+namespace {
+
+// Layer plaintext layout: u8 tag || u32 next_ip || blob(inner).
+// The terminal layer (decrypted by the owner) carries the fake onion.
+constexpr std::uint8_t kTagRelayLayer = 0x11;
+constexpr std::uint8_t kTagTerminalLayer = 0x12;
+constexpr std::size_t kFakeOnionBytes = 24;
+
+}  // namespace
+
+util::Bytes Onion::signed_body() const {
+  util::ByteWriter w;
+  w.u32(entry);
+  w.u64(sq);
+  w.u32(relay_count);  // structural metadata is authenticated too
+  w.blob(blob);
+  return w.take();
+}
+
+util::Bytes Onion::serialize() const {
+  util::ByteWriter w;
+  w.u32(entry);
+  w.u64(sq);
+  w.u32(relay_count);
+  w.blob(blob);
+  w.blob(owner_sig_key.serialize());
+  w.blob(signature);
+  return w.take();
+}
+
+std::optional<Onion> Onion::deserialize(std::span<const std::uint8_t> data) {
+  try {
+    util::ByteReader r(data);
+    Onion o;
+    o.entry = r.u32();
+    o.sq = r.u64();
+    o.relay_count = r.u32();
+    o.blob = r.blob();
+    o.owner_sig_key = crypto::RsaPublicKey::deserialize(r.blob());
+    o.signature = r.blob();
+    if (!r.done()) return std::nullopt;
+    return o;
+  } catch (const util::TruncatedInput&) {
+    return std::nullopt;
+  }
+}
+
+Onion build_onion(util::Rng& rng, const crypto::Identity& owner,
+                  net::NodeIndex owner_ip, const std::vector<RelayInfo>& relays,
+                  std::uint64_t sq) {
+  // Innermost: terminal layer to the owner, containing the fake onion.
+  util::Bytes fake(kFakeOnionBytes);
+  for (auto& b : fake) b = static_cast<std::uint8_t>(rng());
+  util::ByteWriter terminal;
+  terminal.u8(kTagTerminalLayer);
+  terminal.u32(owner_ip);
+  terminal.blob(fake);
+  util::Bytes current =
+      crypto::rsa_encrypt_bytes(rng, owner.anonymity_public(), terminal.bytes());
+  net::NodeIndex next_ip = owner_ip;
+
+  // Wrap outward: relay 1 (adjacent to owner) first, entry relay last.
+  for (const RelayInfo& relay : relays) {
+    util::ByteWriter layer;
+    layer.u8(kTagRelayLayer);
+    layer.u32(next_ip);
+    layer.blob(current);
+    current = crypto::rsa_encrypt_bytes(rng, relay.anonymity_key, layer.bytes());
+    next_ip = relay.ip;
+  }
+
+  Onion onion;
+  onion.entry = next_ip;  // owner itself when relays is empty
+  onion.blob = std::move(current);
+  onion.sq = sq;
+  onion.owner_sig_key = owner.signature_public();
+  onion.relay_count = static_cast<std::uint32_t>(relays.size());
+  onion.signature = owner.sign(onion.signed_body());
+  return onion;
+}
+
+bool verify_onion(const Onion& onion) {
+  return crypto::rsa_verify(onion.owner_sig_key, onion.signed_body(),
+                            onion.signature);
+}
+
+std::optional<Peeled> peel(const util::Bytes& blob,
+                           const crypto::RsaPrivateKey& anonymity_private) {
+  const auto plain = crypto::rsa_decrypt_bytes(anonymity_private, blob);
+  if (!plain) return std::nullopt;
+  try {
+    util::ByteReader r(*plain);
+    const std::uint8_t tag = r.u8();
+    if (tag != kTagRelayLayer && tag != kTagTerminalLayer) return std::nullopt;
+    Peeled out;
+    out.next = r.u32();
+    out.inner = r.blob();
+    out.terminal = (tag == kTagTerminalLayer);
+    if (!r.done()) return std::nullopt;
+    return out;
+  } catch (const util::TruncatedInput&) {
+    return std::nullopt;
+  }
+}
+
+SequenceGuard::State& SequenceGuard::state_of(const crypto::NodeId& owner) {
+  for (auto& s : states_) {
+    if (s.owner == owner) return s;
+  }
+  states_.push_back(State{owner, 0, 0});
+  return states_.back();
+}
+
+bool SequenceGuard::accept(const crypto::NodeId& owner, std::uint64_t sq) {
+  State& s = state_of(owner);
+  s.newest = std::max(s.newest, sq);
+  return sq >= s.floor;
+}
+
+void SequenceGuard::revoke_before(const crypto::NodeId& owner,
+                                  std::uint64_t floor) {
+  State& s = state_of(owner);
+  s.floor = std::max(s.floor, floor);
+}
+
+std::optional<std::uint64_t> SequenceGuard::newest(
+    const crypto::NodeId& owner) const {
+  for (const auto& s : states_) {
+    if (s.owner == owner) return s.newest;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t SequenceGuard::floor_of(const crypto::NodeId& owner) const {
+  for (const auto& s : states_) {
+    if (s.owner == owner) return s.floor;
+  }
+  return 0;
+}
+
+}  // namespace hirep::onion

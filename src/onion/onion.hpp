@@ -1,0 +1,100 @@
+// Onion construction and peeling (paper §3.3).
+//
+// An onion is a reply path *to its owner P*, built by P itself:
+//
+//   ( ( ( ( (fakeonion) AP_p ) IP_p ) AP_1 ) IP_1 ... AP_k ) IP_k, sq ) SR_p
+//
+// i.e. reading outside-in: the outermost layer is encrypted to the entry
+// relay K and names K's address in clear so a holder knows where to send;
+// each relay peels one layer with its AR and learns only the next hop; the
+// innermost layer is encrypted to P itself and contains the fake-onion
+// padding, so even the last relay cannot tell that its successor is the
+// destination — every layer has an identical format.
+//
+// `sq` is a non-decreasing sequence number (age / anti-replay) and the whole
+// onion is signed with the owner's SR so holders can authenticate it against
+// the owner's nodeId (= SHA1(SP)).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/identity.hpp"
+#include "onion/relay.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace hirep::onion {
+
+struct Onion {
+  net::NodeIndex entry = net::kInvalidNode;  ///< IP_k — first hop
+  util::Bytes blob;                          ///< outermost encrypted layer
+  std::uint64_t sq = 0;                      ///< freshness sequence number
+  crypto::RsaPublicKey owner_sig_key;        ///< SP_p (public anyway)
+  util::Bytes signature;                     ///< SR_p over (entry, blob, sq)
+
+  /// Number of relays (hops before the owner); for accounting/tests.
+  std::uint32_t relay_count = 0;
+
+  util::Bytes signed_body() const;
+
+  util::Bytes serialize() const;
+  static std::optional<Onion> deserialize(std::span<const std::uint8_t> data);
+};
+
+/// Builds an onion owned by `owner` (at owner_ip).  `relays` is ordered
+/// from the hop *adjacent to the owner* (relay 1) outward to the entry
+/// relay K; each must hold a verified anonymity key.  `sq` must not
+/// decrease across onions from the same owner.
+Onion build_onion(util::Rng& rng, const crypto::Identity& owner,
+                  net::NodeIndex owner_ip, const std::vector<RelayInfo>& relays,
+                  std::uint64_t sq);
+
+/// Verifies the owner signature on an onion.
+bool verify_onion(const Onion& onion);
+
+/// Result of peeling one layer with a relay's anonymity private key.
+struct Peeled {
+  net::NodeIndex next = net::kInvalidNode;  ///< forward the rest to this IP
+  util::Bytes inner;                        ///< remaining onion body
+  bool terminal = false;  ///< true when the *peeler* is the destination
+};
+
+/// Peels one layer; nullopt when the blob is not addressed to this key or
+/// is malformed.  A terminal peel means the caller is the onion's owner and
+/// `inner` is the fake-onion padding.
+std::optional<Peeled> peel(const util::Bytes& blob,
+                           const crypto::RsaPrivateKey& anonymity_private);
+
+/// Onion-age policy (§3.3: "sq is the non-decrease sequence number used to
+/// indicate the age of the onion").  Many holders legitimately keep onions
+/// of different ages for the same owner, so freshness cannot be enforced
+/// globally; instead the owner advances a *revocation floor* (periodic
+/// refresh, key rotation, suspected capture) and every onion older than
+/// the floor is rejected network-wide.  The newest sq seen is tracked for
+/// introspection and for holders that want to keep only the freshest.
+class SequenceGuard {
+ public:
+  /// True iff sq is at or above the owner's revocation floor.  Records the
+  /// newest sq seen either way.
+  bool accept(const crypto::NodeId& owner, std::uint64_t sq);
+
+  /// Owner-initiated invalidation: onions with sq < floor become
+  /// unroutable.  Floors only move forward.
+  void revoke_before(const crypto::NodeId& owner, std::uint64_t floor);
+
+  std::optional<std::uint64_t> newest(const crypto::NodeId& owner) const;
+  std::uint64_t floor_of(const crypto::NodeId& owner) const;
+
+ private:
+  struct State {
+    crypto::NodeId owner;
+    std::uint64_t newest = 0;
+    std::uint64_t floor = 0;
+  };
+  State& state_of(const crypto::NodeId& owner);
+  std::vector<State> states_;
+};
+
+}  // namespace hirep::onion

@@ -1,0 +1,124 @@
+#include "onion/relay.hpp"
+
+#include "util/bytes.hpp"
+
+namespace hirep::onion {
+
+namespace {
+
+// Wire tags keep the three encrypted payload types unambiguous.
+constexpr std::uint8_t kTagKeyResponse = 0x01;
+constexpr std::uint8_t kTagVerification = 0x02;
+constexpr std::uint8_t kTagConfirmation = 0x03;
+
+}  // namespace
+
+util::Bytes HonestRelay::key_response(util::Rng& rng,
+                                      const crypto::RsaPublicKey& requestor_ap,
+                                      net::NodeIndex requestor_ip) {
+  (void)requestor_ip;  // an honest relay replies to whoever asked
+  pending_nonce_ = rng();
+  have_pending_ = true;
+  util::ByteWriter w;
+  w.u8(kTagKeyResponse);
+  w.blob(identity_->anonymity_public().serialize());
+  w.u32(ip_);
+  w.u64(pending_nonce_);
+  return crypto::rsa_encrypt_bytes(rng, requestor_ap, w.bytes());
+}
+
+std::optional<util::Bytes> HonestRelay::key_confirm(
+    util::Rng& rng, const util::Bytes& verification) {
+  const auto plain =
+      crypto::rsa_decrypt_bytes(identity_->anonymity_private(), verification);
+  if (!plain || !have_pending_) return std::nullopt;
+  try {
+    util::ByteReader r(*plain);
+    if (r.u8() != kTagVerification) return std::nullopt;
+    const util::Bytes requestor_key = r.blob();
+    const net::NodeIndex requestor_ip = r.u32();
+    const std::uint64_t nonce = r.u64();
+    if (!r.done() || nonce != pending_nonce_) return std::nullopt;
+    have_pending_ = false;
+
+    const auto requestor_ap = crypto::RsaPublicKey::deserialize(requestor_key);
+    util::ByteWriter w;
+    w.u8(kTagConfirmation);
+    w.u32(ip_);
+    w.u64(nonce);
+    (void)requestor_ip;
+    return crypto::rsa_encrypt_bytes(rng, requestor_ap, w.bytes());
+  } catch (const util::TruncatedInput&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<RelayInfo> fetch_anonymity_key(net::Overlay& overlay,
+                                             util::Rng& rng,
+                                             const crypto::Identity& requestor,
+                                             net::NodeIndex requestor_ip,
+                                             RelayEndpoint& relay) {
+  using net::MessageKind;
+
+  // Step 1: (R_o, AP_p, IP_p) — plaintext request.
+  overlay.count_send(MessageKind::kKeyExchange);
+
+  // Step 2: AP_p(AP_k, IP_k, nonce).
+  overlay.count_send(MessageKind::kKeyExchange);
+  const util::Bytes response =
+      relay.key_response(rng, requestor.anonymity_public(), requestor_ip);
+
+  crypto::RsaPublicKey claimed_key;
+  net::NodeIndex claimed_ip = net::kInvalidNode;
+  std::uint64_t nonce = 0;
+  {
+    const auto plain =
+        crypto::rsa_decrypt_bytes(requestor.anonymity_private(), response);
+    if (!plain) return std::nullopt;
+    try {
+      util::ByteReader r(*plain);
+      if (r.u8() != 0x01) return std::nullopt;
+      claimed_key = crypto::RsaPublicKey::deserialize(r.blob());
+      claimed_ip = r.u32();
+      nonce = r.u64();
+      if (!r.done()) return std::nullopt;
+    } catch (const util::TruncatedInput&) {
+      return std::nullopt;
+    }
+  }
+  // The claimed transport address must be the one we contacted: a relay
+  // cannot redirect the circuit elsewhere.
+  if (claimed_ip != relay.ip()) return std::nullopt;
+
+  // Step 3: AP_k(AP_p, IP_p, nonce) — provable only by the owner of AR_k.
+  overlay.count_send(MessageKind::kKeyExchange);
+  util::ByteWriter w;
+  w.u8(0x02);
+  w.blob(requestor.anonymity_public().serialize());
+  w.u32(requestor_ip);
+  w.u64(nonce);
+  const util::Bytes verification =
+      crypto::rsa_encrypt_bytes(rng, claimed_key, w.bytes());
+
+  // Step 4: AP_p("confirmed", IP_k, nonce).
+  overlay.count_send(MessageKind::kKeyExchange);
+  const auto confirmation = relay.key_confirm(rng, verification);
+  if (!confirmation) return std::nullopt;
+  const auto plain =
+      crypto::rsa_decrypt_bytes(requestor.anonymity_private(), *confirmation);
+  if (!plain) return std::nullopt;
+  try {
+    util::ByteReader r(*plain);
+    if (r.u8() != 0x03) return std::nullopt;
+    const net::NodeIndex confirmed_ip = r.u32();
+    const std::uint64_t confirmed_nonce = r.u64();
+    if (!r.done() || confirmed_ip != relay.ip() || confirmed_nonce != nonce) {
+      return std::nullopt;
+    }
+  } catch (const util::TruncatedInput&) {
+    return std::nullopt;
+  }
+  return RelayInfo{relay.ip(), claimed_key};
+}
+
+}  // namespace hirep::onion

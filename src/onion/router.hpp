@@ -1,0 +1,73 @@
+// Onion routing over the simulated overlay: carries a payload through every
+// relay of an onion, peeling at each hop, with full traffic accounting and
+// (optionally) queueing-model timing.  The router holds the registry of
+// node identities — the simulator's stand-in for "each relay process owns
+// its private key".
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "crypto/identity.hpp"
+#include "net/overlay.hpp"
+#include "onion/onion.hpp"
+
+namespace hirep::onion {
+
+struct RouteResult {
+  bool delivered = false;
+  net::NodeIndex destination = net::kInvalidNode;
+  std::uint32_t hops = 0;        ///< messages sent (relays + final hop)
+  double completion_ms = 0.0;    ///< timed mode only
+  util::Bytes payload;           ///< what the destination received
+};
+
+class Router {
+ public:
+  /// Resolves an overlay index to the identity living at that node
+  /// (nullptr = no such node).  A function, not a container pointer, so
+  /// open-membership systems with growing identity stores work unchanged.
+  using IdentityResolver =
+      std::function<const crypto::Identity*(net::NodeIndex)>;
+
+  Router(net::Overlay* overlay, IdentityResolver resolver);
+
+  /// Convenience for the common fixed-population case.
+  Router(net::Overlay* overlay, const std::vector<crypto::Identity>* identities);
+
+  /// Sends `payload` along `onion`, starting from `sender_ip`.
+  /// Counts one message per hop under `kind`.  Verifies the onion
+  /// signature first and each relay enforces the sq guard; returns
+  /// delivered=false on any failure (bad signature, undecryptable layer,
+  /// stale sq).
+  RouteResult route(net::NodeIndex sender_ip, const Onion& onion,
+                    const util::Bytes& payload, net::MessageKind kind);
+
+  /// Timed variant: messages traverse the queueing model; completion_ms is
+  /// when the destination finishes handling the payload, having departed
+  /// `depart_ms`.
+  RouteResult route_timed(double depart_ms, net::NodeIndex sender_ip,
+                          const Onion& onion, const util::Bytes& payload,
+                          net::MessageKind kind);
+
+  /// The anti-replay state shared by all relays in this simulation.
+  SequenceGuard& sequence_guard() noexcept { return guard_; }
+
+ private:
+  RouteResult route_impl(std::optional<double> depart_ms,
+                         net::NodeIndex sender_ip, const Onion& onion,
+                         const util::Bytes& payload, net::MessageKind kind);
+
+  net::Overlay* overlay_;
+  IdentityResolver resolver_;
+  SequenceGuard guard_;
+};
+
+/// Picks `count` distinct relay nodes uniformly from [0, n), excluding
+/// `owner` (a peer does not relay through itself).
+std::vector<net::NodeIndex> pick_relay_ips(util::Rng& rng, std::size_t n,
+                                           std::size_t count,
+                                           net::NodeIndex owner);
+
+}  // namespace hirep::onion

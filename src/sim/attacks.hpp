@@ -1,0 +1,66 @@
+// Attack scenarios from the robustness analysis (paper §4.2), executable
+// against a live HirepSystem.  Each returns enough detail for tests and the
+// attack-resilience example to assert the paper's claims.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hirep/system.hpp"
+
+namespace hirep::sim {
+
+// ---- §4.2.2 identity manipulation -----------------------------------------
+
+/// Identity spoofing: `attacker` forges a transaction report in `victim`'s
+/// name (victim's nodeId, attacker's signature) and submits it to one of
+/// the victim's would-be agents.  Returns true iff the agent *accepted* the
+/// forgery — hiREP guarantees false.
+bool attempt_report_spoof(core::HirepSystem& system, net::NodeIndex attacker,
+                          net::NodeIndex victim, net::NodeIndex agent_ip,
+                          net::NodeIndex subject);
+
+/// Man-in-the-middle key substitution during the Figure-3 handshake: the
+/// attacker answers the anonymity-key request with its own key.  Returns
+/// true iff the requestor accepted the substituted key — must be false.
+bool attempt_mitm_key_substitution(core::HirepSystem& system,
+                                   net::NodeIndex requestor,
+                                   net::NodeIndex relay,
+                                   net::NodeIndex attacker);
+
+/// Replay: captures one of `owner`'s onions, then tries to reuse it after
+/// the owner has issued a fresher one.  Returns true iff the stale onion
+/// was still routed — must be false.
+bool attempt_onion_replay(core::HirepSystem& system, net::NodeIndex owner);
+
+// ---- §4.2.1 trusted-agent manipulation -------------------------------------
+
+/// Builds `list_count` hostile recommendation lists that bad-mouth
+/// `good_agents` (minimum weight) and ballot-stuff `shill_agents` (maximum
+/// weight), for mixing into rank_and_select inputs.
+std::vector<std::vector<core::AgentEntry>> hostile_recommendations(
+    core::HirepSystem& system, const std::vector<net::NodeIndex>& good_agents,
+    const std::vector<net::NodeIndex>& shill_agents, std::size_t list_count);
+
+// ---- §4.2.4 DoS -------------------------------------------------------------
+
+/// Takes the `count` most-referenced agents offline (the strongest DoS an
+/// attacker who has somehow identified the high-performance agents could
+/// mount).  Returns the victims.
+std::vector<net::NodeIndex> dos_top_agents(core::HirepSystem& system,
+                                           std::size_t count);
+
+/// Popularity census: how many peers currently list each agent.
+std::vector<std::pair<net::NodeIndex, std::size_t>> agent_popularity(
+    core::HirepSystem& system);
+
+// ---- Sybil (§4.2.2) ---------------------------------------------------------
+
+/// A Sybil attacker operating `count` malicious agent identities: flips the
+/// `count` least-referenced currently-good agents to malicious evaluators
+/// (each Sybil identity behaves like one more bad agent; hiREP's defense is
+/// per-identity expertise filtering).  Returns the converted nodes.
+std::vector<net::NodeIndex> sybil_corrupt_agents(core::HirepSystem& system,
+                                                 std::size_t count);
+
+}  // namespace hirep::sim

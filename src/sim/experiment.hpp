@@ -1,0 +1,55 @@
+// Experiment runners — one per paper exhibit.  Each returns a util::Table
+// whose rows/series mirror the paper's figure, plus a qualitative-claims
+// check the bench binaries print as PASS/FAIL.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/params.hpp"
+#include "util/table.hpp"
+
+namespace hirep::sim {
+
+/// A qualitative claim from the paper checked against measured data.
+struct ClaimCheck {
+  std::string claim;
+  bool holds = false;
+  std::string detail;
+};
+
+struct ExperimentResult {
+  util::Table table;
+  std::vector<ClaimCheck> checks;
+};
+
+/// Figure 5 — trust-query traffic (messages, cumulative) vs transactions:
+/// series voting-2, voting-3, voting-4, hirep.
+ExperimentResult run_fig5_traffic(const Params& params);
+
+/// Figure 6 — windowed MSE of trust estimates vs transactions with 10%
+/// malicious nodes: series voting, hirep-4, hirep-6, hirep-8 (eviction
+/// thresholds 0.4/0.6/0.8).
+ExperimentResult run_fig6_accuracy(const Params& params);
+
+/// Figure 7 — MSE vs attacker ratio (0..90%): series hirep, voting.
+ExperimentResult run_fig7_malicious(const Params& params);
+
+/// §4.1 — measured trust messages per transaction vs the closed form
+/// 3*c*(o+1) across sweeps of c and o (and the paper's 2c(o_i+o_j) order).
+ExperimentResult run_traffic_bound(const Params& params);
+
+/// Runs `series(seed)` for params.seeds independent seeds and returns the
+/// element-wise mean (all runs must return equal-length series).  Shared by
+/// the figure runners.
+std::vector<double> average_over_seeds(
+    const Params& params,
+    const std::function<std::vector<double>(std::uint64_t)>& series);
+
+/// Prints an ExperimentResult the standard way (table + checks).
+void print_result(const ExperimentResult& result, const std::string& title);
+
+/// True iff every check passed (bench exit codes).
+bool all_hold(const ExperimentResult& result);
+
+}  // namespace hirep::sim

@@ -1,0 +1,145 @@
+#include "sim/params.hpp"
+
+#include <stdexcept>
+
+namespace hirep::sim {
+
+Params Params::from_config(const util::Config& c) {
+  Params p;
+  p.network_size = static_cast<std::size_t>(c.get_int("network_size", static_cast<std::int64_t>(p.network_size)));
+  p.neighbors_per_node = c.get_double("neighbors_per_node", p.neighbors_per_node);
+  p.good_rating_lo = c.get_double("good_rating_lo", p.good_rating_lo);
+  p.good_rating_hi = c.get_double("good_rating_hi", p.good_rating_hi);
+  p.bad_rating_lo = c.get_double("bad_rating_lo", p.bad_rating_lo);
+  p.bad_rating_hi = c.get_double("bad_rating_hi", p.bad_rating_hi);
+  p.relays_per_onion = static_cast<std::size_t>(c.get_int("relays_per_onion", static_cast<std::int64_t>(p.relays_per_onion)));
+  p.trusted_agents = static_cast<std::size_t>(c.get_int("trusted_agents", static_cast<std::int64_t>(p.trusted_agents)));
+  p.malicious_ratio = c.get_double("malicious_ratio", p.malicious_ratio);
+  p.voting_ttl = static_cast<std::uint32_t>(c.get_int("voting_ttl", p.voting_ttl));
+  p.tokens = static_cast<std::uint32_t>(c.get_int("tokens", p.tokens));
+  p.trustable_ratio = c.get_double("trustable_ratio", p.trustable_ratio);
+  p.agent_capable_ratio = c.get_double("agent_capable_ratio", p.agent_capable_ratio);
+  p.expertise_alpha = c.get_double("expertise_alpha", p.expertise_alpha);
+  p.eviction_threshold = c.get_double("eviction_threshold", p.eviction_threshold);
+  p.discovery_ttl = static_cast<std::uint32_t>(c.get_int("discovery_ttl", p.discovery_ttl));
+  p.rsa_bits = static_cast<unsigned>(c.get_int("rsa_bits", p.rsa_bits));
+  p.crypto_mode = c.get_string("crypto", p.crypto_mode);
+  p.agent_model = c.get_string("agent_model", p.agent_model);
+  p.link_min_ms = c.get_double("link_min_ms", p.link_min_ms);
+  p.link_max_ms = c.get_double("link_max_ms", p.link_max_ms);
+  p.processing_ms = c.get_double("processing_ms", p.processing_ms);
+  p.seed = static_cast<std::uint64_t>(c.get_int("seed", static_cast<std::int64_t>(p.seed)));
+  p.seeds = static_cast<std::size_t>(c.get_int("seeds", static_cast<std::int64_t>(p.seeds)));
+  p.transactions = static_cast<std::size_t>(c.get_int("transactions", static_cast<std::int64_t>(p.transactions)));
+  p.mse_window = static_cast<std::size_t>(c.get_int("mse_window", static_cast<std::int64_t>(p.mse_window)));
+  p.requestor_pool = static_cast<std::size_t>(c.get_int("requestor_pool", static_cast<std::int64_t>(p.requestor_pool)));
+  p.provider_pool = static_cast<std::size_t>(c.get_int("provider_pool", static_cast<std::int64_t>(p.provider_pool)));
+  if (p.crypto_mode != "fast" && p.crypto_mode != "full") {
+    throw std::invalid_argument("crypto must be fast|full");
+  }
+  return p;
+}
+
+core::HirepOptions Params::hirep_options() const {
+  core::HirepOptions o;
+  o.nodes = network_size;
+  o.average_degree = neighbors_per_node;
+  o.rsa_bits = rsa_bits;
+  o.trusted_agents = trusted_agents;
+  o.onion_relays = relays_per_onion;
+  o.discovery_tokens = tokens;
+  o.discovery_ttl = discovery_ttl;
+  o.expertise_alpha = expertise_alpha;
+  o.eviction_threshold = eviction_threshold;
+  o.agent_model = agent_model;
+  o.crypto = crypto_mode == "full" ? core::CryptoMode::kFull
+                                   : core::CryptoMode::kFast;
+  o.world.trustable_ratio = trustable_ratio;
+  o.world.agent_capable_ratio = agent_capable_ratio;
+  o.world.malicious_ratio = malicious_ratio;
+  o.world.good_rating_lo = good_rating_lo;
+  o.world.good_rating_hi = good_rating_hi;
+  o.world.bad_rating_lo = bad_rating_lo;
+  o.world.bad_rating_hi = bad_rating_hi;
+  o.latency.link_min_ms = link_min_ms;
+  o.latency.link_max_ms = link_max_ms;
+  o.latency.processing_ms = processing_ms;
+  o.seed = seed;
+  return o;
+}
+
+baselines::VotingOptions Params::voting_options() const {
+  baselines::VotingOptions o;
+  o.nodes = network_size;
+  o.average_degree = neighbors_per_node;
+  o.ttl = voting_ttl;
+  o.world.trustable_ratio = trustable_ratio;
+  o.world.agent_capable_ratio = agent_capable_ratio;
+  o.world.malicious_ratio = malicious_ratio;
+  o.world.good_rating_lo = good_rating_lo;
+  o.world.good_rating_hi = good_rating_hi;
+  o.world.bad_rating_lo = bad_rating_lo;
+  o.world.bad_rating_hi = bad_rating_hi;
+  o.latency.link_min_ms = link_min_ms;
+  o.latency.link_max_ms = link_max_ms;
+  o.latency.processing_ms = processing_ms;
+  o.seed = seed;
+  return o;
+}
+
+baselines::TrustMeOptions Params::trustme_options() const {
+  baselines::TrustMeOptions o;
+  o.nodes = network_size;
+  o.average_degree = neighbors_per_node;
+  o.ttl = voting_ttl;
+  o.model = agent_model;
+  o.world.trustable_ratio = trustable_ratio;
+  o.world.agent_capable_ratio = agent_capable_ratio;
+  o.world.malicious_ratio = malicious_ratio;
+  o.world.good_rating_lo = good_rating_lo;
+  o.world.good_rating_hi = good_rating_hi;
+  o.world.bad_rating_lo = bad_rating_lo;
+  o.world.bad_rating_hi = bad_rating_hi;
+  o.latency.link_min_ms = link_min_ms;
+  o.latency.link_max_ms = link_max_ms;
+  o.latency.processing_ms = processing_ms;
+  o.seed = seed;
+  return o;
+}
+
+util::Table Params::table1() const {
+  util::Table t({"name", "value", "provenance", "description"});
+  auto row = [&t](const std::string& name, util::Table::Cell value,
+                  const std::string& prov, const std::string& desc) {
+    t.add_row({name, std::move(value), prov, desc});
+  };
+  row("Network Size", static_cast<std::int64_t>(network_size), "inferred",
+      "Number of peers in the network");
+  row("neighbors per node", neighbors_per_node, "inferred (Fig5 sweeps 2/3/4)",
+      "Average number of neighbors each peer");
+  row("Good rating", "0.6-1.0", "stated", "Scope of good reputation rating");
+  row("Bad rating", "0.0-0.4", "stated", "Scope of bad reputation rating");
+  row("Relays in an onion", static_cast<std::int64_t>(relays_per_onion),
+      "inferred (Fig8 sweeps 5/7/10)", "Agencies a peer includes in its onion");
+  row("Trusted agents", static_cast<std::int64_t>(trusted_agents),
+      "inferred", "Trusted agents on a peer's trusted agent list");
+  row("Poor performance agents", malicious_ratio, "stated (10%)",
+      "Agents which cannot make proper reputation of peers");
+  row("TTL", static_cast<std::int64_t>(voting_ttl), "stated (4)",
+      "TTL limit used in pure voting flooding process");
+  row("Token number", static_cast<std::int64_t>(tokens), "stated (10)",
+      "Initial number of tokens for obtaining reputation agent lists");
+  row("trustable ratio", trustable_ratio, "stated 'randomly assigned'",
+      "Fraction of peers whose true trust value is 1");
+  row("agent-capable ratio", agent_capable_ratio, "inferred",
+      "Fraction of peers with bandwidth > 64 kbit/s");
+  row("expertise alpha", expertise_alpha, "inferred (alpha in (0,1))",
+      "EWMA weight in the agent-expertise update");
+  row("eviction threshold", eviction_threshold,
+      "Fig6: hirep-4/6/8 = 0.4/0.6/0.8", "Expertise below this evicts an agent");
+  row("discovery TTL", static_cast<std::int64_t>(discovery_ttl),
+      "stated (recommend 7)", "TTL of the trusted-agent-list request");
+  return t;
+}
+
+}  // namespace hirep::sim

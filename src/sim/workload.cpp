@@ -1,0 +1,69 @@
+#include "sim/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hirep::sim {
+
+WorkloadGenerator::WorkloadGenerator(std::size_t nodes, std::uint64_t seed)
+    : nodes_(nodes), rng_(seed) {
+  if (nodes < 2) throw std::invalid_argument("need >= 2 nodes");
+  popularity_order_.resize(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    popularity_order_[i] = static_cast<net::NodeIndex>(i);
+  }
+  rng_.shuffle(popularity_order_);
+}
+
+Transaction WorkloadGenerator::uniform() {
+  Transaction t;
+  t.requestor = static_cast<net::NodeIndex>(rng_.below(nodes_));
+  do {
+    t.provider = static_cast<net::NodeIndex>(rng_.below(nodes_));
+  } while (t.provider == t.requestor);
+  return t;
+}
+
+std::vector<Transaction> WorkloadGenerator::uniform_batch(std::size_t count) {
+  std::vector<Transaction> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(uniform());
+  return out;
+}
+
+net::NodeIndex WorkloadGenerator::zipf_provider(double s) {
+  if (s != cached_s_) {
+    cdf_.resize(nodes_);
+    double sum = 0.0;
+    for (std::size_t rank = 1; rank <= nodes_; ++rank) {
+      sum += 1.0 / std::pow(static_cast<double>(rank), s);
+      cdf_[rank - 1] = sum;
+    }
+    for (double& v : cdf_) v /= sum;
+    cached_s_ = s;
+  }
+  const double u = rng_.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  const auto rank = static_cast<std::size_t>(it - cdf_.begin());
+  return popularity_order_[std::min(rank, nodes_ - 1)];
+}
+
+Transaction WorkloadGenerator::zipf(double s) {
+  Transaction t;
+  t.requestor = static_cast<net::NodeIndex>(rng_.below(nodes_));
+  do {
+    t.provider = zipf_provider(s);
+  } while (t.provider == t.requestor);
+  return t;
+}
+
+std::vector<Transaction> WorkloadGenerator::zipf_batch(std::size_t count,
+                                                       double s) {
+  std::vector<Transaction> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(zipf(s));
+  return out;
+}
+
+}  // namespace hirep::sim

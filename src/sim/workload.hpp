@@ -1,0 +1,51 @@
+// Transaction workload generation: who asks about whom.
+//
+// The paper's evaluation uses uniformly random requestor/provider pairs
+// ("The trust making process is started with randomly selecting a peer as
+// a potential service provider", §5.2).  The Zipf generator models the
+// skewed content popularity of real file-sharing systems (the KaZaA
+// pollution scenario that motivates the paper) and drives the file-sharing
+// example.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "util/rng.hpp"
+
+namespace hirep::sim {
+
+struct Transaction {
+  net::NodeIndex requestor = net::kInvalidNode;
+  net::NodeIndex provider = net::kInvalidNode;
+};
+
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(std::size_t nodes, std::uint64_t seed);
+
+  /// Uniform requestor, uniform provider != requestor.
+  Transaction uniform();
+  std::vector<Transaction> uniform_batch(std::size_t count);
+
+  /// Uniform requestor; provider drawn Zipf(s) over a fixed random
+  /// popularity ranking of nodes (rank-1 node most popular).
+  Transaction zipf(double s);
+  std::vector<Transaction> zipf_batch(std::size_t count, double s);
+
+  std::size_t nodes() const noexcept { return nodes_; }
+  util::Rng& rng() noexcept { return rng_; }
+
+ private:
+  net::NodeIndex zipf_provider(double s);
+
+  std::size_t nodes_;
+  util::Rng rng_;
+  std::vector<net::NodeIndex> popularity_order_;
+  // cached CDF per exponent (rebuilt when s changes)
+  double cached_s_ = -1.0;
+  std::vector<double> cdf_;
+};
+
+}  // namespace hirep::sim

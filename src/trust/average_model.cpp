@@ -1,0 +1,35 @@
+#include <algorithm>
+
+#include "trust/trust_model.hpp"
+
+namespace hirep::trust {
+
+namespace {
+
+class AverageModel final : public TrustModel {
+ public:
+  void record(double outcome) override {
+    outcome = std::clamp(outcome, 0.0, 1.0);
+    ++n_;
+    mean_ += (outcome - mean_) / static_cast<double>(n_);
+  }
+
+  double value() const override { return n_ ? mean_ : 0.5; }
+  std::size_t observations() const override { return n_; }
+  std::unique_ptr<TrustModel> clone() const override {
+    return std::make_unique<AverageModel>(*this);
+  }
+  std::string name() const override { return "average"; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+};
+
+}  // namespace
+
+TrustModelFactory average_model_factory() {
+  return [] { return std::make_unique<AverageModel>(); };
+}
+
+}  // namespace hirep::trust

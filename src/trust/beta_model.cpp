@@ -1,0 +1,49 @@
+#include <algorithm>
+#include <stdexcept>
+
+#include "trust/trust_model.hpp"
+
+namespace hirep::trust {
+
+namespace {
+
+// Beta-reputation (Jøsang & Ismail): posterior mean of a Beta distribution
+// whose pseudo-counts accumulate fractional successes/failures.
+class BetaModel final : public TrustModel {
+ public:
+  BetaModel(double prior_alpha, double prior_beta)
+      : alpha_(prior_alpha), beta_(prior_beta) {
+    if (prior_alpha <= 0.0 || prior_beta <= 0.0) {
+      throw std::invalid_argument("beta priors must be positive");
+    }
+  }
+
+  void record(double outcome) override {
+    outcome = std::clamp(outcome, 0.0, 1.0);
+    alpha_ += outcome;
+    beta_ += 1.0 - outcome;
+    ++n_;
+  }
+
+  double value() const override { return alpha_ / (alpha_ + beta_); }
+  std::size_t observations() const override { return n_; }
+  std::unique_ptr<TrustModel> clone() const override {
+    return std::make_unique<BetaModel>(*this);
+  }
+  std::string name() const override { return "beta"; }
+
+ private:
+  double alpha_;
+  double beta_;
+  std::size_t n_ = 0;
+};
+
+}  // namespace
+
+TrustModelFactory beta_model_factory(double prior_alpha, double prior_beta) {
+  return [prior_alpha, prior_beta] {
+    return std::make_unique<BetaModel>(prior_alpha, prior_beta);
+  };
+}
+
+}  // namespace hirep::trust

@@ -1,0 +1,75 @@
+#include "trust/eigentrust.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hirep::trust {
+
+EigenTrust::EigenTrust(std::size_t n, std::vector<std::size_t> pre_trusted)
+    : n_(n), local_(n * n, 0.0), pre_trusted_(std::move(pre_trusted)) {
+  for (std::size_t p : pre_trusted_) {
+    if (p >= n_) throw std::out_of_range("pre-trusted index out of range");
+  }
+}
+
+void EigenTrust::add_local_trust(std::size_t i, std::size_t j, double s) {
+  if (i >= n_ || j >= n_) throw std::out_of_range("peer index out of range");
+  if (i == j) return;  // self-ratings are ignored
+  local_[i * n_ + j] += std::max(s, 0.0);
+}
+
+std::vector<double> EigenTrust::compute(double damping, double epsilon,
+                                        std::size_t max_iters) const {
+  // p: pre-trusted distribution (uniform fallback).
+  std::vector<double> p(n_, 0.0);
+  if (pre_trusted_.empty()) {
+    std::fill(p.begin(), p.end(), 1.0 / static_cast<double>(n_));
+  } else {
+    for (std::size_t i : pre_trusted_) {
+      p[i] = 1.0 / static_cast<double>(pre_trusted_.size());
+    }
+  }
+
+  // Row-normalize C; rows with no ratings fall back to p (the standard
+  // EigenTrust fix for dangling peers).
+  std::vector<double> c(local_);
+  std::vector<bool> dangling(n_, false);
+  for (std::size_t i = 0; i < n_; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < n_; ++j) row += c[i * n_ + j];
+    if (row <= 0.0) {
+      dangling[i] = true;
+      continue;
+    }
+    for (std::size_t j = 0; j < n_; ++j) c[i * n_ + j] /= row;
+  }
+
+  std::vector<double> t(p);  // start from the pre-trusted distribution
+  std::vector<double> next(n_);
+  last_iterations_ = 0;
+  for (std::size_t iter = 0; iter < max_iters; ++iter) {
+    ++last_iterations_;
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (t[i] == 0.0) continue;
+      if (dangling[i]) {
+        for (std::size_t j = 0; j < n_; ++j) next[j] += t[i] * p[j];
+      } else {
+        const double ti = t[i];
+        const double* row = &c[i * n_];
+        for (std::size_t j = 0; j < n_; ++j) next[j] += ti * row[j];
+      }
+    }
+    double delta = 0.0;
+    for (std::size_t j = 0; j < n_; ++j) {
+      next[j] = (1.0 - damping) * next[j] + damping * p[j];
+      delta += std::abs(next[j] - t[j]);
+    }
+    t.swap(next);
+    if (delta < epsilon) break;
+  }
+  return t;
+}
+
+}  // namespace hirep::trust

@@ -1,0 +1,43 @@
+// EigenTrust (Kamvar, Schlosser & Garcia-Molina, WWW'03) — the classic
+// global reputation model the paper's related-work section positions
+// against.  Computes the stationary distribution of the normalized local
+// trust matrix with pre-trusted-peer damping:
+//
+//     t_{k+1} = (1 - a) * C^T t_k + a * p
+//
+// Included as an alternative agent-side computation model for the
+// ablation bench and as the structured-P2P comparator baseline.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hirep::trust {
+
+class EigenTrust {
+ public:
+  /// n peers; `pre_trusted` may be empty (then p is uniform).
+  EigenTrust(std::size_t n, std::vector<std::size_t> pre_trusted = {});
+
+  /// Accumulates local trust: peer i's satisfaction s with peer j
+  /// (positive values only; negatives clamp to 0 per the original paper).
+  void add_local_trust(std::size_t i, std::size_t j, double s);
+
+  std::size_t size() const noexcept { return n_; }
+
+  /// Runs power iteration until ||t_{k+1} - t_k||_1 < epsilon or max_iters.
+  /// Returns the global trust vector (sums to 1 for non-degenerate input).
+  std::vector<double> compute(double damping = 0.15, double epsilon = 1e-9,
+                              std::size_t max_iters = 200) const;
+
+  /// Iterations the last compute() needed (for benches).
+  std::size_t last_iterations() const noexcept { return last_iterations_; }
+
+ private:
+  std::size_t n_;
+  std::vector<double> local_;  // row-major n x n, un-normalized
+  std::vector<std::size_t> pre_trusted_;
+  mutable std::size_t last_iterations_ = 0;
+};
+
+}  // namespace hirep::trust

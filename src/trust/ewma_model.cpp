@@ -1,0 +1,47 @@
+#include <algorithm>
+#include <stdexcept>
+
+#include "trust/trust_model.hpp"
+
+namespace hirep::trust {
+
+namespace {
+
+// v <- alpha * x + (1 - alpha) * v — the recurrence the paper uses for
+// agent expertise (§3.4.3), applied here to subject trust.  The first
+// observation replaces the neutral prior entirely rather than mixing with
+// it, so the estimate is unbiased from the start.
+class EwmaModel final : public TrustModel {
+ public:
+  explicit EwmaModel(double alpha) : alpha_(alpha) {
+    if (alpha <= 0.0 || alpha >= 1.0) {
+      throw std::invalid_argument("ewma alpha must be in (0,1)");
+    }
+  }
+
+  void record(double outcome) override {
+    outcome = std::clamp(outcome, 0.0, 1.0);
+    value_ = n_ == 0 ? outcome : alpha_ * outcome + (1.0 - alpha_) * value_;
+    ++n_;
+  }
+
+  double value() const override { return n_ ? value_ : 0.5; }
+  std::size_t observations() const override { return n_; }
+  std::unique_ptr<TrustModel> clone() const override {
+    return std::make_unique<EwmaModel>(*this);
+  }
+  std::string name() const override { return "ewma"; }
+
+ private:
+  double alpha_;
+  double value_ = 0.5;
+  std::size_t n_ = 0;
+};
+
+}  // namespace
+
+TrustModelFactory ewma_model_factory(double alpha) {
+  return [alpha] { return std::make_unique<EwmaModel>(alpha); };
+}
+
+}  // namespace hirep::trust

@@ -1,0 +1,90 @@
+#include "trust/ground_truth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hirep::trust {
+
+GroundTruth::GroundTruth(util::Rng& rng, const WorldParams& params)
+    : params_(params),
+      trustable_(params.nodes),
+      bandwidth_(params.nodes),
+      poor_(params.nodes, false) {
+  if (params.nodes == 0) throw std::invalid_argument("empty world");
+  for (std::size_t v = 0; v < params.nodes; ++v) {
+    trustable_[v] = rng.chance(params.trustable_ratio);
+    // Bimodal bandwidth: agent-capable nodes get broadband (128–10000
+    // kbit/s, log-uniform-ish), the rest are below the 64k threshold.
+    if (rng.chance(params.agent_capable_ratio)) {
+      bandwidth_[v] = 128.0 * std::pow(78.0, rng.uniform());  // 128..~10000
+    } else {
+      bandwidth_[v] = rng.uniform(16.0, 64.0);
+    }
+  }
+  // Malicious evaluators are a fraction of the whole population (they are
+  // wrong in both their voter role and, if capable, their agent role).
+  const auto poor_count = static_cast<std::size_t>(
+      params.malicious_ratio * static_cast<double>(params.nodes) + 0.5);
+  const auto chosen = rng.sample_indices(params.nodes, poor_count);
+  for (std::size_t idx : chosen) poor_[idx] = true;
+}
+
+std::vector<net::NodeIndex> GroundTruth::agent_capable_nodes() const {
+  std::vector<net::NodeIndex> out;
+  for (std::size_t v = 0; v < bandwidth_.size(); ++v) {
+    if (agent_capable(static_cast<net::NodeIndex>(v))) {
+      out.push_back(static_cast<net::NodeIndex>(v));
+    }
+  }
+  return out;
+}
+
+double GroundTruth::evaluate(net::NodeIndex evaluator, net::NodeIndex subject,
+                             util::Rng& rng) const {
+  const bool subject_good = trustable(subject);
+  // A good evaluator reports consistently with the truth; a poor/malicious
+  // one inverts. Both use the Table-1 rating scopes.
+  const bool report_high = poor_evaluator(evaluator) ? !subject_good : subject_good;
+  return report_high
+             ? rng.uniform(params_.good_rating_lo, params_.good_rating_hi)
+             : rng.uniform(params_.bad_rating_lo, params_.bad_rating_hi);
+}
+
+void GroundTruth::corrupt_evaluators(util::Rng& rng, std::size_t count) {
+  std::vector<net::NodeIndex> honest;
+  for (std::size_t v = 0; v < poor_.size(); ++v) {
+    if (!poor_[v]) honest.push_back(static_cast<net::NodeIndex>(v));
+  }
+  count = std::min(count, honest.size());
+  const auto chosen = rng.sample_indices(honest.size(), count);
+  for (std::size_t idx : chosen) poor_[honest[idx]] = true;
+}
+
+void GroundTruth::set_malicious_ratio(util::Rng& rng, double ratio) {
+  ratio = std::clamp(ratio, 0.0, 1.0);
+  std::fill(poor_.begin(), poor_.end(), false);
+  const auto poor_count = static_cast<std::size_t>(
+      ratio * static_cast<double>(poor_.size()) + 0.5);
+  const auto chosen = rng.sample_indices(poor_.size(), poor_count);
+  for (std::size_t idx : chosen) poor_[idx] = true;
+  params_.malicious_ratio = ratio;
+}
+
+net::NodeIndex GroundTruth::add_node(util::Rng& rng) {
+  trustable_.push_back(rng.chance(params_.trustable_ratio));
+  if (rng.chance(params_.agent_capable_ratio)) {
+    bandwidth_.push_back(128.0 * std::pow(78.0, rng.uniform()));
+  } else {
+    bandwidth_.push_back(rng.uniform(16.0, 64.0));
+  }
+  poor_.push_back(rng.chance(params_.malicious_ratio));
+  params_.nodes = trustable_.size();
+  return static_cast<net::NodeIndex>(trustable_.size() - 1);
+}
+
+std::size_t GroundTruth::poor_evaluator_count() const {
+  return static_cast<std::size_t>(std::count(poor_.begin(), poor_.end(), true));
+}
+
+}  // namespace hirep::trust

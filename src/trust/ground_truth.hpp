@@ -1,0 +1,92 @@
+// Ground-truth world model behind every experiment (paper §5.2):
+//
+//  * each node is randomly trustable (true trust 1) or untrustable (0);
+//  * nodes with bandwidth > 64 kbit/s may act as reputation agents;
+//  * agents are good or poor evaluators: a good agent rates trustable
+//    peers U[0.6, 1] and untrustable peers U[0, 0.4]; a poor (or
+//    malicious) evaluator inverts that;
+//  * a transaction with a trustable provider succeeds (outcome 1), with an
+//    untrustable provider fails (outcome 0).
+//
+// Voter honesty in the polling baseline uses the same good/poor split.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "util/rng.hpp"
+
+namespace hirep::trust {
+
+struct WorldParams {
+  std::size_t nodes = 1000;
+  double trustable_ratio = 0.5;    ///< fraction of nodes with true trust 1
+  double agent_capable_ratio = 0.4;///< fraction with bandwidth > 64 kbit/s
+  /// Fraction of nodes that evaluate wrongly (malicious / "poor
+  /// performance" evaluators).  Applies to every node in its voter role
+  /// and, restricted to agent-capable nodes, to the agent role — Table 1's
+  /// "poor performance agents 10%" and Figure 7's attacker-ratio sweep.
+  double malicious_ratio = 0.10;
+  double good_rating_lo = 0.6;     ///< "Good rating" scope (Table 1): 0.6–1
+  double good_rating_hi = 1.0;
+  double bad_rating_lo = 0.0;      ///< "Bad rating" scope (Table 1): 0–0.4
+  double bad_rating_hi = 0.4;
+};
+
+class GroundTruth {
+ public:
+  GroundTruth(util::Rng& rng, const WorldParams& params);
+
+  std::size_t node_count() const noexcept { return trustable_.size(); }
+  const WorldParams& params() const noexcept { return params_; }
+
+  bool trustable(net::NodeIndex v) const { return trustable_.at(v); }
+  /// True trust value: 1.0 or 0.0.
+  double true_trust(net::NodeIndex v) const { return trustable(v) ? 1.0 : 0.0; }
+
+  double bandwidth_kbps(net::NodeIndex v) const { return bandwidth_.at(v); }
+  /// Paper rule: any peer with bandwidth greater than 64k can claim itself
+  /// a reputation agent.
+  bool agent_capable(net::NodeIndex v) const { return bandwidth_.at(v) > 64.0; }
+  bool poor_evaluator(net::NodeIndex v) const { return poor_.at(v); }
+
+  std::vector<net::NodeIndex> agent_capable_nodes() const;
+
+  /// An evaluator's rating of `subject`: good evaluators rate consistently
+  /// with the truth, poor evaluators invert (both within the Table-1
+  /// rating scopes).
+  double evaluate(net::NodeIndex evaluator, net::NodeIndex subject,
+                  util::Rng& rng) const;
+
+  /// Transaction outcome with `provider` (1 success / 0 failure).
+  double transaction_outcome(net::NodeIndex provider) const {
+    return true_trust(provider);
+  }
+
+  /// Flips `count` additional good evaluators to malicious, chosen
+  /// uniformly over all nodes.
+  void corrupt_evaluators(util::Rng& rng, std::size_t count);
+  /// Resets the malicious/honest split to exactly `ratio` of all nodes
+  /// (used by Figure 7's attacker-ratio sweep).
+  void set_malicious_ratio(util::Rng& rng, double ratio);
+
+  /// Flips one node's evaluator honesty (targeted attacks / Sybil arms).
+  void set_malicious(net::NodeIndex v, bool malicious) {
+    poor_.at(v) = malicious;
+  }
+
+  /// Open membership: appends a freshly sampled node (trustability,
+  /// bandwidth, honesty all drawn from the world parameters).
+  net::NodeIndex add_node(util::Rng& rng);
+
+  std::size_t poor_evaluator_count() const;
+
+ private:
+  WorldParams params_;
+  std::vector<bool> trustable_;
+  std::vector<double> bandwidth_;
+  std::vector<bool> poor_;
+};
+
+}  // namespace hirep::trust

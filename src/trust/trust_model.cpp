@@ -1,0 +1,14 @@
+#include "trust/trust_model.hpp"
+
+#include <stdexcept>
+
+namespace hirep::trust {
+
+TrustModelFactory model_factory_by_name(const std::string& name) {
+  if (name == "average") return average_model_factory();
+  if (name == "ewma") return ewma_model_factory();
+  if (name == "beta") return beta_model_factory();
+  throw std::invalid_argument("unknown trust model: " + name);
+}
+
+}  // namespace hirep::trust

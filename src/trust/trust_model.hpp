@@ -1,0 +1,54 @@
+// Trust-value computation models.
+//
+// The paper deliberately leaves the computation model open ("a reputation
+// agent computes the trust value of each node using its own trust value
+// computation model", §3.2) and cites the e-commerce / P2P literature for
+// candidates.  We provide the standard family behind one interface so any
+// agent — hiREP trusted agent, TrustMe THA, or local voter — can plug in:
+//
+//   * AverageModel — running mean of observed outcomes
+//   * EwmaModel    — exponentially weighted moving average (the same
+//                    recurrence the paper uses for agent expertise)
+//   * BetaModel    — Bayesian Beta-reputation posterior mean
+//
+// EigenTrust (eigentrust.hpp) is the classic *global* model and has its own
+// matrix-shaped API.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace hirep::trust {
+
+/// Sequential estimator of one subject's trustworthiness from outcome
+/// observations in [0,1].
+class TrustModel {
+ public:
+  virtual ~TrustModel() = default;
+
+  /// Records one observed transaction outcome (1 = good, 0 = bad; values
+  /// between are partial satisfaction).  Out-of-range input is clamped.
+  virtual void record(double outcome) = 0;
+
+  /// Current trust estimate in [0,1].  Models return the neutral prior 0.5
+  /// before any observation.
+  virtual double value() const = 0;
+
+  virtual std::size_t observations() const = 0;
+  virtual std::unique_ptr<TrustModel> clone() const = 0;
+  virtual std::string name() const = 0;
+};
+
+using TrustModelFactory = std::function<std::unique_ptr<TrustModel>()>;
+
+TrustModelFactory average_model_factory();
+TrustModelFactory ewma_model_factory(double alpha = 0.3);
+TrustModelFactory beta_model_factory(double prior_alpha = 1.0,
+                                     double prior_beta = 1.0);
+
+/// Builds a factory by name: "average", "ewma", "beta".  Throws
+/// std::invalid_argument on unknown names.
+TrustModelFactory model_factory_by_name(const std::string& name);
+
+}  // namespace hirep::trust

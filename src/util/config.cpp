@@ -1,0 +1,106 @@
+#include "util/config.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace hirep::util {
+
+void Config::insert(const std::string& token) {
+  if (token == "--help" || token == "-h") {
+    help_ = true;
+    return;
+  }
+  const auto eq = token.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    throw std::invalid_argument("expected key=value, got: " + token);
+  }
+  values_[token.substr(0, eq)] = token.substr(eq + 1);
+}
+
+Config Config::from_args(int argc, const char* const* argv) {
+  Config c;
+  for (int i = 1; i < argc; ++i) c.insert(argv[i]);
+  return c;
+}
+
+Config Config::from_string(const std::string& text) {
+  Config c;
+  std::string token;
+  std::istringstream in(text);
+  while (in >> token) c.insert(token);
+  return c;
+}
+
+bool Config::has(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::string Config::get_string(const std::string& key, std::string fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  touched_[key] = true;
+  return it->second;
+}
+
+std::int64_t Config::get_int(const std::string& key, std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  touched_[key] = true;
+  std::size_t pos = 0;
+  const std::int64_t v = std::stoll(it->second, &pos);
+  if (pos != it->second.size()) {
+    throw std::invalid_argument(key + " is not an integer: " + it->second);
+  }
+  return v;
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  touched_[key] = true;
+  std::size_t pos = 0;
+  const double v = std::stod(it->second, &pos);
+  if (pos != it->second.size()) {
+    throw std::invalid_argument(key + " is not a number: " + it->second);
+  }
+  return v;
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  touched_[key] = true;
+  const std::string& v = it->second;
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw std::invalid_argument(key + " is not a bool: " + v);
+}
+
+std::vector<double> Config::get_double_list(const std::string& key,
+                                            std::vector<double> fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  touched_[key] = true;
+  std::vector<double> out;
+  std::string item;
+  std::istringstream in(it->second);
+  while (std::getline(in, item, ',')) {
+    if (item.empty()) continue;
+    out.push_back(std::stod(item));
+  }
+  if (out.empty()) {
+    throw std::invalid_argument(key + " is an empty list");
+  }
+  return out;
+}
+
+std::vector<std::string> Config::unused_keys() const {
+  std::vector<std::string> out;
+  for (const auto& [k, _] : values_) {
+    if (!touched_.count(k)) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace hirep::util

@@ -1,0 +1,54 @@
+// key=value configuration parsing used by every bench/example binary so a
+// user can override any Table-1 parameter on the command line:
+//
+//   ./fig6_accuracy nodes=2000 poor_agent_ratio=0.2 seeds=5
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hirep::util {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses argv[1..argc) entries of the form key=value.  Throws
+  /// std::invalid_argument on malformed entries (no '=', empty key).
+  /// "--help"/"-h" set help_requested().
+  static Config from_args(int argc, const char* const* argv);
+
+  /// Parses a whitespace/comma separated "k=v k=v" string.
+  static Config from_string(const std::string& text);
+
+  bool has(const std::string& key) const;
+  bool help_requested() const noexcept { return help_; }
+
+  /// Typed getters; throw std::invalid_argument when present but unparsable.
+  std::string get_string(const std::string& key, std::string fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Comma-separated list of doubles, e.g. "thresholds=0.4,0.6,0.8".
+  std::vector<double> get_double_list(const std::string& key,
+                                      std::vector<double> fallback) const;
+
+  /// Keys that were supplied but never read — a typo detector for benches.
+  std::vector<std::string> unused_keys() const;
+
+  const std::map<std::string, std::string>& entries() const noexcept {
+    return values_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> touched_;
+  bool help_ = false;
+  void insert(const std::string& token);
+};
+
+}  // namespace hirep::util

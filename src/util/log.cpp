@@ -1,0 +1,42 @@
+#include "util/log.hpp"
+
+#include <iostream>
+#include <stdexcept>
+
+namespace hirep::util {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& component,
+                   const std::string& message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::cerr << '[' << to_string(level) << "] [" << component << "] " << message
+            << '\n';
+}
+
+const char* to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  throw std::invalid_argument("unknown log level: " + name);
+}
+
+}  // namespace hirep::util

@@ -1,0 +1,59 @@
+// Minimal leveled logger.  Simulations are hot loops, so logging is
+// compile-time cheap when disabled: callers pass a lambda-free format via
+// streaming only when the level is enabled.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace hirep::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide log sink (stderr).  Thread-safe.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  LogLevel level() const noexcept { return level_; }
+  bool enabled(LogLevel level) const noexcept { return level >= level_; }
+
+  void write(LogLevel level, const std::string& component,
+             const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mu_;
+};
+
+const char* to_string(LogLevel level) noexcept;
+
+/// Parse "debug", "info", ... (case-sensitive); throws on unknown names.
+LogLevel parse_log_level(const std::string& name);
+
+}  // namespace hirep::util
+
+// Streaming macros keep argument evaluation out of the fast path.
+#define HIREP_LOG(level, component, expr)                                     \
+  do {                                                                        \
+    if (::hirep::util::Logger::instance().enabled(level)) {                   \
+      std::ostringstream hirep_log_stream_;                                   \
+      hirep_log_stream_ << expr;                                              \
+      ::hirep::util::Logger::instance().write(level, component,               \
+                                              hirep_log_stream_.str());      \
+    }                                                                         \
+  } while (0)
+
+#define HIREP_TRACE(component, expr) \
+  HIREP_LOG(::hirep::util::LogLevel::kTrace, component, expr)
+#define HIREP_DEBUG(component, expr) \
+  HIREP_LOG(::hirep::util::LogLevel::kDebug, component, expr)
+#define HIREP_INFO(component, expr) \
+  HIREP_LOG(::hirep::util::LogLevel::kInfo, component, expr)
+#define HIREP_WARN(component, expr) \
+  HIREP_LOG(::hirep::util::LogLevel::kWarn, component, expr)
+#define HIREP_ERROR(component, expr) \
+  HIREP_LOG(::hirep::util::LogLevel::kError, component, expr)

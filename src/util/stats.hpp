@@ -1,0 +1,103 @@
+// Streaming statistics used by the experiment harness: running moments,
+// mean-square-error accumulators (the paper's accuracy metric), percentile
+// estimation over retained samples, and simple histograms.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hirep::util {
+
+/// Welford-style running mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Population variance (divide by n). 0 when fewer than 2 samples.
+  double variance() const noexcept;
+  /// Sample variance (divide by n-1). 0 when fewer than 2 samples.
+  double sample_variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Accumulates squared errors between estimates and ground truth — the
+/// paper's "MSE of trust value" metric (Figures 6 and 7).
+class MseAccumulator {
+ public:
+  void add(double estimate, double truth) noexcept;
+  void merge(const MseAccumulator& other) noexcept;
+  void reset() noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mse() const noexcept { return n_ ? sum_sq_ / static_cast<double>(n_) : 0.0; }
+  double rmse() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double sum_sq_ = 0.0;
+};
+
+/// Retains all samples; supports exact percentiles. Intended for response
+/// times where sample counts stay modest (<= a few million).
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  std::size_t count() const noexcept { return samples_.size(); }
+  double sum() const noexcept;
+  double mean() const noexcept;
+  /// q in [0,1]; linear interpolation between closest ranks. 0 if empty.
+  double percentile(double q) const;
+  double min() const;
+  double max() const;
+  const std::vector<double>& samples() const noexcept { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// edge buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  double bucket_lo(std::size_t i) const;
+  std::uint64_t total() const noexcept { return total_; }
+  /// Multi-line ASCII rendering, for example programs.
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Pearson correlation of two equal-length series; NaN-free (returns 0 for
+/// degenerate inputs). Used by benches to check monotone trends.
+double correlation(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Least-squares slope of ys against xs (0 for degenerate inputs).
+double linear_slope(const std::vector<double>& xs, const std::vector<double>& ys);
+
+}  // namespace hirep::util

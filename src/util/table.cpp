@@ -1,0 +1,111 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hirep::util {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  if (columns_.empty()) throw std::invalid_argument("Table needs >= 1 column");
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  if (cells.size() != columns_.size()) {
+    throw std::invalid_argument("row width does not match header");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+double Table::number_at(std::size_t row, std::size_t col) const {
+  const Cell& c = rows_.at(row).at(col);
+  if (const auto* d = std::get_if<double>(&c)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(&c)) return static_cast<double>(*i);
+  throw std::invalid_argument("cell is not numeric");
+}
+
+std::vector<double> Table::numeric_column(std::size_t col) const {
+  std::vector<double> out;
+  out.reserve(rows_.size());
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    const Cell& c = rows_[r].at(col);
+    if (std::holds_alternative<std::string>(c)) continue;
+    out.push_back(number_at(r, col));
+  }
+  return out;
+}
+
+std::vector<double> Table::numeric_column(const std::string& name) const {
+  return numeric_column(column_index(name));
+}
+
+std::size_t Table::column_index(const std::string& name) const {
+  const auto it = std::find(columns_.begin(), columns_.end(), name);
+  if (it == columns_.end()) throw std::out_of_range("no column named " + name);
+  return static_cast<std::size_t>(it - columns_.begin());
+}
+
+std::string Table::to_string(const Cell& c) {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  std::ostringstream out;
+  if (const auto* d = std::get_if<double>(&c)) {
+    out << std::fixed << std::setprecision(4) << *d;
+  } else {
+    out << std::get<std::int64_t>(c);
+  }
+  return out.str();
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      r.push_back(to_string(row[c]));
+      widths[c] = std::max(widths[c], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << std::setw(static_cast<int>(widths[c]) + 2) << cells[c];
+    }
+    out << '\n';
+  };
+  emit(columns_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  out << std::string(total, '-') << '\n';
+  for (const auto& r : rendered) emit(r);
+}
+
+void Table::print_csv(std::ostream& out) const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string q = "\"";
+    for (char ch : s) {
+      if (ch == '"') q += '"';
+      q += ch;
+    }
+    return q + "\"";
+  };
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    out << (c ? "," : "") << quote(columns_[c]);
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c ? "," : "") << quote(to_string(row[c]));
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace hirep::util

@@ -1,0 +1,46 @@
+// Console table / CSV emission for the benchmark harness.  Every figure
+// bench prints one Table: a header row, one row per x-value, one column per
+// series — the same rows/series the paper's exhibit reports.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace hirep::util {
+
+class Table {
+ public:
+  using Cell = std::variant<std::string, double, std::int64_t>;
+
+  explicit Table(std::vector<std::string> columns);
+
+  void add_row(std::vector<Cell> cells);
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t columns() const noexcept { return columns_.size(); }
+
+  /// Numeric value at (row, col); throws std::out_of_range / bad access on
+  /// string cells.
+  double number_at(std::size_t row, std::size_t col) const;
+
+  /// Column values as doubles (string cells are skipped).
+  std::vector<double> numeric_column(std::size_t col) const;
+  std::vector<double> numeric_column(const std::string& name) const;
+
+  std::size_t column_index(const std::string& name) const;
+
+  /// Pretty fixed-width rendering for terminals.
+  void print(std::ostream& out) const;
+  /// RFC-4180-ish CSV.
+  void print_csv(std::ostream& out) const;
+
+  const std::vector<std::string>& header() const noexcept { return columns_; }
+
+ private:
+  static std::string to_string(const Cell& c);
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace hirep::util

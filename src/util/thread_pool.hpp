@@ -1,0 +1,58 @@
+// Work-stealing-free, mutex-guarded thread pool for parameter sweeps.
+// Each sweep point owns its whole simulated system, so tasks share nothing
+// and the pool needs no fancier scheduling (C++ Core Guidelines CP.*: keep
+// concurrency simple, no data races by construction).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace hirep::util {
+
+class ThreadPool {
+ public:
+  /// threads == 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; returns a future for its result.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) throw std::runtime_error("submit on stopped ThreadPool");
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Run fn(i) for i in [0, n) across the pool and wait for completion.
+  /// Exceptions from tasks propagate (the first one encountered rethrows).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace hirep::util

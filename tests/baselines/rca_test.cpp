@@ -1,0 +1,65 @@
+#include "baselines/rca.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hirep::baselines {
+namespace {
+
+RcaOptions small_options() {
+  RcaOptions o;
+  o.nodes = 150;
+  o.seed = 4;
+  o.world.malicious_ratio = 0.0;
+  return o;
+}
+
+TEST(Rca, ConstantThreeMessagesPerTransaction) {
+  RcaSystem sys(small_options());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(sys.run_transaction().trust_messages, 3u);
+  }
+}
+
+TEST(Rca, LearnsFromReports) {
+  RcaSystem sys(small_options());
+  const net::NodeIndex provider = 7;
+  EXPECT_DOUBLE_EQ(sys.run_transaction(0, provider).estimate, 0.5);
+  for (int i = 0; i < 5; ++i) sys.run_transaction(0, provider);
+  const auto rec = sys.run_transaction(1, provider);
+  EXPECT_NEAR(rec.estimate, sys.truth().true_trust(provider), 0.05);
+  EXPECT_GT(sys.reports_stored(), 0u);
+}
+
+TEST(Rca, SinglePointOfFailure) {
+  RcaSystem sys(small_options());
+  sys.run_transaction(0, 7);
+  sys.set_rca_online(false);
+  const auto rec = sys.run_transaction(1, 7);
+  EXPECT_FALSE(rec.answered);
+  EXPECT_DOUBLE_EQ(rec.estimate, 0.5);    // no information at all
+  EXPECT_EQ(rec.trust_messages, 0u);
+  sys.set_rca_online(true);
+  EXPECT_TRUE(sys.run_transaction(1, 7).answered);
+}
+
+TEST(Rca, BottleneckSerializesConcurrentQueries) {
+  RcaSystem sys(small_options());
+  // The last of N concurrent queries waits behind N-1 serial handlings at
+  // the RCA: the burst completion grows roughly linearly in N.
+  const double small_burst = sys.timed_query_burst_ms(10);
+  const double large_burst = sys.timed_query_burst_ms(500);
+  EXPECT_GT(large_burst, small_burst + 400.0 * 1.0 * 0.9);
+}
+
+TEST(Rca, DeterministicGivenSeed) {
+  RcaSystem a(small_options()), b(small_options());
+  for (int i = 0; i < 10; ++i) {
+    const auto ra = a.run_transaction();
+    const auto rb = b.run_transaction();
+    EXPECT_EQ(ra.provider, rb.provider);
+    EXPECT_DOUBLE_EQ(ra.estimate, rb.estimate);
+  }
+}
+
+}  // namespace
+}  // namespace hirep::baselines

@@ -1,0 +1,196 @@
+#include "crypto/bigint.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hirep::crypto {
+namespace {
+
+TEST(BigInt, ZeroProperties) {
+  BigInt z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_TRUE(z.is_even());
+  EXPECT_EQ(z.bit_length(), 0u);
+  EXPECT_EQ(z.to_hex(), "0");
+  EXPECT_EQ(z.to_decimal(), "0");
+  EXPECT_TRUE(z.to_bytes().empty());
+}
+
+TEST(BigInt, FromUint64) {
+  BigInt v(0x1122334455667788ULL);
+  EXPECT_EQ(v.low_u64(), 0x1122334455667788ULL);
+  EXPECT_EQ(v.bit_length(), 61u);
+  EXPECT_EQ(v.to_hex(), "1122334455667788");
+}
+
+TEST(BigInt, HexRoundTrip) {
+  const std::string hex = "deadbeefcafebabe0123456789abcdef";
+  EXPECT_EQ(BigInt::from_hex(hex).to_hex(), hex);
+  EXPECT_THROW(BigInt::from_hex("xyz"), std::invalid_argument);
+}
+
+TEST(BigInt, BytesRoundTrip) {
+  util::Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const BigInt v = BigInt::random_bits(rng, 1 + static_cast<unsigned>(rng.below(300)));
+    EXPECT_EQ(BigInt::from_bytes(v.to_bytes()), v);
+  }
+}
+
+TEST(BigInt, DecimalKnown) {
+  EXPECT_EQ(BigInt(1234567890).to_decimal(), "1234567890");
+  EXPECT_EQ(BigInt::from_hex("ff").to_decimal(), "255");
+  // 2^100
+  const BigInt big = BigInt(1) << 100;
+  EXPECT_EQ(big.to_decimal(), "1267650600228229401496703205376");
+}
+
+TEST(BigInt, Comparison) {
+  EXPECT_LT(BigInt(3), BigInt(5));
+  EXPECT_GT(BigInt(5), BigInt(3));
+  EXPECT_EQ(BigInt(7), BigInt(7));
+  EXPECT_LT(BigInt(0xffffffffULL), BigInt(0x100000000ULL));
+}
+
+TEST(BigInt, AdditionCarries) {
+  const BigInt a = BigInt::from_hex("ffffffffffffffff");
+  EXPECT_EQ((a + BigInt(1)).to_hex(), "10000000000000000");
+}
+
+TEST(BigInt, SubtractionBorrows) {
+  const BigInt a = BigInt::from_hex("10000000000000000");
+  EXPECT_EQ((a - BigInt(1)).to_hex(), "ffffffffffffffff");
+  EXPECT_THROW(BigInt(3) - BigInt(5), std::underflow_error);
+}
+
+TEST(BigInt, MultiplicationKnown) {
+  const BigInt a = BigInt::from_hex("ffffffff");
+  EXPECT_EQ((a * a).to_hex(), "fffffffe00000001");
+  EXPECT_TRUE((a * BigInt()).is_zero());
+}
+
+TEST(BigInt, ShiftRoundTrip) {
+  const BigInt v = BigInt::from_hex("123456789abcdef");
+  for (unsigned s : {1u, 7u, 31u, 32u, 33u, 64u, 100u}) {
+    EXPECT_EQ((v << s) >> s, v) << "shift " << s;
+  }
+  EXPECT_TRUE((BigInt(1) >> 1).is_zero());
+}
+
+TEST(BigInt, DivModSmall) {
+  auto [q, r] = BigInt::divmod(BigInt(100), BigInt(7));
+  EXPECT_EQ(q, BigInt(14));
+  EXPECT_EQ(r, BigInt(2));
+  EXPECT_THROW(BigInt::divmod(BigInt(1), BigInt()), std::domain_error);
+}
+
+TEST(BigInt, DivModNumeratorSmaller) {
+  auto [q, r] = BigInt::divmod(BigInt(3), BigInt(10));
+  EXPECT_TRUE(q.is_zero());
+  EXPECT_EQ(r, BigInt(3));
+}
+
+// Property: for random a, b: a == (a/b)*b + a%b and a%b < b.
+class DivModProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DivModProperty, Invariant) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const BigInt a = BigInt::random_bits(rng, 1 + static_cast<unsigned>(rng.below(GetParam())));
+    const BigInt b = BigInt::random_bits(rng, 1 + static_cast<unsigned>(rng.below(GetParam() / 2 + 1)));
+    auto [q, r] = BigInt::divmod(a, b);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(r, b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, DivModProperty,
+                         ::testing::Values(32u, 64u, 128u, 256u, 512u));
+
+// Property: (a + b) - b == a; (a * b) / b == a for b != 0.
+class RingProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RingProperty, AddSubMulDiv) {
+  util::Rng rng(GetParam() * 31 + 1);
+  for (int i = 0; i < 100; ++i) {
+    const BigInt a = BigInt::random_bits(rng, GetParam());
+    const BigInt b = BigInt::random_bits(rng, GetParam());
+    EXPECT_EQ((a + b) - b, a);
+    EXPECT_EQ((a * b) / b, a);
+    EXPECT_TRUE(((a * b) % b).is_zero());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, RingProperty,
+                         ::testing::Values(16u, 48u, 100u, 256u));
+
+TEST(BigInt, PowModKnown) {
+  // 3^7 mod 10 = 7 (2187 mod 10)
+  EXPECT_EQ(BigInt::powmod(BigInt(3), BigInt(7), BigInt(10)), BigInt(7));
+  // Fermat: a^(p-1) = 1 mod p for prime p.
+  const BigInt p(1000000007ULL);
+  EXPECT_EQ(BigInt::powmod(BigInt(123456789), p - BigInt(1), p), BigInt(1));
+  EXPECT_EQ(BigInt::powmod(BigInt(5), BigInt(0), BigInt(7)), BigInt(1));
+  EXPECT_TRUE(BigInt::powmod(BigInt(5), BigInt(3), BigInt(1)).is_zero());
+}
+
+TEST(BigInt, GcdKnown) {
+  EXPECT_EQ(BigInt::gcd(BigInt(48), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::gcd(BigInt(17), BigInt(13)), BigInt(1));
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(5)), BigInt(5));
+}
+
+TEST(BigInt, ModInvKnown) {
+  // 3 * 7 = 21 = 1 mod 10
+  EXPECT_EQ(BigInt::modinv(BigInt(3), BigInt(10)), BigInt(7));
+  EXPECT_THROW(BigInt::modinv(BigInt(4), BigInt(10)), std::domain_error);
+}
+
+TEST(BigInt, ModInvProperty) {
+  util::Rng rng(99);
+  const BigInt m(1000000007ULL);  // prime modulus: everything invertible
+  for (int i = 0; i < 100; ++i) {
+    const BigInt a = BigInt::random_below(rng, m - BigInt(2)) + BigInt(1);
+    const BigInt inv = BigInt::modinv(a, m);
+    EXPECT_EQ(BigInt::mulmod(a, inv, m), BigInt(1));
+  }
+}
+
+TEST(BigInt, RandomBelowRespectsBound) {
+  util::Rng rng(5);
+  const BigInt bound = BigInt::from_hex("10000000000000001");
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_LT(BigInt::random_below(rng, bound), bound);
+  }
+  EXPECT_THROW(BigInt::random_below(rng, BigInt()), std::domain_error);
+}
+
+TEST(BigInt, RandomBitsExactWidth) {
+  util::Rng rng(7);
+  for (unsigned bits : {1u, 2u, 31u, 32u, 33u, 64u, 127u, 256u}) {
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_EQ(BigInt::random_bits(rng, bits).bit_length(), bits);
+    }
+  }
+  EXPECT_THROW(BigInt::random_bits(rng, 0), std::domain_error);
+}
+
+TEST(BigInt, BitAccess) {
+  const BigInt v = BigInt::from_hex("5");  // 0b101
+  EXPECT_TRUE(v.bit(0));
+  EXPECT_FALSE(v.bit(1));
+  EXPECT_TRUE(v.bit(2));
+  EXPECT_FALSE(v.bit(100));
+}
+
+TEST(BigInt, MulModMatchesManual) {
+  util::Rng rng(11);
+  const BigInt m = BigInt::from_hex("ffffffffffffffffffffffff");
+  for (int i = 0; i < 50; ++i) {
+    const BigInt a = BigInt::random_below(rng, m);
+    const BigInt b = BigInt::random_below(rng, m);
+    EXPECT_EQ(BigInt::mulmod(a, b, m), (a * b) % m);
+  }
+}
+
+}  // namespace
+}  // namespace hirep::crypto

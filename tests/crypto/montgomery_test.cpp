@@ -1,0 +1,111 @@
+#include "crypto/montgomery.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/prime.hpp"
+#include "crypto/rsa.hpp"
+
+namespace hirep::crypto {
+namespace {
+
+// Reference implementations that cannot take the Montgomery path.
+BigInt naive_powmod(const BigInt& base, const BigInt& exp, const BigInt& m) {
+  BigInt result(1);
+  BigInt b = base % m;
+  for (unsigned i = 0; i < exp.bit_length(); ++i) {
+    if (exp.bit(i)) result = (result * b) % m;
+    b = (b * b) % m;
+  }
+  return result;
+}
+
+TEST(Montgomery, RejectsEvenOrTinyModulus) {
+  EXPECT_THROW(MontgomeryContext(BigInt(10)), std::invalid_argument);
+  EXPECT_THROW(MontgomeryContext(BigInt(2)), std::invalid_argument);
+  EXPECT_THROW(MontgomeryContext(BigInt(1)), std::invalid_argument);
+  EXPECT_THROW(MontgomeryContext(BigInt(0)), std::invalid_argument);
+}
+
+TEST(Montgomery, MulKnownSmallValues) {
+  MontgomeryContext ctx(BigInt(97));
+  EXPECT_EQ(ctx.mul(BigInt(12), BigInt(34)), BigInt((12 * 34) % 97));
+  EXPECT_EQ(ctx.mul(BigInt(96), BigInt(96)), BigInt((96 * 96) % 97));
+  EXPECT_EQ(ctx.mul(BigInt(0), BigInt(50)), BigInt(0));
+  EXPECT_EQ(ctx.mul(BigInt(1), BigInt(50)), BigInt(50));
+}
+
+TEST(Montgomery, PowKnownValues) {
+  MontgomeryContext ctx(BigInt(1000000007ULL));
+  EXPECT_EQ(ctx.pow(BigInt(2), BigInt(10)), BigInt(1024));
+  EXPECT_EQ(ctx.pow(BigInt(5), BigInt(0)), BigInt(1));
+  // Fermat little theorem.
+  EXPECT_EQ(ctx.pow(BigInt(123456789), BigInt(1000000006ULL)), BigInt(1));
+}
+
+class MontgomerySweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MontgomerySweep, MulMatchesSchoolbook) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    BigInt m = BigInt::random_bits(rng, GetParam());
+    if (m.is_even()) m = m + BigInt(1);
+    MontgomeryContext ctx(m);
+    const BigInt a = BigInt::random_below(rng, m);
+    const BigInt b = BigInt::random_below(rng, m);
+    EXPECT_EQ(ctx.mul(a, b), (a * b) % m);
+  }
+}
+
+TEST_P(MontgomerySweep, PowMatchesNaive) {
+  util::Rng rng(GetParam() + 1);
+  for (int trial = 0; trial < 10; ++trial) {
+    BigInt m = BigInt::random_bits(rng, GetParam());
+    if (m.is_even()) m = m + BigInt(1);
+    MontgomeryContext ctx(m);
+    const BigInt base = BigInt::random_below(rng, m);
+    const BigInt exp = BigInt::random_bits(rng, 32);
+    EXPECT_EQ(ctx.pow(base, exp), naive_powmod(base, exp, m));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MontgomerySweep,
+                         ::testing::Values(64u, 96u, 128u, 256u, 512u, 1024u));
+
+TEST(Montgomery, PowmodDispatchAgreesWithNaive) {
+  // BigInt::powmod now routes odd 64+-bit moduli through Montgomery; its
+  // results must be indistinguishable from the naive path.
+  util::Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    BigInt m = BigInt::random_bits(rng, 128);
+    if (m.is_even()) m = m + BigInt(1);
+    const BigInt base = BigInt::random_below(rng, m);
+    const BigInt exp = BigInt::random_bits(rng, 64);
+    EXPECT_EQ(BigInt::powmod(base, exp, m), naive_powmod(base, exp, m));
+  }
+}
+
+TEST(Montgomery, EvenModulusStillCorrectViaNaivePath) {
+  // powmod must stay correct for even moduli (no Montgomery available).
+  EXPECT_EQ(BigInt::powmod(BigInt(3), BigInt(5), BigInt(100)), BigInt(43));
+  const BigInt m = BigInt(1) << 80;  // even 81-bit modulus
+  util::Rng rng(7);
+  const BigInt base = BigInt::random_below(rng, m);
+  EXPECT_EQ(BigInt::powmod(base, BigInt(3), m), ((base * base) % m * base) % m);
+}
+
+TEST(Montgomery, BaseLargerThanModulusReduced) {
+  MontgomeryContext ctx(BigInt(101));
+  EXPECT_EQ(ctx.pow(BigInt(1000), BigInt(2)),
+            naive_powmod(BigInt(1000), BigInt(2), BigInt(101)));
+}
+
+TEST(Montgomery, RsaRoundTripThroughMontgomeryPath) {
+  util::Rng rng(9);
+  const auto pair = rsa_generate(rng, 256);
+  const BigInt m = BigInt::random_below(rng, pair.pub.n);
+  const BigInt c = BigInt::powmod(m, pair.pub.e, pair.pub.n);
+  EXPECT_EQ(BigInt::powmod(c, pair.priv.d, pair.priv.n), m);
+}
+
+}  // namespace
+}  // namespace hirep::crypto

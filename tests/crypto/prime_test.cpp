@@ -1,0 +1,81 @@
+#include "crypto/prime.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hirep::crypto {
+namespace {
+
+TEST(Prime, SmallKnownPrimes) {
+  util::Rng rng(1);
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 97ULL,
+                          251ULL, 257ULL, 65537ULL, 1000000007ULL}) {
+    EXPECT_TRUE(is_probable_prime(BigInt(p), rng)) << p;
+  }
+}
+
+TEST(Prime, SmallKnownComposites) {
+  util::Rng rng(2);
+  for (std::uint64_t n : {0ULL, 1ULL, 4ULL, 6ULL, 9ULL, 15ULL, 21ULL, 91ULL,
+                          221ULL, 65536ULL, 1000000008ULL}) {
+    EXPECT_FALSE(is_probable_prime(BigInt(n), rng)) << n;
+  }
+}
+
+TEST(Prime, CarmichaelNumbersRejected) {
+  // Carmichael numbers fool Fermat tests but not Miller-Rabin.
+  util::Rng rng(3);
+  for (std::uint64_t n : {561ULL, 1105ULL, 1729ULL, 2465ULL, 2821ULL,
+                          6601ULL, 8911ULL, 41041ULL, 825265ULL}) {
+    EXPECT_FALSE(is_probable_prime(BigInt(n), rng)) << n;
+  }
+}
+
+TEST(Prime, LargeKnownPrime) {
+  util::Rng rng(4);
+  // 2^89 - 1 is a Mersenne prime.
+  const BigInt m89 = (BigInt(1) << 89) - BigInt(1);
+  EXPECT_TRUE(is_probable_prime(m89, rng));
+  // 2^67 - 1 is famously composite (193707721 * 761838257287).
+  const BigInt m67 = (BigInt(1) << 67) - BigInt(1);
+  EXPECT_FALSE(is_probable_prime(m67, rng));
+}
+
+class PrimeGenSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PrimeGenSweep, GeneratesExactWidthProbablePrimes) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 3; ++i) {
+    const BigInt p = random_prime(rng, GetParam());
+    EXPECT_EQ(p.bit_length(), GetParam());
+    EXPECT_TRUE(p.is_odd());
+    EXPECT_TRUE(is_probable_prime(p, rng));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PrimeGenSweep,
+                         ::testing::Values(16u, 24u, 32u, 48u, 64u, 96u, 128u));
+
+TEST(Prime, RsaPrimeCoprimality) {
+  util::Rng rng(7);
+  const BigInt e(65537);
+  for (int i = 0; i < 5; ++i) {
+    const BigInt p = random_rsa_prime(rng, 48, e);
+    EXPECT_EQ(BigInt::gcd(p - BigInt(1), e), BigInt(1));
+    EXPECT_TRUE(is_probable_prime(p, rng));
+  }
+}
+
+TEST(Prime, RejectsTinyWidths) {
+  util::Rng rng(8);
+  EXPECT_THROW(random_prime(rng, 1), std::invalid_argument);
+}
+
+TEST(Prime, ProductOfTwoPrimesIsComposite) {
+  util::Rng rng(9);
+  const BigInt p = random_prime(rng, 40);
+  const BigInt q = random_prime(rng, 40);
+  EXPECT_FALSE(is_probable_prime(p * q, rng));
+}
+
+}  // namespace
+}  // namespace hirep::crypto

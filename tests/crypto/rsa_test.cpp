@@ -1,0 +1,144 @@
+#include "crypto/rsa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/prime.hpp"
+
+namespace hirep::crypto {
+namespace {
+
+class RsaSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RsaSweep, KeyGenerationInvariants) {
+  util::Rng rng(GetParam());
+  const auto pair = rsa_generate(rng, GetParam());
+  EXPECT_EQ(pair.priv.n, pair.priv.p * pair.priv.q);
+  EXPECT_NE(pair.priv.p, pair.priv.q);
+  EXPECT_GE(pair.pub.n.bit_length(), GetParam() - 2);
+  // e*d = 1 mod phi
+  const BigInt phi = (pair.priv.p - BigInt(1)) * (pair.priv.q - BigInt(1));
+  EXPECT_EQ(BigInt::mulmod(pair.priv.e, pair.priv.d, phi), BigInt(1));
+}
+
+TEST_P(RsaSweep, RawRoundTrip) {
+  util::Rng rng(GetParam() + 1);
+  const auto pair = rsa_generate(rng, GetParam());
+  for (int i = 0; i < 10; ++i) {
+    const BigInt m = BigInt::random_below(rng, pair.pub.n);
+    EXPECT_EQ(rsa_decrypt_raw(pair.priv, rsa_encrypt_raw(pair.pub, m)), m);
+  }
+}
+
+TEST_P(RsaSweep, HybridBytesRoundTrip) {
+  util::Rng rng(GetParam() + 2);
+  const auto pair = rsa_generate(rng, GetParam());
+  for (std::size_t len : {0u, 1u, 16u, 100u, 1000u}) {
+    util::Bytes data(len);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+    const auto ct = rsa_encrypt_bytes(rng, pair.pub, data);
+    const auto pt = rsa_decrypt_bytes(pair.priv, ct);
+    ASSERT_TRUE(pt.has_value()) << "len " << len;
+    EXPECT_EQ(*pt, data);
+  }
+}
+
+TEST_P(RsaSweep, SignVerify) {
+  util::Rng rng(GetParam() + 3);
+  const auto pair = rsa_generate(rng, GetParam());
+  const util::Bytes msg{10, 20, 30, 40};
+  const auto sig = rsa_sign(pair.priv, msg);
+  EXPECT_TRUE(rsa_verify(pair.pub, msg, sig));
+}
+
+INSTANTIATE_TEST_SUITE_P(KeySizes, RsaSweep,
+                         ::testing::Values(64u, 96u, 128u, 256u, 512u));
+
+TEST(Rsa, WrongKeyCannotDecrypt) {
+  util::Rng rng(50);
+  const auto a = rsa_generate(rng, 128);
+  const auto b = rsa_generate(rng, 128);
+  const util::Bytes data{1, 2, 3, 4, 5};
+  const auto ct = rsa_encrypt_bytes(rng, a.pub, data);
+  EXPECT_FALSE(rsa_decrypt_bytes(b.priv, ct).has_value());
+}
+
+TEST(Rsa, TamperedCiphertextRejected) {
+  util::Rng rng(51);
+  const auto pair = rsa_generate(rng, 128);
+  const util::Bytes data{9, 8, 7, 6};
+  auto ct = rsa_encrypt_bytes(rng, pair.pub, data);
+  // Flip one bit in every position; all must be rejected or decrypt to
+  // something that is NOT silently equal to the plaintext.
+  int rejected = 0;
+  for (std::size_t i = 0; i < ct.size(); ++i) {
+    auto copy = ct;
+    copy[i] ^= 0x01;
+    const auto pt = rsa_decrypt_bytes(pair.priv, copy);
+    if (!pt.has_value()) ++rejected;
+  }
+  EXPECT_EQ(rejected, static_cast<int>(ct.size()));
+}
+
+TEST(Rsa, SignatureRejectsModifiedMessage) {
+  util::Rng rng(52);
+  const auto pair = rsa_generate(rng, 128);
+  const util::Bytes msg{1, 1, 1};
+  const auto sig = rsa_sign(pair.priv, msg);
+  const util::Bytes other{1, 1, 2};
+  EXPECT_FALSE(rsa_verify(pair.pub, other, sig));
+}
+
+TEST(Rsa, SignatureRejectsWrongKey) {
+  util::Rng rng(53);
+  const auto a = rsa_generate(rng, 128);
+  const auto b = rsa_generate(rng, 128);
+  const util::Bytes msg{5, 5, 5};
+  EXPECT_FALSE(rsa_verify(b.pub, msg, rsa_sign(a.priv, msg)));
+}
+
+TEST(Rsa, SignatureRejectsTamperedSignature) {
+  util::Rng rng(54);
+  const auto pair = rsa_generate(rng, 128);
+  const util::Bytes msg{3, 2, 1};
+  auto sig = rsa_sign(pair.priv, msg);
+  sig[0] ^= 0xff;
+  EXPECT_FALSE(rsa_verify(pair.pub, msg, sig));
+}
+
+TEST(Rsa, PublicKeySerializationRoundTrip) {
+  util::Rng rng(55);
+  const auto pair = rsa_generate(rng, 96);
+  const auto bytes = pair.pub.serialize();
+  const auto restored = RsaPublicKey::deserialize(bytes);
+  EXPECT_EQ(restored, pair.pub);
+}
+
+TEST(Rsa, EncryptRawRejectsOversizedMessage) {
+  util::Rng rng(56);
+  const auto pair = rsa_generate(rng, 64);
+  EXPECT_THROW(rsa_encrypt_raw(pair.pub, pair.pub.n), std::invalid_argument);
+  EXPECT_THROW(rsa_decrypt_raw(pair.priv, pair.pub.n + BigInt(1)),
+               std::invalid_argument);
+}
+
+TEST(Rsa, RejectsTinyKeySize) {
+  util::Rng rng(57);
+  EXPECT_THROW(rsa_generate(rng, 16), std::invalid_argument);
+}
+
+TEST(Rsa, MalformedCiphertextRejected) {
+  util::Rng rng(58);
+  const auto pair = rsa_generate(rng, 96);
+  EXPECT_FALSE(rsa_decrypt_bytes(pair.priv, util::Bytes{1, 2, 3}).has_value());
+  EXPECT_FALSE(rsa_decrypt_bytes(pair.priv, util::Bytes{}).has_value());
+}
+
+TEST(Rsa, DeterministicKeygenFromSeed) {
+  util::Rng a(77), b(77);
+  const auto ka = rsa_generate(a, 96);
+  const auto kb = rsa_generate(b, 96);
+  EXPECT_EQ(ka.pub, kb.pub);
+}
+
+}  // namespace
+}  // namespace hirep::crypto

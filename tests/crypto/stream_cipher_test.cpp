@@ -1,0 +1,77 @@
+#include "crypto/stream_cipher.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace hirep::crypto {
+namespace {
+
+StreamCipher::Key test_key(std::uint8_t fill) {
+  StreamCipher::Key k;
+  k.fill(fill);
+  return k;
+}
+
+TEST(StreamCipher, EncryptDecryptRoundTrip) {
+  const util::Bytes plain{1, 2, 3, 4, 5, 200, 0, 42};
+  StreamCipher enc(test_key(7), 1);
+  const auto ct = enc.transform(plain);
+  StreamCipher dec(test_key(7), 1);
+  EXPECT_EQ(dec.transform(ct), plain);
+}
+
+TEST(StreamCipher, CiphertextDiffersFromPlaintext) {
+  const util::Bytes plain(64, 0);
+  StreamCipher enc(test_key(1));
+  const auto ct = enc.transform(plain);
+  EXPECT_NE(ct, plain);
+}
+
+TEST(StreamCipher, DifferentKeysDifferentStreams) {
+  const util::Bytes plain(32, 0);
+  StreamCipher a(test_key(1)), b(test_key(2));
+  EXPECT_NE(a.transform(plain), b.transform(plain));
+}
+
+TEST(StreamCipher, DifferentNoncesDifferentStreams) {
+  const util::Bytes plain(32, 0);
+  StreamCipher a(test_key(1), 10), b(test_key(1), 11);
+  EXPECT_NE(a.transform(plain), b.transform(plain));
+}
+
+TEST(StreamCipher, ChunkedApplicationMatchesWhole) {
+  util::Rng rng(1);
+  util::Bytes plain(200);
+  for (auto& b : plain) b = static_cast<std::uint8_t>(rng());
+
+  StreamCipher whole(test_key(5), 3);
+  const auto expected = whole.transform(plain);
+
+  StreamCipher chunked(test_key(5), 3);
+  util::Bytes actual = plain;
+  std::span<std::uint8_t> view(actual);
+  chunked.apply(view.subspan(0, 13));
+  chunked.apply(view.subspan(13, 100));
+  chunked.apply(view.subspan(113));
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(StreamCipher, EmptyInputIsNoop) {
+  StreamCipher c(test_key(9));
+  EXPECT_TRUE(c.transform({}).empty());
+}
+
+TEST(StreamCipher, KeystreamLooksBalanced) {
+  // XOR of zeros exposes the raw keystream; its bit density should be ~50%.
+  const util::Bytes zeros(4096, 0);
+  StreamCipher c(test_key(3), 99);
+  const auto stream = c.transform(zeros);
+  std::size_t ones = 0;
+  for (auto byte : stream) ones += static_cast<std::size_t>(__builtin_popcount(byte));
+  const double density = static_cast<double>(ones) / (4096.0 * 8.0);
+  EXPECT_NEAR(density, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace hirep::crypto

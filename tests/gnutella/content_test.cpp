@@ -1,0 +1,94 @@
+#include "gnutella/content.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace hirep::gnutella {
+namespace {
+
+CatalogParams small_params() {
+  CatalogParams p;
+  p.files = 20;
+  p.min_replicas = 2;
+  p.max_replicas = 15;
+  return p;
+}
+
+TEST(ContentCatalog, ShapeInvariants) {
+  util::Rng rng(1);
+  ContentCatalog catalog(rng, 100, small_params());
+  EXPECT_EQ(catalog.file_count(), 20u);
+  EXPECT_EQ(catalog.node_count(), 100u);
+  for (FileId f = 0; f < 20; ++f) {
+    const auto& providers = catalog.providers_of(f);
+    EXPECT_GE(providers.size(), 2u);
+    EXPECT_LE(providers.size(), 15u);
+    for (auto p : providers) {
+      EXPECT_LT(p, 100u);
+      EXPECT_TRUE(catalog.has_file(p, f));
+    }
+  }
+}
+
+TEST(ContentCatalog, PopularFilesHaveMoreReplicas) {
+  util::Rng rng(2);
+  ContentCatalog catalog(rng, 200, small_params());
+  EXPECT_GT(catalog.providers_of(0).size(), catalog.providers_of(19).size());
+}
+
+TEST(ContentCatalog, ShelvesConsistentWithProviders) {
+  util::Rng rng(3);
+  ContentCatalog catalog(rng, 50, small_params());
+  for (net::NodeIndex v = 0; v < 50; ++v) {
+    for (FileId f : catalog.files_at(v)) {
+      const auto& providers = catalog.providers_of(f);
+      EXPECT_NE(std::find(providers.begin(), providers.end(), v),
+                providers.end());
+    }
+  }
+}
+
+TEST(ContentCatalog, RequestSamplingSkewsToPopular) {
+  util::Rng rng(4);
+  CatalogParams p = small_params();
+  p.popularity_zipf_s = 1.2;
+  ContentCatalog catalog(rng, 100, p);
+  std::map<FileId, int> counts;
+  for (int i = 0; i < 5000; ++i) ++counts[catalog.sample_request(rng)];
+  EXPECT_GT(counts[0], counts[19] * 3);
+}
+
+TEST(ContentCatalog, PollutionTracksGroundTruth) {
+  util::Rng rng(5);
+  trust::WorldParams wp;
+  wp.nodes = 50;
+  trust::GroundTruth truth(rng, wp);
+  ContentCatalog catalog(rng, 50, small_params());
+  for (net::NodeIndex v = 0; v < 50; ++v) {
+    EXPECT_EQ(catalog.copy_polluted(truth, v), !truth.trustable(v));
+  }
+}
+
+TEST(ContentCatalog, DegenerateParamsRejected) {
+  util::Rng rng(6);
+  CatalogParams p = small_params();
+  p.files = 0;
+  EXPECT_THROW(ContentCatalog(rng, 50, p), std::invalid_argument);
+  p = small_params();
+  p.min_replicas = 5;
+  p.max_replicas = 2;
+  EXPECT_THROW(ContentCatalog(rng, 50, p), std::invalid_argument);
+  EXPECT_THROW(ContentCatalog(rng, 1, small_params()), std::invalid_argument);
+}
+
+TEST(ContentCatalog, ReplicasClampedToPopulation) {
+  util::Rng rng(7);
+  CatalogParams p = small_params();
+  p.max_replicas = 1000;
+  ContentCatalog catalog(rng, 30, p);
+  EXPECT_LE(catalog.providers_of(0).size(), 30u);
+}
+
+}  // namespace
+}  // namespace hirep::gnutella

@@ -1,0 +1,88 @@
+#include "gnutella/search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+
+namespace hirep::gnutella {
+namespace {
+
+struct SearchFixture : ::testing::Test {
+  SearchFixture()
+      : rng(1),
+        overlay(net::power_law(rng, 200, 4.0), net::LatencyParams{}, 1),
+        catalog(rng, 200, [] {
+          CatalogParams p;
+          p.files = 10;
+          p.min_replicas = 5;
+          p.max_replicas = 60;
+          return p;
+        }()) {}
+
+  util::Rng rng;
+  net::Overlay overlay;
+  ContentCatalog catalog;
+};
+
+TEST_F(SearchFixture, FindsPopularFile) {
+  const auto result = search(overlay, catalog, 0, 0, 4);
+  EXPECT_TRUE(result.found());
+  EXPECT_GT(result.query_messages, 0u);
+  EXPECT_GT(result.hit_messages, 0u);
+  for (const auto& hit : result.hits) {
+    EXPECT_TRUE(catalog.has_file(hit.provider, 0));
+    EXPECT_GE(hit.hops, 1u);
+    EXPECT_LE(hit.hops, 4u);
+  }
+}
+
+TEST_F(SearchFixture, HitsOnlyFromReachedProviders) {
+  // TTL 1: only direct neighbors can answer.
+  const auto result = search(overlay, catalog, 0, 0, 1);
+  const auto nbs = overlay.graph().neighbors(0);
+  for (const auto& hit : result.hits) {
+    EXPECT_NE(std::find(nbs.begin(), nbs.end(), hit.provider), nbs.end());
+  }
+}
+
+TEST_F(SearchFixture, RequestorOwnCopyDoesNotHit) {
+  // Give the flood a file the requestor itself holds.
+  net::NodeIndex holder = catalog.providers_of(0)[0];
+  const auto result = search(overlay, catalog, holder, 0, 4);
+  for (const auto& hit : result.hits) EXPECT_NE(hit.provider, holder);
+}
+
+TEST_F(SearchFixture, RareFilesHarderToFind) {
+  std::size_t popular_hits = 0, rare_hits = 0;
+  for (net::NodeIndex start = 0; start < 20; ++start) {
+    popular_hits += search(overlay, catalog, start, 0, 3).hits.size();
+    rare_hits += search(overlay, catalog, start, 9, 3).hits.size();
+  }
+  EXPECT_GT(popular_hits, rare_hits);
+}
+
+TEST_F(SearchFixture, TrafficCountedUnderQueryKind) {
+  overlay.metrics().reset();
+  const auto result = search(overlay, catalog, 0, 0, 3);
+  EXPECT_EQ(overlay.metrics().of(net::MessageKind::kQuery),
+            result.query_messages + result.hit_messages);
+  // Search traffic never pollutes the trust-traffic accounting.
+  EXPECT_EQ(overlay.metrics().trust_traffic(), 0u);
+}
+
+TEST_F(SearchFixture, FirstHitTimePositiveWhenFound) {
+  const double t = search_first_hit_ms(overlay, catalog, 0, 0, 4);
+  EXPECT_GT(t, 0.0);
+  // Round trip of at least one hop each way.
+  EXPECT_GE(t, 2 * (10.0 + 1.0));
+}
+
+TEST_F(SearchFixture, FirstHitNegativeWhenNotFound) {
+  // A fresh catalog where file 9 is rare; search from a node far from all
+  // of its providers with TTL 0 equivalent (ttl=0 flood finds nothing).
+  const double t = search_first_hit_ms(overlay, catalog, 0, 9, 0);
+  EXPECT_LT(t, 0.0);
+}
+
+}  // namespace
+}  // namespace hirep::gnutella

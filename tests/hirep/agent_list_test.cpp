@@ -1,0 +1,155 @@
+#include "hirep/agent_list.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hirep::core {
+namespace {
+
+crypto::NodeId id_of(std::uint8_t tag) {
+  crypto::NodeId id;
+  id.bytes[0] = tag;
+  return id;
+}
+
+AgentEntry entry_of(std::uint8_t tag, double weight = 1.0) {
+  AgentEntry e;
+  e.agent_id = id_of(tag);
+  e.weight = weight;
+  return e;
+}
+
+ListParams default_params() {
+  ListParams p;
+  p.alpha = 0.3;
+  p.eviction_threshold = 0.4;
+  p.capacity = 4;
+  p.backup_capacity = 3;
+  p.refill_fraction = 0.5;
+  return p;
+}
+
+TEST(AgentList, InvalidParamsRejected) {
+  ListParams p = default_params();
+  p.alpha = 0.0;
+  EXPECT_THROW(TrustedAgentList{p}, std::invalid_argument);
+  p = default_params();
+  p.alpha = 1.0;
+  EXPECT_THROW(TrustedAgentList{p}, std::invalid_argument);
+  p = default_params();
+  p.capacity = 0;
+  EXPECT_THROW(TrustedAgentList{p}, std::invalid_argument);
+}
+
+TEST(AgentList, AddRespectsCapacityAndUniqueness) {
+  TrustedAgentList list(default_params());
+  EXPECT_TRUE(list.add(entry_of(1)));
+  EXPECT_FALSE(list.add(entry_of(1)));  // duplicate
+  EXPECT_TRUE(list.add(entry_of(2)));
+  EXPECT_TRUE(list.add(entry_of(3)));
+  EXPECT_TRUE(list.add(entry_of(4)));
+  EXPECT_TRUE(list.full());
+  EXPECT_FALSE(list.add(entry_of(5)));  // over capacity
+  EXPECT_EQ(list.size(), 4u);
+}
+
+TEST(AgentList, FindAndContains) {
+  TrustedAgentList list(default_params());
+  list.add(entry_of(7, 0.9));
+  EXPECT_TRUE(list.contains(id_of(7)));
+  const auto* e = list.find(id_of(7));
+  ASSERT_NE(e, nullptr);
+  EXPECT_DOUBLE_EQ(e->weight, 0.9);
+  EXPECT_EQ(list.find(id_of(8)), nullptr);
+}
+
+TEST(AgentList, ExpertiseEwmaUpdate) {
+  TrustedAgentList list(default_params());
+  list.add(entry_of(1, 1.0));
+  // Consistent: 0.3*1 + 0.7*1 = 1.0
+  EXPECT_DOUBLE_EQ(*list.update_expertise(id_of(1), true), 1.0);
+  // Inconsistent: 0.3*0 + 0.7*1 = 0.7
+  EXPECT_DOUBLE_EQ(*list.update_expertise(id_of(1), false), 0.7);
+  // Again: 0.49 — still above 0.4, stays.
+  EXPECT_DOUBLE_EQ(*list.update_expertise(id_of(1), false), 0.49);
+  EXPECT_TRUE(list.contains(id_of(1)));
+  // 0.343 — below the threshold, evicted.
+  EXPECT_DOUBLE_EQ(*list.update_expertise(id_of(1), false), 0.343);
+  EXPECT_FALSE(list.contains(id_of(1)));
+}
+
+TEST(AgentList, UpdateUnknownAgentReturnsNullopt) {
+  TrustedAgentList list(default_params());
+  EXPECT_FALSE(list.update_expertise(id_of(9), true).has_value());
+}
+
+TEST(AgentList, ConsistentlyBadAgentEvictedInThreeSteps) {
+  // The deterministic eviction dynamics the Figure 6/7 analysis relies on:
+  // alpha=0.3, threshold 0.4 evicts an always-wrong agent on update 3.
+  TrustedAgentList list(default_params());
+  list.add(entry_of(1));
+  list.update_expertise(id_of(1), false);
+  list.update_expertise(id_of(1), false);
+  EXPECT_TRUE(list.contains(id_of(1)));
+  list.update_expertise(id_of(1), false);
+  EXPECT_FALSE(list.contains(id_of(1)));
+}
+
+TEST(AgentList, HigherThresholdEvictsFaster) {
+  ListParams p = default_params();
+  p.eviction_threshold = 0.8;
+  TrustedAgentList list(p);
+  list.add(entry_of(1));
+  list.update_expertise(id_of(1), false);  // 0.7 < 0.8: evicted immediately
+  EXPECT_FALSE(list.contains(id_of(1)));
+}
+
+TEST(AgentList, OfflineGoodAgentMovesToBackup) {
+  TrustedAgentList list(default_params());
+  list.add(entry_of(1, 1.0));
+  list.handle_offline(id_of(1));
+  EXPECT_FALSE(list.contains(id_of(1)));
+  EXPECT_EQ(list.backup_size(), 1u);
+  const auto restored = list.pop_backup();
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->agent_id, id_of(1));
+  EXPECT_EQ(list.backup_size(), 0u);
+}
+
+TEST(AgentList, OfflineBadAgentDropped) {
+  TrustedAgentList list(default_params());
+  AgentEntry e = entry_of(1, 0.2);  // below threshold standing
+  list.entries().push_back(e);     // force-insert regardless of add() checks
+  list.handle_offline(id_of(1));
+  EXPECT_EQ(list.backup_size(), 0u);
+}
+
+TEST(AgentList, BackupIsMostRecentFirstAndBounded) {
+  TrustedAgentList list(default_params());
+  for (std::uint8_t i = 1; i <= 4; ++i) list.add(entry_of(i));
+  for (std::uint8_t i = 1; i <= 4; ++i) list.handle_offline(id_of(i));
+  // Capacity 3: agent 1 (oldest) fell off the end.
+  EXPECT_EQ(list.backup_size(), 3u);
+  EXPECT_EQ(list.pop_backup()->agent_id, id_of(4));  // most recent first
+  EXPECT_EQ(list.pop_backup()->agent_id, id_of(3));
+  EXPECT_EQ(list.pop_backup()->agent_id, id_of(2));
+  EXPECT_FALSE(list.pop_backup().has_value());
+}
+
+TEST(AgentList, NeedsRefillBelowFraction) {
+  TrustedAgentList list(default_params());  // capacity 4, fraction 0.5
+  EXPECT_TRUE(list.needs_refill());
+  list.add(entry_of(1));
+  EXPECT_TRUE(list.needs_refill());  // 1 < 2
+  list.add(entry_of(2));
+  EXPECT_FALSE(list.needs_refill());  // 2 >= 2
+}
+
+TEST(AgentList, TotalWeight) {
+  TrustedAgentList list(default_params());
+  list.add(entry_of(1, 1.0));
+  list.add(entry_of(2, 0.5));
+  EXPECT_DOUBLE_EQ(list.total_weight(), 1.5);
+}
+
+}  // namespace
+}  // namespace hirep::core

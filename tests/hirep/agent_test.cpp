@@ -1,0 +1,111 @@
+#include "hirep/agent.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hirep::core {
+namespace {
+
+struct AgentFixture : ::testing::Test {
+  AgentFixture() : rng(1) {
+    trust::WorldParams wp;
+    wp.nodes = 16;
+    wp.malicious_ratio = 0.0;
+    wp.agent_capable_ratio = 1.0;
+    truth = std::make_unique<trust::GroundTruth>(rng, wp);
+    for (int i = 0; i < 3; ++i) {
+      identities.push_back(crypto::Identity::generate(rng, 128));
+    }
+  }
+
+  ReputationAgent make_agent(net::NodeIndex self, std::size_t min_reports = 1) {
+    return ReputationAgent(&identities[0], self, truth.get(),
+                           trust::ewma_model_factory(0.3), min_reports);
+  }
+
+  util::Rng rng;
+  std::unique_ptr<trust::GroundTruth> truth;
+  std::vector<crypto::Identity> identities;
+};
+
+TEST_F(AgentFixture, RegisterKeyEnforcesNodeIdBinding) {
+  auto agent = make_agent(0);
+  // Correct binding accepted.
+  EXPECT_TRUE(agent.register_key(identities[1].node_id(),
+                                 identities[1].signature_public()));
+  // Forged binding (id of 1, key of 2) rejected.
+  EXPECT_FALSE(agent.register_key(identities[1].node_id(),
+                                  identities[2].signature_public()));
+  EXPECT_EQ(agent.key_list_size(), 1u);
+}
+
+TEST_F(AgentFixture, LookupKeyFindsRegistered) {
+  auto agent = make_agent(0);
+  agent.register_key(identities[1].node_id(), identities[1].signature_public());
+  const auto found = agent.lookup_key(identities[1].node_id());
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, identities[1].signature_public());
+  EXPECT_FALSE(agent.lookup_key(identities[2].node_id()).has_value());
+}
+
+TEST_F(AgentFixture, GoodAgentEvaluatesConsistently) {
+  auto agent = make_agent(0);
+  const net::NodeIndex subject = 5;
+  const bool good = truth->trustable(subject);
+  for (int i = 0; i < 20; ++i) {
+    const double v =
+        agent.trust_value(identities[1].node_id(), subject, rng);
+    if (good) {
+      EXPECT_GE(v, 0.6);
+    } else {
+      EXPECT_LE(v, 0.4);
+    }
+  }
+}
+
+TEST_F(AgentFixture, GoodAgentSwitchesToModelAfterReports) {
+  auto agent = make_agent(0, /*min_reports=*/2);
+  const auto subject_id = identities[1].node_id();
+  const net::NodeIndex subject_ip = 5;
+  agent.accept_report(subject_id, 1.0);
+  EXPECT_EQ(agent.report_count(subject_id), 1u);
+  // One report below the threshold: still own evaluation.
+  agent.accept_report(subject_id, 1.0);
+  EXPECT_EQ(agent.report_count(subject_id), 2u);
+  // Now the model answers: EWMA of two 1.0 outcomes is exactly 1.0.
+  EXPECT_DOUBLE_EQ(agent.trust_value(subject_id, subject_ip, rng), 1.0);
+}
+
+TEST_F(AgentFixture, PoorAgentIgnoresReportsAndInverts) {
+  truth->set_malicious(0, true);
+  auto agent = make_agent(0);
+  const auto subject_id = identities[1].node_id();
+  const net::NodeIndex subject_ip = 5;
+  agent.accept_report(subject_id, 1.0);
+  EXPECT_EQ(agent.report_count(subject_id), 0u);  // evidence dropped
+  const bool good = truth->trustable(subject_ip);
+  const double v = agent.trust_value(subject_id, subject_ip, rng);
+  if (good) {
+    EXPECT_LE(v, 0.4);  // inverted evaluation
+  } else {
+    EXPECT_GE(v, 0.6);
+  }
+}
+
+TEST_F(AgentFixture, ReportsAccumulatePerSubject) {
+  auto agent = make_agent(0);
+  agent.accept_report(identities[1].node_id(), 1.0);
+  agent.accept_report(identities[1].node_id(), 0.0);
+  agent.accept_report(identities[2].node_id(), 1.0);
+  EXPECT_EQ(agent.report_count(identities[1].node_id()), 2u);
+  EXPECT_EQ(agent.report_count(identities[2].node_id()), 1u);
+  EXPECT_EQ(agent.report_count(crypto::NodeId{}), 0u);
+}
+
+TEST_F(AgentFixture, IdentityAccessors) {
+  auto agent = make_agent(3);
+  EXPECT_EQ(agent.ip(), 3u);
+  EXPECT_EQ(agent.node_id(), identities[0].node_id());
+}
+
+}  // namespace
+}  // namespace hirep::core

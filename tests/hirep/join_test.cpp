@@ -1,0 +1,119 @@
+// Open membership: peers joining a running system (§1: "anyone can freely
+// join and leave"; agent departure is covered by the online flag).
+#include <gtest/gtest.h>
+
+#include "hirep/system.hpp"
+
+namespace hirep::core {
+namespace {
+
+HirepOptions options(CryptoMode mode) {
+  HirepOptions o;
+  o.nodes = 64;
+  o.rsa_bits = 64;
+  o.trusted_agents = 5;
+  o.onion_relays = 2;
+  o.crypto = mode;
+  o.seed = 17;
+  o.world.malicious_ratio = 0.0;
+  return o;
+}
+
+class JoinSweep : public ::testing::TestWithParam<CryptoMode> {};
+
+TEST_P(JoinSweep, JoinGrowsEveryLayerConsistently) {
+  HirepSystem sys(options(GetParam()));
+  const auto before_nodes = sys.node_count();
+  const auto v = sys.join_peer();
+  EXPECT_EQ(v, before_nodes);
+  EXPECT_EQ(sys.node_count(), before_nodes + 1);
+  EXPECT_EQ(sys.overlay().node_count(), before_nodes + 1);
+  EXPECT_EQ(sys.truth().node_count(), before_nodes + 1);
+  EXPECT_EQ(sys.identities().size(), before_nodes + 1);
+  // Identity mapping is consistent.
+  EXPECT_EQ(sys.ip_of(sys.peer(v).node_id()), v);
+  // The joiner is wired into the overlay.
+  EXPECT_GT(sys.overlay().graph().degree(v), 0u);
+  // And verified its onion relays.
+  EXPECT_EQ(sys.peer(v).relays().size(), sys.options().onion_relays);
+}
+
+TEST_P(JoinSweep, JoinerDiscoversAgentsAndTransacts) {
+  HirepSystem sys(options(GetParam()));
+  const auto v = sys.join_peer();
+  EXPECT_GT(sys.peer(v).agents().size(), 0u);
+  const auto rec = sys.run_transaction(v, 3);
+  EXPECT_GT(rec.responses, 0u);
+  EXPECT_EQ(rec.trust_messages,
+            3 * (sys.options().onion_relays + 1) * rec.responses);
+}
+
+TEST_P(JoinSweep, JoinerCanBeQueriedAbout) {
+  HirepSystem sys(options(GetParam()));
+  const auto v = sys.join_peer();
+  const auto q = sys.query_trust(0, v);
+  if (!q.ratings.empty()) {
+    EXPECT_EQ(q.estimate > 0.5, sys.truth().trustable(v));
+  }
+}
+
+TEST_P(JoinSweep, ManyJoinsKeepInvariants) {
+  HirepSystem sys(options(GetParam()));
+  for (int i = 0; i < 10; ++i) {
+    const auto v = sys.join_peer();
+    EXPECT_EQ(sys.ip_of(sys.peer(v).node_id()), v);
+  }
+  EXPECT_EQ(sys.node_count(), 74u);
+  EXPECT_TRUE(sys.overlay().graph().connected());
+  // Random transactions over the grown population still work.
+  for (int i = 0; i < 10; ++i) {
+    const auto rec = sys.run_transaction();
+    EXPECT_LT(rec.requestor, 74u);
+    EXPECT_LT(rec.provider, 74u);
+  }
+}
+
+TEST_P(JoinSweep, AgentCapableJoinerServes) {
+  HirepSystem sys(options(GetParam()));
+  // Join until one joiner rolls agent capability.
+  net::NodeIndex agent_joiner = net::kInvalidNode;
+  for (int i = 0; i < 30 && agent_joiner == net::kInvalidNode; ++i) {
+    const auto v = sys.join_peer();
+    if (sys.agent_at(v) != nullptr) agent_joiner = v;
+  }
+  ASSERT_NE(agent_joiner, net::kInvalidNode);
+  EXPECT_TRUE(sys.agent_online(agent_joiner));
+  // Another joiner may select it through discovery eventually; at minimum
+  // the agent is discoverable via its self-entry.
+  const auto shared = sys.shareable_list(agent_joiner);
+  EXPECT_FALSE(shared.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, JoinSweep,
+                         ::testing::Values(CryptoMode::kFull, CryptoMode::kFast),
+                         [](const auto& info) {
+                           return info.param == CryptoMode::kFull ? "Full"
+                                                                  : "Fast";
+                         });
+
+TEST(Join, PreferentialAttachmentFavorsHubs) {
+  // Statistical property of the join wiring: joiners attach to high-degree
+  // nodes more often than uniformly.
+  HirepOptions o = options(CryptoMode::kFast);
+  o.nodes = 200;
+  HirepSystem sys(o);
+  // Degree of the biggest hub before joins.
+  std::size_t hub = 0;
+  for (net::NodeIndex v = 0; v < 200; ++v) {
+    hub = std::max(hub, sys.overlay().graph().degree(v));
+  }
+  for (int i = 0; i < 100; ++i) sys.join_peer();
+  std::size_t hub_after = 0;
+  for (net::NodeIndex v = 0; v < 200; ++v) {
+    hub_after = std::max(hub_after, sys.overlay().graph().degree(v));
+  }
+  EXPECT_GT(hub_after, hub);  // the rich got richer
+}
+
+}  // namespace
+}  // namespace hirep::core

@@ -1,0 +1,137 @@
+#include "hirep/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hirep::core {
+namespace {
+
+struct ProtocolFixture : ::testing::Test {
+  ProtocolFixture()
+      : rng(1),
+        peer(crypto::Identity::generate(rng, 128)),
+        agent(crypto::Identity::generate(rng, 128)),
+        subject(crypto::Identity::generate(rng, 128)) {}
+
+  onion::Onion dummy_onion(const crypto::Identity& owner, std::uint64_t sq) {
+    return onion::build_onion(rng, owner, 3, {}, sq);
+  }
+
+  util::Rng rng;
+  crypto::Identity peer;
+  crypto::Identity agent;
+  crypto::Identity subject;
+};
+
+TEST_F(ProtocolFixture, TrustRequestRoundTrip) {
+  const std::uint64_t nonce = 12345;
+  const auto req =
+      build_trust_request(rng, agent.signature_public(), peer,
+                          subject.node_id(), nonce, dummy_onion(peer, 1));
+  const auto opened = open_trust_request(agent, req);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(opened->subject, subject.node_id());
+  EXPECT_EQ(opened->nonce, nonce);
+  EXPECT_EQ(req.sp_p, peer.signature_public());
+}
+
+TEST_F(ProtocolFixture, TrustRequestUnreadableByOthers) {
+  const auto req =
+      build_trust_request(rng, agent.signature_public(), peer,
+                          subject.node_id(), 1, dummy_onion(peer, 1));
+  // Only the agent's private key opens it — voter privacy vs third parties.
+  EXPECT_FALSE(open_trust_request(peer, req).has_value());
+  EXPECT_FALSE(open_trust_request(subject, req).has_value());
+}
+
+TEST_F(ProtocolFixture, TrustRequestSerializationRoundTrip) {
+  const auto req =
+      build_trust_request(rng, agent.signature_public(), peer,
+                          subject.node_id(), 7, dummy_onion(peer, 2));
+  const auto restored = TrustValueRequest::deserialize(req.serialize());
+  ASSERT_TRUE(restored.has_value());
+  const auto opened = open_trust_request(agent, *restored);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(opened->nonce, 7u);
+  EXPECT_TRUE(onion::verify_onion(restored->reply_onion));
+}
+
+TEST_F(ProtocolFixture, TrustResponseRoundTrip) {
+  const auto resp = build_trust_response(rng, peer.signature_public(), agent,
+                                         0.85, 99, dummy_onion(agent, 1));
+  const auto opened = open_trust_response(peer, resp);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_DOUBLE_EQ(opened->value, 0.85);
+  EXPECT_EQ(opened->nonce, 99u);
+  EXPECT_EQ(resp.sp_e, agent.signature_public());
+}
+
+TEST_F(ProtocolFixture, TrustResponseUnreadableByOthers) {
+  const auto resp = build_trust_response(rng, peer.signature_public(), agent,
+                                         0.85, 99, dummy_onion(agent, 1));
+  EXPECT_FALSE(open_trust_response(agent, resp).has_value());
+}
+
+TEST_F(ProtocolFixture, TrustResponseSerializationRoundTrip) {
+  const auto resp = build_trust_response(rng, peer.signature_public(), agent,
+                                         0.25, 5, dummy_onion(agent, 3));
+  const auto restored = TrustValueResponse::deserialize(resp.serialize());
+  ASSERT_TRUE(restored.has_value());
+  const auto opened = open_trust_response(peer, *restored);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_DOUBLE_EQ(opened->value, 0.25);
+}
+
+TEST_F(ProtocolFixture, ReportSignedAndVerifiable) {
+  const auto report = build_report(peer, subject.node_id(), 1.0, 42);
+  EXPECT_EQ(report.reporter, peer.node_id());
+  const auto opened = verify_report(peer.signature_public(), report);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(opened->subject, subject.node_id());
+  EXPECT_DOUBLE_EQ(opened->outcome, 1.0);
+  EXPECT_EQ(opened->nonce, 42u);
+}
+
+TEST_F(ProtocolFixture, ReportRejectsWrongVerificationKey) {
+  const auto report = build_report(peer, subject.node_id(), 1.0, 42);
+  // §3.5.3: the agent locates SP_p by nodeId; a mismatched key must fail.
+  EXPECT_FALSE(verify_report(agent.signature_public(), report).has_value());
+}
+
+TEST_F(ProtocolFixture, ReportRejectsTamperedBody) {
+  auto report = build_report(peer, subject.node_id(), 1.0, 42);
+  report.body[report.body.size() - 1] ^= 0x01;
+  EXPECT_FALSE(verify_report(peer.signature_public(), report).has_value());
+}
+
+TEST_F(ProtocolFixture, ReportRejectsTamperedSignature) {
+  auto report = build_report(peer, subject.node_id(), 1.0, 42);
+  report.signature[0] ^= 0x01;
+  EXPECT_FALSE(verify_report(peer.signature_public(), report).has_value());
+}
+
+TEST_F(ProtocolFixture, ReportSerializationRoundTrip) {
+  const auto report = build_report(peer, subject.node_id(), 0.0, 3);
+  const auto restored = TransactionReport::deserialize(report.serialize());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->reporter, peer.node_id());
+  EXPECT_TRUE(verify_report(peer.signature_public(), *restored).has_value());
+}
+
+TEST_F(ProtocolFixture, DeserializeRejectsGarbage) {
+  const util::Bytes junk{1, 2, 3, 4};
+  EXPECT_FALSE(TrustValueRequest::deserialize(junk).has_value());
+  EXPECT_FALSE(TrustValueResponse::deserialize(junk).has_value());
+  EXPECT_FALSE(TransactionReport::deserialize(junk).has_value());
+}
+
+TEST_F(ProtocolFixture, IdentitySpoofImpossible) {
+  // The §4.2.2 spoofing scenario at protocol level: the "attacker" (agent
+  // identity here) builds a report and stamps the peer's nodeId on it.
+  auto forged = build_report(agent, subject.node_id(), 1.0, 9);
+  forged.reporter = peer.node_id();
+  // Verification against the claimed reporter's key fails.
+  EXPECT_FALSE(verify_report(peer.signature_public(), forged).has_value());
+}
+
+}  // namespace
+}  // namespace hirep::core

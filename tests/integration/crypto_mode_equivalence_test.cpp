@@ -1,0 +1,81 @@
+// kFast must be a faithful accounting model of kFull: identical message
+// structure per protocol action (the random streams differ, so exact
+// transcripts cannot be compared — the invariants are structural).
+#include <gtest/gtest.h>
+
+#include "hirep/system.hpp"
+
+namespace hirep::core {
+namespace {
+
+HirepOptions options(CryptoMode mode, std::uint64_t seed = 31) {
+  HirepOptions o;
+  o.nodes = 64;
+  o.rsa_bits = 64;
+  o.trusted_agents = 4;
+  o.onion_relays = 3;
+  o.crypto = mode;
+  o.seed = seed;
+  o.world.malicious_ratio = 0.0;
+  return o;
+}
+
+class ModeSweep : public ::testing::TestWithParam<CryptoMode> {};
+
+TEST_P(ModeSweep, KeyExchangeBootstrapCostIsNodesTimesRelaysTimesFour) {
+  const auto o = options(GetParam());
+  HirepSystem sys(o);
+  EXPECT_EQ(sys.overlay().metrics().of(net::MessageKind::kKeyExchange),
+            o.nodes * o.onion_relays * 4);
+}
+
+TEST_P(ModeSweep, PerTransactionCostIsThreeLegsPerResponder) {
+  const auto o = options(GetParam());
+  HirepSystem sys(o);
+  for (int i = 0; i < 10; ++i) {
+    const auto rec = sys.run_transaction();
+    EXPECT_EQ(rec.trust_messages, 3 * (o.onion_relays + 1) * rec.responses);
+  }
+}
+
+TEST_P(ModeSweep, HonestWorldEstimatesOnCorrectSide) {
+  HirepSystem sys(options(GetParam()));
+  for (net::NodeIndex p = 1; p < 15; ++p) {
+    const auto q = sys.query_trust(0, p);
+    if (q.ratings.empty()) continue;
+    EXPECT_EQ(q.estimate > 0.5, sys.truth().trustable(p));
+  }
+}
+
+TEST_P(ModeSweep, EntriesCarrySimulationRelayPaths) {
+  const auto o = options(GetParam());
+  HirepSystem sys(o);
+  sys.run_transaction(0, 10);
+  for (const auto& entry : sys.peer(0).agents().entries()) {
+    EXPECT_EQ(entry.relay_path.size(), o.onion_relays + 1);
+    EXPECT_EQ(entry.relay_path.back(), *sys.ip_of(entry.agent_id));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, ModeSweep,
+                         ::testing::Values(CryptoMode::kFull, CryptoMode::kFast),
+                         [](const auto& info) {
+                           return info.param == CryptoMode::kFull ? "Full"
+                                                                  : "Fast";
+                         });
+
+TEST(CryptoModeEquivalence, SameWorldSameTopologyAcrossModes) {
+  // World generation consumes the rng identically in both modes (crypto
+  // randomness comes later), so ground truth and topology must agree.
+  HirepSystem fast(options(CryptoMode::kFast, 77));
+  HirepSystem full(options(CryptoMode::kFull, 77));
+  for (net::NodeIndex v = 0; v < 64; ++v) {
+    EXPECT_EQ(fast.truth().trustable(v), full.truth().trustable(v));
+    EXPECT_EQ(fast.truth().agent_capable(v), full.truth().agent_capable(v));
+    EXPECT_EQ(fast.overlay().graph().degree(v), full.overlay().graph().degree(v));
+  }
+  EXPECT_EQ(fast.agent_count(), full.agent_count());
+}
+
+}  // namespace
+}  // namespace hirep::core

@@ -1,0 +1,153 @@
+#include "net/flood.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/topology.hpp"
+
+namespace hirep::net {
+namespace {
+
+Overlay ring_overlay(std::size_t nodes, std::size_t k = 1) {
+  return Overlay(ring_lattice(nodes, k), LatencyParams{}, 1);
+}
+
+TEST(Flood, RingReachWithinTtl) {
+  auto ov = ring_overlay(20);
+  const auto r = flood(ov, 0, 3, MessageKind::kTrustRequest);
+  // Ring degree 2: TTL 3 reaches 3 nodes on each side.
+  EXPECT_EQ(r.reached.size(), 6u);
+  for (std::size_t i = 0; i < r.reached.size(); ++i) {
+    EXPECT_GE(r.depth[i], 1u);
+    EXPECT_LE(r.depth[i], 3u);
+  }
+}
+
+TEST(Flood, RingMessageCountExact) {
+  auto ov = ring_overlay(20);
+  const auto r = flood(ov, 0, 3, MessageKind::kTrustRequest);
+  // Source sends 2; each newly reached node (6 of them) forwards 1 copy
+  // onward while TTL remains: depth-1 and depth-2 nodes forward (4 nodes),
+  // depth-3 nodes do not.
+  EXPECT_EQ(r.messages, 2u + 4u);
+  EXPECT_EQ(ov.metrics().of(MessageKind::kTrustRequest), r.messages);
+}
+
+TEST(Flood, TtlZeroReachesNothing) {
+  auto ov = ring_overlay(10);
+  const auto r = flood(ov, 0, 0, MessageKind::kControl);
+  EXPECT_TRUE(r.reached.empty());
+  EXPECT_EQ(r.messages, 0u);
+}
+
+TEST(Flood, FullCoverageWithLargeTtl) {
+  auto ov = ring_overlay(16, 2);
+  const auto r = flood(ov, 3, 16, MessageKind::kControl);
+  EXPECT_EQ(r.reached.size(), 15u);  // everyone but the source
+  std::set<NodeIndex> unique(r.reached.begin(), r.reached.end());
+  EXPECT_EQ(unique.size(), 15u);
+  EXPECT_EQ(unique.count(3), 0u);  // source not in reached set
+}
+
+TEST(Flood, DepthsMatchBfsDistances) {
+  util::Rng rng(4);
+  Overlay ov(power_law(rng, 200, 4.0), LatencyParams{}, 2);
+  const auto dist = ov.graph().bfs_distances(7);
+  const auto r = flood(ov, 7, 4, MessageKind::kControl);
+  for (std::size_t i = 0; i < r.reached.size(); ++i) {
+    EXPECT_EQ(r.depth[i], dist[r.reached[i]]);
+  }
+}
+
+TEST(Flood, ResponseCostSumsDepths) {
+  FloodResult r;
+  r.reached = {1, 2, 3};
+  r.depth = {1, 2, 3};
+  EXPECT_EQ(response_cost(r), 6u);
+}
+
+TEST(TimedFlood, ArrivalTimesIncreaseWithDepth) {
+  auto ov = ring_overlay(30);
+  const auto arrivals = timed_flood(ov, 0, 5, 0.0, MessageKind::kControl);
+  EXPECT_EQ(arrivals.size(), 10u);
+  for (const auto& a : arrivals) {
+    EXPECT_GT(a.time_ms, 0.0);
+    // Each hop costs at least min-latency + processing.
+    EXPECT_GE(a.time_ms, a.depth * (10.0 + 1.0) - 1e-9);
+  }
+}
+
+TEST(TimedFlood, ParentsFormTreeTowardSource) {
+  util::Rng rng(5);
+  Overlay ov(power_law(rng, 100, 4.0), LatencyParams{}, 3);
+  const auto arrivals = timed_flood(ov, 0, 4, 0.0, MessageKind::kControl);
+  std::vector<NodeIndex> parent(ov.node_count(), kInvalidNode);
+  for (const auto& a : arrivals) parent[a.node] = a.parent;
+  for (const auto& a : arrivals) {
+    // Walking parents must terminate at the source within depth steps.
+    NodeIndex at = a.node;
+    std::uint32_t steps = 0;
+    while (at != 0 && steps <= a.depth) {
+      at = parent[at];
+      ASSERT_NE(at, kInvalidNode);
+      ++steps;
+    }
+    EXPECT_EQ(at, 0u);
+  }
+}
+
+TEST(TokenWalk, ConsumesAtMostTokens) {
+  auto ov = ring_overlay(50, 2);
+  util::Rng rng(6);
+  const auto visits = token_walk(ov, rng, 0, 5, 10,
+                                 [](NodeIndex) { return true; },
+                                 MessageKind::kAgentDiscovery);
+  EXPECT_LE(visits.size(), 5u);
+  EXPECT_GE(visits.size(), 1u);
+}
+
+TEST(TokenWalk, SkipsNonConsumers) {
+  auto ov = ring_overlay(50, 2);
+  util::Rng rng(7);
+  // Only even nodes answer.
+  const auto visits = token_walk(ov, rng, 1, 4, 20,
+                                 [](NodeIndex v) { return v % 2 == 0; },
+                                 MessageKind::kAgentDiscovery);
+  for (const auto& v : visits) EXPECT_EQ(v.node % 2, 0u);
+}
+
+TEST(TokenWalk, ZeroTokensOrTtlNoVisits) {
+  auto ov = ring_overlay(20);
+  util::Rng rng(8);
+  EXPECT_TRUE(token_walk(ov, rng, 0, 0, 5, [](NodeIndex) { return true; },
+                         MessageKind::kControl)
+                  .empty());
+  EXPECT_TRUE(token_walk(ov, rng, 0, 5, 0, [](NodeIndex) { return true; },
+                         MessageKind::kControl)
+                  .empty());
+}
+
+TEST(TokenWalk, TtlBoundsReach) {
+  auto ov = ring_overlay(100);
+  util::Rng rng(9);
+  // Ring with TTL 2 from node 0: only nodes within 2 hops can answer.
+  const auto visits = token_walk(ov, rng, 0, 50, 2,
+                                 [](NodeIndex) { return true; },
+                                 MessageKind::kControl);
+  for (const auto& v : visits) {
+    const bool near = v.node <= 2 || v.node >= 98;
+    EXPECT_TRUE(near) << "node " << v.node << " beyond TTL";
+  }
+}
+
+TEST(TokenWalk, CountsTraffic) {
+  auto ov = ring_overlay(30, 2);
+  util::Rng rng(10);
+  token_walk(ov, rng, 0, 5, 5, [](NodeIndex) { return true; },
+             MessageKind::kAgentDiscovery);
+  EXPECT_GT(ov.metrics().of(MessageKind::kAgentDiscovery), 0u);
+}
+
+}  // namespace
+}  // namespace hirep::net

@@ -1,0 +1,98 @@
+#include "net/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hirep::net {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Graph, AddEdgeBasics) {
+  Graph g(4);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.degree(2), 0u);
+}
+
+TEST(Graph, RejectsSelfLoopsAndDuplicates) {
+  Graph g(3);
+  EXPECT_FALSE(g.add_edge(1, 1));
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(1, 0));
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Graph, OutOfRangeThrows) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 2), std::out_of_range);
+  EXPECT_THROW(g.degree(5), std::out_of_range);
+  EXPECT_THROW(g.neighbors(2), std::out_of_range);
+}
+
+TEST(Graph, NeighborsContent) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  const auto nbs = g.neighbors(0);
+  EXPECT_EQ(nbs.size(), 2u);
+}
+
+TEST(Graph, ConnectivityDetection) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(g.connected());
+  EXPECT_EQ(g.component_size(0), 2u);
+  EXPECT_EQ(g.component_size(2), 2u);
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.connected());
+  EXPECT_EQ(g.component_size(0), 4u);
+}
+
+TEST(Graph, BfsDistances) {
+  // Path 0-1-2-3 plus shortcut 0-3.
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(0, 3);
+  const auto d = g.bfs_distances(0);
+  EXPECT_EQ(d[0], 0u);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[2], 2u);
+  EXPECT_EQ(d[3], 1u);
+  EXPECT_EQ(d[4], std::numeric_limits<std::uint32_t>::max());  // isolated
+}
+
+TEST(Graph, AverageAndMaxDegree) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 1.5);
+  EXPECT_EQ(g.max_degree(), 3u);
+}
+
+TEST(Graph, DegreeHistogram) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  const auto hist = g.degree_histogram();
+  ASSERT_EQ(hist.size(), 3u);  // max degree 2
+  EXPECT_EQ(hist[0], 1u);      // node 3
+  EXPECT_EQ(hist[1], 2u);      // nodes 1, 2
+  EXPECT_EQ(hist[2], 1u);      // node 0
+}
+
+}  // namespace
+}  // namespace hirep::net

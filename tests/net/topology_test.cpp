@@ -1,0 +1,101 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hirep::net {
+namespace {
+
+TEST(Topology, BarabasiAlbertBasicShape) {
+  util::Rng rng(1);
+  const auto g = barabasi_albert(rng, 500, 2);
+  EXPECT_EQ(g.node_count(), 500u);
+  EXPECT_TRUE(g.connected());
+  EXPECT_NEAR(g.average_degree(), 4.0, 0.5);
+}
+
+TEST(Topology, BarabasiAlbertRejectsBadArgs) {
+  util::Rng rng(2);
+  EXPECT_THROW(barabasi_albert(rng, 10, 0), std::invalid_argument);
+  EXPECT_THROW(barabasi_albert(rng, 3, 3), std::invalid_argument);
+}
+
+TEST(Topology, BarabasiAlbertHasHubs) {
+  // Preferential attachment produces heavy-tailed degrees: the max degree
+  // should be far above the average.
+  util::Rng rng(3);
+  const auto g = barabasi_albert(rng, 1000, 2);
+  EXPECT_GT(g.max_degree(), 4 * static_cast<std::size_t>(g.average_degree()));
+}
+
+class PowerLawSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PowerLawSweep, RealizesRequestedAverageDegree) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam() * 10));
+  const auto g = power_law(rng, 800, GetParam());
+  EXPECT_TRUE(g.connected());
+  EXPECT_NEAR(g.average_degree(), GetParam(), 0.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, PowerLawSweep,
+                         ::testing::Values(2.0, 3.0, 4.0, 6.0));
+
+TEST(Topology, PowerLawDegreeDistributionIsHeavyTailed) {
+  util::Rng rng(5);
+  const auto g = power_law(rng, 2000, 4.0);
+  const auto hist = g.degree_histogram();
+  // Count nodes with degree >= 5x the average — a power law keeps a
+  // noticeable tail, an ER graph of the same density essentially none.
+  std::size_t heavy = 0;
+  for (std::size_t d = 20; d < hist.size(); ++d) heavy += hist[d];
+  EXPECT_GT(heavy, 10u);
+}
+
+TEST(Topology, ErdosRenyiDensityMatches) {
+  util::Rng rng(6);
+  const auto g = erdos_renyi(rng, 600, 6.0);
+  EXPECT_NEAR(g.average_degree(), 6.0, 0.8);
+}
+
+TEST(Topology, ErdosRenyiZeroDegreeEdgeCase) {
+  util::Rng rng(7);
+  const auto g = erdos_renyi(rng, 50, 0.0);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(Topology, RingLatticeDeterministic) {
+  const auto g = ring_lattice(10, 2);
+  EXPECT_EQ(g.node_count(), 10u);
+  EXPECT_EQ(g.edge_count(), 20u);
+  EXPECT_TRUE(g.connected());
+  for (NodeIndex v = 0; v < 10; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_THROW(ring_lattice(2, 1), std::invalid_argument);
+}
+
+TEST(Topology, EnsureConnectedRepairsFragments) {
+  util::Rng rng(8);
+  Graph g(20);  // no edges at all: 20 components
+  ensure_connected(rng, g);
+  EXPECT_TRUE(g.connected());
+  EXPECT_GE(g.edge_count(), 19u);
+}
+
+TEST(Topology, EnsureConnectedNoopWhenConnected) {
+  util::Rng rng(9);
+  auto g = ring_lattice(10, 1);
+  const auto edges = g.edge_count();
+  ensure_connected(rng, g);
+  EXPECT_EQ(g.edge_count(), edges);
+}
+
+TEST(Topology, DeterministicGivenSeed) {
+  util::Rng a(77), b(77);
+  const auto ga = power_law(a, 300, 4.0);
+  const auto gb = power_law(b, 300, 4.0);
+  EXPECT_EQ(ga.edge_count(), gb.edge_count());
+  for (NodeIndex v = 0; v < 300; ++v) EXPECT_EQ(ga.degree(v), gb.degree(v));
+}
+
+}  // namespace
+}  // namespace hirep::net

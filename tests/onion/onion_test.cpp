@@ -1,0 +1,159 @@
+#include "onion/onion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hirep::onion {
+namespace {
+
+struct OnionFixture : ::testing::Test {
+  OnionFixture() : rng(1) {
+    owner = std::make_unique<crypto::Identity>(crypto::Identity::generate(rng, 128));
+    for (int i = 0; i < 4; ++i) {
+      relay_ids.push_back(crypto::Identity::generate(rng, 128));
+      relays.push_back(
+          {static_cast<net::NodeIndex>(10 + i), relay_ids.back().anonymity_public()});
+    }
+  }
+
+  util::Rng rng;
+  std::unique_ptr<crypto::Identity> owner;
+  std::vector<crypto::Identity> relay_ids;
+  std::vector<RelayInfo> relays;  // relays[0] adjacent to owner
+};
+
+TEST_F(OnionFixture, EntryIsOutermostRelay) {
+  const auto onion = build_onion(rng, *owner, 5, relays, 1);
+  EXPECT_EQ(onion.entry, relays.back().ip);
+  EXPECT_EQ(onion.relay_count, 4u);
+  EXPECT_EQ(onion.sq, 1u);
+}
+
+TEST_F(OnionFixture, SignatureVerifies) {
+  const auto onion = build_onion(rng, *owner, 5, relays, 3);
+  EXPECT_TRUE(verify_onion(onion));
+}
+
+TEST_F(OnionFixture, TamperedBlobFailsVerification) {
+  auto onion = build_onion(rng, *owner, 5, relays, 3);
+  onion.blob[0] ^= 0x01;
+  EXPECT_FALSE(verify_onion(onion));
+}
+
+TEST_F(OnionFixture, TamperedSqFailsVerification) {
+  auto onion = build_onion(rng, *owner, 5, relays, 3);
+  onion.sq += 1;  // attacker freshens a stale onion
+  EXPECT_FALSE(verify_onion(onion));
+}
+
+TEST_F(OnionFixture, PeelsInReverseRelayOrder) {
+  const auto onion = build_onion(rng, *owner, 5, relays, 1);
+  util::Bytes blob = onion.blob;
+  // Peel through relays 3, 2, 1, 0 (outermost inward).
+  for (int i = 3; i >= 0; --i) {
+    const auto peeled = peel(blob, relay_ids[static_cast<std::size_t>(i)]
+                                       .anonymity_private());
+    ASSERT_TRUE(peeled.has_value()) << "layer " << i;
+    EXPECT_FALSE(peeled->terminal);
+    const net::NodeIndex expected_next =
+        i > 0 ? relays[static_cast<std::size_t>(i - 1)].ip : 5;
+    EXPECT_EQ(peeled->next, expected_next);
+    blob = peeled->inner;
+  }
+  // Finally the owner peels the terminal layer.
+  const auto last = peel(blob, owner->anonymity_private());
+  ASSERT_TRUE(last.has_value());
+  EXPECT_TRUE(last->terminal);
+  EXPECT_EQ(last->next, 5u);  // carries the owner's own address
+  EXPECT_FALSE(last->inner.empty());  // the fake onion padding
+}
+
+TEST_F(OnionFixture, WrongRelayCannotPeel) {
+  const auto onion = build_onion(rng, *owner, 5, relays, 1);
+  // The outermost layer is for relays[3]; relays[0] must fail.
+  EXPECT_FALSE(peel(onion.blob, relay_ids[0].anonymity_private()).has_value());
+  EXPECT_FALSE(peel(onion.blob, owner->anonymity_private()).has_value());
+}
+
+TEST_F(OnionFixture, RelayCannotTellPositionFromFormat) {
+  // Every peel yields the same structure (tag/next/inner); a relay cannot
+  // distinguish "next is a relay" from "next is the destination".
+  const auto onion = build_onion(rng, *owner, 5, relays, 1);
+  auto outer = peel(onion.blob, relay_ids[3].anonymity_private());
+  ASSERT_TRUE(outer.has_value());
+  // The peeled inner blob looks like opaque ciphertext either way.
+  EXPECT_GT(outer->inner.size(), 16u);
+  EXPECT_FALSE(outer->terminal);
+}
+
+TEST_F(OnionFixture, ZeroRelayOnionIsTerminalForOwner) {
+  const auto onion = build_onion(rng, *owner, 5, {}, 1);
+  EXPECT_EQ(onion.entry, 5u);  // owner itself
+  const auto peeled = peel(onion.blob, owner->anonymity_private());
+  ASSERT_TRUE(peeled.has_value());
+  EXPECT_TRUE(peeled->terminal);
+}
+
+TEST_F(OnionFixture, SerializationRoundTrip) {
+  const auto onion = build_onion(rng, *owner, 5, relays, 9);
+  const auto restored = Onion::deserialize(onion.serialize());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->entry, onion.entry);
+  EXPECT_EQ(restored->sq, onion.sq);
+  EXPECT_EQ(restored->relay_count, onion.relay_count);
+  EXPECT_EQ(restored->blob, onion.blob);
+  EXPECT_TRUE(verify_onion(*restored));
+}
+
+TEST_F(OnionFixture, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(Onion::deserialize(util::Bytes{1, 2, 3}).has_value());
+}
+
+TEST(SequenceGuard, AcceptsAnyAgeUntilRevoked) {
+  // Different holders legitimately keep onions of different ages: without
+  // a revocation, every sq routes.
+  SequenceGuard guard;
+  crypto::NodeId id;
+  id.bytes[0] = 1;
+  EXPECT_TRUE(guard.accept(id, 5));
+  EXPECT_TRUE(guard.accept(id, 9));
+  EXPECT_TRUE(guard.accept(id, 3));  // older holder, still valid
+  EXPECT_EQ(guard.newest(id), 9u);
+  EXPECT_EQ(guard.floor_of(id), 0u);
+}
+
+TEST(SequenceGuard, RevocationFloorRejectsOlder) {
+  SequenceGuard guard;
+  crypto::NodeId id;
+  id.bytes[0] = 1;
+  guard.revoke_before(id, 5);
+  EXPECT_FALSE(guard.accept(id, 4));
+  EXPECT_TRUE(guard.accept(id, 5));  // at the floor is fine
+  EXPECT_TRUE(guard.accept(id, 9));
+  EXPECT_EQ(guard.floor_of(id), 5u);
+}
+
+TEST(SequenceGuard, FloorsOnlyMoveForward) {
+  SequenceGuard guard;
+  crypto::NodeId id;
+  id.bytes[0] = 1;
+  guard.revoke_before(id, 7);
+  guard.revoke_before(id, 3);  // attacker cannot lower the floor
+  EXPECT_EQ(guard.floor_of(id), 7u);
+  EXPECT_FALSE(guard.accept(id, 5));
+}
+
+TEST(SequenceGuard, TracksOwnersIndependently) {
+  SequenceGuard guard;
+  crypto::NodeId a, b;
+  a.bytes[0] = 1;
+  b.bytes[0] = 2;
+  guard.revoke_before(a, 10);
+  EXPECT_FALSE(guard.accept(a, 9));
+  EXPECT_TRUE(guard.accept(b, 1));  // b's onions unaffected by a's floor
+  EXPECT_FALSE(guard.newest(crypto::NodeId{}).has_value());
+}
+
+}  // namespace
+}  // namespace hirep::onion

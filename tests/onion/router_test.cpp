@@ -1,0 +1,115 @@
+#include "onion/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+
+namespace hirep::onion {
+namespace {
+
+struct RouterFixture : ::testing::Test {
+  RouterFixture()
+      : rng(3), overlay(net::ring_lattice(8, 1), net::LatencyParams{}, 1) {
+    for (int i = 0; i < 8; ++i) {
+      identities.push_back(crypto::Identity::generate(rng, 128));
+    }
+    router = std::make_unique<Router>(&overlay, &identities);
+  }
+
+  std::vector<RelayInfo> relay_infos(std::initializer_list<net::NodeIndex> ips) {
+    std::vector<RelayInfo> out;
+    for (auto ip : ips) out.push_back({ip, identities[ip].anonymity_public()});
+    return out;
+  }
+
+  util::Rng rng;
+  net::Overlay overlay;
+  std::vector<crypto::Identity> identities;
+  std::unique_ptr<Router> router;
+};
+
+TEST_F(RouterFixture, DeliversThroughRelays) {
+  // Owner 5, relays 1 (adjacent) then 2 then 3 (entry).
+  const auto onion = build_onion(rng, identities[5], 5, relay_infos({1, 2, 3}), 1);
+  const util::Bytes payload{0xaa, 0xbb};
+  const auto result = router->route(0, onion, payload, net::MessageKind::kControl);
+  EXPECT_TRUE(result.delivered);
+  EXPECT_EQ(result.destination, 5u);
+  EXPECT_EQ(result.hops, 4u);  // sender->3->2->1->5
+  EXPECT_EQ(result.payload, payload);
+  EXPECT_EQ(overlay.metrics().of(net::MessageKind::kControl), 4u);
+}
+
+TEST_F(RouterFixture, ZeroRelayOnionDeliversDirect) {
+  const auto onion = build_onion(rng, identities[5], 5, {}, 1);
+  const auto result = router->route(0, onion, {}, net::MessageKind::kControl);
+  EXPECT_TRUE(result.delivered);
+  EXPECT_EQ(result.hops, 1u);
+}
+
+TEST_F(RouterFixture, BadSignatureRejectedWithoutTraffic) {
+  auto onion = build_onion(rng, identities[5], 5, relay_infos({1, 2}), 1);
+  onion.blob[0] ^= 1;
+  const auto result = router->route(0, onion, {}, net::MessageKind::kControl);
+  EXPECT_FALSE(result.delivered);
+  EXPECT_EQ(overlay.metrics().total(), 0u);
+}
+
+TEST_F(RouterFixture, DifferentAgesRouteUntilRevocation) {
+  // Two holders with onions of different ages: both route.
+  const auto older = build_onion(rng, identities[5], 5, relay_infos({1}), 1);
+  const auto newer = build_onion(rng, identities[5], 5, relay_infos({2}), 2);
+  EXPECT_TRUE(router->route(0, newer, {}, net::MessageKind::kControl).delivered);
+  EXPECT_TRUE(router->route(0, older, {}, net::MessageKind::kControl).delivered);
+}
+
+TEST_F(RouterFixture, RevokedSequenceRejected) {
+  const auto stale = build_onion(rng, identities[5], 5, relay_infos({1}), 1);
+  const auto fresh = build_onion(rng, identities[5], 5, relay_infos({2}), 2);
+  // The owner refreshes its onions and revokes everything older.
+  router->sequence_guard().revoke_before(identities[5].node_id(), 2);
+  EXPECT_TRUE(router->route(0, fresh, {}, net::MessageKind::kControl).delivered);
+  EXPECT_FALSE(router->route(0, stale, {}, net::MessageKind::kControl).delivered);
+}
+
+TEST_F(RouterFixture, EqualSequenceStillRoutes) {
+  const auto a = build_onion(rng, identities[5], 5, relay_infos({1}), 7);
+  EXPECT_TRUE(router->route(0, a, {}, net::MessageKind::kControl).delivered);
+  EXPECT_TRUE(router->route(0, a, {}, net::MessageKind::kControl).delivered);
+}
+
+TEST_F(RouterFixture, TimedRouteProducesIncreasingCompletion) {
+  const auto onion = build_onion(rng, identities[6], 6, relay_infos({1, 2, 3}), 1);
+  const auto result =
+      router->route_timed(10.0, 0, onion, {}, net::MessageKind::kControl);
+  EXPECT_TRUE(result.delivered);
+  // 4 hops, each >= 10ms link + 1ms processing, starting at t=10.
+  EXPECT_GE(result.completion_ms, 10.0 + 4 * 11.0 - 1e9 * 0);
+}
+
+TEST_F(RouterFixture, RouteWithForeignGuardOwnersIndependent) {
+  const auto a = build_onion(rng, identities[4], 4, relay_infos({1}), 1);
+  const auto b = build_onion(rng, identities[5], 5, relay_infos({2}), 1);
+  EXPECT_TRUE(router->route(0, a, {}, net::MessageKind::kControl).delivered);
+  EXPECT_TRUE(router->route(0, b, {}, net::MessageKind::kControl).delivered);
+}
+
+TEST(PickRelayIps, ExcludesOwnerAndDuplicates) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto ips = pick_relay_ips(rng, 20, 5, 7);
+    EXPECT_EQ(ips.size(), 5u);
+    std::set<net::NodeIndex> unique(ips.begin(), ips.end());
+    EXPECT_EQ(unique.size(), 5u);
+    EXPECT_EQ(unique.count(7), 0u);
+  }
+}
+
+TEST(PickRelayIps, ClampsWhenAskingTooMany) {
+  util::Rng rng(6);
+  const auto ips = pick_relay_ips(rng, 4, 10, 0);
+  EXPECT_EQ(ips.size(), 3u);  // everyone but the owner
+}
+
+}  // namespace
+}  // namespace hirep::onion

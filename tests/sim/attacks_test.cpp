@@ -1,0 +1,105 @@
+#include "sim/attacks.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hirep::sim {
+namespace {
+
+core::HirepOptions small_options() {
+  core::HirepOptions o;
+  o.nodes = 64;
+  o.rsa_bits = 64;
+  o.trusted_agents = 5;
+  o.onion_relays = 3;
+  o.seed = 21;
+  o.world.malicious_ratio = 0.1;
+  return o;
+}
+
+struct AttackFixture : ::testing::Test {
+  AttackFixture() : system(small_options()) {}
+  core::HirepSystem system;
+};
+
+TEST_F(AttackFixture, ReportSpoofAlwaysRejected) {
+  // Find an agent node.
+  net::NodeIndex agent_ip = 0;
+  while (system.agent_at(agent_ip) == nullptr) ++agent_ip;
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto attacker = static_cast<net::NodeIndex>(trial);
+    const auto victim = static_cast<net::NodeIndex>(trial + 10);
+    EXPECT_FALSE(attempt_report_spoof(system, attacker, victim, agent_ip,
+                                      /*subject=*/30))
+        << "spoof accepted on trial " << trial;
+  }
+}
+
+TEST_F(AttackFixture, MitmKeySubstitutionAlwaysRejected) {
+  for (int trial = 0; trial < 5; ++trial) {
+    EXPECT_FALSE(attempt_mitm_key_substitution(
+        system, /*requestor=*/static_cast<net::NodeIndex>(trial),
+        /*relay=*/static_cast<net::NodeIndex>(trial + 20),
+        /*attacker=*/static_cast<net::NodeIndex>(trial + 40)));
+  }
+}
+
+TEST_F(AttackFixture, OnionReplayRejected) {
+  EXPECT_FALSE(attempt_onion_replay(system, 5));
+  EXPECT_FALSE(attempt_onion_replay(system, 17));
+}
+
+TEST_F(AttackFixture, AgentPopularityCensus) {
+  const auto pop = agent_popularity(system);
+  EXPECT_FALSE(pop.empty());
+  // Sorted descending and every listed node is an agent.
+  for (std::size_t i = 1; i < pop.size(); ++i) {
+    EXPECT_GE(pop[i - 1].second, pop[i].second);
+  }
+  for (const auto& [ip, refs] : pop) {
+    EXPECT_NE(system.agent_at(ip), nullptr);
+    EXPECT_GT(refs, 0u);
+  }
+}
+
+TEST_F(AttackFixture, DosTakesTopAgentsOffline) {
+  const auto victims = dos_top_agents(system, 3);
+  EXPECT_EQ(victims.size(), 3u);
+  for (auto v : victims) EXPECT_FALSE(system.agent_online(v));
+}
+
+TEST_F(AttackFixture, SystemRecoversFromDos) {
+  const auto victims = dos_top_agents(system, 5);
+  ASSERT_FALSE(victims.empty());
+  // Transactions keep flowing; peers replace lost agents via maintenance.
+  std::size_t responses = 0;
+  for (int i = 0; i < 30; ++i) responses += system.run_transaction().responses;
+  EXPECT_GT(responses, 0u);
+}
+
+TEST_F(AttackFixture, SybilCorruptsRequestedCount) {
+  const auto before = system.truth().poor_evaluator_count();
+  const auto converted = sybil_corrupt_agents(system, 4);
+  EXPECT_EQ(converted.size(), 4u);
+  EXPECT_EQ(system.truth().poor_evaluator_count(), before + 4);
+  for (auto v : converted) EXPECT_TRUE(system.truth().poor_evaluator(v));
+}
+
+TEST_F(AttackFixture, HostileRecommendationsShape) {
+  const auto lists = hostile_recommendations(system, {1, 2}, {3, 4, 5}, 6);
+  EXPECT_EQ(lists.size(), 6u);
+  for (const auto& list : lists) {
+    EXPECT_EQ(list.size(), 5u);
+    for (const auto& e : list) {
+      const auto ip = system.ip_of(e.agent_id);
+      ASSERT_TRUE(ip.has_value());
+      if (*ip == 1 || *ip == 2) {
+        EXPECT_DOUBLE_EQ(e.weight, 0.0);  // bad-mouthed
+      } else {
+        EXPECT_DOUBLE_EQ(e.weight, 1.0);  // shilled
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hirep::sim

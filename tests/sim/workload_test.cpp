@@ -1,0 +1,77 @@
+#include "sim/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace hirep::sim {
+namespace {
+
+TEST(Workload, UniformNeverSelfTransacts) {
+  WorkloadGenerator gen(10, 1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto t = gen.uniform();
+    EXPECT_NE(t.requestor, t.provider);
+    EXPECT_LT(t.requestor, 10u);
+    EXPECT_LT(t.provider, 10u);
+  }
+}
+
+TEST(Workload, UniformBatchSize) {
+  WorkloadGenerator gen(50, 2);
+  EXPECT_EQ(gen.uniform_batch(123).size(), 123u);
+}
+
+TEST(Workload, UniformCoversProviders) {
+  WorkloadGenerator gen(20, 3);
+  std::map<net::NodeIndex, int> counts;
+  for (const auto& t : gen.uniform_batch(4000)) ++counts[t.provider];
+  EXPECT_EQ(counts.size(), 20u);
+  for (const auto& [node, count] : counts) EXPECT_NEAR(count, 200, 80);
+}
+
+TEST(Workload, ZipfSkewsProviders) {
+  WorkloadGenerator gen(100, 4);
+  std::map<net::NodeIndex, int> counts;
+  for (const auto& t : gen.zipf_batch(5000, 1.2)) ++counts[t.provider];
+  // The most popular provider should dominate; find the max share.
+  int max_count = 0;
+  for (const auto& [node, count] : counts) max_count = std::max(max_count, count);
+  EXPECT_GT(max_count, 5000 / 10);  // >10% on the hottest item
+}
+
+TEST(Workload, HigherExponentMoreSkew) {
+  auto max_share = [](double s) {
+    WorkloadGenerator gen(100, 5);
+    std::map<net::NodeIndex, int> counts;
+    for (const auto& t : gen.zipf_batch(5000, s)) ++counts[t.provider];
+    int max_count = 0;
+    for (const auto& [node, c] : counts) max_count = std::max(max_count, c);
+    return max_count;
+  };
+  EXPECT_LT(max_share(0.5), max_share(2.0));
+}
+
+TEST(Workload, ZipfNoSelfTransactions) {
+  WorkloadGenerator gen(10, 6);
+  for (const auto& t : gen.zipf_batch(500, 1.0)) {
+    EXPECT_NE(t.requestor, t.provider);
+  }
+}
+
+TEST(Workload, RejectsDegenerateSize) {
+  EXPECT_THROW(WorkloadGenerator(1, 7), std::invalid_argument);
+}
+
+TEST(Workload, DeterministicGivenSeed) {
+  WorkloadGenerator a(30, 8), b(30, 8);
+  for (int i = 0; i < 100; ++i) {
+    const auto ta = a.uniform();
+    const auto tb = b.uniform();
+    EXPECT_EQ(ta.requestor, tb.requestor);
+    EXPECT_EQ(ta.provider, tb.provider);
+  }
+}
+
+}  // namespace
+}  // namespace hirep::sim

@@ -1,0 +1,100 @@
+#include "trust/eigentrust.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace hirep::trust {
+namespace {
+
+TEST(EigenTrust, UniformWithNoRatings) {
+  EigenTrust et(4);
+  const auto t = et.compute();
+  for (double v : t) EXPECT_NEAR(v, 0.25, 1e-9);
+}
+
+TEST(EigenTrust, SumsToOne) {
+  EigenTrust et(5);
+  et.add_local_trust(0, 1, 1.0);
+  et.add_local_trust(1, 2, 2.0);
+  et.add_local_trust(2, 0, 0.5);
+  const auto t = et.compute();
+  EXPECT_NEAR(std::accumulate(t.begin(), t.end(), 0.0), 1.0, 1e-9);
+}
+
+TEST(EigenTrust, UnanimouslyTrustedPeerRanksFirst) {
+  EigenTrust et(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (i != 3) et.add_local_trust(i, 3, 1.0);
+  }
+  const auto t = et.compute();
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_GT(t[3], t[i]);
+}
+
+TEST(EigenTrust, NegativeRatingsClampToZero) {
+  EigenTrust a(3), b(3);
+  a.add_local_trust(0, 1, -5.0);
+  const auto ta = a.compute();
+  const auto tb = b.compute();
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(ta[i], tb[i], 1e-12);
+}
+
+TEST(EigenTrust, SelfRatingsIgnored) {
+  EigenTrust et(3);
+  et.add_local_trust(1, 1, 100.0);
+  const auto t = et.compute();
+  EXPECT_NEAR(t[1], 1.0 / 3.0, 1e-9);
+}
+
+TEST(EigenTrust, PreTrustedDampingPullsTowardP) {
+  EigenTrust et(4, {0});
+  // A collusion clique (2,3) rates only each other.
+  et.add_local_trust(2, 3, 1.0);
+  et.add_local_trust(3, 2, 1.0);
+  const auto t = et.compute(0.5);
+  // Strong damping toward pre-trusted peer 0 limits the clique's gain.
+  EXPECT_GT(t[0], t[2]);
+}
+
+TEST(EigenTrust, OutOfRangeIndicesThrow) {
+  EXPECT_THROW(EigenTrust(3, {5}), std::out_of_range);
+  EigenTrust et(3);
+  EXPECT_THROW(et.add_local_trust(0, 9, 1.0), std::out_of_range);
+  EXPECT_THROW(et.add_local_trust(9, 0, 1.0), std::out_of_range);
+}
+
+TEST(EigenTrust, ConvergesWithinIterationBudget) {
+  EigenTrust et(50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    // Asymmetric weights so the stationary vector is non-uniform and the
+    // iteration has real work to do.
+    et.add_local_trust(i, (i + 1) % 50, 1.0 + static_cast<double>(i % 5));
+    et.add_local_trust(i, (i + 7) % 50, 0.5);
+  }
+  et.compute(0.15, 1e-10, 500);
+  EXPECT_LT(et.last_iterations(), 500u);
+  EXPECT_GT(et.last_iterations(), 1u);
+}
+
+TEST(EigenTrust, MaliciousCliqueSuppressedByPreTrust) {
+  // 10 peers; 0-6 honest, rating each other; 7-9 a clique inflating itself.
+  EigenTrust et(10, {0, 1});
+  for (std::size_t i = 0; i < 7; ++i) {
+    for (std::size_t j = 0; j < 7; ++j) {
+      if (i != j) et.add_local_trust(i, j, 1.0);
+    }
+  }
+  for (std::size_t i = 7; i < 10; ++i) {
+    for (std::size_t j = 7; j < 10; ++j) {
+      if (i != j) et.add_local_trust(i, j, 10.0);
+    }
+  }
+  const auto t = et.compute(0.2);
+  double honest = 0, clique = 0;
+  for (std::size_t i = 0; i < 7; ++i) honest += t[i];
+  for (std::size_t i = 7; i < 10; ++i) clique += t[i];
+  EXPECT_GT(honest, clique);
+}
+
+}  // namespace
+}  // namespace hirep::trust

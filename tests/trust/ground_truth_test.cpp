@@ -1,0 +1,146 @@
+#include "trust/ground_truth.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hirep::trust {
+namespace {
+
+WorldParams small_world(std::size_t nodes = 2000) {
+  WorldParams p;
+  p.nodes = nodes;
+  return p;
+}
+
+TEST(GroundTruth, PopulationRatios) {
+  util::Rng rng(1);
+  GroundTruth truth(rng, small_world());
+  std::size_t trustable = 0, capable = 0;
+  for (std::size_t v = 0; v < truth.node_count(); ++v) {
+    trustable += truth.trustable(static_cast<net::NodeIndex>(v));
+    capable += truth.agent_capable(static_cast<net::NodeIndex>(v));
+  }
+  EXPECT_NEAR(static_cast<double>(trustable) / 2000.0, 0.5, 0.05);
+  EXPECT_NEAR(static_cast<double>(capable) / 2000.0, 0.4, 0.05);
+  EXPECT_NEAR(static_cast<double>(truth.poor_evaluator_count()) / 2000.0, 0.10,
+              0.03);
+}
+
+TEST(GroundTruth, BandwidthThresholdDefinesAgents) {
+  util::Rng rng(2);
+  GroundTruth truth(rng, small_world(500));
+  for (std::size_t v = 0; v < 500; ++v) {
+    const auto node = static_cast<net::NodeIndex>(v);
+    EXPECT_EQ(truth.agent_capable(node), truth.bandwidth_kbps(node) > 64.0);
+  }
+  const auto agents = truth.agent_capable_nodes();
+  for (auto a : agents) EXPECT_GT(truth.bandwidth_kbps(a), 64.0);
+}
+
+TEST(GroundTruth, TrueTrustBinary) {
+  util::Rng rng(3);
+  GroundTruth truth(rng, small_world(100));
+  for (std::size_t v = 0; v < 100; ++v) {
+    const double t = truth.true_trust(static_cast<net::NodeIndex>(v));
+    EXPECT_TRUE(t == 0.0 || t == 1.0);
+    EXPECT_EQ(truth.transaction_outcome(static_cast<net::NodeIndex>(v)), t);
+  }
+}
+
+TEST(GroundTruth, GoodEvaluatorRatesWithinScopes) {
+  util::Rng rng(4);
+  WorldParams p = small_world(200);
+  p.malicious_ratio = 0.0;  // everyone honest
+  GroundTruth truth(rng, p);
+  for (int i = 0; i < 500; ++i) {
+    const auto evaluator = static_cast<net::NodeIndex>(rng.below(200));
+    const auto subject = static_cast<net::NodeIndex>(rng.below(200));
+    const double r = truth.evaluate(evaluator, subject, rng);
+    if (truth.trustable(subject)) {
+      EXPECT_GE(r, 0.6);
+      EXPECT_LE(r, 1.0);
+    } else {
+      EXPECT_GE(r, 0.0);
+      EXPECT_LE(r, 0.4);
+    }
+  }
+}
+
+TEST(GroundTruth, PoorEvaluatorInverts) {
+  util::Rng rng(5);
+  WorldParams p = small_world(200);
+  p.malicious_ratio = 1.0;  // everyone malicious
+  GroundTruth truth(rng, p);
+  EXPECT_EQ(truth.poor_evaluator_count(), 200u);
+  for (int i = 0; i < 500; ++i) {
+    const auto evaluator = static_cast<net::NodeIndex>(rng.below(200));
+    const auto subject = static_cast<net::NodeIndex>(rng.below(200));
+    const double r = truth.evaluate(evaluator, subject, rng);
+    if (truth.trustable(subject)) {
+      EXPECT_LE(r, 0.4);  // inverted: rates good peers badly
+    } else {
+      EXPECT_GE(r, 0.6);
+    }
+  }
+}
+
+TEST(GroundTruth, SetMaliciousRatioExact) {
+  util::Rng rng(6);
+  GroundTruth truth(rng, small_world(1000));
+  truth.set_malicious_ratio(rng, 0.3);
+  EXPECT_EQ(truth.poor_evaluator_count(), 300u);
+  truth.set_malicious_ratio(rng, 0.0);
+  EXPECT_EQ(truth.poor_evaluator_count(), 0u);
+  truth.set_malicious_ratio(rng, 1.0);
+  EXPECT_EQ(truth.poor_evaluator_count(), 1000u);
+}
+
+TEST(GroundTruth, CorruptEvaluatorsAddsExactly) {
+  util::Rng rng(7);
+  GroundTruth truth(rng, small_world(500));
+  truth.set_malicious_ratio(rng, 0.0);
+  truth.corrupt_evaluators(rng, 50);
+  EXPECT_EQ(truth.poor_evaluator_count(), 50u);
+  truth.corrupt_evaluators(rng, 1000);  // clamped to remaining honest
+  EXPECT_EQ(truth.poor_evaluator_count(), 500u);
+}
+
+TEST(GroundTruth, SetMaliciousTargeted) {
+  util::Rng rng(8);
+  GroundTruth truth(rng, small_world(10));
+  truth.set_malicious_ratio(rng, 0.0);
+  truth.set_malicious(3, true);
+  EXPECT_TRUE(truth.poor_evaluator(3));
+  EXPECT_EQ(truth.poor_evaluator_count(), 1u);
+  truth.set_malicious(3, false);
+  EXPECT_EQ(truth.poor_evaluator_count(), 0u);
+}
+
+TEST(GroundTruth, EmptyWorldRejected) {
+  util::Rng rng(9);
+  WorldParams p;
+  p.nodes = 0;
+  EXPECT_THROW(GroundTruth(rng, p), std::invalid_argument);
+}
+
+TEST(GroundTruth, CustomRatingScopes) {
+  util::Rng rng(10);
+  WorldParams p = small_world(100);
+  p.malicious_ratio = 0.0;
+  p.good_rating_lo = 0.9;
+  p.good_rating_hi = 1.0;
+  p.bad_rating_lo = 0.0;
+  p.bad_rating_hi = 0.1;
+  GroundTruth truth(rng, p);
+  for (int i = 0; i < 200; ++i) {
+    const auto subject = static_cast<net::NodeIndex>(rng.below(100));
+    const double r = truth.evaluate(0, subject, rng);
+    if (truth.trustable(subject)) {
+      EXPECT_GE(r, 0.9);
+    } else {
+      EXPECT_LE(r, 0.1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hirep::trust

@@ -1,0 +1,81 @@
+#include "util/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hirep::util {
+namespace {
+
+TEST(Config, ParsesKeyValuePairs) {
+  const char* argv[] = {"prog", "nodes=100", "ratio=0.5", "name=test"};
+  const auto c = Config::from_args(4, argv);
+  EXPECT_EQ(c.get_int("nodes", 0), 100);
+  EXPECT_DOUBLE_EQ(c.get_double("ratio", 0.0), 0.5);
+  EXPECT_EQ(c.get_string("name", ""), "test");
+}
+
+TEST(Config, FallbacksWhenAbsent) {
+  const auto c = Config::from_string("");
+  EXPECT_EQ(c.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(c.get_double("missing", 1.5), 1.5);
+  EXPECT_EQ(c.get_string("missing", "dflt"), "dflt");
+  EXPECT_TRUE(c.get_bool("missing", true));
+}
+
+TEST(Config, MalformedTokenThrows) {
+  const char* argv[] = {"prog", "novalue"};
+  EXPECT_THROW(Config::from_args(2, argv), std::invalid_argument);
+  const char* argv2[] = {"prog", "=5"};
+  EXPECT_THROW(Config::from_args(2, argv2), std::invalid_argument);
+}
+
+TEST(Config, HelpFlag) {
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_TRUE(Config::from_args(2, argv).help_requested());
+  const char* argv2[] = {"prog", "-h"};
+  EXPECT_TRUE(Config::from_args(2, argv2).help_requested());
+}
+
+TEST(Config, BadIntThrows) {
+  const auto c = Config::from_string("n=12x");
+  EXPECT_THROW(c.get_int("n", 0), std::invalid_argument);
+}
+
+TEST(Config, BadDoubleThrows) {
+  const auto c = Config::from_string("x=abc");
+  EXPECT_THROW(c.get_double("x", 0.0), std::invalid_argument);
+}
+
+TEST(Config, BoolParsing) {
+  const auto c = Config::from_string("a=1 b=true c=off d=no");
+  EXPECT_TRUE(c.get_bool("a", false));
+  EXPECT_TRUE(c.get_bool("b", false));
+  EXPECT_FALSE(c.get_bool("c", true));
+  EXPECT_FALSE(c.get_bool("d", true));
+  const auto bad = Config::from_string("e=maybe");
+  EXPECT_THROW(bad.get_bool("e", false), std::invalid_argument);
+}
+
+TEST(Config, DoubleList) {
+  const auto c = Config::from_string("thresholds=0.4,0.6,0.8");
+  const auto v = c.get_double_list("thresholds", {});
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[1], 0.6);
+  const auto fallback = c.get_double_list("absent", {1.0});
+  EXPECT_EQ(fallback.size(), 1u);
+}
+
+TEST(Config, UnusedKeysDetectsTypos) {
+  const auto c = Config::from_string("used=1 typo=2");
+  c.get_int("used", 0);
+  const auto unused = c.unused_keys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Config, LastValueWins) {
+  const auto c = Config::from_string("k=1 k=2");
+  EXPECT_EQ(c.get_int("k", 0), 2);
+}
+
+}  // namespace
+}  // namespace hirep::util

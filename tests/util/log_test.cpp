@@ -1,0 +1,55 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hirep::util {
+namespace {
+
+TEST(Log, ParseKnownLevels) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_THROW(parse_log_level("loud"), std::invalid_argument);
+}
+
+TEST(Log, ToStringRoundTrip) {
+  for (auto level : {LogLevel::kTrace, LogLevel::kDebug, LogLevel::kInfo,
+                     LogLevel::kWarn, LogLevel::kError, LogLevel::kOff}) {
+    EXPECT_EQ(parse_log_level(to_string(level)), level);
+  }
+}
+
+TEST(Log, EnabledThresholds) {
+  auto& logger = Logger::instance();
+  const auto saved = logger.level();
+  logger.set_level(LogLevel::kWarn);
+  EXPECT_FALSE(logger.enabled(LogLevel::kDebug));
+  EXPECT_FALSE(logger.enabled(LogLevel::kInfo));
+  EXPECT_TRUE(logger.enabled(LogLevel::kWarn));
+  EXPECT_TRUE(logger.enabled(LogLevel::kError));
+  logger.set_level(LogLevel::kOff);
+  EXPECT_FALSE(logger.enabled(LogLevel::kError));
+  logger.set_level(saved);
+}
+
+TEST(Log, MacroRespectsLevel) {
+  auto& logger = Logger::instance();
+  const auto saved = logger.level();
+  logger.set_level(LogLevel::kError);
+  int evaluations = 0;
+  // The streamed expression must not even be evaluated below the level.
+  HIREP_DEBUG("test", "count=" << ++evaluations);
+  EXPECT_EQ(evaluations, 0);
+  testing::internal::CaptureStderr();
+  HIREP_ERROR("test", "count=" << ++evaluations);
+  const auto text = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_NE(text.find("[error] [test] count=1"), std::string::npos);
+  logger.set_level(saved);
+}
+
+}  // namespace
+}  // namespace hirep::util

@@ -1,0 +1,185 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace hirep::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic population-variance example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SampleVarianceUsesNMinusOne) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 1.0);
+  EXPECT_NEAR(s.variance(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng(5);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+}
+
+TEST(MseAccumulator, PerfectEstimatesGiveZero) {
+  MseAccumulator acc;
+  acc.add(1.0, 1.0);
+  acc.add(0.0, 0.0);
+  EXPECT_EQ(acc.mse(), 0.0);
+}
+
+TEST(MseAccumulator, KnownError) {
+  MseAccumulator acc;
+  acc.add(0.8, 1.0);  // 0.04
+  acc.add(0.4, 0.0);  // 0.16
+  EXPECT_DOUBLE_EQ(acc.mse(), 0.10);
+  EXPECT_DOUBLE_EQ(acc.rmse(), std::sqrt(0.10));
+  EXPECT_EQ(acc.count(), 2u);
+}
+
+TEST(MseAccumulator, MergeAndReset) {
+  MseAccumulator a, b;
+  a.add(0.5, 0.0);
+  b.add(0.5, 1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mse(), 0.25);
+  a.reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mse(), 0.0);
+}
+
+TEST(SampleSet, PercentilesExact) {
+  SampleSet s;
+  for (double x : {5.0, 1.0, 3.0, 2.0, 4.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+TEST(SampleSet, PercentileInterpolates) {
+  SampleSet s;
+  s.add(0.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.75), 7.5);
+}
+
+TEST(SampleSet, AddAfterPercentileStillCorrect) {
+  SampleSet s;
+  s.add(2.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 2.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 3.0);
+}
+
+TEST(SampleSet, EmptyReturnsZero) {
+  SampleSet s;
+  EXPECT_EQ(s.percentile(0.5), 0.0);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);    // bucket 0
+  h.add(9.5);    // bucket 9
+  h.add(-5.0);   // clamps to 0
+  h.add(50.0);   // clamps to 9
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(5), 5.0);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, RenderContainsCounts) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  const auto text = h.render(10);
+  EXPECT_NE(text.find('2'), std::string::npos);
+  EXPECT_NE(text.find('#'), std::string::npos);
+}
+
+TEST(Correlation, PerfectPositive) {
+  std::vector<double> xs{1, 2, 3, 4}, ys{2, 4, 6, 8};
+  EXPECT_NEAR(correlation(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Correlation, PerfectNegative) {
+  std::vector<double> xs{1, 2, 3, 4}, ys{8, 6, 4, 2};
+  EXPECT_NEAR(correlation(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Correlation, DegenerateInputsGiveZero) {
+  EXPECT_EQ(correlation({1.0}, {2.0}), 0.0);
+  EXPECT_EQ(correlation({1, 2}, {5, 5}), 0.0);  // zero variance in y
+  EXPECT_EQ(correlation({1, 2, 3}, {1, 2}), 0.0);
+}
+
+TEST(LinearSlope, RecoversLine) {
+  std::vector<double> xs{0, 1, 2, 3, 4}, ys;
+  for (double x : xs) ys.push_back(3.0 * x + 7.0);
+  EXPECT_NEAR(linear_slope(xs, ys), 3.0, 1e-12);
+}
+
+TEST(LinearSlope, DegenerateGivesZero) {
+  EXPECT_EQ(linear_slope({2, 2, 2}, {1, 2, 3}), 0.0);
+  EXPECT_EQ(linear_slope({1.0}, {1.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace hirep::util

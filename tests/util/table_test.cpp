@@ -1,0 +1,88 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hirep::util {
+namespace {
+
+TEST(Table, BasicShape) {
+  Table t({"a", "b"});
+  t.add_row({std::int64_t{1}, 2.5});
+  t.add_row({std::int64_t{2}, 3.5});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 2u);
+  EXPECT_DOUBLE_EQ(t.number_at(0, 1), 2.5);
+  EXPECT_DOUBLE_EQ(t.number_at(1, 0), 2.0);
+}
+
+TEST(Table, EmptyHeaderRejected) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RowWidthMismatchRejected) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::int64_t{1}}), std::invalid_argument);
+}
+
+TEST(Table, ColumnLookupByName) {
+  Table t({"x", "y"});
+  t.add_row({1.0, 10.0});
+  t.add_row({2.0, 20.0});
+  EXPECT_EQ(t.column_index("y"), 1u);
+  EXPECT_THROW(t.column_index("z"), std::out_of_range);
+  const auto col = t.numeric_column("y");
+  ASSERT_EQ(col.size(), 2u);
+  EXPECT_DOUBLE_EQ(col[0], 10.0);
+  EXPECT_DOUBLE_EQ(col[1], 20.0);
+}
+
+TEST(Table, NumericColumnSkipsStrings) {
+  Table t({"mixed"});
+  t.add_row({std::string("n/a")});
+  t.add_row({4.0});
+  EXPECT_EQ(t.numeric_column(0).size(), 1u);
+}
+
+TEST(Table, NumberAtStringThrows) {
+  Table t({"s"});
+  t.add_row({std::string("x")});
+  EXPECT_THROW(t.number_at(0, 0), std::invalid_argument);
+}
+
+TEST(Table, PrintContainsHeadersAndValues) {
+  Table t({"name", "count"});
+  t.add_row({std::string("alpha"), std::int64_t{42}});
+  std::ostringstream out;
+  t.print(out);
+  const auto text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"v"});
+  t.add_row({std::string("has,comma")});
+  t.add_row({std::string("has\"quote")});
+  std::ostringstream out;
+  t.print_csv(out);
+  const auto text = out.str();
+  EXPECT_NE(text.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(text.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, CsvRowCount) {
+  Table t({"a"});
+  t.add_row({1.0});
+  t.add_row({2.0});
+  std::ostringstream out;
+  t.print_csv(out);
+  int lines = 0;
+  for (char c : out.str()) lines += (c == '\n');
+  EXPECT_EQ(lines, 3);  // header + 2 rows
+}
+
+}  // namespace
+}  // namespace hirep::util
