@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_onion_len"
+  "../bench/ablation_onion_len.pdb"
+  "CMakeFiles/ablation_onion_len.dir/ablation_onion_len.cpp.o"
+  "CMakeFiles/ablation_onion_len.dir/ablation_onion_len.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_onion_len.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/analysis_traffic_bound"
+  "../bench/analysis_traffic_bound.pdb"
+  "CMakeFiles/analysis_traffic_bound.dir/analysis_traffic_bound.cpp.o"
+  "CMakeFiles/analysis_traffic_bound.dir/analysis_traffic_bound.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_traffic_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

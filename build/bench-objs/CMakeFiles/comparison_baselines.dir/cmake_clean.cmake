@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/comparison_baselines"
+  "../bench/comparison_baselines.pdb"
+  "CMakeFiles/comparison_baselines.dir/comparison_baselines.cpp.o"
+  "CMakeFiles/comparison_baselines.dir/comparison_baselines.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comparison_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

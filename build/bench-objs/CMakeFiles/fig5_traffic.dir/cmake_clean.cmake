@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_traffic"
+  "../bench/fig5_traffic.pdb"
+  "CMakeFiles/fig5_traffic.dir/fig5_traffic.cpp.o"
+  "CMakeFiles/fig5_traffic.dir/fig5_traffic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_malicious"
+  "../bench/fig7_malicious.pdb"
+  "CMakeFiles/fig7_malicious.dir/fig7_malicious.cpp.o"
+  "CMakeFiles/fig7_malicious.dir/fig7_malicious.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_malicious.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

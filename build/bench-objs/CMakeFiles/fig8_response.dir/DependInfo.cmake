@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig8_response.cpp" "bench-objs/CMakeFiles/fig8_response.dir/fig8_response.cpp.o" "gcc" "bench-objs/CMakeFiles/fig8_response.dir/fig8_response.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hirep_gnutella.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hirep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hirep_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hirep_onion.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hirep_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hirep_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hirep_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hirep_trust.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hirep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_response"
+  "../bench/fig8_response.pdb"
+  "CMakeFiles/fig8_response.dir/fig8_response.cpp.o"
+  "CMakeFiles/fig8_response.dir/fig8_response.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

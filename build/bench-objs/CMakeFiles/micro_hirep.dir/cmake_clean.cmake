@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_hirep"
+  "../bench/micro_hirep.pdb"
+  "CMakeFiles/micro_hirep.dir/micro_hirep.cpp.o"
+  "CMakeFiles/micro_hirep.dir/micro_hirep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_hirep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_overlay"
+  "../bench/micro_overlay.pdb"
+  "CMakeFiles/micro_overlay.dir/micro_overlay.cpp.o"
+  "CMakeFiles/micro_overlay.dir/micro_overlay.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anonymity_demo.dir/anonymity_demo.cpp.o"
+  "CMakeFiles/anonymity_demo.dir/anonymity_demo.cpp.o.d"
+  "anonymity_demo"
+  "anonymity_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anonymity_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

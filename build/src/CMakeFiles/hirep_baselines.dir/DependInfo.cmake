@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/pure_voting.cpp" "src/CMakeFiles/hirep_baselines.dir/baselines/pure_voting.cpp.o" "gcc" "src/CMakeFiles/hirep_baselines.dir/baselines/pure_voting.cpp.o.d"
+  "/root/repo/src/baselines/rca.cpp" "src/CMakeFiles/hirep_baselines.dir/baselines/rca.cpp.o" "gcc" "src/CMakeFiles/hirep_baselines.dir/baselines/rca.cpp.o.d"
+  "/root/repo/src/baselines/trustme.cpp" "src/CMakeFiles/hirep_baselines.dir/baselines/trustme.cpp.o" "gcc" "src/CMakeFiles/hirep_baselines.dir/baselines/trustme.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hirep_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hirep_trust.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hirep_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hirep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

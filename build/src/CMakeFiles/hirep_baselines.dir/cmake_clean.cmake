@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirep_baselines.dir/baselines/pure_voting.cpp.o"
+  "CMakeFiles/hirep_baselines.dir/baselines/pure_voting.cpp.o.d"
+  "CMakeFiles/hirep_baselines.dir/baselines/rca.cpp.o"
+  "CMakeFiles/hirep_baselines.dir/baselines/rca.cpp.o.d"
+  "CMakeFiles/hirep_baselines.dir/baselines/trustme.cpp.o"
+  "CMakeFiles/hirep_baselines.dir/baselines/trustme.cpp.o.d"
+  "libhirep_baselines.a"
+  "libhirep_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirep_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hirep/agent.cpp" "src/CMakeFiles/hirep_core.dir/hirep/agent.cpp.o" "gcc" "src/CMakeFiles/hirep_core.dir/hirep/agent.cpp.o.d"
+  "/root/repo/src/hirep/agent_list.cpp" "src/CMakeFiles/hirep_core.dir/hirep/agent_list.cpp.o" "gcc" "src/CMakeFiles/hirep_core.dir/hirep/agent_list.cpp.o.d"
+  "/root/repo/src/hirep/discovery.cpp" "src/CMakeFiles/hirep_core.dir/hirep/discovery.cpp.o" "gcc" "src/CMakeFiles/hirep_core.dir/hirep/discovery.cpp.o.d"
+  "/root/repo/src/hirep/peer.cpp" "src/CMakeFiles/hirep_core.dir/hirep/peer.cpp.o" "gcc" "src/CMakeFiles/hirep_core.dir/hirep/peer.cpp.o.d"
+  "/root/repo/src/hirep/protocol.cpp" "src/CMakeFiles/hirep_core.dir/hirep/protocol.cpp.o" "gcc" "src/CMakeFiles/hirep_core.dir/hirep/protocol.cpp.o.d"
+  "/root/repo/src/hirep/system.cpp" "src/CMakeFiles/hirep_core.dir/hirep/system.cpp.o" "gcc" "src/CMakeFiles/hirep_core.dir/hirep/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hirep_onion.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hirep_trust.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hirep_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hirep_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hirep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

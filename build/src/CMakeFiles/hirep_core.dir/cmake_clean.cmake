@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirep_core.dir/hirep/agent.cpp.o"
+  "CMakeFiles/hirep_core.dir/hirep/agent.cpp.o.d"
+  "CMakeFiles/hirep_core.dir/hirep/agent_list.cpp.o"
+  "CMakeFiles/hirep_core.dir/hirep/agent_list.cpp.o.d"
+  "CMakeFiles/hirep_core.dir/hirep/discovery.cpp.o"
+  "CMakeFiles/hirep_core.dir/hirep/discovery.cpp.o.d"
+  "CMakeFiles/hirep_core.dir/hirep/peer.cpp.o"
+  "CMakeFiles/hirep_core.dir/hirep/peer.cpp.o.d"
+  "CMakeFiles/hirep_core.dir/hirep/protocol.cpp.o"
+  "CMakeFiles/hirep_core.dir/hirep/protocol.cpp.o.d"
+  "CMakeFiles/hirep_core.dir/hirep/system.cpp.o"
+  "CMakeFiles/hirep_core.dir/hirep/system.cpp.o.d"
+  "libhirep_core.a"
+  "libhirep_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirep_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/bigint.cpp" "src/CMakeFiles/hirep_crypto.dir/crypto/bigint.cpp.o" "gcc" "src/CMakeFiles/hirep_crypto.dir/crypto/bigint.cpp.o.d"
+  "/root/repo/src/crypto/identity.cpp" "src/CMakeFiles/hirep_crypto.dir/crypto/identity.cpp.o" "gcc" "src/CMakeFiles/hirep_crypto.dir/crypto/identity.cpp.o.d"
+  "/root/repo/src/crypto/montgomery.cpp" "src/CMakeFiles/hirep_crypto.dir/crypto/montgomery.cpp.o" "gcc" "src/CMakeFiles/hirep_crypto.dir/crypto/montgomery.cpp.o.d"
+  "/root/repo/src/crypto/prime.cpp" "src/CMakeFiles/hirep_crypto.dir/crypto/prime.cpp.o" "gcc" "src/CMakeFiles/hirep_crypto.dir/crypto/prime.cpp.o.d"
+  "/root/repo/src/crypto/rsa.cpp" "src/CMakeFiles/hirep_crypto.dir/crypto/rsa.cpp.o" "gcc" "src/CMakeFiles/hirep_crypto.dir/crypto/rsa.cpp.o.d"
+  "/root/repo/src/crypto/sha1.cpp" "src/CMakeFiles/hirep_crypto.dir/crypto/sha1.cpp.o" "gcc" "src/CMakeFiles/hirep_crypto.dir/crypto/sha1.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/CMakeFiles/hirep_crypto.dir/crypto/sha256.cpp.o" "gcc" "src/CMakeFiles/hirep_crypto.dir/crypto/sha256.cpp.o.d"
+  "/root/repo/src/crypto/stream_cipher.cpp" "src/CMakeFiles/hirep_crypto.dir/crypto/stream_cipher.cpp.o" "gcc" "src/CMakeFiles/hirep_crypto.dir/crypto/stream_cipher.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hirep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirep_crypto.dir/crypto/bigint.cpp.o"
+  "CMakeFiles/hirep_crypto.dir/crypto/bigint.cpp.o.d"
+  "CMakeFiles/hirep_crypto.dir/crypto/identity.cpp.o"
+  "CMakeFiles/hirep_crypto.dir/crypto/identity.cpp.o.d"
+  "CMakeFiles/hirep_crypto.dir/crypto/montgomery.cpp.o"
+  "CMakeFiles/hirep_crypto.dir/crypto/montgomery.cpp.o.d"
+  "CMakeFiles/hirep_crypto.dir/crypto/prime.cpp.o"
+  "CMakeFiles/hirep_crypto.dir/crypto/prime.cpp.o.d"
+  "CMakeFiles/hirep_crypto.dir/crypto/rsa.cpp.o"
+  "CMakeFiles/hirep_crypto.dir/crypto/rsa.cpp.o.d"
+  "CMakeFiles/hirep_crypto.dir/crypto/sha1.cpp.o"
+  "CMakeFiles/hirep_crypto.dir/crypto/sha1.cpp.o.d"
+  "CMakeFiles/hirep_crypto.dir/crypto/sha256.cpp.o"
+  "CMakeFiles/hirep_crypto.dir/crypto/sha256.cpp.o.d"
+  "CMakeFiles/hirep_crypto.dir/crypto/stream_cipher.cpp.o"
+  "CMakeFiles/hirep_crypto.dir/crypto/stream_cipher.cpp.o.d"
+  "libhirep_crypto.a"
+  "libhirep_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirep_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirep_gnutella.dir/gnutella/content.cpp.o"
+  "CMakeFiles/hirep_gnutella.dir/gnutella/content.cpp.o.d"
+  "CMakeFiles/hirep_gnutella.dir/gnutella/search.cpp.o"
+  "CMakeFiles/hirep_gnutella.dir/gnutella/search.cpp.o.d"
+  "CMakeFiles/hirep_gnutella.dir/gnutella/session.cpp.o"
+  "CMakeFiles/hirep_gnutella.dir/gnutella/session.cpp.o.d"
+  "libhirep_gnutella.a"
+  "libhirep_gnutella.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirep_gnutella.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

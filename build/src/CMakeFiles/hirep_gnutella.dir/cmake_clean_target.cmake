@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhirep_gnutella.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/event_sim.cpp" "src/CMakeFiles/hirep_net.dir/net/event_sim.cpp.o" "gcc" "src/CMakeFiles/hirep_net.dir/net/event_sim.cpp.o.d"
+  "/root/repo/src/net/flood.cpp" "src/CMakeFiles/hirep_net.dir/net/flood.cpp.o" "gcc" "src/CMakeFiles/hirep_net.dir/net/flood.cpp.o.d"
+  "/root/repo/src/net/graph.cpp" "src/CMakeFiles/hirep_net.dir/net/graph.cpp.o" "gcc" "src/CMakeFiles/hirep_net.dir/net/graph.cpp.o.d"
+  "/root/repo/src/net/latency.cpp" "src/CMakeFiles/hirep_net.dir/net/latency.cpp.o" "gcc" "src/CMakeFiles/hirep_net.dir/net/latency.cpp.o.d"
+  "/root/repo/src/net/metrics.cpp" "src/CMakeFiles/hirep_net.dir/net/metrics.cpp.o" "gcc" "src/CMakeFiles/hirep_net.dir/net/metrics.cpp.o.d"
+  "/root/repo/src/net/overlay.cpp" "src/CMakeFiles/hirep_net.dir/net/overlay.cpp.o" "gcc" "src/CMakeFiles/hirep_net.dir/net/overlay.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/CMakeFiles/hirep_net.dir/net/topology.cpp.o" "gcc" "src/CMakeFiles/hirep_net.dir/net/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hirep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

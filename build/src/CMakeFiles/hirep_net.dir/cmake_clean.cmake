@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirep_net.dir/net/event_sim.cpp.o"
+  "CMakeFiles/hirep_net.dir/net/event_sim.cpp.o.d"
+  "CMakeFiles/hirep_net.dir/net/flood.cpp.o"
+  "CMakeFiles/hirep_net.dir/net/flood.cpp.o.d"
+  "CMakeFiles/hirep_net.dir/net/graph.cpp.o"
+  "CMakeFiles/hirep_net.dir/net/graph.cpp.o.d"
+  "CMakeFiles/hirep_net.dir/net/latency.cpp.o"
+  "CMakeFiles/hirep_net.dir/net/latency.cpp.o.d"
+  "CMakeFiles/hirep_net.dir/net/metrics.cpp.o"
+  "CMakeFiles/hirep_net.dir/net/metrics.cpp.o.d"
+  "CMakeFiles/hirep_net.dir/net/overlay.cpp.o"
+  "CMakeFiles/hirep_net.dir/net/overlay.cpp.o.d"
+  "CMakeFiles/hirep_net.dir/net/topology.cpp.o"
+  "CMakeFiles/hirep_net.dir/net/topology.cpp.o.d"
+  "libhirep_net.a"
+  "libhirep_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirep_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

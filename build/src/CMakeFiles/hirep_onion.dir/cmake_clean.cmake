@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirep_onion.dir/onion/onion.cpp.o"
+  "CMakeFiles/hirep_onion.dir/onion/onion.cpp.o.d"
+  "CMakeFiles/hirep_onion.dir/onion/relay.cpp.o"
+  "CMakeFiles/hirep_onion.dir/onion/relay.cpp.o.d"
+  "CMakeFiles/hirep_onion.dir/onion/router.cpp.o"
+  "CMakeFiles/hirep_onion.dir/onion/router.cpp.o.d"
+  "libhirep_onion.a"
+  "libhirep_onion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirep_onion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/attacks.cpp" "src/CMakeFiles/hirep_sim.dir/sim/attacks.cpp.o" "gcc" "src/CMakeFiles/hirep_sim.dir/sim/attacks.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/CMakeFiles/hirep_sim.dir/sim/experiment.cpp.o" "gcc" "src/CMakeFiles/hirep_sim.dir/sim/experiment.cpp.o.d"
+  "/root/repo/src/sim/params.cpp" "src/CMakeFiles/hirep_sim.dir/sim/params.cpp.o" "gcc" "src/CMakeFiles/hirep_sim.dir/sim/params.cpp.o.d"
+  "/root/repo/src/sim/response_time.cpp" "src/CMakeFiles/hirep_sim.dir/sim/response_time.cpp.o" "gcc" "src/CMakeFiles/hirep_sim.dir/sim/response_time.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "src/CMakeFiles/hirep_sim.dir/sim/workload.cpp.o" "gcc" "src/CMakeFiles/hirep_sim.dir/sim/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hirep_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hirep_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hirep_onion.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hirep_trust.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hirep_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hirep_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hirep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirep_sim.dir/sim/attacks.cpp.o"
+  "CMakeFiles/hirep_sim.dir/sim/attacks.cpp.o.d"
+  "CMakeFiles/hirep_sim.dir/sim/experiment.cpp.o"
+  "CMakeFiles/hirep_sim.dir/sim/experiment.cpp.o.d"
+  "CMakeFiles/hirep_sim.dir/sim/params.cpp.o"
+  "CMakeFiles/hirep_sim.dir/sim/params.cpp.o.d"
+  "CMakeFiles/hirep_sim.dir/sim/response_time.cpp.o"
+  "CMakeFiles/hirep_sim.dir/sim/response_time.cpp.o.d"
+  "CMakeFiles/hirep_sim.dir/sim/workload.cpp.o"
+  "CMakeFiles/hirep_sim.dir/sim/workload.cpp.o.d"
+  "libhirep_sim.a"
+  "libhirep_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirep_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

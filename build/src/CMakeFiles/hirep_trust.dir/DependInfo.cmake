@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trust/average_model.cpp" "src/CMakeFiles/hirep_trust.dir/trust/average_model.cpp.o" "gcc" "src/CMakeFiles/hirep_trust.dir/trust/average_model.cpp.o.d"
+  "/root/repo/src/trust/beta_model.cpp" "src/CMakeFiles/hirep_trust.dir/trust/beta_model.cpp.o" "gcc" "src/CMakeFiles/hirep_trust.dir/trust/beta_model.cpp.o.d"
+  "/root/repo/src/trust/eigentrust.cpp" "src/CMakeFiles/hirep_trust.dir/trust/eigentrust.cpp.o" "gcc" "src/CMakeFiles/hirep_trust.dir/trust/eigentrust.cpp.o.d"
+  "/root/repo/src/trust/ewma_model.cpp" "src/CMakeFiles/hirep_trust.dir/trust/ewma_model.cpp.o" "gcc" "src/CMakeFiles/hirep_trust.dir/trust/ewma_model.cpp.o.d"
+  "/root/repo/src/trust/ground_truth.cpp" "src/CMakeFiles/hirep_trust.dir/trust/ground_truth.cpp.o" "gcc" "src/CMakeFiles/hirep_trust.dir/trust/ground_truth.cpp.o.d"
+  "/root/repo/src/trust/trust_model.cpp" "src/CMakeFiles/hirep_trust.dir/trust/trust_model.cpp.o" "gcc" "src/CMakeFiles/hirep_trust.dir/trust/trust_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hirep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirep_trust.dir/trust/average_model.cpp.o"
+  "CMakeFiles/hirep_trust.dir/trust/average_model.cpp.o.d"
+  "CMakeFiles/hirep_trust.dir/trust/beta_model.cpp.o"
+  "CMakeFiles/hirep_trust.dir/trust/beta_model.cpp.o.d"
+  "CMakeFiles/hirep_trust.dir/trust/eigentrust.cpp.o"
+  "CMakeFiles/hirep_trust.dir/trust/eigentrust.cpp.o.d"
+  "CMakeFiles/hirep_trust.dir/trust/ewma_model.cpp.o"
+  "CMakeFiles/hirep_trust.dir/trust/ewma_model.cpp.o.d"
+  "CMakeFiles/hirep_trust.dir/trust/ground_truth.cpp.o"
+  "CMakeFiles/hirep_trust.dir/trust/ground_truth.cpp.o.d"
+  "CMakeFiles/hirep_trust.dir/trust/trust_model.cpp.o"
+  "CMakeFiles/hirep_trust.dir/trust/trust_model.cpp.o.d"
+  "libhirep_trust.a"
+  "libhirep_trust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirep_trust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirep_util.dir/util/bytes.cpp.o"
+  "CMakeFiles/hirep_util.dir/util/bytes.cpp.o.d"
+  "CMakeFiles/hirep_util.dir/util/config.cpp.o"
+  "CMakeFiles/hirep_util.dir/util/config.cpp.o.d"
+  "CMakeFiles/hirep_util.dir/util/log.cpp.o"
+  "CMakeFiles/hirep_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/hirep_util.dir/util/rng.cpp.o"
+  "CMakeFiles/hirep_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/hirep_util.dir/util/stats.cpp.o"
+  "CMakeFiles/hirep_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/hirep_util.dir/util/table.cpp.o"
+  "CMakeFiles/hirep_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/hirep_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/hirep_util.dir/util/thread_pool.cpp.o.d"
+  "libhirep_util.a"
+  "libhirep_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirep_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

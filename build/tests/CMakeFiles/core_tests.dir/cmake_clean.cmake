@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/hirep/agent_list_test.cpp.o"
+  "CMakeFiles/core_tests.dir/hirep/agent_list_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/hirep/agent_test.cpp.o"
+  "CMakeFiles/core_tests.dir/hirep/agent_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/hirep/discovery_test.cpp.o"
+  "CMakeFiles/core_tests.dir/hirep/discovery_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/hirep/join_test.cpp.o"
+  "CMakeFiles/core_tests.dir/hirep/join_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/hirep/peer_test.cpp.o"
+  "CMakeFiles/core_tests.dir/hirep/peer_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/hirep/protocol_test.cpp.o"
+  "CMakeFiles/core_tests.dir/hirep/protocol_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/hirep/rotation_test.cpp.o"
+  "CMakeFiles/core_tests.dir/hirep/rotation_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/hirep/system_test.cpp.o"
+  "CMakeFiles/core_tests.dir/hirep/system_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

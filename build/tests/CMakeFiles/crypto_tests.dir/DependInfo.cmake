@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crypto/bigint_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/bigint_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/bigint_test.cpp.o.d"
+  "/root/repo/tests/crypto/identity_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/identity_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/identity_test.cpp.o.d"
+  "/root/repo/tests/crypto/montgomery_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/montgomery_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/montgomery_test.cpp.o.d"
+  "/root/repo/tests/crypto/prime_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/prime_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/prime_test.cpp.o.d"
+  "/root/repo/tests/crypto/rsa_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/rsa_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/rsa_test.cpp.o.d"
+  "/root/repo/tests/crypto/sha_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/sha_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/sha_test.cpp.o.d"
+  "/root/repo/tests/crypto/stream_cipher_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/stream_cipher_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/stream_cipher_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hirep_gnutella.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hirep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hirep_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hirep_onion.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hirep_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hirep_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hirep_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hirep_trust.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hirep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnutella_tests.dir/gnutella/content_test.cpp.o"
+  "CMakeFiles/gnutella_tests.dir/gnutella/content_test.cpp.o.d"
+  "CMakeFiles/gnutella_tests.dir/gnutella/search_test.cpp.o"
+  "CMakeFiles/gnutella_tests.dir/gnutella/search_test.cpp.o.d"
+  "CMakeFiles/gnutella_tests.dir/gnutella/session_test.cpp.o"
+  "CMakeFiles/gnutella_tests.dir/gnutella/session_test.cpp.o.d"
+  "gnutella_tests"
+  "gnutella_tests.pdb"
+  "gnutella_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnutella_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onion_tests.dir/onion/onion_test.cpp.o"
+  "CMakeFiles/onion_tests.dir/onion/onion_test.cpp.o.d"
+  "CMakeFiles/onion_tests.dir/onion/relay_test.cpp.o"
+  "CMakeFiles/onion_tests.dir/onion/relay_test.cpp.o.d"
+  "CMakeFiles/onion_tests.dir/onion/router_test.cpp.o"
+  "CMakeFiles/onion_tests.dir/onion/router_test.cpp.o.d"
+  "onion_tests"
+  "onion_tests.pdb"
+  "onion_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onion_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

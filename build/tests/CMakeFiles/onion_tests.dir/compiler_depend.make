@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for onion_tests.
+# This may be replaced when dependencies are built.

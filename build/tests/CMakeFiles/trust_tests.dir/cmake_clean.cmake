@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trust_tests.dir/trust/eigentrust_test.cpp.o"
+  "CMakeFiles/trust_tests.dir/trust/eigentrust_test.cpp.o.d"
+  "CMakeFiles/trust_tests.dir/trust/ground_truth_test.cpp.o"
+  "CMakeFiles/trust_tests.dir/trust/ground_truth_test.cpp.o.d"
+  "CMakeFiles/trust_tests.dir/trust/models_test.cpp.o"
+  "CMakeFiles/trust_tests.dir/trust/models_test.cpp.o.d"
+  "trust_tests"
+  "trust_tests.pdb"
+  "trust_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trust_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
