@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 verification under AddressSanitizer + UBSan: configures a separate
+# sanitizer build tree, builds everything, and runs the full test suite.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build-asan}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B "$build" -S "$repo" -DHIREP_SANITIZE=ON
+cmake --build "$build" -j "$jobs"
+ctest --test-dir "$build" --output-on-failure -j "$jobs"

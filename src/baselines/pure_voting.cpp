@@ -18,23 +18,37 @@ PureVotingSystem::PureVotingSystem(VotingOptions options)
       rng_(options_.seed),
       truth_(rng_, world_with_nodes(options_.world, options_.nodes)),
       overlay_(net::power_law(rng_, options_.nodes, options_.average_degree),
-               options_.latency, options_.seed ^ 0x0ddba111ULL) {}
+               options_.latency, options_.seed ^ 0x0ddba111ULL),
+      transport_(&overlay_, options_.delivery, options_.seed ^ 0x90111e57ULL) {}
 
 PureVotingSystem::PollResult PureVotingSystem::poll(net::NodeIndex requestor,
                                                     net::NodeIndex provider) {
   PollResult result;
   const std::uint64_t before = overlay_.metrics().total();
-  const auto flood = net::flood(overlay_, requestor, options_.ttl,
-                                net::MessageKind::kTrustRequest);
+  const auto flood = net::flood(transport_, requestor, options_.ttl,
+                                net::EnvelopeType::kVotePoll);
+  const auto parent = flood.parents_by_node(overlay_.node_count());
 
   double sum = 0.0;
   for (std::size_t i = 0; i < flood.reached.size(); ++i) {
     const net::NodeIndex voter = flood.reached[i];
     if (voter == provider) continue;  // the candidate does not vote on itself
-    sum += truth_.evaluate(voter, provider, rng_);
+    // The voter evaluates the candidate regardless of whether its vote
+    // survives the trip back — the draw happens at the voter.
+    const double vote = truth_.evaluate(voter, provider, rng_);
+    // The vote travels back hop-by-hop along the reverse flooding path.
+    std::vector<net::NodeIndex> reverse;
+    reverse.reserve(flood.depth[i]);
+    for (net::NodeIndex at = voter; at != requestor;) {
+      const net::NodeIndex up = parent[at];
+      reverse.push_back(up);
+      at = up;
+    }
+    const auto receipt =
+        transport_.send(net::EnvelopeType::kVoteReturn, voter, reverse);
+    if (!receipt.delivered) continue;  // lost vote never reaches the tally
+    sum += vote;
     ++result.votes;
-    // The vote travels back along the reverse flooding path.
-    overlay_.count_send(net::MessageKind::kTrustResponse, flood.depth[i]);
   }
   result.estimate = result.votes
                         ? sum / static_cast<double>(result.votes)

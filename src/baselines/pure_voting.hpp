@@ -12,6 +12,7 @@
 #include "net/flood.hpp"
 #include "net/overlay.hpp"
 #include "net/topology.hpp"
+#include "net/transport.hpp"
 #include "trust/ground_truth.hpp"
 #include "util/rng.hpp"
 
@@ -24,6 +25,7 @@ struct VotingOptions {
                           ///< Gnutella deployments use 7
   trust::WorldParams world;
   net::LatencyParams latency;
+  net::DeliveryConfig delivery;
   std::uint64_t seed = 1;
 };
 
@@ -32,6 +34,7 @@ class PureVotingSystem {
   explicit PureVotingSystem(VotingOptions options);
 
   net::Overlay& overlay() noexcept { return overlay_; }
+  net::Transport& transport() noexcept { return transport_; }
   trust::GroundTruth& truth() noexcept { return truth_; }
   util::Rng& rng() noexcept { return rng_; }
   const VotingOptions& options() const noexcept { return options_; }
@@ -71,6 +74,7 @@ class PureVotingSystem {
   util::Rng rng_;
   trust::GroundTruth truth_;
   net::Overlay overlay_;
+  net::Transport transport_;
 };
 
 }  // namespace hirep::baselines

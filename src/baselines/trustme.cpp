@@ -17,6 +17,7 @@ TrustMeSystem::TrustMeSystem(TrustMeOptions options)
       truth_(rng_, world_with_nodes(options_.world, options_.nodes)),
       overlay_(net::power_law(rng_, options_.nodes, options_.average_degree),
                options_.latency, options_.seed ^ 0x7157731eULL),
+      transport_(&overlay_, options_.delivery, options_.seed ^ 0x7153131dULL),
       thas_(options_.nodes),
       model_factory_(trust::model_factory_by_name(options_.model)) {
   // Bootstrap-server THA assignment: random, so "the probability of each
@@ -67,17 +68,26 @@ TrustMeSystem::TransactionRecord TrustMeSystem::run_transaction(
 
   // Broadcast #1: the trust query floods the system; the provider's THAs
   // that heard it answer along the reverse path.
-  const auto query_flood = net::flood(overlay_, requestor, options_.ttl,
-                                      net::MessageKind::kTrustRequest);
+  const auto query_flood = net::flood(transport_, requestor, options_.ttl,
+                                      net::EnvelopeType::kTrustRequest);
+  const auto parent = query_flood.parents_by_node(overlay_.node_count());
   double sum = 0.0;
   for (std::size_t i = 0; i < query_flood.reached.size(); ++i) {
     const net::NodeIndex node = query_flood.reached[i];
     for (net::NodeIndex tha : thas_[provider]) {
       if (tha != node) continue;
+      std::vector<net::NodeIndex> reverse;
+      reverse.reserve(query_flood.depth[i]);
+      for (net::NodeIndex at = tha; at != requestor;) {
+        const net::NodeIndex up = parent[at];
+        reverse.push_back(up);
+        at = up;
+      }
+      const auto receipt =
+          transport_.send(net::EnvelopeType::kTrustResponse, tha, reverse);
+      if (!receipt.delivered) continue;  // the answer was lost on the way back
       sum += tha_answer(tha, provider);
       ++record.responses;
-      overlay_.count_send(net::MessageKind::kTrustResponse,
-                          query_flood.depth[i]);
     }
   }
   record.estimate = record.responses
@@ -87,8 +97,8 @@ TrustMeSystem::TransactionRecord TrustMeSystem::run_transaction(
   // The transaction happens; broadcast #2 spreads the result so the
   // provider's THAs can store it.
   const double outcome = truth_.transaction_outcome(provider);
-  const auto report_flood = net::flood(overlay_, requestor, options_.ttl,
-                                       net::MessageKind::kReport);
+  const auto report_flood = net::flood(transport_, requestor, options_.ttl,
+                                       net::EnvelopeType::kReport);
   for (net::NodeIndex node : report_flood.reached) {
     for (net::NodeIndex tha : thas_[provider]) {
       if (tha != node) continue;

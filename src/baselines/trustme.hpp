@@ -20,6 +20,7 @@
 #include "net/flood.hpp"
 #include "net/overlay.hpp"
 #include "net/topology.hpp"
+#include "net/transport.hpp"
 #include "trust/ground_truth.hpp"
 #include "trust/trust_model.hpp"
 #include "util/rng.hpp"
@@ -34,6 +35,7 @@ struct TrustMeOptions {
   std::string model = "ewma";
   trust::WorldParams world;
   net::LatencyParams latency;
+  net::DeliveryConfig delivery;
   std::uint64_t seed = 1;
 };
 
@@ -42,6 +44,7 @@ class TrustMeSystem {
   explicit TrustMeSystem(TrustMeOptions options);
 
   net::Overlay& overlay() noexcept { return overlay_; }
+  net::Transport& transport() noexcept { return transport_; }
   trust::GroundTruth& truth() noexcept { return truth_; }
   const TrustMeOptions& options() const noexcept { return options_; }
   const std::vector<net::NodeIndex>& thas_of(net::NodeIndex peer) const;
@@ -67,6 +70,7 @@ class TrustMeSystem {
   util::Rng rng_;
   trust::GroundTruth truth_;
   net::Overlay overlay_;
+  net::Transport transport_;
   std::vector<std::vector<net::NodeIndex>> thas_;  // per peer
   // THA-side stores: (tha, subject) -> model
   std::map<std::pair<net::NodeIndex, net::NodeIndex>,

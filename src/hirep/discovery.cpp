@@ -81,14 +81,13 @@ std::vector<AgentEntry> rank_and_select(
 }
 
 std::vector<CollectedList> collect_agent_lists(
-    net::Overlay& overlay, util::Rng& rng, net::NodeIndex requestor,
+    net::Transport& transport, util::Rng& rng, net::NodeIndex requestor,
     std::uint32_t tokens, std::uint32_t ttl,
     const std::function<std::vector<AgentEntry>(net::NodeIndex)>& list_of) {
   std::vector<CollectedList> collected;
   const auto visits = net::token_walk(
-      overlay, rng, requestor, tokens, ttl,
-      [&](net::NodeIndex node) { return !list_of(node).empty(); },
-      net::MessageKind::kAgentDiscovery);
+      transport, rng, requestor, tokens, ttl,
+      [&](net::NodeIndex node) { return !list_of(node).empty(); });
   collected.reserve(visits.size());
   for (const auto& visit : visits) {
     collected.push_back({visit.node, list_of(visit.node)});

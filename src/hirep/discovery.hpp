@@ -44,9 +44,11 @@ struct CollectedList {
 /// Runs the token+TTL walk from `requestor` and gathers responses.
 /// `list_of(node)` returns the list a node would share (empty = it has
 /// none and is not itself an agent → forwards without consuming a token).
-/// Traffic is counted under kAgentDiscovery.
+/// Request hops travel as kAgentListRequest envelopes and replies as
+/// kAgentListReply envelopes through `transport` (both counted under
+/// kAgentDiscovery); lossy policies lose token shares and replies.
 std::vector<CollectedList> collect_agent_lists(
-    net::Overlay& overlay, util::Rng& rng, net::NodeIndex requestor,
+    net::Transport& transport, util::Rng& rng, net::NodeIndex requestor,
     std::uint32_t tokens, std::uint32_t ttl,
     const std::function<std::vector<AgentEntry>(net::NodeIndex)>& list_of);
 

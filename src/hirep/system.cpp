@@ -32,6 +32,7 @@ HirepSystem::HirepSystem(HirepOptions options)
       truth_(rng_, world_with_nodes(options_.world, options_.nodes)),
       overlay_(net::power_law(rng_, options_.nodes, options_.average_degree),
                options_.latency, options_.seed ^ 0x1eafcafeULL),
+      transport_(&overlay_, options_.delivery, options_.seed ^ 0xfa017ca7ULL),
       router_(&overlay_, [this](net::NodeIndex v) -> const crypto::Identity* {
         return v < identities_.size() ? &identities_[v] : nullptr;
       }) {
@@ -131,9 +132,20 @@ std::vector<onion::RelayInfo> HirepSystem::pick_and_verify_relays(
                                              endpoint);
       if (info) relays.push_back(std::move(*info));
     } else {
-      // Same four handshake messages, key taken on faith (counted identically).
-      overlay_.count_send(net::MessageKind::kKeyExchange, 4);
-      relays.push_back({ip, identities_[ip].anonymity_public()});
+      // Same four handshake messages (Figure 3: two request/response round
+      // trips), key taken on faith; the transport may lose any of them, in
+      // which case the relay fails verification and is skipped.
+      bool handshake_ok = true;
+      for (int message = 0; message < 4 && handshake_ok; ++message) {
+        const net::NodeIndex from = message % 2 == 0 ? owner : ip;
+        const net::NodeIndex to = message % 2 == 0 ? ip : owner;
+        handshake_ok =
+            transport_.send(net::EnvelopeType::kKeyExchange, from, {to})
+                .delivered;
+      }
+      if (handshake_ok) {
+        relays.push_back({ip, identities_[ip].anonymity_public()});
+      }
     }
   }
   return relays;
@@ -178,7 +190,7 @@ std::size_t HirepSystem::discover_agents(net::NodeIndex peer_ip) {
   if (p.agents().full()) return 0;
 
   const auto lists = collect_agent_lists(
-      overlay_, rng_, peer_ip, options_.discovery_tokens,
+      transport_, rng_, peer_ip, options_.discovery_tokens,
       options_.discovery_ttl,
       [this, peer_ip](net::NodeIndex v) {
         return v == peer_ip ? std::vector<AgentEntry>{} : shareable_list(v);
@@ -206,7 +218,11 @@ void HirepSystem::refill(net::NodeIndex peer_ip) {
   while (!p.agents().full()) {
     auto backup = p.agents().pop_backup();
     if (!backup) break;
-    overlay_.count_send(net::MessageKind::kControl);  // probe message
+    const auto probe_ip = ip_of(backup->agent_id);
+    if (!probe_ip) continue;
+    const auto probed =
+        transport_.send(net::EnvelopeType::kProbe, peer_ip, {*probe_ip});
+    if (!probed.delivered) continue;  // probe lost: treated as offline
     const auto* rt = runtime_of(backup->agent_id);
     if (rt != nullptr && rt->online) {
       p.agents().add(std::move(*backup));
@@ -271,12 +287,14 @@ crypto::NodeId HirepSystem::rotate_peer_key(net::NodeIndex v) {
     AgentRuntime* rt = runtime_of(entry.agent_id);
     if (rt == nullptr || !rt->online) continue;
     if (options_.crypto == CryptoMode::kFast) {
-      overlay_.count_send(net::MessageKind::kControl, entry.relay_path.size());
+      const auto routed = transport_.send(net::EnvelopeType::kKeyRotation, v,
+                                          entry.relay_path);
+      if (!routed.delivered) continue;  // announcement lost: agent keeps SP
       rt->agent->migrate_key(old_id, announcement);
       continue;
     }
-    const auto routed = router_.route(v, entry.onion, wire,
-                                      net::MessageKind::kControl);
+    const auto routed =
+        route_envelope(v, entry.onion, wire, net::EnvelopeType::kKeyRotation);
     if (!routed.delivered) continue;
     const auto parsed =
         crypto::Identity::RotationAnnouncement::deserialize(routed.payload);
@@ -284,6 +302,19 @@ crypto::NodeId HirepSystem::rotate_peer_key(net::NodeIndex v) {
     rt->agent->migrate_key(old_id, *parsed);
   }
   return identity.node_id();
+}
+
+HirepSystem::RoutedEnvelope HirepSystem::route_envelope(
+    net::NodeIndex sender, const onion::Onion& onion, util::Bytes wire,
+    net::EnvelopeType type) {
+  RoutedEnvelope result;
+  const auto path = router_.peel_path(onion);
+  if (!path) return result;  // bad signature / stale sq / corrupt layer
+  auto receipt = transport_.send(type, sender, *path, std::move(wire));
+  result.delivered = receipt.delivered;
+  result.destination = receipt.destination;
+  result.payload = std::move(receipt.payload);
+  return result;
 }
 
 std::optional<double> HirepSystem::exchange_with_agent(
@@ -295,15 +326,20 @@ std::optional<double> HirepSystem::exchange_with_agent(
   const std::uint64_t nonce = rng_();
 
   if (options_.crypto == CryptoMode::kFast) {
-    // Identical message counts, protocol work elided.
-    overlay_.count_send(net::MessageKind::kTrustRequest,
-                        entry.relay_path.size());
+    // Identical message counts, protocol work elided.  A lost request means
+    // the agent never hears the question; a lost response means the agent
+    // answered but the requestor treats it as unreachable (§3.4.3).
+    const auto to_agent = transport_.send(net::EnvelopeType::kTrustRequest,
+                                          requestor.ip(), entry.relay_path);
+    if (!to_agent.delivered) return std::nullopt;
     rt->agent->register_key(requestor.node_id(),
                             requestor.identity().signature_public());
     const double value = rt->agent->trust_value(subject_id, subject_ip, rng_);
-    overlay_.count_send(net::MessageKind::kTrustResponse,
-                        requestor.relay_path().size());
-    entry.onion = issue_agent_onion(agent_ip, *rt);
+    onion::Onion fresh = issue_agent_onion(agent_ip, *rt);
+    const auto to_peer = transport_.send(net::EnvelopeType::kTrustResponse,
+                                         agent_ip, requestor.relay_path());
+    if (!to_peer.delivered) return std::nullopt;
+    entry.onion = std::move(fresh);
     entry.relay_path = path_of(rt->relays, agent_ip);
     return value;
   }
@@ -314,8 +350,8 @@ std::optional<double> HirepSystem::exchange_with_agent(
       rng_, entry.agent_key, requestor.identity(), subject_id, nonce,
       std::move(onion_p));
   const auto to_agent =
-      router_.route(requestor.ip(), entry.onion, request.serialize(),
-                    net::MessageKind::kTrustRequest);
+      route_envelope(requestor.ip(), entry.onion, request.serialize(),
+                     net::EnvelopeType::kTrustRequest);
   if (!to_agent.delivered || to_agent.destination != agent_ip) {
     return std::nullopt;
   }
@@ -331,8 +367,8 @@ std::optional<double> HirepSystem::exchange_with_agent(
       rng_, parsed->sp_p, rt->agent->identity(), value, opened->nonce,
       issue_agent_onion(agent_ip, *rt));
   const auto to_peer =
-      router_.route(agent_ip, parsed->reply_onion, response.serialize(),
-                    net::MessageKind::kTrustResponse);
+      route_envelope(agent_ip, parsed->reply_onion, response.serialize(),
+                     net::EnvelopeType::kTrustResponse);
   if (!to_peer.delivered || to_peer.destination != requestor.ip()) {
     return std::nullopt;
   }
@@ -380,15 +416,18 @@ void HirepSystem::send_report(Peer& reporter, AgentEntry& entry,
   if (rt == nullptr || !rt->online) return;
 
   if (options_.crypto == CryptoMode::kFast) {
-    overlay_.count_send(net::MessageKind::kReport, entry.relay_path.size());
+    const auto routed = transport_.send(net::EnvelopeType::kReport,
+                                        reporter.ip(), entry.relay_path);
+    if (!routed.delivered) return;  // report lost: agent never learns of it
     rt->agent->accept_report(subject_id, outcome);
     return;
   }
 
   const TransactionReport report =
       build_report(reporter.identity(), subject_id, outcome, rng_());
-  const auto routed = router_.route(reporter.ip(), entry.onion,
-                                    report.serialize(), net::MessageKind::kReport);
+  const auto routed = route_envelope(reporter.ip(), entry.onion,
+                                     report.serialize(),
+                                     net::EnvelopeType::kReport);
   if (!routed.delivered) return;
   const auto parsed = TransactionReport::deserialize(routed.payload);
   if (!parsed) return;

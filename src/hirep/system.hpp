@@ -28,6 +28,7 @@
 #include "hirep/protocol.hpp"
 #include "net/overlay.hpp"
 #include "net/topology.hpp"
+#include "net/transport.hpp"
 #include "onion/router.hpp"
 #include "trust/ground_truth.hpp"
 
@@ -56,6 +57,8 @@ struct HirepOptions {
   /// computation model instead of its own evaluation (§4.2.3).
   std::size_t min_reports_for_model = 1;
   CryptoMode crypto = CryptoMode::kFull;
+  /// How protocol envelopes are delivered (instant / latency / faulty).
+  net::DeliveryConfig delivery;
   trust::WorldParams world;        ///< .nodes is overridden by `nodes`
   net::LatencyParams latency;
   std::uint64_t seed = 1;
@@ -71,6 +74,9 @@ class HirepSystem {
   trust::GroundTruth& truth() noexcept { return truth_; }
   const trust::GroundTruth& truth() const noexcept { return truth_; }
   onion::Router& router() noexcept { return router_; }
+  /// The typed message path every protocol interaction travels through.
+  net::Transport& transport() noexcept { return transport_; }
+  const net::Transport& transport() const noexcept { return transport_; }
   util::Rng& rng() noexcept { return rng_; }
 
   std::size_t node_count() const noexcept { return peers_.size(); }
@@ -170,6 +176,18 @@ class HirepSystem {
   };
 
   AgentRuntime* runtime_of(const crypto::NodeId& id);
+
+  /// Full-crypto envelope routing: enumerates the onion's relay hops
+  /// (Router::peel_path) and carries `wire` along them through the
+  /// transport, so drops/delays/duplication apply per hop.
+  struct RoutedEnvelope {
+    bool delivered = false;
+    net::NodeIndex destination = net::kInvalidNode;
+    util::Bytes payload;
+  };
+  RoutedEnvelope route_envelope(net::NodeIndex sender, const onion::Onion& onion,
+                                util::Bytes wire, net::EnvelopeType type);
+
   onion::Onion issue_agent_onion(net::NodeIndex agent_ip, AgentRuntime& rt);
   AgentEntry self_entry(net::NodeIndex agent_ip, AgentRuntime& rt);
   std::vector<onion::RelayInfo> pick_and_verify_relays(net::NodeIndex owner);
@@ -190,6 +208,7 @@ class HirepSystem {
   util::Rng rng_;
   trust::GroundTruth truth_;
   net::Overlay overlay_;
+  net::Transport transport_;
   std::deque<crypto::Identity> identities_;  // reference-stable on growth
   onion::Router router_;
   std::vector<Peer> peers_;

@@ -6,6 +6,15 @@
 
 namespace hirep::net {
 
+std::vector<NodeIndex> FloodResult::parents_by_node(
+    std::size_t node_count) const {
+  std::vector<NodeIndex> by_node(node_count, kInvalidNode);
+  for (std::size_t i = 0; i < reached.size(); ++i) {
+    by_node[reached[i]] = parent[i];
+  }
+  return by_node;
+}
+
 FloodResult flood(Overlay& overlay, NodeIndex source, std::uint32_t ttl,
                   MessageKind kind) {
   const Graph& g = overlay.graph();
@@ -36,6 +45,7 @@ FloodResult flood(Overlay& overlay, NodeIndex source, std::uint32_t ttl,
     depth[p.node] = p.hops;
     result.reached.push_back(p.node);
     result.depth.push_back(p.hops);
+    result.parent.push_back(p.from);
     if (p.hops >= ttl) continue;  // TTL exhausted: no forward
     for (NodeIndex nb : g.neighbors(p.node)) {
       if (nb == p.from) continue;
@@ -44,6 +54,51 @@ FloodResult flood(Overlay& overlay, NodeIndex source, std::uint32_t ttl,
     }
   }
   overlay.count_send(kind, result.messages);
+  return result;
+}
+
+FloodResult flood(Transport& transport, NodeIndex source, std::uint32_t ttl,
+                  EnvelopeType type) {
+  const Graph& g = transport.overlay().graph();
+  FloodResult result;
+  if (ttl == 0) return result;
+
+  constexpr auto kUnseen = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> depth(g.node_count(), kUnseen);
+  depth[source] = 0;
+
+  struct Pending {
+    NodeIndex node;
+    NodeIndex from;
+    std::uint32_t hops;
+  };
+  std::deque<Pending> frontier;
+
+  // Each edge transmission is one single-hop envelope under the policy; a
+  // dropped copy never enters the frontier.
+  const auto transmit = [&](NodeIndex from, NodeIndex to,
+                            std::uint32_t hops) {
+    const auto receipt = transport.send(type, from, {to});
+    result.messages += receipt.messages;
+    if (receipt.delivered) frontier.push_back({to, from, hops});
+  };
+
+  for (NodeIndex nb : g.neighbors(source)) transmit(source, nb, 1);
+
+  while (!frontier.empty()) {
+    const Pending p = frontier.front();
+    frontier.pop_front();
+    if (depth[p.node] != kUnseen) continue;
+    depth[p.node] = p.hops;
+    result.reached.push_back(p.node);
+    result.depth.push_back(p.hops);
+    result.parent.push_back(p.from);
+    if (p.hops >= ttl) continue;
+    for (NodeIndex nb : g.neighbors(p.node)) {
+      if (nb == p.from) continue;
+      transmit(p.node, nb, p.hops + 1);
+    }
+  }
   return result;
 }
 
@@ -164,6 +219,81 @@ std::vector<TokenVisit> token_walk(Overlay& overlay, util::Rng& rng,
           (remaining + nbs.size() - 1 - i) / (nbs.size() - i));
       overlay.count_send(kind);
       frontier.push_back({nbs[i], share, p.ttl - 1});
+      remaining -= share;
+    }
+  }
+  return visits;
+}
+
+std::vector<TokenVisit> token_walk(Transport& transport, util::Rng& rng,
+                                   NodeIndex source, std::uint32_t tokens,
+                                   std::uint32_t ttl,
+                                   const std::function<bool(NodeIndex)>& consumes) {
+  const Graph& g = transport.overlay().graph();
+  std::vector<TokenVisit> visits;
+  if (tokens == 0 || ttl == 0) return visits;
+
+  std::vector<bool> visited(g.node_count(), false);
+  visited[source] = true;
+
+  struct Pending {
+    NodeIndex node;
+    NodeIndex from;
+    std::uint32_t tokens;
+    std::uint32_t ttl;
+  };
+  std::deque<Pending> frontier;
+
+  // A forwarded share only survives if its envelope lands (a dropped
+  // request loses the tokens it carried, exactly like a lossy link).
+  const auto forward = [&](NodeIndex from, NodeIndex to, std::uint32_t share,
+                           std::uint32_t ttl_left) {
+    const auto receipt =
+        transport.send(EnvelopeType::kAgentListRequest, from, {to});
+    if (receipt.delivered) frontier.push_back({to, from, share, ttl_left});
+  };
+
+  // The source splits its token budget across its neighbors (Figure 4).
+  {
+    std::vector<NodeIndex> nbs;
+    for (NodeIndex nb : g.neighbors(source)) {
+      if (!visited[nb]) nbs.push_back(nb);
+    }
+    rng.shuffle(nbs);
+    std::uint32_t remaining = tokens;
+    for (std::size_t i = 0; i < nbs.size() && remaining > 0; ++i) {
+      const auto share = static_cast<std::uint32_t>(
+          (remaining + nbs.size() - 1 - i) / (nbs.size() - i));
+      forward(source, nbs[i], share, ttl);
+      remaining -= share;
+    }
+  }
+
+  while (!frontier.empty()) {
+    Pending p = frontier.front();
+    frontier.pop_front();
+    if (visited[p.node]) continue;  // duplicate copy: tokens lost with it
+    visited[p.node] = true;
+    std::uint32_t remaining = p.tokens;
+    if (consumes(p.node) && remaining > 0) {
+      // One token pays for this node's reply, returned directly to the
+      // requestor; a dropped reply still consumed the token.
+      const auto receipt =
+          transport.send(EnvelopeType::kAgentListReply, p.node, {source});
+      if (receipt.delivered) visits.push_back({p.node, 1});
+      --remaining;
+    }
+    if (remaining == 0 || p.ttl <= 1) continue;
+    std::vector<NodeIndex> nbs;
+    for (NodeIndex nb : g.neighbors(p.node)) {
+      if (!visited[nb]) nbs.push_back(nb);
+    }
+    if (nbs.empty()) continue;
+    rng.shuffle(nbs);
+    for (std::size_t i = 0; i < nbs.size() && remaining > 0; ++i) {
+      const auto share = static_cast<std::uint32_t>(
+          (remaining + nbs.size() - 1 - i) / (nbs.size() - i));
+      forward(p.node, nbs[i], share, p.ttl - 1);
       remaining -= share;
     }
   }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "net/overlay.hpp"
+#include "net/transport.hpp"
 #include "util/rng.hpp"
 
 namespace hirep::net {
@@ -15,10 +16,16 @@ namespace hirep::net {
 struct FloodResult {
   /// Nodes reached (excluding the source), with their BFS depth (>= 1).
   std::vector<NodeIndex> reached;
-  std::vector<std::uint32_t> depth;  ///< parallel to `reached`
+  std::vector<std::uint32_t> depth;   ///< parallel to `reached`
+  std::vector<NodeIndex> parent;      ///< BFS-tree predecessor, parallel to
+                                      ///< `reached` (reverse-path hops)
   /// Forwarding transmissions performed, including duplicate deliveries —
   /// the real cost of flooding.
   std::uint64_t messages = 0;
+
+  /// Node-indexed BFS-tree parents (kInvalidNode where unreached); the
+  /// caller walks reached -> ... -> source to obtain a reply's hop path.
+  std::vector<NodeIndex> parents_by_node(std::size_t node_count) const;
 };
 
 /// Floods from `source` with the given TTL; every transmission is counted
@@ -26,6 +33,14 @@ struct FloodResult {
 /// copy it sees, to all neighbors except the sender, while ttl > 0.
 FloodResult flood(Overlay& overlay, NodeIndex source, std::uint32_t ttl,
                   MessageKind kind);
+
+/// Transport-routed flood: each edge transmission is one single-hop typed
+/// envelope, so the delivery policy can drop/delay/duplicate individual
+/// copies (a dropped copy never reaches its receiver; the node may still be
+/// reached by another copy).  With InstantDelivery this is transmission-for-
+/// transmission identical to the counted flood above.
+FloodResult flood(Transport& transport, NodeIndex source, std::uint32_t ttl,
+                  EnvelopeType type);
 
 struct TimedArrival {
   NodeIndex node = kInvalidNode;
@@ -61,5 +76,16 @@ std::vector<TokenVisit> token_walk(Overlay& overlay, util::Rng& rng,
                                    std::uint32_t ttl,
                                    const std::function<bool(NodeIndex)>& consumes,
                                    MessageKind kind);
+
+/// Transport-routed token walk: request forwards travel as
+/// kAgentListRequest envelopes (a dropped forward loses its token share),
+/// and each consuming node's answer returns to `source` as a
+/// kAgentListReply envelope (a dropped reply consumes the token but never
+/// arrives).  With InstantDelivery this is transmission-for-transmission
+/// identical to the counted walk above.
+std::vector<TokenVisit> token_walk(Transport& transport, util::Rng& rng,
+                                   NodeIndex source, std::uint32_t tokens,
+                                   std::uint32_t ttl,
+                                   const std::function<bool(NodeIndex)>& consumes);
 
 }  // namespace hirep::net

@@ -19,6 +19,100 @@ const char* to_string(MessageKind kind) noexcept {
   return "?";
 }
 
+const char* to_string(EnvelopeType type) noexcept {
+  switch (type) {
+    case EnvelopeType::kTrustRequest: return "trust_request";
+    case EnvelopeType::kTrustResponse: return "trust_response";
+    case EnvelopeType::kReport: return "report";
+    case EnvelopeType::kAgentListRequest: return "agent_list_request";
+    case EnvelopeType::kAgentListReply: return "agent_list_reply";
+    case EnvelopeType::kKeyRotation: return "key_rotation";
+    case EnvelopeType::kKeyExchange: return "key_exchange";
+    case EnvelopeType::kProbe: return "probe";
+    case EnvelopeType::kVotePoll: return "vote_poll";
+    case EnvelopeType::kVoteReturn: return "vote_return";
+    case EnvelopeType::kCount: break;
+  }
+  return "?";
+}
+
+MessageKind kind_of(EnvelopeType type) noexcept {
+  switch (type) {
+    case EnvelopeType::kTrustRequest: return MessageKind::kTrustRequest;
+    case EnvelopeType::kTrustResponse: return MessageKind::kTrustResponse;
+    case EnvelopeType::kReport: return MessageKind::kReport;
+    case EnvelopeType::kAgentListRequest: return MessageKind::kAgentDiscovery;
+    case EnvelopeType::kAgentListReply: return MessageKind::kAgentDiscovery;
+    case EnvelopeType::kKeyRotation: return MessageKind::kControl;
+    case EnvelopeType::kKeyExchange: return MessageKind::kKeyExchange;
+    case EnvelopeType::kProbe: return MessageKind::kControl;
+    case EnvelopeType::kVotePoll: return MessageKind::kTrustRequest;
+    case EnvelopeType::kVoteReturn: return MessageKind::kTrustResponse;
+    case EnvelopeType::kCount: break;
+  }
+  return MessageKind::kControl;
+}
+
+void EnvelopeMetrics::count_sent(EnvelopeType type) noexcept {
+  ++counts_[static_cast<std::size_t>(type)].sent;
+}
+
+void EnvelopeMetrics::count_delivered(EnvelopeType type) noexcept {
+  ++counts_[static_cast<std::size_t>(type)].delivered;
+}
+
+void EnvelopeMetrics::count_dropped(EnvelopeType type) noexcept {
+  ++counts_[static_cast<std::size_t>(type)].dropped;
+}
+
+void EnvelopeMetrics::count_duplicated(EnvelopeType type) noexcept {
+  ++counts_[static_cast<std::size_t>(type)].duplicated;
+}
+
+void EnvelopeMetrics::count_hops(EnvelopeType type,
+                                 std::uint64_t messages) noexcept {
+  counts_[static_cast<std::size_t>(type)].hop_messages += messages;
+}
+
+void EnvelopeMetrics::reset() noexcept { counts_.fill(Counters{}); }
+
+const EnvelopeMetrics::Counters& EnvelopeMetrics::of(
+    EnvelopeType type) const noexcept {
+  return counts_[static_cast<std::size_t>(type)];
+}
+
+std::uint64_t EnvelopeMetrics::total_sent() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& c : counts_) sum += c.sent;
+  return sum;
+}
+
+std::uint64_t EnvelopeMetrics::total_delivered() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& c : counts_) sum += c.delivered;
+  return sum;
+}
+
+std::uint64_t EnvelopeMetrics::total_dropped() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& c : counts_) sum += c.dropped;
+  return sum;
+}
+
+std::string EnvelopeMetrics::summary() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const Counters& c = counts_[i];
+    if (c.sent == 0 && c.dropped == 0) continue;
+    out << to_string(static_cast<EnvelopeType>(i)) << "={sent=" << c.sent
+        << " delivered=" << c.delivered << " dropped=" << c.dropped
+        << " dup=" << c.duplicated << " hops=" << c.hop_messages << "} ";
+  }
+  out << "total_sent=" << total_sent() << " total_delivered="
+      << total_delivered() << " total_dropped=" << total_dropped();
+  return out.str();
+}
+
 void TrafficMetrics::count(MessageKind kind, std::uint64_t messages) noexcept {
   counts_[static_cast<std::size_t>(kind)] += messages;
 }

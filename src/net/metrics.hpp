@@ -23,6 +23,61 @@ enum class MessageKind : std::uint8_t {
 
 const char* to_string(MessageKind kind) noexcept;
 
+/// Typed protocol envelopes carried by the transport layer.  Every protocol
+/// interaction is one of these; the transport tags each with the MessageKind
+/// its hops are counted under (kind_of), so TrafficMetrics totals are
+/// unchanged while per-envelope delivery outcomes become observable.
+enum class EnvelopeType : std::uint8_t {
+  kTrustRequest = 0,   ///< trust value request (peer -> agent)
+  kTrustResponse,      ///< trust value response (agent -> peer)
+  kReport,             ///< signed transaction report (peer -> agent)
+  kAgentListRequest,   ///< trusted-agent-list request hop (§3.4.1 walk)
+  kAgentListReply,     ///< trusted-agent-list reply (responder -> requestor)
+  kKeyRotation,        ///< §3.5 key-rotation announcement (peer -> agent)
+  kKeyExchange,        ///< Figure-3 anonymity-key handshake message
+  kProbe,              ///< §3.4.3 backup-cache liveness probe
+  kVotePoll,           ///< baseline: flooding trust poll
+  kVoteReturn,         ///< baseline: vote returned along the reverse path
+  kCount
+};
+
+const char* to_string(EnvelopeType type) noexcept;
+
+/// The TrafficMetrics bucket an envelope's hops are counted under.
+MessageKind kind_of(EnvelopeType type) noexcept;
+
+/// Per-envelope-type delivery accounting maintained by the transport:
+/// how many envelopes entered the transport, how many reached their
+/// destination, how many were lost in transit, and the hop messages spent.
+class EnvelopeMetrics {
+ public:
+  struct Counters {
+    std::uint64_t sent = 0;        ///< envelopes handed to the transport
+    std::uint64_t delivered = 0;   ///< envelopes that reached path end
+    std::uint64_t dropped = 0;     ///< envelopes lost at some hop
+    std::uint64_t duplicated = 0;  ///< hops transmitted twice by the policy
+    std::uint64_t hop_messages = 0;///< transmissions spent (incl. duplicates)
+  };
+
+  void count_sent(EnvelopeType type) noexcept;
+  void count_delivered(EnvelopeType type) noexcept;
+  void count_dropped(EnvelopeType type) noexcept;
+  void count_duplicated(EnvelopeType type) noexcept;
+  void count_hops(EnvelopeType type, std::uint64_t messages) noexcept;
+  void reset() noexcept;
+
+  const Counters& of(EnvelopeType type) const noexcept;
+  std::uint64_t total_sent() const noexcept;
+  std::uint64_t total_delivered() const noexcept;
+  std::uint64_t total_dropped() const noexcept;
+
+  std::string summary() const;
+
+ private:
+  std::array<Counters, static_cast<std::size_t>(EnvelopeType::kCount)>
+      counts_{};
+};
+
 class TrafficMetrics {
  public:
   void count(MessageKind kind, std::uint64_t messages = 1) noexcept;

@@ -1,0 +1,115 @@
+#include "net/transport.hpp"
+
+#include <functional>
+#include <stdexcept>
+
+namespace hirep::net {
+
+HopDecision LatencyDelivery::on_hop(const Envelope&, NodeIndex from,
+                                    NodeIndex to) {
+  HopDecision decision;
+  decision.delay_ms = model_->link_ms(from, to) + model_->processing_ms();
+  return decision;
+}
+
+HopDecision FaultyDelivery::on_hop(const Envelope&, NodeIndex, NodeIndex) {
+  // Always draw the same number of variates per hop so the fault stream
+  // stays aligned regardless of earlier outcomes.
+  const bool drop = rng_.chance(params_.drop_rate);
+  const bool duplicate = rng_.chance(params_.duplicate_rate);
+  const double delay =
+      params_.delay_max_ms > params_.delay_min_ms
+          ? rng_.uniform(params_.delay_min_ms, params_.delay_max_ms)
+          : params_.delay_min_ms;
+  HopDecision decision;
+  decision.drop = drop;
+  decision.duplicate = !drop && duplicate;
+  decision.delay_ms = delay;
+  return decision;
+}
+
+std::optional<DeliveryPolicyKind> policy_kind_by_name(std::string_view name) {
+  if (name == "instant") return DeliveryPolicyKind::kInstant;
+  if (name == "latency") return DeliveryPolicyKind::kLatency;
+  if (name == "faulty") return DeliveryPolicyKind::kFaulty;
+  return std::nullopt;
+}
+
+std::unique_ptr<DeliveryPolicy> make_policy(const DeliveryConfig& config,
+                                            const LatencyModel* latency,
+                                            std::uint64_t seed) {
+  switch (config.policy) {
+    case DeliveryPolicyKind::kInstant:
+      return std::make_unique<InstantDelivery>();
+    case DeliveryPolicyKind::kLatency:
+      if (latency == nullptr) {
+        throw std::invalid_argument("latency policy needs a LatencyModel");
+      }
+      return std::make_unique<LatencyDelivery>(latency);
+    case DeliveryPolicyKind::kFaulty:
+      return std::make_unique<FaultyDelivery>(config.faults, seed);
+  }
+  throw std::invalid_argument("unknown delivery policy");
+}
+
+Transport::Transport(Overlay* overlay, const DeliveryConfig& config,
+                     std::uint64_t seed)
+    : overlay_(overlay),
+      policy_(make_policy(config, &overlay->latency(), seed)) {}
+
+Transport::Transport(Overlay* overlay, std::unique_ptr<DeliveryPolicy> policy)
+    : overlay_(overlay), policy_(std::move(policy)) {}
+
+void Transport::set_policy(std::unique_ptr<DeliveryPolicy> policy) {
+  policy_ = std::move(policy);
+}
+
+DeliveryReceipt Transport::send(EnvelopeType type, NodeIndex sender,
+                                const std::vector<NodeIndex>& path,
+                                util::Bytes payload) {
+  DeliveryReceipt receipt;
+  if (path.empty()) return receipt;
+
+  Envelope envelope;
+  envelope.type = type;
+  envelope.origin = sender;
+  envelope.destination = path.back();
+  envelope.id = next_id_++;
+  envelope.payload = std::move(payload);
+  envelopes_.count_sent(type);
+  const MessageKind kind = kind_of(type);
+
+  // Hop chain as a self-scheduling event sequence.  All events fire inside
+  // this call's sim_.run(), so reference captures of locals are safe.
+  std::function<void(std::size_t, NodeIndex)> transmit;
+  transmit = [&](std::size_t index, NodeIndex from) {
+    const NodeIndex to = path[index];
+    const HopDecision decision = policy_->on_hop(envelope, from, to);
+    const std::uint64_t copies = decision.duplicate ? 2 : 1;
+    overlay_->count_send(kind, copies);
+    receipt.messages += copies;
+    envelopes_.count_hops(type, copies);
+    if (decision.duplicate) envelopes_.count_duplicated(type);
+    if (decision.drop) {
+      envelopes_.count_dropped(type);
+      return;  // the copy left the sender but never lands
+    }
+    sim_.schedule_in(decision.delay_ms, [&, index, to] {
+      ++receipt.hops;
+      if (index + 1 == path.size()) {
+        receipt.delivered = true;
+        receipt.destination = to;
+        receipt.completion_ms = sim_.now();
+        receipt.payload = std::move(envelope.payload);
+        envelopes_.count_delivered(envelope.type);
+        return;
+      }
+      transmit(index + 1, to);
+    });
+  };
+  transmit(0, sender);
+  sim_.run();
+  return receipt;
+}
+
+}  // namespace hirep::net

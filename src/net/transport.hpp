@@ -1,0 +1,163 @@
+// The typed transport layer: every protocol interaction (trust requests,
+// responses, reports, agent-list walks, key rotation, probes, baseline
+// polls) travels as an explicit Envelope, hop by hop along a node path,
+// scheduled on the net::EventSim clock.
+//
+// Delivery behaviour is a pluggable DeliveryPolicy:
+//   * InstantDelivery — zero delay, no loss: bit-for-bit identical message
+//     counts and estimates to direct counted sends (the kFast sweeps);
+//   * LatencyDelivery — per-hop delay from the overlay's LatencyModel;
+//   * FaultyDelivery  — seeded per-hop drop / duplicate / extra-delay
+//     probabilities, independent of the simulation RNG stream.
+//
+// A dropped hop loses the envelope (the transmission is still counted —
+// the message left the sender); callers observe `delivered == false` and
+// fall back exactly as the paper's §3.4.3 maintenance prescribes.  All
+// outcomes are tallied per EnvelopeType in net::EnvelopeMetrics.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "net/event_sim.hpp"
+#include "net/metrics.hpp"
+#include "net/overlay.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace hirep::net {
+
+/// One typed protocol message in flight.
+struct Envelope {
+  EnvelopeType type = EnvelopeType::kProbe;
+  NodeIndex origin = kInvalidNode;       ///< first sender
+  NodeIndex destination = kInvalidNode;  ///< final receiver (path end)
+  std::uint64_t id = 0;                  ///< per-transport sequence number
+  util::Bytes payload;                   ///< wire bytes (empty in kFast mode)
+};
+
+/// A policy's verdict for one hop transmission.
+struct HopDecision {
+  bool drop = false;       ///< the copy is lost in transit
+  bool duplicate = false;  ///< the hop is transmitted twice (both counted)
+  double delay_ms = 0.0;   ///< sim-clock delay before the hop lands
+};
+
+class DeliveryPolicy {
+ public:
+  virtual ~DeliveryPolicy() = default;
+  /// Called once per hop, in transmission order.  Implementations must be
+  /// deterministic for a given construction seed and call sequence.
+  virtual HopDecision on_hop(const Envelope& envelope, NodeIndex from,
+                             NodeIndex to) = 0;
+  virtual const char* name() const noexcept = 0;
+};
+
+/// Zero delay, no loss — the counted-send behaviour of the kFast sweeps.
+class InstantDelivery final : public DeliveryPolicy {
+ public:
+  HopDecision on_hop(const Envelope&, NodeIndex, NodeIndex) override {
+    return {};
+  }
+  const char* name() const noexcept override { return "instant"; }
+};
+
+/// Per-hop propagation + processing delay from the overlay's LatencyModel.
+class LatencyDelivery final : public DeliveryPolicy {
+ public:
+  explicit LatencyDelivery(const LatencyModel* model) : model_(model) {}
+  HopDecision on_hop(const Envelope&, NodeIndex from, NodeIndex to) override;
+  const char* name() const noexcept override { return "latency"; }
+
+ private:
+  const LatencyModel* model_;
+};
+
+struct FaultParams {
+  double drop_rate = 0.0;       ///< per-hop probability the copy is lost
+  double duplicate_rate = 0.0;  ///< per-hop probability of a second copy
+  double delay_min_ms = 0.0;    ///< uniform extra per-hop delay range
+  double delay_max_ms = 0.0;
+};
+
+/// Seeded per-hop drop/delay/duplicate injection.  Owns its own Rng so
+/// fault outcomes never perturb the simulation's main random stream: the
+/// same (seed, params) world sees the same transactions with or without
+/// faults, only the deliveries differ.
+class FaultyDelivery final : public DeliveryPolicy {
+ public:
+  FaultyDelivery(FaultParams params, std::uint64_t seed)
+      : params_(params), rng_(seed) {}
+  HopDecision on_hop(const Envelope&, NodeIndex, NodeIndex) override;
+  const char* name() const noexcept override { return "faulty"; }
+  const FaultParams& params() const noexcept { return params_; }
+
+ private:
+  FaultParams params_;
+  util::Rng rng_;
+};
+
+enum class DeliveryPolicyKind { kInstant, kLatency, kFaulty };
+
+/// Declarative policy selection, embeddable in system option structs.
+struct DeliveryConfig {
+  DeliveryPolicyKind policy = DeliveryPolicyKind::kInstant;
+  FaultParams faults;  ///< used by kFaulty
+};
+
+/// "instant" | "latency" | "faulty" -> kind (nullopt on anything else).
+std::optional<DeliveryPolicyKind> policy_kind_by_name(std::string_view name);
+
+/// Builds the configured policy; `latency` is required for kLatency and
+/// `seed` seeds kFaulty's private Rng.
+std::unique_ptr<DeliveryPolicy> make_policy(const DeliveryConfig& config,
+                                            const LatencyModel* latency,
+                                            std::uint64_t seed);
+
+/// What the sender learns about a transfer once the event queue drains.
+struct DeliveryReceipt {
+  bool delivered = false;
+  NodeIndex destination = kInvalidNode;
+  std::uint64_t messages = 0;  ///< transmissions performed (incl. duplicates)
+  std::uint32_t hops = 0;      ///< hops completed (landed at their receiver)
+  double completion_ms = 0.0;  ///< sim-clock time the destination was reached
+  util::Bytes payload;         ///< what the destination received (delivered only)
+};
+
+class Transport {
+ public:
+  /// Builds the configured policy over `overlay` (which supplies both the
+  /// hop counters and, for kLatency, the latency model).
+  Transport(Overlay* overlay, const DeliveryConfig& config, std::uint64_t seed);
+  Transport(Overlay* overlay, std::unique_ptr<DeliveryPolicy> policy);
+
+  Overlay& overlay() noexcept { return *overlay_; }
+  EventSim& sim() noexcept { return sim_; }
+  DeliveryPolicy& policy() noexcept { return *policy_; }
+  /// Swaps the delivery policy mid-run (churn/fault scenarios).
+  void set_policy(std::unique_ptr<DeliveryPolicy> policy);
+
+  EnvelopeMetrics& envelopes() noexcept { return envelopes_; }
+  const EnvelopeMetrics& envelopes() const noexcept { return envelopes_; }
+
+  /// Carries one typed envelope from `sender` hop-by-hop along `path`
+  /// (successive receivers; path.back() is the destination).  Each hop is
+  /// an EventSim event at now + policy delay; the queue drains before the
+  /// receipt returns, so call sites stay synchronous while the message
+  /// path itself is event-driven.  Every transmission is counted into the
+  /// overlay's TrafficMetrics under kind_of(type).
+  DeliveryReceipt send(EnvelopeType type, NodeIndex sender,
+                       const std::vector<NodeIndex>& path,
+                       util::Bytes payload = {});
+
+ private:
+  Overlay* overlay_;
+  EventSim sim_;
+  std::unique_ptr<DeliveryPolicy> policy_;
+  EnvelopeMetrics envelopes_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace hirep::net

@@ -22,6 +22,29 @@ RouteResult Router::route_timed(double depart_ms, net::NodeIndex sender_ip,
   return route_impl(depart_ms, sender_ip, onion, payload, kind);
 }
 
+std::optional<std::vector<net::NodeIndex>> Router::peel_path(
+    const Onion& onion) {
+  if (!verify_onion(onion)) return std::nullopt;
+  if (!guard_.accept(crypto::NodeId::of_key(onion.owner_sig_key), onion.sq)) {
+    return std::nullopt;
+  }
+  std::vector<net::NodeIndex> path;
+  path.reserve(onion.relay_count + 1);
+  net::NodeIndex at = onion.entry;
+  util::Bytes blob = onion.blob;
+  for (std::uint32_t step = 0; step <= onion.relay_count + 1; ++step) {
+    const crypto::Identity* holder = resolver_(at);
+    if (holder == nullptr) return std::nullopt;
+    path.push_back(at);
+    const auto peeled = peel(blob, holder->anonymity_private());
+    if (!peeled) return std::nullopt;
+    if (peeled->terminal) return path;
+    at = peeled->next;
+    blob = peeled->inner;
+  }
+  return std::nullopt;  // layer structure deeper than declared: reject
+}
+
 RouteResult Router::route_impl(std::optional<double> depart_ms,
                                net::NodeIndex sender_ip, const Onion& onion,
                                const util::Bytes& payload,

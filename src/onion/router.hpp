@@ -51,6 +51,15 @@ class Router {
                           const Onion& onion, const util::Bytes& payload,
                           net::MessageKind kind);
 
+  /// Enumerates the hop-by-hop node path of `onion` (entry relay first,
+  /// destination last) by verifying the signature, enforcing the sq guard,
+  /// and peeling every layer — without transmitting anything.  This is the
+  /// seam the typed transport rides on: the transport carries the payload
+  /// along the returned path under its own delivery policy.  nullopt on bad
+  /// signature, stale sq, or an undecryptable/over-deep layer structure;
+  /// the sq is consumed exactly as a routed send would consume it.
+  std::optional<std::vector<net::NodeIndex>> peel_path(const Onion& onion);
+
   /// The anti-replay state shared by all relays in this simulation.
   SequenceGuard& sequence_guard() noexcept { return guard_; }
 

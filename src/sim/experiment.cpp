@@ -65,11 +65,14 @@ std::pair<net::NodeIndex, net::NodeIndex> pick_pair(util::Rng& rng,
 
 std::vector<double> average_over_seeds(
     const Params& params,
-    const std::function<std::vector<double>(std::uint64_t)>& series) {
+    const std::function<std::vector<double>(std::uint64_t)>& series,
+    SeedExecution execution) {
   const std::size_t reps = std::max<std::size_t>(1, params.seeds);
   std::vector<std::vector<double>> results(reps);
-  if (reps == 1) {
-    results[0] = series(params.seed);
+  if (reps == 1 || execution == SeedExecution::kSerial) {
+    for (std::size_t s = 0; s < reps; ++s) {
+      results[s] = series(params.seed + s * 7919);
+    }
   } else {
     // Seeds are embarrassingly parallel: each repetition owns its whole
     // simulated system, so the fan-out is race-free by construction and
@@ -99,18 +102,22 @@ ExperimentResult run_fig5_traffic(const Params& params) {
   for (std::size_t t = step; t <= total; t += step) checkpoints.push_back(t);
 
   // Cumulative trust-traffic series for one voting system of degree d.
+  // Traffic is read off the overlay's TrafficMetrics counters (relative to
+  // the post-construction baseline) rather than summed per transaction, so
+  // the figure measures exactly what the transport counted.
   auto voting_series = [&](double degree) {
     return average_over_seeds(params, [&](std::uint64_t seed) {
       Params p = with_seed(params, seed);
       p.neighbors_per_node = degree;
       baselines::PureVotingSystem system(p.voting_options());
+      const std::uint64_t baseline = system.overlay().metrics().trust_traffic();
       std::vector<double> ys;
-      std::uint64_t cumulative = 0;
       std::size_t next = 0;
       for (std::size_t t = 1; t <= total; ++t) {
-        cumulative += system.run_transaction().trust_messages;
+        system.run_transaction();
         if (next < checkpoints.size() && t == checkpoints[next]) {
-          ys.push_back(static_cast<double>(cumulative));
+          ys.push_back(static_cast<double>(
+              system.overlay().metrics().trust_traffic() - baseline));
           ++next;
         }
       }
@@ -120,13 +127,14 @@ ExperimentResult run_fig5_traffic(const Params& params) {
 
   auto hirep_series = average_over_seeds(params, [&](std::uint64_t seed) {
     core::HirepSystem system(with_seed(params, seed).hirep_options());
+    const std::uint64_t baseline = system.trust_message_total();
     std::vector<double> ys;
-    std::uint64_t cumulative = 0;
     std::size_t next = 0;
     for (std::size_t t = 1; t <= total; ++t) {
-      cumulative += system.run_transaction().trust_messages;
+      system.run_transaction();
       if (next < checkpoints.size() && t == checkpoints[next]) {
-        ys.push_back(static_cast<double>(cumulative));
+        ys.push_back(
+            static_cast<double>(system.trust_message_total() - baseline));
         ++next;
       }
     }

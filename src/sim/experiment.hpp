@@ -3,6 +3,8 @@
 // check the bench binaries print as PASS/FAIL.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -39,12 +41,21 @@ ExperimentResult run_fig7_malicious(const Params& params);
 /// 3*c*(o+1) across sweeps of c and o (and the paper's 2c(o_i+o_j) order).
 ExperimentResult run_traffic_bound(const Params& params);
 
+/// How average_over_seeds schedules its repetitions.
+enum class SeedExecution {
+  kParallel,  ///< fan repetitions across util::ThreadPool (default)
+  kSerial     ///< run repetitions in order on the calling thread
+};
+
 /// Runs `series(seed)` for params.seeds independent seeds and returns the
 /// element-wise mean (all runs must return equal-length series).  Shared by
-/// the figure runners.
+/// the figure runners.  Each repetition owns its whole simulated system, so
+/// the parallel fan-out is race-free and byte-identical to kSerial (results
+/// are combined in seed order either way).
 std::vector<double> average_over_seeds(
     const Params& params,
-    const std::function<std::vector<double>(std::uint64_t)>& series);
+    const std::function<std::vector<double>(std::uint64_t)>& series,
+    SeedExecution execution = SeedExecution::kParallel);
 
 /// Prints an ExperimentResult the standard way (table + checks).
 void print_result(const ExperimentResult& result, const std::string& title);

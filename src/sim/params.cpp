@@ -25,6 +25,11 @@ Params Params::from_config(const util::Config& c) {
   p.rsa_bits = static_cast<unsigned>(c.get_int("rsa_bits", p.rsa_bits));
   p.crypto_mode = c.get_string("crypto", p.crypto_mode);
   p.agent_model = c.get_string("agent_model", p.agent_model);
+  p.delivery = c.get_string("delivery", p.delivery);
+  p.drop_rate = c.get_double("drop_rate", p.drop_rate);
+  p.duplicate_rate = c.get_double("duplicate_rate", p.duplicate_rate);
+  p.fault_delay_min_ms = c.get_double("fault_delay_min_ms", p.fault_delay_min_ms);
+  p.fault_delay_max_ms = c.get_double("fault_delay_max_ms", p.fault_delay_max_ms);
   p.link_min_ms = c.get_double("link_min_ms", p.link_min_ms);
   p.link_max_ms = c.get_double("link_max_ms", p.link_max_ms);
   p.processing_ms = c.get_double("processing_ms", p.processing_ms);
@@ -37,7 +42,24 @@ Params Params::from_config(const util::Config& c) {
   if (p.crypto_mode != "fast" && p.crypto_mode != "full") {
     throw std::invalid_argument("crypto must be fast|full");
   }
+  if (!net::policy_kind_by_name(p.delivery)) {
+    throw std::invalid_argument("delivery must be instant|latency|faulty");
+  }
+  if (p.drop_rate < 0.0 || p.drop_rate > 1.0 || p.duplicate_rate < 0.0 ||
+      p.duplicate_rate > 1.0) {
+    throw std::invalid_argument("drop_rate/duplicate_rate must be in [0,1]");
+  }
   return p;
+}
+
+net::DeliveryConfig Params::delivery_config() const {
+  net::DeliveryConfig config;
+  config.policy = *net::policy_kind_by_name(delivery);
+  config.faults.drop_rate = drop_rate;
+  config.faults.duplicate_rate = duplicate_rate;
+  config.faults.delay_min_ms = fault_delay_min_ms;
+  config.faults.delay_max_ms = fault_delay_max_ms;
+  return config;
 }
 
 core::HirepOptions Params::hirep_options() const {
@@ -64,6 +86,7 @@ core::HirepOptions Params::hirep_options() const {
   o.latency.link_min_ms = link_min_ms;
   o.latency.link_max_ms = link_max_ms;
   o.latency.processing_ms = processing_ms;
+  o.delivery = delivery_config();
   o.seed = seed;
   return o;
 }
@@ -83,6 +106,7 @@ baselines::VotingOptions Params::voting_options() const {
   o.latency.link_min_ms = link_min_ms;
   o.latency.link_max_ms = link_max_ms;
   o.latency.processing_ms = processing_ms;
+  o.delivery = delivery_config();
   o.seed = seed;
   return o;
 }
@@ -103,6 +127,7 @@ baselines::TrustMeOptions Params::trustme_options() const {
   o.latency.link_min_ms = link_min_ms;
   o.latency.link_max_ms = link_max_ms;
   o.latency.processing_ms = processing_ms;
+  o.delivery = delivery_config();
   o.seed = seed;
   return o;
 }

@@ -42,6 +42,11 @@ struct Params {
   unsigned rsa_bits = 64;            ///< simulation default; tests use >= 128
   std::string crypto_mode = "fast";  ///< "fast" | "full"
   std::string agent_model = "ewma";
+  std::string delivery = "instant";  ///< "instant" | "latency" | "faulty"
+  double drop_rate = 0.0;            ///< faulty: per-hop loss probability
+  double duplicate_rate = 0.0;       ///< faulty: per-hop duplication probability
+  double fault_delay_min_ms = 0.0;   ///< faulty: extra per-hop delay range
+  double fault_delay_max_ms = 0.0;
   double link_min_ms = 10.0;
   double link_max_ms = 40.0;
   double processing_ms = 1.0;
@@ -62,6 +67,8 @@ struct Params {
   core::HirepOptions hirep_options() const;
   baselines::VotingOptions voting_options() const;
   baselines::TrustMeOptions trustme_options() const;
+  /// The delivery policy every system above is built with.
+  net::DeliveryConfig delivery_config() const;
 
   /// The Table-1 reproduction: name, value, provenance rows.
   util::Table table1() const;

@@ -136,9 +136,10 @@ TEST(RankAndSelect, TieBreaksAreRandom) {
 
 TEST(CollectAgentLists, GathersFromConsumers) {
   net::Overlay overlay(net::ring_lattice(30, 2), net::LatencyParams{}, 1);
+  net::Transport transport(&overlay, net::DeliveryConfig{}, 1);
   util::Rng rng(9);
   const auto collected = collect_agent_lists(
-      overlay, rng, 0, 6, 10, [](net::NodeIndex v) {
+      transport, rng, 0, 6, 10, [](net::NodeIndex v) {
         std::vector<AgentEntry> list;
         if (v % 3 == 0) list.push_back(entry_of(static_cast<std::uint8_t>(v), 1.0));
         return list;
@@ -153,9 +154,10 @@ TEST(CollectAgentLists, GathersFromConsumers) {
 
 TEST(CollectAgentLists, EmptyWhenNobodyHasLists) {
   net::Overlay overlay(net::ring_lattice(10, 1), net::LatencyParams{}, 2);
+  net::Transport transport(&overlay, net::DeliveryConfig{}, 2);
   util::Rng rng(10);
   const auto collected = collect_agent_lists(
-      overlay, rng, 0, 5, 5,
+      transport, rng, 0, 5, 5,
       [](net::NodeIndex) { return std::vector<AgentEntry>{}; });
   EXPECT_TRUE(collected.empty());
 }

@@ -1,0 +1,110 @@
+// Fault-injection integration: the protocol must degrade, not wedge, when
+// the transport loses messages — and a peer whose trusted agents become
+// unreachable must fall back to its backup cache exactly as §3.4.3
+// prescribes.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "hirep/system.hpp"
+
+namespace hirep::core {
+namespace {
+
+HirepOptions small_options(std::uint64_t seed) {
+  HirepOptions o;
+  o.nodes = 64;
+  o.trusted_agents = 4;
+  o.onion_relays = 2;
+  o.crypto = CryptoMode::kFast;
+  o.seed = seed;
+  return o;
+}
+
+TEST(TransportFaults, DroppedRequestsFallBackToBackupCache) {
+  HirepSystem system(small_options(11));
+
+  // Find a peer that actually holds trusted agents.
+  net::NodeIndex peer_ip = net::kInvalidNode;
+  for (std::size_t v = 0; v < system.node_count(); ++v) {
+    if (system.peer(static_cast<net::NodeIndex>(v)).agents().size() >= 2) {
+      peer_ip = static_cast<net::NodeIndex>(v);
+      break;
+    }
+  }
+  ASSERT_NE(peer_ip, net::kInvalidNode);
+  Peer& peer = system.peer(peer_ip);
+  const std::size_t listed = peer.agents().size();
+  const std::size_t backed_up = peer.agents().backup_size();
+
+  // The network goes dark: every hop drops.
+  net::FaultParams blackout;
+  blackout.drop_rate = 1.0;
+  system.transport().set_policy(
+      std::make_unique<net::FaultyDelivery>(blackout, 1));
+
+  const net::NodeIndex subject =
+      peer_ip == 0 ? net::NodeIndex{1} : net::NodeIndex{0};
+  const auto result = system.query_trust(peer_ip, subject);
+
+  // Every exchange timed out: no ratings, and each unreachable agent was
+  // handled per §3.4.3 — positive-standing entries into the backup cache.
+  EXPECT_EQ(result.contacted, listed);
+  EXPECT_TRUE(result.ratings.empty());
+  EXPECT_EQ(result.estimate, 0.5);
+  EXPECT_EQ(peer.agents().size(), 0u);
+  EXPECT_GT(peer.agents().backup_size(), backed_up);
+
+  // Connectivity returns: the §3.4.3 maintenance probes the backup cache
+  // and restores the list without a fresh discovery flood.
+  system.transport().set_policy(std::make_unique<net::InstantDelivery>());
+  system.refill(peer_ip);
+  EXPECT_GT(peer.agents().size(), 0u);
+}
+
+TEST(TransportFaults, LossyRunCompletesEveryTransaction) {
+  HirepOptions o = small_options(5);
+  o.delivery.policy = net::DeliveryPolicyKind::kFaulty;
+  o.delivery.faults.drop_rate = 0.10;
+  o.delivery.faults.duplicate_rate = 0.05;
+  HirepSystem system(o);
+
+  for (int t = 0; t < 30; ++t) {
+    const auto rec = system.run_transaction();
+    EXPECT_GE(rec.estimate, 0.0);
+    EXPECT_LE(rec.estimate, 1.0);
+  }
+
+  const auto& envelopes = system.transport().envelopes();
+  EXPECT_GT(envelopes.total_sent(), 0u);
+  EXPECT_GT(envelopes.total_dropped(), 0u);  // 10% loss must show up
+  EXPECT_GT(envelopes.of(net::EnvelopeType::kTrustRequest).delivered, 0u);
+  // Every envelope is accounted for exactly once: delivered or dropped.
+  EXPECT_EQ(envelopes.total_delivered() + envelopes.total_dropped(),
+            envelopes.total_sent());
+}
+
+TEST(TransportFaults, FullCryptoSurvivesLossToo) {
+  HirepOptions o;
+  o.nodes = 16;
+  o.trusted_agents = 3;
+  o.onion_relays = 2;
+  o.rsa_bits = 128;
+  o.crypto = CryptoMode::kFull;
+  o.seed = 3;
+  o.delivery.policy = net::DeliveryPolicyKind::kFaulty;
+  o.delivery.faults.drop_rate = 0.10;
+  HirepSystem system(o);
+
+  for (int t = 0; t < 5; ++t) {
+    const auto rec = system.run_transaction();
+    EXPECT_GE(rec.estimate, 0.0);
+    EXPECT_LE(rec.estimate, 1.0);
+  }
+  const auto& envelopes = system.transport().envelopes();
+  EXPECT_EQ(envelopes.total_delivered() + envelopes.total_dropped(),
+            envelopes.total_sent());
+}
+
+}  // namespace
+}  // namespace hirep::core

@@ -1,0 +1,240 @@
+// Transport layer: typed envelopes, pluggable delivery policies, and the
+// per-envelope-type accounting in net::EnvelopeMetrics.
+#include "net/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/flood.hpp"
+#include "net/topology.hpp"
+
+namespace hirep::net {
+namespace {
+
+Overlay make_overlay(std::size_t nodes = 12, std::uint64_t seed = 1) {
+  return Overlay(ring_lattice(nodes, 2), LatencyParams{}, seed);
+}
+
+TEST(TransportInstant, CountsOneMessagePerHopAndDelivers) {
+  Overlay overlay = make_overlay();
+  Transport transport(&overlay, DeliveryConfig{}, 1);
+  const std::vector<NodeIndex> path{3, 7, 2, 9};
+
+  const auto receipt =
+      transport.send(EnvelopeType::kTrustRequest, 0, path, {0xAB});
+
+  EXPECT_TRUE(receipt.delivered);
+  EXPECT_EQ(receipt.destination, 9u);
+  EXPECT_EQ(receipt.messages, path.size());
+  EXPECT_EQ(receipt.hops, path.size());
+  EXPECT_EQ(receipt.completion_ms, 0.0);
+  ASSERT_EQ(receipt.payload.size(), 1u);
+  EXPECT_EQ(receipt.payload[0], 0xAB);
+  // Exactly what Overlay::count_send(kind, path.size()) would have counted.
+  EXPECT_EQ(overlay.metrics().of(MessageKind::kTrustRequest), path.size());
+  EXPECT_EQ(overlay.metrics().total(), path.size());
+
+  const auto& c = transport.envelopes().of(EnvelopeType::kTrustRequest);
+  EXPECT_EQ(c.sent, 1u);
+  EXPECT_EQ(c.delivered, 1u);
+  EXPECT_EQ(c.dropped, 0u);
+  EXPECT_EQ(c.hop_messages, path.size());
+}
+
+TEST(TransportInstant, EmptyPathIsNotDelivered) {
+  Overlay overlay = make_overlay();
+  Transport transport(&overlay, DeliveryConfig{}, 1);
+  const auto receipt = transport.send(EnvelopeType::kProbe, 0, {});
+  EXPECT_FALSE(receipt.delivered);
+  EXPECT_EQ(receipt.messages, 0u);
+  EXPECT_EQ(overlay.metrics().total(), 0u);
+}
+
+TEST(TransportInstant, HopsCountUnderTheEnvelopesKind) {
+  Overlay overlay = make_overlay();
+  Transport transport(&overlay, DeliveryConfig{}, 1);
+  transport.send(EnvelopeType::kVotePoll, 0, {1});
+  transport.send(EnvelopeType::kVoteReturn, 1, {0});
+  transport.send(EnvelopeType::kAgentListReply, 2, {0});
+  transport.send(EnvelopeType::kProbe, 0, {5});
+  EXPECT_EQ(overlay.metrics().of(MessageKind::kTrustRequest), 1u);
+  EXPECT_EQ(overlay.metrics().of(MessageKind::kTrustResponse), 1u);
+  EXPECT_EQ(overlay.metrics().of(MessageKind::kAgentDiscovery), 1u);
+  EXPECT_EQ(overlay.metrics().of(MessageKind::kControl), 1u);
+}
+
+TEST(TransportLatency, CompletionTimeIsTheSumOfHopDelays) {
+  Overlay overlay = make_overlay();
+  DeliveryConfig config;
+  config.policy = DeliveryPolicyKind::kLatency;
+  Transport transport(&overlay, config, 1);
+  const std::vector<NodeIndex> path{4, 8, 1};
+
+  const auto receipt = transport.send(EnvelopeType::kReport, 0, path);
+
+  ASSERT_TRUE(receipt.delivered);
+  const auto& model = overlay.latency();
+  double expected = 0.0;
+  NodeIndex from = 0;
+  for (NodeIndex to : path) {
+    expected += model.link_ms(from, to) + model.processing_ms();
+    from = to;
+  }
+  EXPECT_DOUBLE_EQ(receipt.completion_ms, expected);
+  EXPECT_GT(receipt.completion_ms, 0.0);
+}
+
+TEST(TransportFaulty, DropRateOneLosesEveryEnvelopeAtTheFirstHop) {
+  Overlay overlay = make_overlay();
+  DeliveryConfig config;
+  config.policy = DeliveryPolicyKind::kFaulty;
+  config.faults.drop_rate = 1.0;
+  Transport transport(&overlay, config, 1);
+
+  for (int i = 0; i < 10; ++i) {
+    const auto receipt =
+        transport.send(EnvelopeType::kTrustRequest, 0, {1, 2, 3});
+    EXPECT_FALSE(receipt.delivered);
+    EXPECT_EQ(receipt.messages, 1u);  // left the sender, never landed
+    EXPECT_EQ(receipt.hops, 0u);
+  }
+  const auto& c = transport.envelopes().of(EnvelopeType::kTrustRequest);
+  EXPECT_EQ(c.sent, 10u);
+  EXPECT_EQ(c.dropped, 10u);
+  EXPECT_EQ(c.delivered, 0u);
+}
+
+TEST(TransportFaulty, DuplicateRateOneDoublesEveryTransmission) {
+  Overlay overlay = make_overlay();
+  DeliveryConfig config;
+  config.policy = DeliveryPolicyKind::kFaulty;
+  config.faults.duplicate_rate = 1.0;
+  Transport transport(&overlay, config, 1);
+  const std::vector<NodeIndex> path{1, 2, 3};
+
+  const auto receipt = transport.send(EnvelopeType::kReport, 0, path);
+
+  EXPECT_TRUE(receipt.delivered);
+  EXPECT_EQ(receipt.messages, 2 * path.size());
+  EXPECT_EQ(overlay.metrics().of(MessageKind::kReport), 2 * path.size());
+  EXPECT_EQ(transport.envelopes().of(EnvelopeType::kReport).duplicated,
+            path.size());
+}
+
+TEST(TransportFaulty, OutcomesAreDeterministicUnderAFixedSeed) {
+  DeliveryConfig config;
+  config.policy = DeliveryPolicyKind::kFaulty;
+  config.faults.drop_rate = 0.3;
+  config.faults.duplicate_rate = 0.2;
+  config.faults.delay_min_ms = 1.0;
+  config.faults.delay_max_ms = 5.0;
+
+  const auto run = [&](std::uint64_t seed) {
+    Overlay overlay = make_overlay();
+    Transport transport(&overlay, config, seed);
+    std::vector<std::tuple<bool, std::uint64_t, double>> outcomes;
+    for (int i = 0; i < 50; ++i) {
+      const auto r = transport.send(EnvelopeType::kProbe, 0, {1, 2, 3, 4});
+      outcomes.emplace_back(r.delivered, r.messages, r.completion_ms);
+    }
+    return outcomes;
+  };
+
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(TransportFaulty, ModerateDropRateDegradesButDoesNotWedge) {
+  Overlay overlay = make_overlay();
+  DeliveryConfig config;
+  config.policy = DeliveryPolicyKind::kFaulty;
+  config.faults.drop_rate = 0.2;
+  Transport transport(&overlay, config, 7);
+
+  std::size_t delivered = 0;
+  const int sends = 200;
+  for (int i = 0; i < sends; ++i) {
+    if (transport.send(EnvelopeType::kTrustRequest, 0, {1, 2}).delivered) {
+      ++delivered;
+    }
+  }
+  // P(deliver) = 0.8^2 = 0.64; allow a wide band.
+  EXPECT_GT(delivered, sends / 3);
+  EXPECT_LT(delivered, sends);
+  EXPECT_EQ(transport.envelopes().of(EnvelopeType::kTrustRequest).sent,
+            static_cast<std::uint64_t>(sends));
+  EXPECT_EQ(transport.envelopes().total_delivered() +
+                transport.envelopes().total_dropped(),
+            static_cast<std::uint64_t>(sends));
+}
+
+TEST(TransportPolicy, NamesRoundTrip) {
+  EXPECT_EQ(policy_kind_by_name("instant"), DeliveryPolicyKind::kInstant);
+  EXPECT_EQ(policy_kind_by_name("latency"), DeliveryPolicyKind::kLatency);
+  EXPECT_EQ(policy_kind_by_name("faulty"), DeliveryPolicyKind::kFaulty);
+  EXPECT_FALSE(policy_kind_by_name("carrier-pigeon").has_value());
+
+  Overlay overlay = make_overlay();
+  Transport transport(&overlay, DeliveryConfig{}, 1);
+  EXPECT_STREQ(transport.policy().name(), "instant");
+  transport.set_policy(std::make_unique<FaultyDelivery>(FaultParams{}, 1));
+  EXPECT_STREQ(transport.policy().name(), "faulty");
+}
+
+TEST(TransportFlood, InstantFloodMatchesCountedFlood) {
+  Overlay counted = make_overlay(20, 3);
+  Overlay routed = make_overlay(20, 3);
+  Transport transport(&routed, DeliveryConfig{}, 3);
+
+  const auto a = flood(counted, 0, 3, MessageKind::kTrustRequest);
+  const auto b = flood(transport, 0, 3, EnvelopeType::kVotePoll);
+
+  EXPECT_EQ(a.reached, b.reached);
+  EXPECT_EQ(a.depth, b.depth);
+  EXPECT_EQ(a.parent, b.parent);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(counted.metrics().total(), routed.metrics().total());
+}
+
+TEST(TransportFlood, DropsPruneTheFloodFrontier) {
+  Overlay overlay = make_overlay(20, 3);
+  DeliveryConfig config;
+  config.policy = DeliveryPolicyKind::kFaulty;
+  config.faults.drop_rate = 1.0;
+  Transport transport(&overlay, config, 3);
+
+  const auto result = flood(transport, 0, 3, EnvelopeType::kVotePoll);
+  EXPECT_TRUE(result.reached.empty());           // nothing ever lands
+  EXPECT_EQ(result.messages, 4u);                // the source's 4 neighbors
+}
+
+TEST(TransportTokenWalk, InstantWalkMatchesCountedWalk) {
+  Overlay counted = make_overlay(30, 5);
+  Overlay routed = make_overlay(30, 5);
+  Transport transport(&routed, DeliveryConfig{}, 5);
+  util::Rng rng_a(11), rng_b(11);
+  const auto consumes = [](NodeIndex v) { return v % 3 == 0; };
+
+  const auto a = token_walk(counted, rng_a, 0, 6, 4, consumes,
+                            MessageKind::kAgentDiscovery);
+  const auto b = token_walk(transport, rng_b, 0, 6, 4, consumes);
+
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].node, b[i].node);
+    EXPECT_EQ(a[i].tokens_spent, b[i].tokens_spent);
+  }
+  EXPECT_EQ(counted.metrics().total(), routed.metrics().total());
+}
+
+TEST(EnvelopeMetrics, SummaryListsActiveTypes) {
+  EnvelopeMetrics metrics;
+  metrics.count_sent(EnvelopeType::kTrustRequest);
+  metrics.count_delivered(EnvelopeType::kTrustRequest);
+  const std::string s = metrics.summary();
+  EXPECT_NE(s.find(to_string(EnvelopeType::kTrustRequest)), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hirep::net

@@ -1,0 +1,112 @@
+// Golden-value pins for the figure pipelines.  The tables below were
+// captured from the counted-send implementation (pre-transport) at full
+// double precision; the transport refactor with InstantDelivery must keep
+// reproducing them bit for bit — message counts AND estimates.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baselines/pure_voting.hpp"
+#include "sim/experiment.hpp"
+
+namespace hirep::sim {
+namespace {
+
+Params golden_params() {
+  Params p;
+  p.network_size = 200;
+  p.transactions = 60;
+  p.seeds = 1;
+  p.seed = 7;
+  p.mse_window = 20;
+  p.requestor_pool = 20;
+  p.provider_pool = 40;
+  return p;
+}
+
+// transactions, voting-2, voting-3, voting-4, hirep
+const std::vector<std::vector<double>> kFig5Golden = {
+    {6, 1118, 3924, 6611, 1044},
+    {12, 2627, 8203, 12410, 2088},
+    {18, 3762, 12278, 19016, 3132},
+    {24, 5334, 16558, 25595, 4194},
+    {30, 6219, 20164, 31807, 5274},
+    {36, 7811, 24060, 38173, 6354},
+    {42, 9691, 28273, 44625, 7416},
+    {48, 11027, 31677, 50950, 8496},
+    {54, 13104, 35265, 57253, 9558},
+    {60, 14510, 39553, 63114, 10638},
+};
+
+// transactions, voting, hirep-4, hirep-6, hirep-8
+const std::vector<std::vector<double>> kFig6Golden = {
+    {10, 0.065214480445090123, 0.080035689513480765, 0.080035689513480765,
+     0.065145401261152286},
+    {20, 0.066617504433397451, 0.067371222968806876, 0.067371222968806876,
+     0.056654274109578719},
+    {30, 0.068760310759109072, 0.050869266286786077, 0.050455355289226365,
+     0.038948800818810692},
+    {40, 0.069004387412457818, 0.039480252039594037, 0.036623217204582559,
+     0.035974303917042601},
+    {50, 0.068954216591999934, 0.034618628063436553, 0.029845344957288505,
+     0.043887303625152023},
+    {60, 0.068990047087019307, 0.043384601103030607, 0.032215411389345722,
+     0.037280212707840543},
+    {70, 0.068849215668431246, 0.034866607060602309, 0.024936393101890542,
+     0.027186629242294973},
+    {80, 0.068820776620601445, 0.019299958889424703, 0.014438967525969015,
+     0.025166374059194661},
+    {90, 0.06601638460023343, 0.018432784840077265, 0.016359346253063491,
+     0.021439508416014545},
+    {100, 0.065284440396730758, 0.021923948629325792, 0.019405916975276948,
+     0.012842275106270515},
+};
+
+void expect_table_equals(const util::Table& table,
+                         const std::vector<std::vector<double>>& golden) {
+  ASSERT_EQ(table.rows(), golden.size());
+  for (std::size_t r = 0; r < golden.size(); ++r) {
+    ASSERT_EQ(table.columns(), golden[r].size());
+    for (std::size_t c = 0; c < golden[r].size(); ++c) {
+      // Bit-for-bit: InstantDelivery must not perturb a single count or
+      // rng draw relative to the pre-transport implementation.
+      EXPECT_EQ(table.number_at(r, c), golden[r][c])
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(GoldenValues, Fig5TrafficIsUnchangedByTheTransportLayer) {
+  const auto result = run_fig5_traffic(golden_params());
+  expect_table_equals(result.table, kFig5Golden);
+}
+
+TEST(GoldenValues, Fig6AccuracyIsUnchangedByTheTransportLayer) {
+  const auto result = run_fig6_accuracy(golden_params());
+  expect_table_equals(result.table, kFig6Golden);
+}
+
+TEST(AverageOverSeeds, ParallelMatchesSerialBitForBit) {
+  Params p = golden_params();
+  p.seeds = 4;
+  const auto series = [&](std::uint64_t seed) {
+    Params q = p;
+    q.seed = seed;
+    baselines::PureVotingSystem system(q.voting_options());
+    std::vector<double> ys;
+    for (int t = 0; t < 10; ++t) {
+      ys.push_back(system.run_transaction().estimate);
+    }
+    return ys;
+  };
+  const auto parallel =
+      average_over_seeds(p, series, SeedExecution::kParallel);
+  const auto serial = average_over_seeds(p, series, SeedExecution::kSerial);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < parallel.size(); ++i) {
+    EXPECT_EQ(parallel[i], serial[i]) << "index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace hirep::sim
