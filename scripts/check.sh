@@ -1,14 +1,27 @@
 #!/usr/bin/env bash
-# Tier-1 verification under AddressSanitizer + UBSan: configures a separate
-# sanitizer build tree, builds everything, and runs the full test suite.
+# Tier-1 verification under both sanitizer flavours: for each of
+# AddressSanitizer+UBSan and ThreadSanitizer, configure a separate build
+# tree, build everything, and run the full test suite.
 #
-# Usage: scripts/check.sh [build-dir]   (default: build-asan)
+# Usage: scripts/check.sh [flavour ...]   (default: address thread)
+#   scripts/check.sh address   # ASan+UBSan only (build-asan/)
+#   scripts/check.sh thread    # TSan only (build-tsan/)
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
-build="${1:-$repo/build-asan}"
 jobs="$(nproc 2>/dev/null || echo 4)"
+flavours=("$@")
+if [[ ${#flavours[@]} -eq 0 ]]; then flavours=(address thread); fi
 
-cmake -B "$build" -S "$repo" -DHIREP_SANITIZE=ON
-cmake --build "$build" -j "$jobs"
-ctest --test-dir "$build" --output-on-failure -j "$jobs"
+for flavour in "${flavours[@]}"; do
+  case "$flavour" in
+    address) build="$repo/build-asan" ;;
+    thread)  build="$repo/build-tsan" ;;
+    *) echo "check.sh: unknown flavour '$flavour' (use: address thread)" >&2
+       exit 2 ;;
+  esac
+  echo "== check.sh: HIREP_SANITIZE=$flavour ($build) =="
+  cmake -B "$build" -S "$repo" -DHIREP_SANITIZE="$flavour"
+  cmake --build "$build" -j "$jobs"
+  ctest --test-dir "$build" --output-on-failure -j "$jobs"
+done

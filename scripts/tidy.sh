@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# clang-tidy over the production sources, using the repo-root .clang-tidy
+# and the compile database exported by CMake (CMAKE_EXPORT_COMPILE_COMMANDS
+# is always on).  Exits non-zero on any finding (WarningsAsErrors: '*').
+#
+# Usage: scripts/tidy.sh [build-dir]   (default: build)
+#
+# When clang-tidy is not installed the script prints a notice and exits 0,
+# so the gate degrades gracefully on gcc-only toolchains; CI images that do
+# ship clang-tidy get the full gate.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+tidy=""
+for candidate in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
+                 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+  if command -v "$candidate" >/dev/null 2>&1; then
+    tidy="$candidate"
+    break
+  fi
+done
+
+if [[ -z "$tidy" ]]; then
+  echo "tidy.sh: clang-tidy not found on PATH; skipping (install clang-tidy to enable the gate)"
+  exit 0
+fi
+
+if [[ ! -f "$build/compile_commands.json" ]]; then
+  cmake -B "$build" -S "$repo" >/dev/null
+fi
+
+mapfile -t sources < <(find "$repo/src" -name '*.cpp' | sort)
+echo "tidy.sh: $tidy over ${#sources[@]} files ($build/compile_commands.json)"
+
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -clang-tidy-binary "$tidy" -p "$build" -j "$jobs" -quiet \
+    "${sources[@]}"
+else
+  "$tidy" -p "$build" --quiet "${sources[@]}"
+fi
+echo "tidy.sh: clean"

@@ -1,0 +1,92 @@
+#include "check/check.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <mutex>
+
+namespace hirep::check {
+
+namespace {
+
+// A violation is an implementation bug, not a steady state; the registry
+// keeps enough to diagnose and refuses to balloon if a hot loop misbehaves.
+constexpr std::size_t kMaxStored = 1024;
+
+std::mutex& registry_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+struct Registry {
+  std::vector<Violation> stored;
+  std::size_t total = 0;                  // including entries past kMaxStored
+  std::vector<std::string> echoed;        // invariant names already printed
+  ScopedCapture* capture = nullptr;       // innermost active capture
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace
+
+void report(Violation violation) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  Registry& r = registry();
+  if (r.capture != nullptr) {
+    r.capture->captured_.push_back(std::move(violation));
+    return;
+  }
+  ++r.total;
+  const bool seen =
+      std::find(r.echoed.begin(), r.echoed.end(), violation.invariant) !=
+      r.echoed.end();
+  if (!seen) {
+    std::fprintf(stderr,
+                 "[hirep::check] invariant violated: %s (%s) tick=%.3f "
+                 "actor=%llu subject=%llu\n",
+                 violation.invariant.c_str(), violation.detail.c_str(),
+                 violation.tick,
+                 static_cast<unsigned long long>(violation.actor),
+                 static_cast<unsigned long long>(violation.subject));
+    r.echoed.push_back(violation.invariant);
+  }
+  if (r.stored.size() < kMaxStored) r.stored.push_back(std::move(violation));
+}
+
+std::size_t violation_count() noexcept {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  return registry().total;
+}
+
+std::vector<Violation> violations() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  return registry().stored;
+}
+
+void clear() noexcept {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  Registry& r = registry();
+  r.stored.clear();
+  r.echoed.clear();
+  r.total = 0;
+}
+
+ScopedCapture::ScopedCapture() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  previous_ = registry().capture;
+  registry().capture = this;
+}
+
+ScopedCapture::~ScopedCapture() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  registry().capture = previous_;
+}
+
+bool ScopedCapture::fired(const std::string& invariant) const {
+  return std::any_of(captured_.begin(), captured_.end(),
+                     [&](const Violation& v) { return v.invariant == invariant; });
+}
+
+}  // namespace hirep::check

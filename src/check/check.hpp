@@ -1,0 +1,78 @@
+// Runtime protocol-invariant checking (hirep::check).
+//
+// hiREP's guarantees are stated as invariants — onion sequence numbers are
+// non-decreasing, nodeId = SHA-1(SP) binds identity to the signature key,
+// trust values and the EWMA expertise update stay in [0,1], the event clock
+// never runs backward, and every envelope the transport accepts is either
+// delivered or dropped.  This module gives those invariants a single place
+// to be *observed* at runtime: hot paths call cheap checkers (see
+// invariants.hpp) which report structured Violations into a process-wide
+// registry instead of asserting, so a violation is visible to tests and
+// operators without changing simulation behaviour (no RNG draws, no control
+// flow changes — golden figure values are bit-identical with checks on).
+//
+// Compile-time gate: the HIREP_CHECKS CMake option defines
+// HIREP_CHECKS_ENABLED for every target; call sites wrap their wiring in
+// `if constexpr (check::kEnabled)` so an OFF build compiles the checks away
+// entirely.  The checker primitives themselves always work when invoked
+// directly, which lets the negative tests prove each one fires regardless
+// of the build flavour.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hirep::check {
+
+#if !defined(HIREP_CHECKS_ENABLED)
+#define HIREP_CHECKS_ENABLED 1
+#endif
+
+/// True when invariant wiring is compiled into the hot paths.
+inline constexpr bool kEnabled = HIREP_CHECKS_ENABLED != 0;
+
+/// A structured invariant-violation report.
+struct Violation {
+  std::string invariant;  ///< dotted name, e.g. "onion.sq.issuer_monotone"
+  std::string detail;     ///< human-readable context (values involved)
+  double tick = -1.0;     ///< sim-clock time when known, else -1
+  std::uint64_t actor = 0;    ///< primary peer/node id (issuer, sender, ...)
+  std::uint64_t subject = 0;  ///< secondary id (holder, receiver, ...)
+};
+
+/// Records a violation.  Thread-safe: parallel sweeps report concurrently.
+/// The first occurrence of each invariant name is echoed to stderr; the
+/// registry keeps a bounded list so a hot loop cannot exhaust memory.
+void report(Violation violation);
+
+/// Number of violations recorded (and not yet cleared) process-wide.
+std::size_t violation_count() noexcept;
+
+/// Snapshot of the recorded violations.
+std::vector<Violation> violations();
+
+/// Clears the registry (test isolation).
+void clear() noexcept;
+
+/// RAII capture: while alive, reports land in this capture instead of the
+/// global registry.  Captures nest (innermost wins) but are not themselves
+/// thread-safe — use from single-threaded tests only.
+class ScopedCapture {
+ public:
+  ScopedCapture();
+  ~ScopedCapture();
+  ScopedCapture(const ScopedCapture&) = delete;
+  ScopedCapture& operator=(const ScopedCapture&) = delete;
+
+  const std::vector<Violation>& captured() const noexcept { return captured_; }
+  std::size_t count() const noexcept { return captured_.size(); }
+  bool fired(const std::string& invariant) const;
+
+ private:
+  friend void report(Violation);
+  std::vector<Violation> captured_;
+  ScopedCapture* previous_ = nullptr;
+};
+
+}  // namespace hirep::check

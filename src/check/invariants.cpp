@@ -1,0 +1,84 @@
+#include "check/invariants.hpp"
+
+#include <cmath>
+#include <string>
+
+namespace hirep::check {
+
+namespace {
+
+std::string number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+bool MonotoneSequence::note(std::uint64_t issuer, std::uint64_t holder,
+                            std::uint64_t sq, double tick) {
+  for (auto& s : states_) {
+    if (s.issuer != issuer || s.holder != holder) continue;
+    if (sq < s.last) {
+      report({invariant_,
+              "sq " + std::to_string(sq) + " < last " + std::to_string(s.last),
+              tick, issuer, holder});
+      return false;
+    }
+    s.last = sq;
+    return true;
+  }
+  states_.emplace_back(issuer, holder, sq);
+  return true;
+}
+
+void MonotoneSequence::forget(std::uint64_t issuer, std::uint64_t holder) {
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    if (states_[i].issuer == issuer && states_[i].holder == holder) {
+      states_[i] = states_.back();
+      states_.pop_back();
+      return;
+    }
+  }
+}
+
+bool unit_interval(const char* invariant, double value, std::uint64_t actor,
+                   std::uint64_t subject) {
+  constexpr double kEps = 1e-9;
+  if (std::isfinite(value) && value >= -kEps && value <= 1.0 + kEps) {
+    return true;
+  }
+  report({invariant, "value " + number(value) + " outside [0,1]", -1.0, actor,
+          subject});
+  return false;
+}
+
+bool monotone_clock(const char* invariant, double now, double at) {
+  if (at >= now) return true;
+  report({invariant, "event at " + number(at) + " precedes clock " + number(now),
+          now, 0, 0});
+  return false;
+}
+
+bool conserved(const char* invariant, std::uint64_t sent,
+               std::uint64_t delivered, std::uint64_t dropped,
+               std::uint64_t in_flight, const char* context) {
+  if (sent == delivered + dropped + in_flight) return true;
+  report({invariant,
+          std::string(context) + ": sent " + std::to_string(sent) +
+              " != delivered " + std::to_string(delivered) + " + dropped " +
+              std::to_string(dropped) + " + in-flight " +
+              std::to_string(in_flight),
+          -1.0, 0, 0});
+  return false;
+}
+
+bool binding(const char* invariant, bool bound, std::uint64_t actor,
+             std::uint64_t subject) {
+  if (bound) return true;
+  report({invariant, "nodeId != SHA-1(SP) for an accepted signed message",
+          -1.0, actor, subject});
+  return false;
+}
+
+}  // namespace hirep::check

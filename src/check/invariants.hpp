@@ -1,0 +1,77 @@
+// Concrete invariant checkers over the check registry.  Each primitive
+// returns true when the invariant holds and reports a structured Violation
+// when it does not; none of them throws, draws randomness, or changes any
+// observable simulation state, so wiring them into hot paths leaves golden
+// figure values bit-identical.
+//
+// The paper invariants these enforce:
+//   * MonotoneSequence — onion `sq` is "the non-decrease sequence number"
+//     (§3.3): per issuer, and per (issuer, holder) entry, sq never moves
+//     backward.
+//   * unit_interval — trust values, transaction outcomes, and the expertise
+//     EWMA `alpha*A_c + (1-alpha)*A_p` all live in [0,1] (§3.4.3).
+//   * monotone_clock — the discrete-event clock never runs backward.
+//   * conserved — every envelope the transport accepted is accounted for:
+//     sent == delivered + dropped + in-flight at teardown.
+//   * binding — nodeId = SHA-1(SP): an accepted signed message must carry a
+//     key that hashes to the id it claims (§3.3's man-in-the-middle
+//     foreclosure).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "check/check.hpp"
+
+namespace hirep::check {
+
+/// Per-(issuer, holder) non-decreasing sequence tracking.  Instances are
+/// intentionally *not* global: identities can collide across independently
+/// seeded systems (determinism tests run identical worlds side by side), so
+/// each system owns its tracker.  Not thread-safe; one system == one thread.
+class MonotoneSequence {
+ public:
+  explicit MonotoneSequence(std::string invariant)
+      : invariant_(std::move(invariant)) {}
+
+  /// Records sq for (issuer, holder); reports and returns false when it is
+  /// lower than the last value seen for that pair.
+  bool note(std::uint64_t issuer, std::uint64_t holder, std::uint64_t sq,
+            double tick = -1.0);
+
+  /// Drops the pair's history (entry evicted / re-discovered: the paper's
+  /// revocation floor, not per-holder history, governs across lifetimes).
+  void forget(std::uint64_t issuer, std::uint64_t holder);
+
+ private:
+  struct State {
+    std::uint64_t issuer;
+    std::uint64_t holder;
+    std::uint64_t last;
+  };
+  std::string invariant_;
+  std::vector<State> states_;
+};
+
+/// True when value is finite and inside [0,1] (with eps slack for float
+/// accumulation); reports otherwise.
+bool unit_interval(const char* invariant, double value,
+                   std::uint64_t actor = 0, std::uint64_t subject = 0);
+
+/// True when `at >= now` (the event being executed does not precede the
+/// clock); reports otherwise.
+bool monotone_clock(const char* invariant, double now, double at);
+
+/// True when sent == delivered + dropped + in_flight; reports otherwise.
+bool conserved(const char* invariant, std::uint64_t sent,
+               std::uint64_t delivered, std::uint64_t dropped,
+               std::uint64_t in_flight, const char* context);
+
+/// True when `bound` (the claimed id matches the hash of the key, computed
+/// by the caller); reports otherwise.  Split out so crypto-layer call sites
+/// stay one line.
+bool binding(const char* invariant, bool bound, std::uint64_t actor = 0,
+             std::uint64_t subject = 0);
+
+}  // namespace hirep::check

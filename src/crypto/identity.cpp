@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "check/invariants.hpp"
 #include "util/bytes.hpp"
 
 namespace hirep::crypto {
@@ -32,6 +33,11 @@ Identity Identity::generate(util::Rng& rng, unsigned bits) {
   id.signature_ = rsa_generate(rng, bits);
   id.anonymity_ = rsa_generate(rng, bits);
   id.node_id_ = NodeId::of_key(id.signature_.pub);
+  if constexpr (check::kEnabled) {
+    check::binding("crypto.identity.binding",
+                   NodeId::of_key(id.signature_.pub) == id.node_id_,
+                   NodeIdHash{}(id.node_id_));
+  }
   return id;
 }
 
@@ -77,6 +83,11 @@ Identity::RotationAnnouncement Identity::rotate_signature_key(util::Rng& rng,
   ann.signature = rsa_sign(signature_.priv, next.pub.serialize());
   signature_ = next;
   node_id_ = NodeId::of_key(signature_.pub);
+  if constexpr (check::kEnabled) {
+    check::binding("crypto.identity.binding",
+                   NodeId::of_key(signature_.pub) == node_id_,
+                   NodeIdHash{}(node_id_));
+  }
   return ann;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "check/invariants.hpp"
+
 namespace hirep::core {
 
 TrustedAgentList::TrustedAgentList(ListParams params) : params_(params) {
@@ -41,6 +43,10 @@ std::optional<double> TrustedAgentList::update_expertise(
     const double a_c = consistent ? 1.0 : 0.0;
     const double updated =
         params_.alpha * a_c + (1.0 - params_.alpha) * entries_[i].weight;
+    if constexpr (check::kEnabled) {
+      check::unit_interval("hirep.expertise.bounds", updated,
+                           crypto::NodeIdHash{}(agent));
+    }
     entries_[i].weight = updated;
     if (updated < params_.eviction_threshold) {
       entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));

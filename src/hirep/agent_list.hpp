@@ -45,6 +45,7 @@ class TrustedAgentList {
 
   const ListParams& params() const noexcept { return params_; }
   std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
   bool full() const noexcept { return entries_.size() >= params_.capacity; }
   bool needs_refill() const noexcept;
   const std::vector<AgentEntry>& entries() const noexcept { return entries_; }

@@ -1,5 +1,7 @@
 #include "hirep/peer.hpp"
 
+#include "check/invariants.hpp"
+
 namespace hirep::core {
 
 Peer::Peer(const crypto::Identity* identity, net::NodeIndex ip,
@@ -23,7 +25,11 @@ std::vector<net::NodeIndex> Peer::relay_path() const {
 }
 
 onion::Onion Peer::issue_onion(util::Rng& rng) {
-  return onion::build_onion(rng, *identity_, ip_, relays_, next_sq());
+  const std::uint64_t sq = next_sq();
+  if constexpr (check::kEnabled) {
+    issued_sq_.note(crypto::NodeIdHash{}(node_id()), ip_, sq);
+  }
+  return onion::build_onion(rng, *identity_, ip_, relays_, sq);
 }
 
 double Peer::aggregate(
@@ -35,8 +41,14 @@ double Peer::aggregate(
     weight_sum += weight;
     plain += value;
   }
-  if (weight_sum > 0.0) return weighted / weight_sum;
-  return plain / static_cast<double>(value_weight_pairs.size());
+  const double estimate = weight_sum > 0.0
+                              ? weighted / weight_sum
+                              : plain / static_cast<double>(
+                                            value_weight_pairs.size());
+  if constexpr (check::kEnabled) {
+    check::unit_interval("hirep.aggregate.bounds", estimate);
+  }
+  return estimate;
 }
 
 }  // namespace hirep::core

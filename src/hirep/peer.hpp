@@ -10,6 +10,7 @@
 #include <optional>
 #include <vector>
 
+#include "check/invariants.hpp"
 #include "crypto/identity.hpp"
 #include "hirep/agent_list.hpp"
 #include "onion/onion.hpp"
@@ -60,6 +61,7 @@ class Peer {
   std::vector<onion::RelayInfo> relays_;
   std::uint64_t sq_ = 1;
   std::uint64_t transactions_ = 0;
+  check::MonotoneSequence issued_sq_{"onion.sq.issuer_monotone"};
 };
 
 }  // namespace hirep::core

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "check/invariants.hpp"
+
 namespace hirep::core {
 
 namespace {
@@ -182,6 +184,14 @@ std::optional<OpenedReport> verify_report(const crypto::RsaPublicKey& reporter_s
                                           const TransactionReport& report) {
   if (!crypto::rsa_verify(reporter_sp, report.body, report.signature)) {
     return std::nullopt;
+  }
+  if constexpr (check::kEnabled) {
+    // The signature verified, so the message is about to be accepted; the
+    // self-certifying invariant requires the key it verified under to hash
+    // to the reporter id the message claims (§3.3).
+    check::binding("protocol.report.binding",
+                   crypto::NodeId::of_key(reporter_sp) == report.reporter,
+                   crypto::NodeIdHash{}(report.reporter));
   }
   try {
     util::ByteReader r(report.body);

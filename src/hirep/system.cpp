@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "check/invariants.hpp"
 #include "util/log.hpp"
 
 namespace hirep::core {
@@ -153,13 +154,15 @@ std::vector<onion::RelayInfo> HirepSystem::pick_and_verify_relays(
 
 onion::Onion HirepSystem::issue_agent_onion(net::NodeIndex agent_ip,
                                             AgentRuntime& rt) {
+  const std::uint64_t sq = rt.sq++;
+  router_.note_issued(identities_[agent_ip].node_id(), sq);
   if (options_.crypto == CryptoMode::kFull) {
     return onion::build_onion(rng_, identities_[agent_ip], agent_ip, rt.relays,
-                              rt.sq++);
+                              sq);
   }
   onion::Onion onion;
   onion.entry = rt.relays.empty() ? agent_ip : rt.relays.back().ip;
-  onion.sq = rt.sq++;
+  onion.sq = sq;
   onion.relay_count = static_cast<std::uint32_t>(rt.relays.size());
   onion.owner_sig_key = identities_[agent_ip].signature_public();
   return onion;
@@ -177,7 +180,7 @@ AgentEntry HirepSystem::self_entry(net::NodeIndex agent_ip, AgentRuntime& rt) {
 
 std::vector<AgentEntry> HirepSystem::shareable_list(net::NodeIndex v) {
   const auto& list = peers_.at(v).agents();
-  if (list.size() > 0) return list.entries();
+  if (!list.empty()) return list.entries();
   const auto it = agents_.find(v);
   if (it != agents_.end() && it->second.online) {
     return {self_entry(v, it->second)};
@@ -339,6 +342,17 @@ std::optional<double> HirepSystem::exchange_with_agent(
     const auto to_peer = transport_.send(net::EnvelopeType::kTrustResponse,
                                          agent_ip, requestor.relay_path());
     if (!to_peer.delivered) return std::nullopt;
+    if constexpr (check::kEnabled) {
+      // Holder-side §3.3 invariant: within an entry's lifetime, the onion a
+      // holder keeps for an issuer is only ever replaced by a fresher one.
+      if (fresh.sq < entry.onion.sq) {
+        check::report({"onion.sq.holder_monotone",
+                       "refreshed onion sq " + std::to_string(fresh.sq) +
+                           " < held sq " + std::to_string(entry.onion.sq),
+                       -1.0, crypto::NodeIdHash{}(entry.agent_id),
+                       requestor.ip()});
+      }
+    }
     entry.onion = std::move(fresh);
     entry.relay_path = path_of(rt->relays, agent_ip);
     return value;
@@ -378,6 +392,16 @@ std::optional<double> HirepSystem::exchange_with_agent(
   if (!parsed_resp) return std::nullopt;
   const auto opened_resp = open_trust_response(requestor.identity(), *parsed_resp);
   if (!opened_resp || opened_resp->nonce != nonce) return std::nullopt;
+  if constexpr (check::kEnabled) {
+    if (parsed_resp->report_onion.sq < entry.onion.sq) {
+      check::report({"onion.sq.holder_monotone",
+                     "refreshed onion sq " +
+                         std::to_string(parsed_resp->report_onion.sq) +
+                         " < held sq " + std::to_string(entry.onion.sq),
+                     -1.0, crypto::NodeIdHash{}(entry.agent_id),
+                     requestor.ip()});
+    }
+  }
   // Refresh the reply path with the agent's newest onion.
   entry.onion = parsed_resp->report_onion;
   entry.relay_path = path_of(rt->relays, agent_ip);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "check/invariants.hpp"
+
 namespace hirep::net {
 
 void EventSim::schedule_at(double at, Callback fn) {
@@ -19,6 +21,9 @@ std::size_t EventSim::run() {
     // element is popped immediately after.
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
+    if constexpr (check::kEnabled) {
+      check::monotone_clock("net.event_clock.monotone", now_, ev.at);
+    }
     now_ = ev.at;
     ev.fn();
     ++executed;
@@ -31,6 +36,9 @@ std::size_t EventSim::run_until(double deadline) {
   while (!queue_.empty() && queue_.top().at <= deadline) {
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
+    if constexpr (check::kEnabled) {
+      check::monotone_clock("net.event_clock.monotone", now_, ev.at);
+    }
     now_ = ev.at;
     ev.fn();
     ++executed;

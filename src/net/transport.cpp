@@ -3,6 +3,8 @@
 #include <functional>
 #include <stdexcept>
 
+#include "check/invariants.hpp"
+
 namespace hirep::net {
 
 HopDecision LatencyDelivery::on_hop(const Envelope&, NodeIndex from,
@@ -59,6 +61,30 @@ Transport::Transport(Overlay* overlay, const DeliveryConfig& config,
 
 Transport::Transport(Overlay* overlay, std::unique_ptr<DeliveryPolicy> policy)
     : overlay_(overlay), policy_(std::move(policy)) {}
+
+Transport::~Transport() {
+  if constexpr (check::kEnabled) {
+    // send() drains its event queue before returning, so at teardown no
+    // envelope can still be in flight and the per-type ledger must balance
+    // exactly: sent == delivered + dropped.  Pending events cannot be
+    // attributed to a type, so with a non-empty queue only the total is
+    // checked.
+    const std::uint64_t in_flight = sim_.pending();
+    if (in_flight == 0) {
+      for (std::size_t i = 0;
+           i < static_cast<std::size_t>(EnvelopeType::kCount); ++i) {
+        const auto type = static_cast<EnvelopeType>(i);
+        const EnvelopeMetrics::Counters& c = envelopes_.of(type);
+        check::conserved("net.envelope.conservation", c.sent, c.delivered,
+                         c.dropped, 0, to_string(type));
+      }
+    } else {
+      check::conserved("net.envelope.conservation", envelopes_.total_sent(),
+                       envelopes_.total_delivered(),
+                       envelopes_.total_dropped(), in_flight, "total");
+    }
+  }
+}
 
 void Transport::set_policy(std::unique_ptr<DeliveryPolicy> policy) {
   policy_ = std::move(policy);

@@ -132,6 +132,9 @@ class Transport {
   /// hop counters and, for kLatency, the latency model).
   Transport(Overlay* overlay, const DeliveryConfig& config, std::uint64_t seed);
   Transport(Overlay* overlay, std::unique_ptr<DeliveryPolicy> policy);
+  /// Teardown runs the envelope-conservation invariant: every envelope this
+  /// transport accepted must be delivered, dropped, or still in flight.
+  ~Transport();
 
   Overlay& overlay() noexcept { return *overlay_; }
   EventSim& sim() noexcept { return sim_; }

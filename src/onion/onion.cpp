@@ -113,7 +113,7 @@ SequenceGuard::State& SequenceGuard::state_of(const crypto::NodeId& owner) {
   for (auto& s : states_) {
     if (s.owner == owner) return s;
   }
-  states_.push_back(State{owner, 0, 0});
+  states_.emplace_back(owner, 0, 0);
   return states_.back();
 }
 

@@ -22,6 +22,12 @@ RouteResult Router::route_timed(double depart_ms, net::NodeIndex sender_ip,
   return route_impl(depart_ms, sender_ip, onion, payload, kind);
 }
 
+void Router::note_issued(const crypto::NodeId& owner, std::uint64_t sq) {
+  if constexpr (check::kEnabled) {
+    issued_sq_.note(crypto::NodeIdHash{}(owner), 0, sq);
+  }
+}
+
 std::optional<std::vector<net::NodeIndex>> Router::peel_path(
     const Onion& onion) {
   if (!verify_onion(onion)) return std::nullopt;

@@ -9,6 +9,7 @@
 #include <optional>
 #include <vector>
 
+#include "check/invariants.hpp"
 #include "crypto/identity.hpp"
 #include "net/overlay.hpp"
 #include "onion/onion.hpp"
@@ -63,6 +64,12 @@ class Router {
   /// The anti-replay state shared by all relays in this simulation.
   SequenceGuard& sequence_guard() noexcept { return guard_; }
 
+  /// Issuer-side §3.3 invariant wiring: owners report each onion they issue
+  /// through their system's router; `sq` must never decrease per owner.
+  /// The tracker is per-router (= per-system) because independently seeded
+  /// systems can hold colliding identities.
+  void note_issued(const crypto::NodeId& owner, std::uint64_t sq);
+
  private:
   RouteResult route_impl(std::optional<double> depart_ms,
                          net::NodeIndex sender_ip, const Onion& onion,
@@ -71,6 +78,7 @@ class Router {
   net::Overlay* overlay_;
   IdentityResolver resolver_;
   SequenceGuard guard_;
+  check::MonotoneSequence issued_sq_{"onion.sq.issuer_monotone"};
 };
 
 /// Picks `count` distinct relay nodes uniformly from [0, n), excluding

@@ -1,5 +1,6 @@
 #include <algorithm>
 
+#include "check/invariants.hpp"
 #include "trust/trust_model.hpp"
 
 namespace hirep::trust {
@@ -12,6 +13,9 @@ class AverageModel final : public TrustModel {
     outcome = std::clamp(outcome, 0.0, 1.0);
     ++n_;
     mean_ += (outcome - mean_) / static_cast<double>(n_);
+    if constexpr (check::kEnabled) {
+      check::unit_interval("trust.average.bounds", mean_);
+    }
   }
 
   double value() const override { return n_ ? mean_ : 0.5; }

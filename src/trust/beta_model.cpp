@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "check/invariants.hpp"
 #include "trust/trust_model.hpp"
 
 namespace hirep::trust {
@@ -23,6 +24,9 @@ class BetaModel final : public TrustModel {
     alpha_ += outcome;
     beta_ += 1.0 - outcome;
     ++n_;
+    if constexpr (check::kEnabled) {
+      check::unit_interval("trust.beta.bounds", value());
+    }
   }
 
   double value() const override { return alpha_ / (alpha_ + beta_); }

@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "check/invariants.hpp"
 #include "trust/trust_model.hpp"
 
 namespace hirep::trust {
@@ -23,6 +24,9 @@ class EwmaModel final : public TrustModel {
     outcome = std::clamp(outcome, 0.0, 1.0);
     value_ = n_ == 0 ? outcome : alpha_ * outcome + (1.0 - alpha_) * value_;
     ++n_;
+    if constexpr (check::kEnabled) {
+      check::unit_interval("trust.ewma.bounds", value_);
+    }
   }
 
   double value() const override { return n_ ? value_ : 0.5; }

@@ -15,12 +15,19 @@ ThreadPool::ThreadPool(std::size_t threads) {
 }
 
 ThreadPool::~ThreadPool() {
+  std::queue<std::function<void()>> discarded;
   {
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;
+    // Queued-but-unstarted tasks are discarded, not run: a task that blocks
+    // (or re-submits) must not be able to wedge teardown.  In-flight tasks
+    // finish; the abandoned packaged_tasks surface broken_promise to any
+    // future still being waited on.
+    discarded.swap(queue_);
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
+  // `discarded` destructs here, after every worker has exited.
 }
 
 void ThreadPool::worker_loop() {
@@ -44,7 +51,18 @@ void ThreadPool::parallel_for(std::size_t n,
   for (std::size_t i = 0; i < n; ++i) {
     futures.push_back(submit([&fn, i] { fn(i); }));
   }
-  for (auto& f : futures) f.get();
+  // Drain every task before rethrowing: queued tasks hold a reference to
+  // `fn`, so returning on the first failure would let workers run against a
+  // dead frame.  The first exception (in index order) wins.
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
 }
 
 }  // namespace hirep::util

@@ -19,6 +19,9 @@ class ThreadPool {
  public:
   /// threads == 0 means hardware_concurrency (min 1).
   explicit ThreadPool(std::size_t threads = 0);
+  /// Finishes in-flight tasks and joins the workers.  Queued-but-unstarted
+  /// tasks are discarded — their futures observe broken_promise — so a
+  /// blocking or self-resubmitting task can never wedge teardown.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -42,7 +45,8 @@ class ThreadPool {
   }
 
   /// Run fn(i) for i in [0, n) across the pool and wait for completion.
-  /// Exceptions from tasks propagate (the first one encountered rethrows).
+  /// Every task finishes (or is abandoned by ~ThreadPool) before this
+  /// returns; the first exception in index order then rethrows.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

@@ -30,7 +30,9 @@ TEST(TrustMe, FirstQueryIsUninformed) {
   TrustMeSystem sys(small_options());
   const auto rec = sys.run_transaction(0, 1);
   // THAs had no reports yet: every answer is the 0.5 prior.
-  if (rec.responses > 0) EXPECT_DOUBLE_EQ(rec.estimate, 0.5);
+  if (rec.responses > 0) {
+    EXPECT_DOUBLE_EQ(rec.estimate, 0.5);
+  }
 }
 
 TEST(TrustMe, LearnsFromReportBroadcasts) {

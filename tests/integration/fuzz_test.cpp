@@ -3,6 +3,7 @@
 // without crashing and without false acceptance.
 #include <gtest/gtest.h>
 
+#include "check/check.hpp"
 #include "crypto/identity.hpp"
 #include "hirep/protocol.hpp"
 #include "onion/onion.hpp"
@@ -52,6 +53,11 @@ TEST(Fuzz, BitflippedReportsNeverVerify) {
   const auto subject = crypto::Identity::generate(rng, 64);
   const auto report = core::build_report(reporter, subject.node_id(), 1.0, 42);
   const auto wire = report.serialize();
+  // The reporter id lives outside the signed body, so a flip there leaves
+  // the signature valid; the invariant layer must flag exactly those
+  // acceptances (nodeId no longer matches the verifying key).
+  check::ScopedCapture capture;
+  std::size_t mismatched_accepts = 0;
   for (int trial = 0; trial < 200; ++trial) {
     auto corrupted = wire;
     corrupted[rng.below(corrupted.size())] ^=
@@ -68,7 +74,12 @@ TEST(Fuzz, BitflippedReportsNeverVerify) {
       // which is outside the signed body; the body itself must be intact.
       EXPECT_EQ(parsed->body, report.body);
       EXPECT_NE(parsed->reporter, report.reporter);
+      ++mismatched_accepts;
     }
+  }
+  if (check::kEnabled && mismatched_accepts > 0) {
+    EXPECT_TRUE(capture.fired("protocol.report.binding"));
+    EXPECT_EQ(capture.count(), mismatched_accepts);
   }
 }
 

@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "check/check.hpp"
 #include "net/flood.hpp"
 #include "net/topology.hpp"
 
@@ -143,6 +144,61 @@ TEST(TransportFaulty, OutcomesAreDeterministicUnderAFixedSeed) {
 
   EXPECT_EQ(run(42), run(42));
   EXPECT_NE(run(42), run(43));
+}
+
+TEST(TransportFaulty, ConservationHoldsExactlyUnderDropsAndDuplicates) {
+  // Every envelope the faulty policy touches is accounted for, exactly:
+  // sent == delivered + dropped per type, and the hop-message books match
+  // the receipts transmission for transmission (duplicates included).
+  Overlay overlay = make_overlay();
+  DeliveryConfig config;
+  config.policy = DeliveryPolicyKind::kFaulty;
+  config.faults.drop_rate = 0.25;
+  config.faults.duplicate_rate = 0.3;
+  config.faults.delay_min_ms = 0.5;
+  config.faults.delay_max_ms = 2.0;
+
+  std::uint64_t receipt_messages = 0, receipt_delivered = 0;
+  std::uint64_t receipt_hops = 0;
+  const std::vector<EnvelopeType> types{EnvelopeType::kTrustRequest,
+                                        EnvelopeType::kTrustResponse,
+                                        EnvelopeType::kReport,
+                                        EnvelopeType::kProbe};
+  hirep::check::ScopedCapture capture;
+  {
+    Transport transport(&overlay, config, 13);
+    for (int i = 0; i < 400; ++i) {
+      const auto type = types[static_cast<std::size_t>(i) % types.size()];
+      const std::vector<NodeIndex> path{1, 2, static_cast<NodeIndex>(3 + i % 5)};
+      const auto receipt = transport.send(type, 0, path);
+      receipt_messages += receipt.messages;
+      receipt_hops += receipt.hops;
+      if (receipt.delivered) ++receipt_delivered;
+    }
+
+    std::uint64_t sent = 0, delivered = 0, dropped = 0;
+    std::uint64_t duplicated = 0, hop_messages = 0;
+    for (const auto type : types) {
+      const auto& c = transport.envelopes().of(type);
+      EXPECT_EQ(c.sent, c.delivered + c.dropped) << to_string(type);
+      sent += c.sent;
+      delivered += c.delivered;
+      dropped += c.dropped;
+      duplicated += c.duplicated;
+      hop_messages += c.hop_messages;
+    }
+    EXPECT_EQ(sent, 400u);
+    EXPECT_EQ(delivered, receipt_delivered);
+    EXPECT_EQ(dropped, 400u - receipt_delivered);
+    EXPECT_GT(dropped, 0u);     // the rates are high enough to observe both
+    EXPECT_GT(duplicated, 0u);
+    EXPECT_EQ(hop_messages, receipt_messages);
+    EXPECT_EQ(hop_messages, receipt_hops + duplicated + dropped);
+    EXPECT_EQ(overlay.metrics().total(), receipt_messages);
+  }
+  // Teardown ran the envelope-conservation invariant; the books balance,
+  // so it must have stayed silent.
+  EXPECT_EQ(capture.count(), 0u);
 }
 
 TEST(TransportFaulty, ModerateDropRateDegradesButDoesNotWedge) {

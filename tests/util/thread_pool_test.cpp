@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
 #include <numeric>
+#include <thread>
 
 namespace hirep::util {
 namespace {
@@ -55,15 +58,93 @@ TEST(ThreadPool, ParallelForPropagatesException) {
                std::logic_error);
 }
 
-TEST(ThreadPool, DrainsQueueOnDestruction) {
-  std::atomic<int> done{0};
+TEST(ThreadPool, ParallelForDrainsAllTasksBeforeRethrowing) {
+  // A throwing index must not let parallel_for return while later tasks
+  // (which reference the callable) are still queued or running.
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [&](std::size_t i) {
+                                   if (i == 0) throw std::logic_error("x");
+                                   ran.fetch_add(1);
+                                 }),
+               std::logic_error);
+  EXPECT_EQ(ran.load(), 63);
+}
+
+TEST(ThreadPool, ShutdownDiscardsQueuedTasksBehindABlockedWorker) {
+  std::promise<void> release;
+  std::atomic<bool> in_flight_started{false};
+  std::atomic<int> queued_ran{0};
+  std::future<void> blocked, queued;
+  std::thread releaser;
   {
     ThreadPool pool(1);
-    for (int i = 0; i < 20; ++i) {
-      pool.submit([&done] { done.fetch_add(1); });
+    blocked = pool.submit([&] {
+      in_flight_started = true;
+      release.get_future().wait();
+    });
+    while (!in_flight_started.load()) std::this_thread::yield();
+    queued = pool.submit([&] { queued_ran.fetch_add(1); });
+    // Open the gate only once teardown is underway, so the queued task is
+    // provably still unstarted when the destructor clears the queue.
+    releaser = std::thread([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      release.set_value();
+    });
+  }  // destructor: discard queued task, finish the in-flight one, join
+  releaser.join();
+  EXPECT_NO_THROW(blocked.get());
+  EXPECT_EQ(queued_ran.load(), 0);
+  EXPECT_THROW(queued.get(), std::future_error);
+}
+
+TEST(ThreadPool, ShutdownCannotBeWedgedByAQueuedBlockingTask) {
+  std::promise<void> never;  // intentionally never satisfied
+  std::atomic<bool> started{false};
+  std::future<void> f;
+  {
+    ThreadPool pool(1);
+    pool.submit([&] {
+      started = true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    });
+    f = pool.submit([&] { never.get_future().wait(); });  // queued behind
+    while (!started.load()) std::this_thread::yield();
+  }  // draining semantics would run the waiter here and hang forever
+  EXPECT_THROW(f.get(), std::future_error);
+}
+
+TEST(ThreadPool, ShutdownStressAccountsForEveryTask) {
+  // Hammer teardown while the queue is full: every submitted task either
+  // completed before the pool died (and is counted) or surfaces
+  // broken_promise — never lost, never run after teardown.
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> ran{0};
+    std::vector<std::future<void>> futures;
+    futures.reserve(64);
+    {
+      ThreadPool pool(2);
+      for (int i = 0; i < 64; ++i) {
+        futures.push_back(pool.submit([&ran] { ran.fetch_add(1); }));
+      }
+    }  // destructor races the workers mid-queue
+    const int after_teardown = ran.load();
+    int completed = 0, broken = 0;
+    for (auto& f : futures) {
+      try {
+        f.get();
+        ++completed;
+      } catch (const std::future_error& e) {
+        EXPECT_EQ(e.code(),
+                  std::make_error_code(std::future_errc::broken_promise));
+        ++broken;
+      }
     }
-  }  // destructor joins after draining
-  EXPECT_EQ(done.load(), 20);
+    EXPECT_EQ(completed + broken, 64);
+    EXPECT_EQ(completed, after_teardown);
+    EXPECT_EQ(ran.load(), after_teardown);
+  }
 }
 
 }  // namespace
