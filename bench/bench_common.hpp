@@ -1,12 +1,17 @@
 // Shared scaffolding for the figure/table bench binaries: key=value CLI,
-// figure-specific parameter defaults, uniform output, PASS/FAIL exit code.
+// figure-specific parameter defaults, uniform output, PASS/FAIL exit code,
+// and optional machine-readable output via json=<path> (hirep-bench-v1,
+// see sim/bench_json.hpp and EXPERIMENTS.md).
 #pragma once
 
 #include <exception>
 #include <functional>
 #include <iostream>
+#include <optional>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "sim/bench_json.hpp"
 #include "sim/experiment.hpp"
 #include "sim/params.hpp"
 
@@ -15,6 +20,9 @@ namespace hirep::bench {
 /// Runs one exhibit: parses overrides, applies `tune` for figure-specific
 /// defaults (only where the user did not override), executes, prints, and
 /// returns a process exit code (0 iff all qualitative claims held).
+/// When json=<path> is supplied the exhibit table, claim checks, registry
+/// snapshot, and phase timings are also written there — before the exit
+/// code is computed, so the artifact exists even for failed claims.
 inline int run_exhibit(int argc, char** argv, const std::string& title,
                        const std::function<void(sim::Params&, const util::Config&)>& tune,
                        const std::function<sim::ExperimentResult(const sim::Params&)>& runner) {
@@ -24,17 +32,33 @@ inline int run_exhibit(int argc, char** argv, const std::string& title,
       std::cout << title << "\nUsage: key=value overrides, e.g.\n"
                 << "  network_size=1000 transactions=200 seed=1 seeds=3 "
                    "crypto=fast|full malicious_ratio=0.1 ...\n"
+                << "  json=out.json   write a hirep-bench-v1 document\n"
                 << "See sim/params.hpp for the full key list.\n";
       return 0;
     }
-    auto params = sim::Params::from_config(cfg);
-    tune(params, cfg);
-    const auto result = runner(params);
-    sim::print_result(result, title);
+    // Consume json= up front so it never trips the unused-parameter scan.
+    const auto json_path = sim::json_output_path(cfg);
+    std::optional<sim::ExperimentResult> result;
+    {
+      obs::ScopedTimer setup_and_run("bench");
+      auto params = [&] {
+        obs::ScopedTimer setup("setup");
+        auto p = sim::Params::from_config(cfg);
+        tune(p, cfg);
+        return p;
+      }();
+      obs::ScopedTimer run("run");
+      result = runner(params);
+    }
+    sim::print_result(*result, title);
+    if (!json_path.empty()) {
+      sim::write_bench_json_file(json_path, title, *result, cfg,
+                                 obs::Registry::global().snapshot());
+    }
     for (const auto& key : cfg.unused_keys()) {
       std::cerr << "warning: unused parameter '" << key << "'\n";
     }
-    return sim::all_hold(result) ? 0 : 1;
+    return sim::all_hold(*result) ? 0 : 1;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 2;

@@ -13,5 +13,5 @@ int main(int argc, char** argv) {
       [](sim::Params& p, const util::Config& cfg) {
         if (!cfg.has("transactions")) p.transactions = 200;
       },
-      sim::run_fig8_response);
+      [](const sim::Params& p) { return sim::run_fig8_response(p); });
 }

@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# Machine-readable benchmark sweep: runs the google-benchmark micro suites
+# and the figure/analysis benches, then assembles two artifacts in the
+# repo root (schema documented in EXPERIMENTS.md):
+#
+#   BENCH_micro.json    — per-suite google-benchmark JSON output
+#   BENCH_figures.json  — one hirep-bench-v1 document per exhibit
+#
+# Usage: scripts/bench.sh [build-dir]          (default: build)
+#   BENCH_PROFILE=quick   small deterministic params, minutes   (default)
+#   BENCH_PROFILE=full    paper-scale params, hours
+#
+# Figure benches exit 1 when a paper claim fails to hold at the chosen
+# params; with quick params that is expected and the artifact is still
+# written, so only exit code 2 (hard error) aborts the sweep.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+profile="${BENCH_PROFILE:-quick}"
+out_micro="$repo/BENCH_micro.json"
+out_figures="$repo/BENCH_figures.json"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+case "$profile" in
+  quick)
+    fig_params=(network_size=200 transactions=60 seed=7 seeds=1)
+    micro_min_time=0.05
+    ;;
+  full)
+    fig_params=()
+    micro_min_time=0.5
+    ;;
+  *)
+    echo "bench.sh: unknown BENCH_PROFILE '$profile' (use: quick full)" >&2
+    exit 2
+    ;;
+esac
+
+bench_dir="$build/bench"
+if [[ ! -d "$bench_dir" ]]; then
+  echo "bench.sh: $bench_dir not found — build the tree first" >&2
+  exit 2
+fi
+
+# --- micro suites (google-benchmark JSON) ---------------------------------
+micro_suites=(micro_crypto micro_hirep micro_overlay)
+for suite in "${micro_suites[@]}"; do
+  echo "== bench.sh: $suite (min_time=${micro_min_time}s) =="
+  "$bench_dir/$suite" \
+    --benchmark_min_time="$micro_min_time" \
+    --benchmark_out="$tmp/$suite.json" \
+    --benchmark_out_format=json
+done
+
+{
+  printf '{\n  "schema": "hirep-bench-micro-v1",\n  "profile": "%s",\n  "suites": {\n' "$profile"
+  first=1
+  for suite in "${micro_suites[@]}"; do
+    [[ $first -eq 0 ]] && printf ',\n'
+    first=0
+    printf '    "%s": ' "$suite"
+    cat "$tmp/$suite.json"
+  done
+  printf '\n  }\n}\n'
+} > "$out_micro"
+echo "wrote $out_micro"
+
+# --- figure / analysis exhibits (hirep-bench-v1) --------------------------
+figure_benches=(fig5_traffic fig6_accuracy fig7_malicious fig8_response
+                analysis_traffic_bound)
+for bench in "${figure_benches[@]}"; do
+  echo "== bench.sh: $bench ($profile params) =="
+  rc=0
+  "$bench_dir/$bench" "${fig_params[@]}" json="$tmp/$bench.json" || rc=$?
+  if [[ $rc -ge 2 ]]; then
+    echo "bench.sh: $bench failed hard (exit $rc)" >&2
+    exit "$rc"
+  fi
+  if [[ $rc -eq 1 ]]; then
+    echo "bench.sh: note: $bench claim checks did not all hold at $profile params"
+  fi
+  if [[ ! -s "$tmp/$bench.json" ]]; then
+    echo "bench.sh: $bench produced no JSON output" >&2
+    exit 2
+  fi
+done
+
+{
+  printf '{\n  "schema": "hirep-bench-suite-v1",\n  "profile": "%s",\n  "exhibits": {\n' "$profile"
+  first=1
+  for bench in "${figure_benches[@]}"; do
+    [[ $first -eq 0 ]] && printf ',\n'
+    first=0
+    printf '    "%s": ' "$bench"
+    cat "$tmp/$bench.json"
+  done
+  printf '\n  }\n}\n'
+} > "$out_figures"
+echo "wrote $out_figures"
+
+# --- sanity: both artifacts must parse as JSON ----------------------------
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$out_micro" "$out_figures" <<'EOF'
+import json, sys
+for path in sys.argv[1:]:
+    with open(path) as f:
+        json.load(f)
+    print(f"validated {path}")
+EOF
+else
+  echo "bench.sh: python3 not found, skipping JSON validation"
+fi

@@ -1,12 +1,35 @@
 #include "crypto/rsa.hpp"
 
+#include <optional>
 #include <stdexcept>
 
 #include "crypto/prime.hpp"
 #include "crypto/sha256.hpp"
 #include "crypto/stream_cipher.hpp"
+#include "obs/metrics.hpp"
 
 namespace hirep::crypto {
+
+namespace {
+
+// Registry-backed op count + latency histogram per RSA primitive.  These
+// sit on real RSA paths only, so in crypto=fast runs (which bypass RSA
+// entirely) the counters stay 0 — the registry snapshot itself shows the
+// fast-vs-full split.  Instrument references resolve once per primitive.
+struct RsaOpCells {
+  obs::Counter& ops;
+  obs::Histogram& latency_ms;
+};
+
+#define HIREP_RSA_OP_CELLS(op_name)                                         \
+  []() -> RsaOpCells {                                                      \
+    auto& reg = obs::Registry::global();                                    \
+    return RsaOpCells{reg.counter("crypto.rsa." op_name ".ops"),            \
+                      reg.histogram("crypto.rsa." op_name ".ms",            \
+                                    obs::latency_buckets_ms())};            \
+  }()
+
+}  // namespace
 
 util::Bytes RsaPublicKey::serialize() const {
   util::ByteWriter w;
@@ -26,6 +49,11 @@ RsaPublicKey RsaPublicKey::deserialize(std::span<const std::uint8_t> data) {
 }
 
 RsaKeyPair rsa_generate(util::Rng& rng, unsigned bits) {
+  std::optional<obs::ScopedOp> op;
+  if constexpr (obs::kEnabled) {
+    static RsaOpCells cells = HIREP_RSA_OP_CELLS("generate");
+    op.emplace(cells.ops, cells.latency_ms);
+  }
   if (bits < 32) throw std::invalid_argument("rsa_generate: bits must be >= 32");
   const unsigned half = bits / 2;
   const BigInt e_preferred(65537);
@@ -82,6 +110,11 @@ util::Bytes mac_of(const StreamCipher::Key& mac_key,
 
 util::Bytes rsa_encrypt_bytes(util::Rng& rng, const RsaPublicKey& key,
                               std::span<const std::uint8_t> data) {
+  std::optional<obs::ScopedOp> op;
+  if constexpr (obs::kEnabled) {
+    static RsaOpCells cells = HIREP_RSA_OP_CELLS("encrypt");
+    op.emplace(cells.ops, cells.latency_ms);
+  }
   // KEM: wrap a random r; the symmetric key is SHA256(r).  r >= 2 so the
   // trivial fixed points 0 and 1 never leak the key.
   BigInt r;
@@ -105,6 +138,11 @@ util::Bytes rsa_encrypt_bytes(util::Rng& rng, const RsaPublicKey& key,
 
 std::optional<util::Bytes> rsa_decrypt_bytes(const RsaPrivateKey& key,
                                              std::span<const std::uint8_t> data) {
+  std::optional<obs::ScopedOp> op;
+  if constexpr (obs::kEnabled) {
+    static RsaOpCells cells = HIREP_RSA_OP_CELLS("decrypt");
+    op.emplace(cells.ops, cells.latency_ms);
+  }
   try {
     util::ByteReader reader(data);
     const util::Bytes c0b = reader.blob();
@@ -126,6 +164,11 @@ std::optional<util::Bytes> rsa_decrypt_bytes(const RsaPrivateKey& key,
 }
 
 util::Bytes rsa_sign(const RsaPrivateKey& key, std::span<const std::uint8_t> data) {
+  std::optional<obs::ScopedOp> op;
+  if constexpr (obs::kEnabled) {
+    static RsaOpCells cells = HIREP_RSA_OP_CELLS("sign");
+    op.emplace(cells.ops, cells.latency_ms);
+  }
   const auto digest = Sha256::hash(data);
   const BigInt m = BigInt::from_bytes(digest) % key.n;
   return BigInt::powmod(m, key.d, key.n).to_bytes();
@@ -133,6 +176,11 @@ util::Bytes rsa_sign(const RsaPrivateKey& key, std::span<const std::uint8_t> dat
 
 bool rsa_verify(const RsaPublicKey& key, std::span<const std::uint8_t> data,
                 std::span<const std::uint8_t> signature) {
+  std::optional<obs::ScopedOp> op;
+  if constexpr (obs::kEnabled) {
+    static RsaOpCells cells = HIREP_RSA_OP_CELLS("verify");
+    op.emplace(cells.ops, cells.latency_ms);
+  }
   const BigInt s = BigInt::from_bytes(signature);
   if (s >= key.n) return false;
   const auto digest = Sha256::hash(data);

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "check/invariants.hpp"
+#include "obs/metrics.hpp"
 
 namespace hirep::core {
 
@@ -50,6 +51,11 @@ std::optional<double> TrustedAgentList::update_expertise(
     entries_[i].weight = updated;
     if (updated < params_.eviction_threshold) {
       entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+      if constexpr (obs::kEnabled) {
+        static obs::Counter& evictions =
+            obs::Registry::global().counter("hirep.agent.evictions");
+        evictions.add();
+      }
     }
     return updated;
   }
@@ -67,6 +73,11 @@ void TrustedAgentList::handle_offline(const crypto::NodeId& agent) {
     if (entry.weight >= params_.eviction_threshold) {
       backup_.insert(backup_.begin(), std::move(entry));
       if (backup_.size() > params_.backup_capacity) backup_.pop_back();
+      if constexpr (obs::kEnabled) {
+        static obs::Counter& demotions =
+            obs::Registry::global().counter("hirep.agent.offline_demotions");
+        demotions.add();
+      }
     }
     return;
   }

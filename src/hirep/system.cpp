@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "check/invariants.hpp"
+#include "obs/metrics.hpp"
 #include "util/log.hpp"
 
 namespace hirep::core {
@@ -191,6 +192,11 @@ std::vector<AgentEntry> HirepSystem::shareable_list(net::NodeIndex v) {
 std::size_t HirepSystem::discover_agents(net::NodeIndex peer_ip) {
   Peer& p = peers_.at(peer_ip);
   if (p.agents().full()) return 0;
+  if constexpr (obs::kEnabled) {
+    static obs::Counter& walks =
+        obs::Registry::global().counter("hirep.discovery.walks");
+    walks.add();
+  }
 
   const auto lists = collect_agent_lists(
       transport_, rng_, peer_ip, options_.discovery_tokens,
@@ -211,6 +217,11 @@ std::size_t HirepSystem::discover_agents(net::NodeIndex peer_ip) {
     if (e.agent_id == p.node_id()) continue;
     if (crypto::NodeId::of_key(e.agent_key) != e.agent_id) continue;
     if (p.agents().add(std::move(e))) ++added;
+  }
+  if constexpr (obs::kEnabled) {
+    static obs::Counter& agents_added =
+        obs::Registry::global().counter("hirep.discovery.agents_added");
+    agents_added.add(added);
   }
   return added;
 }
@@ -338,6 +349,11 @@ std::optional<double> HirepSystem::exchange_with_agent(
     rt->agent->register_key(requestor.node_id(),
                             requestor.identity().signature_public());
     const double value = rt->agent->trust_value(subject_id, subject_ip, rng_);
+    if constexpr (obs::kEnabled) {
+      static obs::Counter& votes =
+          obs::Registry::global().counter("hirep.trust.votes_sent");
+      votes.add();  // the agent answered, even if the response is then lost
+    }
     onion::Onion fresh = issue_agent_onion(agent_ip, *rt);
     const auto to_peer = transport_.send(net::EnvelopeType::kTrustResponse,
                                          agent_ip, requestor.relay_path());
@@ -377,6 +393,11 @@ std::optional<double> HirepSystem::exchange_with_agent(
   if (!opened) return std::nullopt;
   rt->agent->register_key(crypto::NodeId::of_key(parsed->sp_p), parsed->sp_p);
   const double value = rt->agent->trust_value(opened->subject, subject_ip, rng_);
+  if constexpr (obs::kEnabled) {
+    static obs::Counter& votes =
+        obs::Registry::global().counter("hirep.trust.votes_sent");
+    votes.add();  // the agent answered, even if the response is then lost
+  }
   const TrustValueResponse response = build_trust_response(
       rng_, parsed->sp_p, rt->agent->identity(), value, opened->nonce,
       issue_agent_onion(agent_ip, *rt));
@@ -410,6 +431,11 @@ std::optional<double> HirepSystem::exchange_with_agent(
 
 HirepSystem::QueryResult HirepSystem::query_trust(net::NodeIndex requestor_ip,
                                                   net::NodeIndex subject_ip) {
+  if constexpr (obs::kEnabled) {
+    static obs::Counter& queries =
+        obs::Registry::global().counter("hirep.trust.queries");
+    queries.add();
+  }
   Peer& p = peers_.at(requestor_ip);
   const crypto::NodeId subject_id = identities_.at(subject_ip).node_id();
 

@@ -3,11 +3,31 @@
 #include <algorithm>
 
 #include "check/invariants.hpp"
+#include "obs/metrics.hpp"
 
 namespace hirep::net {
 
+namespace {
+
+obs::Counter& events_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("net.event_sim.events");
+  return c;
+}
+
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& g =
+      obs::Registry::global().gauge("net.event_sim.queue_depth");
+  return g;
+}
+
+}  // namespace
+
 void EventSim::schedule_at(double at, Callback fn) {
   queue_.push(Event{std::max(at, now_), next_seq_++, std::move(fn)});
+  if constexpr (obs::kEnabled) {
+    queue_depth_gauge().set(static_cast<std::int64_t>(queue_.size()));
+  }
 }
 
 void EventSim::schedule_in(double delay, Callback fn) {
@@ -28,6 +48,10 @@ std::size_t EventSim::run() {
     ev.fn();
     ++executed;
   }
+  if constexpr (obs::kEnabled) {
+    events_counter().add(executed);
+    queue_depth_gauge().set(0);
+  }
   return executed;
 }
 
@@ -44,6 +68,10 @@ std::size_t EventSim::run_until(double deadline) {
     ++executed;
   }
   if (now_ < deadline) now_ = deadline;
+  if constexpr (obs::kEnabled) {
+    events_counter().add(executed);
+    queue_depth_gauge().set(static_cast<std::int64_t>(queue_.size()));
+  }
   return executed;
 }
 

@@ -2,7 +2,47 @@
 
 #include <sstream>
 
+#include "obs/metrics.hpp"
+
 namespace hirep::net {
+
+namespace {
+
+// Process-wide mirrors of the per-transport envelope counters, one
+// registry counter per (envelope type, outcome).  Per-instance Counters
+// stay authoritative (the transport's conservation invariant and
+// DeliveryReceipts read them); the registry view is what BENCH_*.json
+// exports.  References are resolved once — registry lookups take a mutex,
+// updates are relaxed atomics.
+struct EnvelopeRegistryCells {
+  static constexpr std::size_t kN =
+      static_cast<std::size_t>(EnvelopeType::kCount);
+  std::array<obs::Counter*, kN> sent{};
+  std::array<obs::Counter*, kN> delivered{};
+  std::array<obs::Counter*, kN> dropped{};
+  std::array<obs::Counter*, kN> duplicated{};
+  std::array<obs::Counter*, kN> hop_messages{};
+};
+
+const EnvelopeRegistryCells& envelope_cells() {
+  static const EnvelopeRegistryCells cells = [] {
+    EnvelopeRegistryCells c;
+    auto& reg = obs::Registry::global();
+    for (std::size_t i = 0; i < EnvelopeRegistryCells::kN; ++i) {
+      const std::string base =
+          std::string("net.envelope.") + to_string(static_cast<EnvelopeType>(i));
+      c.sent[i] = &reg.counter(base + ".sent");
+      c.delivered[i] = &reg.counter(base + ".delivered");
+      c.dropped[i] = &reg.counter(base + ".dropped");
+      c.duplicated[i] = &reg.counter(base + ".duplicated");
+      c.hop_messages[i] = &reg.counter(base + ".hop_messages");
+    }
+    return c;
+  }();
+  return cells;
+}
+
+}  // namespace
 
 const char* to_string(MessageKind kind) noexcept {
   switch (kind) {
@@ -55,23 +95,38 @@ MessageKind kind_of(EnvelopeType type) noexcept {
 
 void EnvelopeMetrics::count_sent(EnvelopeType type) noexcept {
   ++counts_[static_cast<std::size_t>(type)].sent;
+  if constexpr (obs::kEnabled) {
+    envelope_cells().sent[static_cast<std::size_t>(type)]->add();
+  }
 }
 
 void EnvelopeMetrics::count_delivered(EnvelopeType type) noexcept {
   ++counts_[static_cast<std::size_t>(type)].delivered;
+  if constexpr (obs::kEnabled) {
+    envelope_cells().delivered[static_cast<std::size_t>(type)]->add();
+  }
 }
 
 void EnvelopeMetrics::count_dropped(EnvelopeType type) noexcept {
   ++counts_[static_cast<std::size_t>(type)].dropped;
+  if constexpr (obs::kEnabled) {
+    envelope_cells().dropped[static_cast<std::size_t>(type)]->add();
+  }
 }
 
 void EnvelopeMetrics::count_duplicated(EnvelopeType type) noexcept {
   ++counts_[static_cast<std::size_t>(type)].duplicated;
+  if constexpr (obs::kEnabled) {
+    envelope_cells().duplicated[static_cast<std::size_t>(type)]->add();
+  }
 }
 
 void EnvelopeMetrics::count_hops(EnvelopeType type,
                                  std::uint64_t messages) noexcept {
   counts_[static_cast<std::size_t>(type)].hop_messages += messages;
+  if constexpr (obs::kEnabled) {
+    envelope_cells().hop_messages[static_cast<std::size_t>(type)]->add(messages);
+  }
 }
 
 void EnvelopeMetrics::reset() noexcept { counts_.fill(Counters{}); }

@@ -1,0 +1,218 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+namespace hirep::obs {
+
+namespace {
+
+std::atomic<ClockFn> g_clock{nullptr};
+
+// Innermost live ScopedTimer on this thread (nesting parent).
+thread_local ScopedTimer* t_active_timer = nullptr;
+
+}  // namespace
+
+std::uint64_t now_ns() noexcept {
+  if (const ClockFn clock = g_clock.load(std::memory_order_acquire)) {
+    return clock();
+  }
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void set_clock_for_testing(ClockFn clock) noexcept {
+  g_clock.store(clock, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+// ---------------------------------------------------------------------------
+
+void Gauge::set(std::int64_t value) noexcept {
+  value_.store(value, std::memory_order_relaxed);
+  std::int64_t seen = high_water_.load(std::memory_order_relaxed);
+  while (value > seen && !high_water_.compare_exchange_weak(
+                             seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+void Gauge::reset() noexcept {
+  value_.store(0, std::memory_order_relaxed);
+  high_water_.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: bounds must be non-empty");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument("Histogram: bounds must be strictly increasing");
+  }
+}
+
+void Histogram::observe(double value) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto index = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.bounds_ != bounds_) {
+    throw std::invalid_argument("Histogram::merge: bounds mismatch");
+  }
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i].fetch_add(other.buckets_[i].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const {
+  return buckets_.at(i).load(std::memory_order_relaxed);
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Timer
+// ---------------------------------------------------------------------------
+
+void Timer::reset() noexcept {
+  count_.store(0, std::memory_order_relaxed);
+  total_ns_.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+              .first->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    if (it->second->bounds() != bounds) {
+      throw std::invalid_argument("Registry::histogram: '" + std::string(name) +
+                                  "' re-registered with different bounds");
+    }
+    return *it->second;
+  }
+  return *histograms_
+              .emplace(std::string(name),
+                       std::make_unique<Histogram>(std::move(bounds)))
+              .first->second;
+}
+
+Timer& Registry::timer(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = timers_.find(name);
+  if (it != timers_.end()) return *it->second;
+  return *timers_.emplace(std::string(name), std::make_unique<Timer>())
+              .first->second;
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back({name, c->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g->value(), g->high_water()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    Snapshot::HistogramEntry entry;
+    entry.name = name;
+    entry.bounds = h->bounds();
+    entry.buckets.reserve(entry.bounds.size() + 1);
+    for (std::size_t i = 0; i <= entry.bounds.size(); ++i) {
+      entry.buckets.push_back(h->bucket_count(i));
+    }
+    entry.count = h->count();
+    entry.sum = h->sum();
+    snap.histograms.push_back(std::move(entry));
+  }
+  snap.timers.reserve(timers_.size());
+  for (const auto& [name, t] : timers_) {
+    snap.timers.push_back({name, t->count(), t->total_ns()});
+  }
+  return snap;  // std::map iteration order == sorted by name
+}
+
+void Registry::reset() noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+  for (auto& [name, t] : timers_) t->reset();
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+const std::vector<double>& latency_buckets_ms() {
+  static const std::vector<double> buckets{0.01, 0.05, 0.1,  0.5,  1.0,
+                                           5.0,  10.0, 50.0, 100.0, 500.0,
+                                           1000.0};
+  return buckets;
+}
+
+// ---------------------------------------------------------------------------
+// ScopedTimer
+// ---------------------------------------------------------------------------
+
+ScopedTimer::ScopedTimer(std::string_view name, Registry& registry)
+    : registry_(registry),
+      path_(t_active_timer == nullptr
+                ? std::string(name)
+                : t_active_timer->path_ + "/" + std::string(name)),
+      start_ns_(now_ns()),
+      parent_(t_active_timer) {
+  t_active_timer = this;
+}
+
+ScopedTimer::~ScopedTimer() {
+  registry_.timer(path_).record(now_ns() - start_ns_);
+  t_active_timer = parent_;
+}
+
+}  // namespace hirep::obs

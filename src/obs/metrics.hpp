@@ -1,0 +1,250 @@
+// Observability layer (hirep::obs).
+//
+// The ROADMAP's perf trajectory needs per-component counters and a uniform
+// export path: this module is the process-wide metrics registry behind it.
+// Hot layers register named instruments once and bump them on the hot path:
+//
+//   * Counter   — monotonically increasing event count;
+//   * Gauge     — a level (queue depth, list size) with a high-water mark;
+//   * Histogram — fixed-bucket latency/size distribution with an overflow
+//                 bucket, mergeable across shards;
+//   * Timer     — accumulated wall-clock phase time, fed by ScopedTimer.
+//
+// All instruments are lock-free on the update path (relaxed atomics) so the
+// parallel seed sweeps can report concurrently, and none of them draw from
+// any simulation Rng or alter control flow — golden figure values are
+// bit-identical with observability on (pinned by
+// tests/sim/golden_values_test.cpp in the default HIREP_OBS=ON build).
+//
+// Compile-time gate: the HIREP_OBS CMake option defines HIREP_OBS_ENABLED
+// for every target; hot-path wiring guards with `if constexpr (obs::kEnabled)`
+// so an OFF build compiles the instrumentation away entirely.  As with
+// hirep::check, the primitives themselves always work when invoked
+// directly, so the obs unit tests pass in either build flavour.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hirep::obs {
+
+#if !defined(HIREP_OBS_ENABLED)
+#define HIREP_OBS_ENABLED 1
+#endif
+
+/// True when metrics wiring is compiled into the hot paths.
+inline constexpr bool kEnabled = HIREP_OBS_ENABLED != 0;
+
+/// Nanosecond monotonic clock used by ScopedTimer; replaceable for tests.
+std::uint64_t now_ns() noexcept;
+
+/// Injects a deterministic clock (tests); nullptr restores steady_clock.
+using ClockFn = std::uint64_t (*)();
+void set_clock_for_testing(ClockFn clock) noexcept;
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A signed level plus the highest level ever set (high-water mark).
+class Gauge {
+ public:
+  void set(std::int64_t value) noexcept;
+  void add(std::int64_t delta) noexcept { set(value() + delta); }
+  void sub(std::int64_t delta) noexcept { set(value() - delta); }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  std::int64_t high_water() const noexcept {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> high_water_{0};
+};
+
+/// Fixed-bucket distribution.  Bucket i counts observations v with
+/// bounds[i-1] < v <= bounds[i] (Prometheus "le" semantics); anything above
+/// bounds.back() lands in the overflow bucket at index bounds.size().
+class Histogram {
+ public:
+  /// `bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void observe(double value) noexcept;
+  /// Folds another histogram with identical bounds into this one; throws
+  /// std::invalid_argument on a bounds mismatch.
+  void merge(const Histogram& other);
+
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// Bucket count at index i in [0, bounds().size()]; the last index is the
+  /// overflow bucket.
+  std::uint64_t bucket_count(std::size_t i) const;
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds + overflow
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Accumulated phase time: how often the phase ran and total nanoseconds.
+class Timer {
+ public:
+  void record(std::uint64_t elapsed_ns) noexcept {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    total_ns_.fetch_add(elapsed_ns, std::memory_order_relaxed);
+  }
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t total_ns() const noexcept {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> total_ns_{0};
+};
+
+/// A stable, by-name-sorted copy of every instrument's current state.
+/// Snapshots of an idle registry compare equal (operator==), which is what
+/// makes BENCH_*.json diffable across runs.
+struct Snapshot {
+  struct CounterEntry {
+    std::string name;
+    std::uint64_t value = 0;
+    bool operator==(const CounterEntry&) const = default;
+  };
+  struct GaugeEntry {
+    std::string name;
+    std::int64_t value = 0;
+    std::int64_t high_water = 0;
+    bool operator==(const GaugeEntry&) const = default;
+  };
+  struct HistogramEntry {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 (overflow last)
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    bool operator==(const HistogramEntry&) const = default;
+  };
+  struct TimerEntry {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    bool operator==(const TimerEntry&) const = default;
+  };
+
+  std::vector<CounterEntry> counters;
+  std::vector<GaugeEntry> gauges;
+  std::vector<HistogramEntry> histograms;
+  std::vector<TimerEntry> timers;
+  bool operator==(const Snapshot&) const = default;
+};
+
+/// Named-instrument registry.  Lookup is mutex-guarded and intended to run
+/// once per call site (cache the returned reference in a function-local
+/// static); instrument updates are lock-free.  References stay valid for
+/// the registry's lifetime — reset() zeroes values, it never removes
+/// instruments.  Each instrument kind has its own namespace.
+class Registry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// Re-registering a histogram name with different bounds throws
+  /// std::invalid_argument.
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+  Timer& timer(std::string_view name);
+
+  Snapshot snapshot() const;
+  /// Zeroes every instrument (test/bench isolation); references stay valid.
+  void reset() noexcept;
+
+  /// The process-wide registry all hot-path wiring reports into.
+  static Registry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers_;
+};
+
+/// Default latency buckets (milliseconds) shared by the crypto op
+/// histograms: 10us .. 1s, roughly half-decade steps, overflow above.
+const std::vector<double>& latency_buckets_ms();
+
+/// RAII phase timer.  Timers nest per thread: a ScopedTimer constructed
+/// while another is alive on the same thread records under
+/// "<outer path>/<name>", so the registry's timer table reads as a phase
+/// tree.  Elapsed time is recorded into `registry` on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string_view name,
+                       Registry& registry = Registry::global());
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// The full slash-joined phase path this timer records under.
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  Registry& registry_;
+  std::string path_;
+  std::uint64_t start_ns_;
+  ScopedTimer* parent_;
+};
+
+/// RAII op recorder for hot functions: bumps `ops` and observes the
+/// elapsed milliseconds into `latency_ms` on destruction.  Call sites keep
+/// the two instrument references in function-local statics so the name
+/// lookup happens once.
+class ScopedOp {
+ public:
+  ScopedOp(Counter& ops, Histogram& latency_ms) noexcept
+      : ops_(ops), latency_ms_(latency_ms), start_ns_(now_ns()) {}
+  ~ScopedOp() {
+    ops_.add();
+    latency_ms_.observe(static_cast<double>(now_ns() - start_ns_) * 1e-6);
+  }
+  ScopedOp(const ScopedOp&) = delete;
+  ScopedOp& operator=(const ScopedOp&) = delete;
+
+ private:
+  Counter& ops_;
+  Histogram& latency_ms_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace hirep::obs

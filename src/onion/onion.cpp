@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace hirep::onion {
 
 namespace {
@@ -11,6 +13,10 @@ namespace {
 constexpr std::uint8_t kTagRelayLayer = 0x11;
 constexpr std::uint8_t kTagTerminalLayer = 0x12;
 constexpr std::size_t kFakeOnionBytes = 24;
+
+obs::Counter& obs_counter(const char* name) {
+  return obs::Registry::global().counter(name);
+}
 
 }  // namespace
 
@@ -54,13 +60,22 @@ std::optional<Onion> Onion::deserialize(std::span<const std::uint8_t> data) {
 Onion build_onion(util::Rng& rng, const crypto::Identity& owner,
                   net::NodeIndex owner_ip, const std::vector<RelayInfo>& relays,
                   std::uint64_t sq) {
-  // Innermost: terminal layer to the owner, containing the fake onion.
+  // Protocol form: the terminal layer carries fake-onion padding.  Drawing
+  // the padding before any encryption keeps the rng stream identical to
+  // the pre-overload layout (golden values depend on draw order).
   util::Bytes fake(kFakeOnionBytes);
   for (auto& b : fake) b = static_cast<std::uint8_t>(rng());
+  return build_onion(rng, owner, owner_ip, relays, sq, std::move(fake));
+}
+
+Onion build_onion(util::Rng& rng, const crypto::Identity& owner,
+                  net::NodeIndex owner_ip, const std::vector<RelayInfo>& relays,
+                  std::uint64_t sq, util::Bytes terminal_payload) {
+  // Innermost: terminal layer to the owner.
   util::ByteWriter terminal;
   terminal.u8(kTagTerminalLayer);
   terminal.u32(owner_ip);
-  terminal.blob(fake);
+  terminal.blob(terminal_payload);
   util::Bytes current =
       crypto::rsa_encrypt_bytes(rng, owner.anonymity_public(), terminal.bytes());
   net::NodeIndex next_ip = owner_ip;
@@ -82,6 +97,12 @@ Onion build_onion(util::Rng& rng, const crypto::Identity& owner,
   onion.owner_sig_key = owner.signature_public();
   onion.relay_count = static_cast<std::uint32_t>(relays.size());
   onion.signature = owner.sign(onion.signed_body());
+  if constexpr (obs::kEnabled) {
+    static obs::Counter& built = obs_counter("onion.built");
+    static obs::Counter& layers = obs_counter("onion.layers_built");
+    built.add();
+    layers.add(relays.size() + 1);  // relay layers + terminal layer
+  }
   return onion;
 }
 
@@ -92,21 +113,35 @@ bool verify_onion(const Onion& onion) {
 
 std::optional<Peeled> peel(const util::Bytes& blob,
                            const crypto::RsaPrivateKey& anonymity_private) {
-  const auto plain = crypto::rsa_decrypt_bytes(anonymity_private, blob);
-  if (!plain) return std::nullopt;
-  try {
-    util::ByteReader r(*plain);
-    const std::uint8_t tag = r.u8();
-    if (tag != kTagRelayLayer && tag != kTagTerminalLayer) return std::nullopt;
-    Peeled out;
-    out.next = r.u32();
-    out.inner = r.blob();
-    out.terminal = (tag == kTagTerminalLayer);
-    if (!r.done()) return std::nullopt;
-    return out;
-  } catch (const util::TruncatedInput&) {
-    return std::nullopt;
+  const auto result = [&]() -> std::optional<Peeled> {
+    const auto plain = crypto::rsa_decrypt_bytes(anonymity_private, blob);
+    if (!plain) return std::nullopt;
+    try {
+      util::ByteReader r(*plain);
+      const std::uint8_t tag = r.u8();
+      if (tag != kTagRelayLayer && tag != kTagTerminalLayer) {
+        return std::nullopt;
+      }
+      Peeled out;
+      out.next = r.u32();
+      out.inner = r.blob();
+      out.terminal = (tag == kTagTerminalLayer);
+      if (!r.done()) return std::nullopt;
+      return out;
+    } catch (const util::TruncatedInput&) {
+      return std::nullopt;
+    }
+  }();
+  if constexpr (obs::kEnabled) {
+    static obs::Counter& peeled = obs_counter("onion.layers_peeled");
+    static obs::Counter& failures = obs_counter("onion.peel.failures");
+    if (result) {
+      peeled.add();
+    } else {
+      failures.add();
+    }
   }
+  return result;
 }
 
 SequenceGuard::State& SequenceGuard::state_of(const crypto::NodeId& owner) {
@@ -119,6 +154,12 @@ SequenceGuard::State& SequenceGuard::state_of(const crypto::NodeId& owner) {
 
 bool SequenceGuard::accept(const crypto::NodeId& owner, std::uint64_t sq) {
   State& s = state_of(owner);
+  if constexpr (obs::kEnabled) {
+    static obs::Counter& refreshes = obs_counter("onion.sq.refreshes");
+    static obs::Counter& rejected = obs_counter("onion.sq.rejected");
+    if (sq > s.newest) refreshes.add();
+    if (sq < s.floor) rejected.add();
+  }
   s.newest = std::max(s.newest, sq);
   return sq >= s.floor;
 }

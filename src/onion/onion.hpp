@@ -51,6 +51,14 @@ Onion build_onion(util::Rng& rng, const crypto::Identity& owner,
                   net::NodeIndex owner_ip, const std::vector<RelayInfo>& relays,
                   std::uint64_t sq);
 
+/// Same, but the terminal layer carries `terminal_payload` instead of
+/// freshly drawn fake-onion padding.  The paper's protocol always pads
+/// (the payload is indistinguishable random bytes); this overload lets
+/// tests assert end-to-end payload identity through a full peel chain.
+Onion build_onion(util::Rng& rng, const crypto::Identity& owner,
+                  net::NodeIndex owner_ip, const std::vector<RelayInfo>& relays,
+                  std::uint64_t sq, util::Bytes terminal_payload);
+
 /// Verifies the owner signature on an onion.
 bool verify_onion(const Onion& onion);
 

@@ -1,5 +1,7 @@
 #include "onion/router.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace hirep::onion {
 
 Router::Router(net::Overlay* overlay, IdentityResolver resolver)
@@ -23,6 +25,11 @@ RouteResult Router::route_timed(double depart_ms, net::NodeIndex sender_ip,
 }
 
 void Router::note_issued(const crypto::NodeId& owner, std::uint64_t sq) {
+  if constexpr (obs::kEnabled) {
+    static obs::Counter& issued =
+        obs::Registry::global().counter("onion.sq.issued");
+    issued.add();
+  }
   if constexpr (check::kEnabled) {
     issued_sq_.note(crypto::NodeIdHash{}(owner), 0, sq);
   }

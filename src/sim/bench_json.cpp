@@ -1,0 +1,187 @@
+#include "sim/bench_json.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+#include <variant>
+
+#include "util/json.hpp"
+
+namespace hirep::sim {
+
+namespace {
+
+void write_cell(util::JsonWriter& w, const util::Table::Cell& cell) {
+  std::visit(
+      [&w](const auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, std::string>) {
+          w.value(std::string_view(v));
+        } else {
+          w.value(v);
+        }
+      },
+      cell);
+}
+
+void write_metrics(util::JsonWriter& w, const obs::Snapshot& snapshot) {
+  w.begin_object();
+
+  w.key("counters");
+  w.begin_array();
+  for (const auto& c : snapshot.counters) {
+    w.begin_object();
+    w.key("name");
+    w.value(std::string_view(c.name));
+    w.key("value");
+    w.value(c.value);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("gauges");
+  w.begin_array();
+  for (const auto& g : snapshot.gauges) {
+    w.begin_object();
+    w.key("name");
+    w.value(std::string_view(g.name));
+    w.key("value");
+    w.value(g.value);
+    w.key("high_water");
+    w.value(g.high_water);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("histograms");
+  w.begin_array();
+  for (const auto& h : snapshot.histograms) {
+    w.begin_object();
+    w.key("name");
+    w.value(std::string_view(h.name));
+    w.key("bounds");
+    w.begin_array();
+    for (const double b : h.bounds) w.value(b);
+    w.end_array();
+    w.key("buckets");
+    w.begin_array();
+    for (const std::uint64_t b : h.buckets) w.value(b);
+    w.end_array();
+    w.key("count");
+    w.value(h.count);
+    w.key("sum");
+    w.value(h.sum);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("timers");
+  w.begin_array();
+  for (const auto& t : snapshot.timers) {
+    w.begin_object();
+    w.key("name");
+    w.value(std::string_view(t.name));
+    w.key("count");
+    w.value(t.count);
+    w.key("total_ns");
+    w.value(t.total_ns);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.end_object();
+}
+
+}  // namespace
+
+std::string json_output_path(const util::Config& cfg) {
+  return cfg.get_string(kJsonOutputKey, "");
+}
+
+void write_bench_json(std::ostream& out, const std::string& title,
+                      const ExperimentResult& result, const util::Config& cfg,
+                      const obs::Snapshot& snapshot) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("schema");
+  w.value(kBenchSchema);
+  w.key("title");
+  w.value(std::string_view(title));
+
+  w.key("config");
+  w.begin_object();
+  for (const auto& [key, value] : cfg.entries()) {
+    w.key(key);
+    w.value(std::string_view(value));
+  }
+  w.end_object();
+
+  w.key("table");
+  w.begin_object();
+  w.key("columns");
+  w.begin_array();
+  for (const auto& col : result.table.header()) w.value(std::string_view(col));
+  w.end_array();
+  w.key("rows");
+  w.begin_array();
+  for (std::size_t r = 0; r < result.table.rows(); ++r) {
+    w.begin_array();
+    for (std::size_t c = 0; c < result.table.columns(); ++c) {
+      write_cell(w, result.table.cell_at(r, c));
+    }
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+
+  w.key("checks");
+  w.begin_array();
+  for (const auto& check : result.checks) {
+    w.begin_object();
+    w.key("claim");
+    w.value(std::string_view(check.claim));
+    w.key("holds");
+    w.value(check.holds);
+    w.key("detail");
+    w.value(std::string_view(check.detail));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("all_hold");
+  w.value(all_hold(result));
+
+  // Friendly millisecond view of the phase timers; the raw nanosecond
+  // values stay under metrics.timers for exact comparison.
+  w.key("phases");
+  w.begin_array();
+  for (const auto& t : snapshot.timers) {
+    w.begin_object();
+    w.key("name");
+    w.value(std::string_view(t.name));
+    w.key("count");
+    w.value(t.count);
+    w.key("total_ms");
+    w.value(static_cast<double>(t.total_ns) * 1e-6);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("metrics");
+  write_metrics(w, snapshot);
+
+  w.end_object();
+  out << w.str() << '\n';
+}
+
+void write_bench_json_file(const std::string& path, const std::string& title,
+                           const ExperimentResult& result,
+                           const util::Config& cfg,
+                           const obs::Snapshot& snapshot) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open json output file: " + path);
+  }
+  write_bench_json(out, title, result, cfg, snapshot);
+}
+
+}  // namespace hirep::sim

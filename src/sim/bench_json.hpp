@@ -1,0 +1,42 @@
+// Machine-readable bench output ("hirep-bench-v1").
+//
+// Every bench binary accepts a `json=<path>` key (routed through
+// bench_common.hpp) and, when set, writes one JSON document alongside its
+// human-readable table: the exhibit table, the qualitative claim checks,
+// the process-wide obs::Registry snapshot, and the wall-clock phase
+// timings.  scripts/bench.sh assembles these per-exhibit documents into
+// BENCH_figures.json; the schema itself is documented in EXPERIMENTS.md.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "sim/experiment.hpp"
+#include "util/config.hpp"
+
+namespace hirep::sim {
+
+/// Name of the `json=` config key and the schema tag written into every
+/// document — tests assert against these rather than string literals.
+inline constexpr const char* kJsonOutputKey = "json";
+inline constexpr const char* kBenchSchema = "hirep-bench-v1";
+
+/// Consumes the `json=` key from `cfg` (so it never trips the
+/// unused-parameter warning) and returns the output path, empty when the
+/// key was not supplied.
+std::string json_output_path(const util::Config& cfg);
+
+/// Serialises one exhibit run as a complete hirep-bench-v1 document.
+void write_bench_json(std::ostream& out, const std::string& title,
+                      const ExperimentResult& result, const util::Config& cfg,
+                      const obs::Snapshot& snapshot);
+
+/// File-opening wrapper; throws std::runtime_error when `path` cannot be
+/// opened for writing.
+void write_bench_json_file(const std::string& path, const std::string& title,
+                           const ExperimentResult& result,
+                           const util::Config& cfg,
+                           const obs::Snapshot& snapshot);
+
+}  // namespace hirep::sim

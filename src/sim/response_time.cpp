@@ -50,7 +50,8 @@ double hirep_query_response_ms(core::HirepSystem& system,
   return last;
 }
 
-ExperimentResult run_fig8_response(const Params& params) {
+ExperimentResult run_fig8_response(const Params& params,
+                                   SeedExecution execution) {
   const std::size_t total = params.transactions;
   const std::size_t step = std::max<std::size_t>(1, total / 10);
   std::vector<std::size_t> checkpoints;
@@ -83,7 +84,7 @@ ExperimentResult run_fig8_response(const Params& params) {
         }
       }
       return ys;
-    });
+    }, execution);
   };
 
   auto voting = average_over_seeds(params, [&](std::uint64_t seed) {
@@ -108,7 +109,7 @@ ExperimentResult run_fig8_response(const Params& params) {
       }
     }
     return ys;
-  });
+  }, execution);
 
   const auto h10 = hirep_series(10);
   const auto h7 = hirep_series(7);

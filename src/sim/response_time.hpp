@@ -22,7 +22,11 @@ double hirep_query_response_ms(core::HirepSystem& system,
                                net::NodeIndex subject);
 
 /// Figure 8 table: cumulative response time vs transactions; series
-/// voting, hirep-10, hirep-7, hirep-5 (relays per onion).
-ExperimentResult run_fig8_response(const Params& params);
+/// voting, hirep-10, hirep-7, hirep-5 (relays per onion).  `execution`
+/// selects how average_over_seeds schedules repetitions; kParallel is
+/// byte-identical to kSerial (pinned by tests/sim/experiment_test.cpp).
+ExperimentResult run_fig8_response(
+    const Params& params,
+    SeedExecution execution = SeedExecution::kParallel);
 
 }  // namespace hirep::sim

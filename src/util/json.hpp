@@ -1,0 +1,73 @@
+// Minimal JSON emission + validation (hirep::util).
+//
+// The bench harness writes machine-readable BENCH_*.json artifacts
+// (see sim/bench_json.hpp); this module is the serialisation substrate.
+// Scope is deliberately small: a streaming writer with stable key order
+// and deterministic number formatting (so artifacts diff cleanly across
+// runs), plus a recursive-descent validator used by tests and
+// scripts/bench.sh to reject malformed output early.  It is not a DOM
+// parser — nothing in the repo needs to *read* JSON.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hirep::util {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included).  Control characters use \u00XX form.
+std::string json_escape(std::string_view s);
+
+/// Formats a finite double with the shortest representation that
+/// round-trips (std::to_chars); NaN/Inf are not representable in JSON and
+/// are emitted as null by JsonWriter.
+std::string json_number(double value);
+
+/// Streaming JSON writer producing a 2-space-indented document with keys
+/// in insertion order.  Usage errors (value without key inside an object,
+/// unbalanced end_*) throw std::logic_error — they are programmer bugs,
+/// not data errors.
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Emits the key for the next value; only valid inside an object.
+  void key(std::string_view k);
+
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(double v);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(bool v);
+  void null_value();
+
+  /// The document so far.  Call after the outermost end_*.
+  const std::string& str() const { return out_; }
+
+ private:
+  enum class Scope { kObject, kArray };
+  void before_value();
+
+  std::string out_;
+  std::vector<Scope> stack_;
+  std::vector<bool> has_items_;  // per open scope
+  bool key_pending_ = false;
+
+  void newline_indent();
+};
+
+/// True when `text` is one complete, well-formed JSON value (any type)
+/// with nothing but whitespace around it.  On failure, if `error` is
+/// non-null it receives a short message with a byte offset.
+bool json_valid(std::string_view text, std::string* error = nullptr);
+
+}  // namespace hirep::util

@@ -24,6 +24,13 @@ class Table {
   /// string cells.
   double number_at(std::size_t row, std::size_t col) const;
 
+  /// Raw cell at (row, col) with its original type (string/double/int64);
+  /// throws std::out_of_range when out of bounds.  Used by the bench JSON
+  /// serialiser, which must not coerce string cells.
+  const Cell& cell_at(std::size_t row, std::size_t col) const {
+    return rows_.at(row).at(col);
+  }
+
   /// Column values as doubles (string cells are skipped).
   std::vector<double> numeric_column(std::size_t col) const;
   std::vector<double> numeric_column(const std::string& name) const;

@@ -1,0 +1,323 @@
+// Unit coverage for the observability layer: instrument semantics, bucket
+// boundaries, ScopedTimer nesting, registry snapshot stability, and a
+// thread-safety stress test (run under the tsan CI flavour).
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace hirep::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Counter / Gauge
+// ---------------------------------------------------------------------------
+
+TEST(Counter, StartsAtZeroAddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, TracksLevelAndHighWater) {
+  Gauge g;
+  g.set(5);
+  g.set(3);
+  EXPECT_EQ(g.value(), 3);
+  EXPECT_EQ(g.high_water(), 5);
+  g.add(10);
+  EXPECT_EQ(g.value(), 13);
+  EXPECT_EQ(g.high_water(), 13);
+  g.sub(20);
+  EXPECT_EQ(g.value(), -7);
+  EXPECT_EQ(g.high_water(), 13);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.high_water(), 0);
+}
+
+TEST(Gauge, NegativeValuesNeverRaiseHighWater) {
+  Gauge g;
+  g.set(-4);
+  EXPECT_EQ(g.value(), -4);
+  EXPECT_EQ(g.high_water(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(Histogram({}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Histogram, BucketBoundariesUseLessOrEqualSemantics) {
+  Histogram h({1.0, 10.0});
+  h.observe(0.5);   // <= 1.0       -> bucket 0
+  h.observe(1.0);   // == bound      -> bucket 0 (le semantics)
+  h.observe(1.001); // (1, 10]       -> bucket 1
+  h.observe(10.0);  // == bound      -> bucket 1
+  h.observe(10.5);  // > 10          -> overflow bucket 2
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.001 + 10.0 + 10.5);
+}
+
+TEST(Histogram, OverflowBucketCatchesEverythingAboveLastBound) {
+  Histogram h({1.0});
+  h.observe(1e9);
+  h.observe(2.0);
+  EXPECT_EQ(h.bucket_count(0), 0u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+}
+
+TEST(Histogram, MergeAddsBucketsCountAndSum) {
+  Histogram a({1.0, 2.0});
+  Histogram b({1.0, 2.0});
+  a.observe(0.5);
+  b.observe(1.5);
+  b.observe(5.0);
+  a.merge(b);
+  EXPECT_EQ(a.bucket_count(0), 1u);
+  EXPECT_EQ(a.bucket_count(1), 1u);
+  EXPECT_EQ(a.bucket_count(2), 1u);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.sum(), 7.0);
+}
+
+TEST(Histogram, MergeRejectsMismatchedBounds) {
+  Histogram a({1.0});
+  Histogram b({2.0});
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(Histogram, ResetZeroesEverythingButKeepsBounds) {
+  Histogram h({1.0});
+  h.observe(0.5);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.bucket_count(0), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.bounds(), std::vector<double>{1.0});
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(Registry, SameNameReturnsSameInstrument) {
+  Registry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add();
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST(Registry, KindsHaveSeparateNamespaces) {
+  Registry reg;
+  reg.counter("shared");
+  reg.gauge("shared");
+  reg.timer("shared");
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.timers.size(), 1u);
+}
+
+TEST(Registry, HistogramReRegistrationWithDifferentBoundsThrows) {
+  Registry reg;
+  reg.histogram("h", {1.0, 2.0});
+  EXPECT_NO_THROW(reg.histogram("h", {1.0, 2.0}));
+  EXPECT_THROW(reg.histogram("h", {1.0}), std::invalid_argument);
+}
+
+TEST(Registry, ResetZeroesButReferencesStayValid) {
+  Registry reg;
+  Counter& c = reg.counter("c");
+  c.add(7);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.add();  // reference still live
+  EXPECT_EQ(reg.counter("c").value(), 1u);
+}
+
+TEST(Registry, SnapshotIsSortedByNameAndStable) {
+  Registry reg;
+  reg.counter("zeta").add(1);
+  reg.counter("alpha").add(2);
+  reg.gauge("mid").set(3);
+  const auto snap1 = reg.snapshot();
+  const auto snap2 = reg.snapshot();
+  EXPECT_EQ(snap1, snap2);  // idle registry -> identical snapshots
+  ASSERT_EQ(snap1.counters.size(), 2u);
+  EXPECT_EQ(snap1.counters[0].name, "alpha");
+  EXPECT_EQ(snap1.counters[0].value, 2u);
+  EXPECT_EQ(snap1.counters[1].name, "zeta");
+  ASSERT_EQ(snap1.gauges.size(), 1u);
+  EXPECT_EQ(snap1.gauges[0].name, "mid");
+}
+
+TEST(Registry, SnapshotCapturesHistogramShape) {
+  Registry reg;
+  auto& h = reg.histogram("lat", {1.0, 2.0});
+  h.observe(1.5);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const auto& entry = snap.histograms[0];
+  EXPECT_EQ(entry.bounds, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(entry.buckets, (std::vector<std::uint64_t>{0, 1, 0}));
+  EXPECT_EQ(entry.count, 1u);
+}
+
+TEST(Registry, GlobalIsASingleton) {
+  EXPECT_EQ(&Registry::global(), &Registry::global());
+}
+
+// ---------------------------------------------------------------------------
+// ScopedTimer
+// ---------------------------------------------------------------------------
+
+// Deterministic clock: each call advances 1ms.
+std::uint64_t fake_clock() {
+  static std::atomic<std::uint64_t> ticks{0};
+  return ticks.fetch_add(1) * 1'000'000ull;
+}
+
+class ScopedTimerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { set_clock_for_testing(&fake_clock); }
+  void TearDown() override { set_clock_for_testing(nullptr); }
+  Registry reg_;
+};
+
+TEST_F(ScopedTimerTest, RecordsElapsedIntoNamedTimer) {
+  {
+    ScopedTimer t("phase", reg_);
+    EXPECT_EQ(t.path(), "phase");
+  }
+  const auto snap = reg_.snapshot();
+  ASSERT_EQ(snap.timers.size(), 1u);
+  EXPECT_EQ(snap.timers[0].name, "phase");
+  EXPECT_EQ(snap.timers[0].count, 1u);
+  EXPECT_GT(snap.timers[0].total_ns, 0u);
+}
+
+TEST_F(ScopedTimerTest, NestingProducesSlashJoinedPaths) {
+  {
+    ScopedTimer outer("outer", reg_);
+    {
+      ScopedTimer inner("inner", reg_);
+      EXPECT_EQ(inner.path(), "outer/inner");
+      {
+        ScopedTimer leaf("leaf", reg_);
+        EXPECT_EQ(leaf.path(), "outer/inner/leaf");
+      }
+    }
+    // Sibling after the first inner closed: parent path again.
+    ScopedTimer sibling("sibling", reg_);
+    EXPECT_EQ(sibling.path(), "outer/sibling");
+  }
+  const auto snap = reg_.snapshot();
+  ASSERT_EQ(snap.timers.size(), 4u);  // sorted by name
+  EXPECT_EQ(snap.timers[0].name, "outer");
+  EXPECT_EQ(snap.timers[1].name, "outer/inner");
+  EXPECT_EQ(snap.timers[2].name, "outer/inner/leaf");
+  EXPECT_EQ(snap.timers[3].name, "outer/sibling");
+}
+
+TEST_F(ScopedTimerTest, SequentialTimersAccumulateCount) {
+  for (int i = 0; i < 3; ++i) ScopedTimer t("loop", reg_);
+  const auto snap = reg_.snapshot();
+  ASSERT_EQ(snap.timers.size(), 1u);
+  EXPECT_EQ(snap.timers[0].count, 3u);
+}
+
+TEST(ScopedOp, BumpsOpsAndObservesLatency) {
+  Counter ops;
+  Histogram latency(latency_buckets_ms());
+  { ScopedOp op(ops, latency); }
+  EXPECT_EQ(ops.value(), 1u);
+  EXPECT_EQ(latency.count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Thread-safety stress (meaningful under -fsanitize=thread)
+// ---------------------------------------------------------------------------
+
+TEST(ObsStress, ConcurrentUpdatesAndSnapshotsAreRaceFree) {
+  Registry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg, t] {
+      for (int i = 0; i < kIters; ++i) {
+        // Mix of shared-name updates (atomic contention) and lookups
+        // (registry mutex) while another thread snapshots.
+        reg.counter("stress.counter").add();
+        reg.gauge("stress.gauge").set(i - t);
+        reg.histogram("stress.hist", {0.5, 1.0}).observe(i % 3 * 0.4);
+        reg.timer("stress.timer").record(1);
+        if (i % 256 == 0) (void)reg.snapshot();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].value,
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count,
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  ASSERT_EQ(snap.timers.size(), 1u);
+  EXPECT_EQ(snap.timers[0].count, static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(snap.timers[0].total_ns,
+            static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(ObsStress, ConcurrentScopedTimersStayPerThread) {
+  Registry reg;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg] {
+      for (int i = 0; i < 500; ++i) {
+        ScopedTimer outer("outer", reg);
+        ScopedTimer inner("inner", reg);
+        // Nesting is tracked thread-locally, so cross-thread interleaving
+        // must never produce a mixed path.
+        ASSERT_EQ(inner.path(), "outer/inner");
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.timers.size(), 2u);
+  EXPECT_EQ(snap.timers[0].name, "outer");
+  EXPECT_EQ(snap.timers[1].name, "outer/inner");
+  EXPECT_EQ(snap.timers[0].count, 4u * 500u);
+  EXPECT_EQ(snap.timers[1].count, 4u * 500u);
+}
+
+// The gate macro must be set by the build; primitives work either way.
+TEST(ObsGate, CompileTimeFlagIsConsistent) {
+  EXPECT_EQ(kEnabled, HIREP_OBS_ENABLED != 0);
+}
+
+}  // namespace
+}  // namespace hirep::obs

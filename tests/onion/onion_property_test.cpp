@@ -1,0 +1,178 @@
+// Property-style randomized onion round-trips (§3.3).
+//
+// For 200 random (relay count 1–8, payload size, seed) tuples: build an
+// onion carrying a known terminal payload, peel every layer in relay
+// order, and assert (a) payload identity at the terminal peel, (b) the
+// §3.3 indistinguishability properties at every intermediate layer — a
+// relay sees only tag/next/inner with the same format whether its
+// successor is a relay or the destination.  On failure the minimal
+// shrunk tuple is printed so the case can be replayed as a unit test.
+#include "onion/onion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "crypto/identity.hpp"
+#include "util/rng.hpp"
+
+namespace hirep::onion {
+namespace {
+
+constexpr std::size_t kMaxRelays = 8;
+constexpr net::NodeIndex kOwnerIp = 5;
+
+struct Tuple {
+  std::size_t relay_count = 0;  // 1..8
+  std::size_t payload_size = 0;
+  std::uint64_t seed = 0;
+
+  std::string describe() const {
+    std::ostringstream out;
+    out << "(relays=" << relay_count << ", payload=" << payload_size
+        << ", seed=" << seed << ")";
+    return out.str();
+  }
+};
+
+// One key pool for the whole suite: RSA keygen dominates runtime, and the
+// properties under test concern layering, not key material.  relays[i] is
+// adjacent-to-owner first, as build_onion expects.
+struct KeyPool {
+  KeyPool() : rng(0x0b5e55ed) {
+    owner = std::make_unique<crypto::Identity>(
+        crypto::Identity::generate(rng, 128));
+    for (std::size_t i = 0; i < kMaxRelays; ++i) {
+      relay_ids.push_back(crypto::Identity::generate(rng, 128));
+      relays.push_back({static_cast<net::NodeIndex>(100 + i),
+                        relay_ids.back().anonymity_public()});
+    }
+  }
+  util::Rng rng;
+  std::unique_ptr<crypto::Identity> owner;
+  std::vector<crypto::Identity> relay_ids;
+  std::vector<RelayInfo> relays;
+};
+
+KeyPool& pool() {
+  static KeyPool p;
+  return p;
+}
+
+// Runs the round-trip for one tuple.  Returns an empty string on success,
+// otherwise a description of the first violated property.
+std::string check_tuple(const Tuple& t) {
+  auto& kp = pool();
+  util::Rng rng(t.seed);
+
+  util::Bytes payload(t.payload_size);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng());
+
+  const std::vector<RelayInfo> relays(kp.relays.begin(),
+                                      kp.relays.begin() +
+                                          static_cast<std::ptrdiff_t>(
+                                              t.relay_count));
+  const Onion onion =
+      build_onion(rng, *kp.owner, kOwnerIp, relays, t.seed, payload);
+
+  if (!verify_onion(onion)) return "owner signature does not verify";
+  if (onion.entry != relays.back().ip) return "entry is not the outermost relay";
+  if (onion.relay_count != t.relay_count) return "relay_count mismatch";
+
+  // Peel outermost-in: relay k-1 down to relay 0, then the owner.
+  util::Bytes blob = onion.blob;
+  for (std::size_t i = t.relay_count; i-- > 0;) {
+    const auto peeled = peel(blob, kp.relay_ids[i].anonymity_private());
+    if (!peeled) return "relay " + std::to_string(i) + " failed to peel";
+    // §3.3 indistinguishability: every intermediate layer presents the
+    // identical (tag, next, opaque inner) format — never terminal, and
+    // the inner blob is ciphertext-sized whether or not the next hop is
+    // the destination.
+    if (peeled->terminal) {
+      return "relay " + std::to_string(i) + " saw a terminal marker";
+    }
+    const net::NodeIndex expected_next = i > 0 ? relays[i - 1].ip : kOwnerIp;
+    if (peeled->next != expected_next) {
+      return "relay " + std::to_string(i) + " got wrong next hop";
+    }
+    if (peeled->inner.size() <= t.payload_size) {
+      return "relay " + std::to_string(i) +
+             " inner not padded beyond the raw payload (leaks position)";
+    }
+    // No other relay (nor a premature owner peel) can open this layer.
+    const std::size_t other = (i + 1) % kMaxRelays;
+    if (other != i &&
+        peel(blob, kp.relay_ids[other].anonymity_private()).has_value()) {
+      return "relay " + std::to_string(other) + " could peel layer " +
+             std::to_string(i);
+    }
+    blob = peeled->inner;
+  }
+
+  const auto last = peel(blob, kp.owner->anonymity_private());
+  if (!last) return "owner failed the terminal peel";
+  if (!last->terminal) return "owner peel not marked terminal";
+  if (last->next != kOwnerIp) return "terminal layer lost the owner address";
+  if (last->inner != payload) return "payload identity violated";
+  return "";
+}
+
+// Shrink: drop relays first, then halve the payload, re-checking each
+// step; prints the smallest tuple that still fails.
+Tuple shrink(Tuple failing) {
+  Tuple best = failing;
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    if (best.relay_count > 1) {
+      Tuple candidate = best;
+      candidate.relay_count -= 1;
+      if (!check_tuple(candidate).empty()) {
+        best = candidate;
+        progressed = true;
+        continue;
+      }
+    }
+    if (best.payload_size > 0) {
+      Tuple candidate = best;
+      candidate.payload_size /= 2;
+      if (!check_tuple(candidate).empty()) {
+        best = candidate;
+        progressed = true;
+      }
+    }
+  }
+  return best;
+}
+
+TEST(OnionProperty, TwoHundredRandomRoundTrips) {
+  util::Rng meta(20260805);
+  for (int i = 0; i < 200; ++i) {
+    Tuple t;
+    t.relay_count = 1 + meta.below(kMaxRelays);          // 1..8
+    t.payload_size = meta.below(200);                    // 0..199 bytes
+    t.seed = meta();
+    const std::string violation = check_tuple(t);
+    if (!violation.empty()) {
+      const Tuple minimal = shrink(t);
+      FAIL() << "onion round-trip property violated: " << violation
+             << "\n  failing tuple:  " << t.describe()
+             << "\n  shrunk tuple:   " << minimal.describe()
+             << "\n  shrunk failure: " << check_tuple(minimal);
+    }
+  }
+}
+
+TEST(OnionProperty, EmptyPayloadRoundTrips) {
+  EXPECT_EQ(check_tuple({1, 0, 42}), "");
+}
+
+TEST(OnionProperty, MaxRelaysRoundTrips) {
+  EXPECT_EQ(check_tuple({kMaxRelays, 64, 7}), "");
+}
+
+}  // namespace
+}  // namespace hirep::onion

@@ -1,0 +1,113 @@
+// hirep-bench-v1 emitter tests, including the regression for the json=
+// key: it must be consumed through Config so run_exhibit's typo detector
+// ("warning: unused parameter") never fires for it.
+#include "sim/bench_json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace hirep::sim {
+namespace {
+
+ExperimentResult sample_result() {
+  util::Table table({"transactions", "hirep", "label"});
+  table.add_row({std::int64_t{10}, 1.5, std::string("a")});
+  table.add_row({std::int64_t{20}, 2.5, std::string("b")});
+  ExperimentResult result{std::move(table), {}};
+  result.checks.push_back({"traffic stays O(c)", true, "ratio=1.02"});
+  result.checks.push_back({"accuracy beats voting", false, "mse worse"});
+  return result;
+}
+
+obs::Snapshot sample_snapshot() {
+  obs::Registry reg;
+  reg.counter("net.envelope.report.sent").add(3);
+  reg.gauge("net.event_sim.queue_depth").set(5);
+  reg.histogram("crypto.rsa.sign.ms", {1.0, 10.0}).observe(0.5);
+  reg.timer("bench/run").record(2'000'000);
+  return reg.snapshot();
+}
+
+TEST(JsonOutputPath, ConsumesTheKeySoItNeverWarns) {
+  const auto cfg = util::Config::from_string("json=/tmp/out.json seed=3");
+  EXPECT_EQ(json_output_path(cfg), "/tmp/out.json");
+  // The regression: json must not appear among unused keys afterwards.
+  const auto unused = cfg.unused_keys();
+  EXPECT_EQ(std::find(unused.begin(), unused.end(), "json"), unused.end());
+  // And an untouched key still does (the detector still works).
+  EXPECT_NE(std::find(unused.begin(), unused.end(), "seed"), unused.end());
+}
+
+TEST(JsonOutputPath, EmptyWhenAbsent) {
+  const auto cfg = util::Config::from_string("seed=3");
+  EXPECT_EQ(json_output_path(cfg), "");
+}
+
+TEST(WriteBenchJson, ProducesASchemaValidDocument) {
+  std::ostringstream out;
+  const auto cfg = util::Config::from_string("seed=3 network_size=200");
+  write_bench_json(out, "Figure 5 — traffic", sample_result(), cfg,
+                   sample_snapshot());
+  const std::string doc = out.str();
+
+  std::string error;
+  ASSERT_TRUE(util::json_valid(doc, &error)) << error;
+
+  // Top-level identity and the exhibit payload.
+  EXPECT_NE(doc.find("\"schema\": \"hirep-bench-v1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"title\": \"Figure 5 — traffic\""), std::string::npos);
+  EXPECT_NE(doc.find("\"seed\": \"3\""), std::string::npos);
+  EXPECT_NE(doc.find("\"transactions\""), std::string::npos);
+  EXPECT_NE(doc.find("\"traffic stays O(c)\""), std::string::npos);
+  EXPECT_NE(doc.find("\"all_hold\": false"), std::string::npos);
+
+  // Table cells keep their original types: int row key, double value,
+  // string label.
+  EXPECT_NE(doc.find("10,"), std::string::npos);
+  EXPECT_NE(doc.find("1.5"), std::string::npos);
+  EXPECT_NE(doc.find("\"a\""), std::string::npos);
+
+  // Registry snapshot sections.
+  EXPECT_NE(doc.find("\"net.envelope.report.sent\""), std::string::npos);
+  EXPECT_NE(doc.find("\"net.event_sim.queue_depth\""), std::string::npos);
+  EXPECT_NE(doc.find("\"crypto.rsa.sign.ms\""), std::string::npos);
+  EXPECT_NE(doc.find("\"bench/run\""), std::string::npos);
+  // Phase timings: ms view plus the raw ns under metrics.timers.
+  EXPECT_NE(doc.find("\"total_ms\": 2"), std::string::npos);
+  EXPECT_NE(doc.find("\"total_ns\": 2000000"), std::string::npos);
+}
+
+TEST(WriteBenchJson, DeterministicForIdenticalInputs) {
+  const auto cfg = util::Config::from_string("seed=3");
+  std::ostringstream a, b;
+  write_bench_json(a, "t", sample_result(), cfg, sample_snapshot());
+  write_bench_json(b, "t", sample_result(), cfg, sample_snapshot());
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(WriteBenchJsonFile, ThrowsOnUnwritablePath) {
+  const auto cfg = util::Config::from_string("");
+  EXPECT_THROW(write_bench_json_file("/nonexistent-dir/x.json", "t",
+                                     sample_result(), cfg, sample_snapshot()),
+               std::runtime_error);
+}
+
+TEST(WriteBenchJsonFile, WritesAValidatableFile) {
+  const std::string path = ::testing::TempDir() + "hirep_bench_test.json";
+  const auto cfg = util::Config::from_string("seed=3");
+  write_bench_json_file(path, "t", sample_result(), cfg, sample_snapshot());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string error;
+  EXPECT_TRUE(util::json_valid(buf.str(), &error)) << error;
+}
+
+}  // namespace
+}  // namespace hirep::sim

@@ -8,6 +8,7 @@
 
 #include "baselines/pure_voting.hpp"
 #include "sim/experiment.hpp"
+#include "sim/response_time.hpp"
 
 namespace hirep::sim {
 namespace {
@@ -105,6 +106,31 @@ TEST(AverageOverSeeds, ParallelMatchesSerialBitForBit) {
   ASSERT_EQ(parallel.size(), serial.size());
   for (std::size_t i = 0; i < parallel.size(); ++i) {
     EXPECT_EQ(parallel[i], serial[i]) << "index " << i;
+  }
+}
+
+TEST(AverageOverSeeds, Fig8ResponseParallelMatchesSerialBitForBit) {
+  // The whole fig8 pipeline (three hirep relay configurations + the timed
+  // voting baseline) through average_over_seeds both ways.  Tiny params:
+  // the property is scheduling-independence, not the figure itself.
+  Params p = golden_params();
+  p.network_size = 64;
+  p.transactions = 20;
+  p.seeds = 2;
+  const auto parallel = run_fig8_response(p, SeedExecution::kParallel);
+  const auto serial = run_fig8_response(p, SeedExecution::kSerial);
+  ASSERT_EQ(parallel.table.rows(), serial.table.rows());
+  ASSERT_EQ(parallel.table.columns(), serial.table.columns());
+  for (std::size_t r = 0; r < parallel.table.rows(); ++r) {
+    for (std::size_t c = 0; c < parallel.table.columns(); ++c) {
+      EXPECT_EQ(parallel.table.number_at(r, c), serial.table.number_at(r, c))
+          << "row " << r << " col " << c;
+    }
+  }
+  ASSERT_EQ(parallel.checks.size(), serial.checks.size());
+  for (std::size_t i = 0; i < parallel.checks.size(); ++i) {
+    EXPECT_EQ(parallel.checks[i].holds, serial.checks[i].holds) << "check " << i;
+    EXPECT_EQ(parallel.checks[i].detail, serial.checks[i].detail) << "check " << i;
   }
 }
 

@@ -1,0 +1,196 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace hirep::util {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("hello world"), "hello world");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(json_escape("tab\there"), "tab\\there");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonNumber, ShortestRoundTrip) {
+  EXPECT_EQ(json_number(42.0), "42");
+  EXPECT_EQ(json_number(0.5), "0.5");
+  EXPECT_EQ(json_number(-1.25), "-1.25");
+  // Deterministic: the same value always prints the same bytes.
+  EXPECT_EQ(json_number(0.1), json_number(0.1));
+}
+
+TEST(JsonWriter, EmptyObjectAndArray) {
+  JsonWriter w;
+  w.begin_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), "{}");
+
+  JsonWriter a;
+  a.begin_array();
+  a.end_array();
+  EXPECT_EQ(a.str(), "[]");
+}
+
+// Round-trip against a hand-written expected document: every value type,
+// nesting, indentation, and key order.
+TEST(JsonWriter, MatchesHandWrittenDocument) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name");
+  w.value("fig5");
+  w.key("count");
+  w.value(std::int64_t{3});
+  w.key("ratio");
+  w.value(0.5);
+  w.key("ok");
+  w.value(true);
+  w.key("missing");
+  w.null_value();
+  w.key("series");
+  w.begin_array();
+  w.value(std::int64_t{1});
+  w.value(std::int64_t{2});
+  w.end_array();
+  w.key("nested");
+  w.begin_object();
+  w.key("deep");
+  w.begin_array();
+  w.begin_object();
+  w.key("x");
+  w.value(std::uint64_t{7});
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  w.end_object();
+
+  const char* expected = R"({
+  "name": "fig5",
+  "count": 3,
+  "ratio": 0.5,
+  "ok": true,
+  "missing": null,
+  "series": [
+    1,
+    2
+  ],
+  "nested": {
+    "deep": [
+      {
+        "x": 7
+      }
+    ]
+  }
+})";
+  EXPECT_EQ(w.str(), expected);
+  std::string error;
+  EXPECT_TRUE(json_valid(w.str(), &error)) << error;
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(std::numeric_limits<double>::infinity());
+  w.end_array();
+  EXPECT_EQ(w.str(), "[\n  null,\n  null\n]");
+  EXPECT_TRUE(json_valid(w.str()));
+}
+
+TEST(JsonWriter, EscapesKeysAndStringValues) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("we\"ird");
+  w.value("line\nbreak");
+  w.end_object();
+  EXPECT_TRUE(json_valid(w.str()));
+  EXPECT_NE(w.str().find("we\\\"ird"), std::string::npos);
+}
+
+TEST(JsonWriter, MisuseThrows) {
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.value(1.0), std::logic_error);  // value without key
+  }
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.key("k"), std::logic_error);  // key inside array
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.end_array(), std::logic_error);  // mismatched close
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    w.key("k");
+    EXPECT_THROW(w.end_object(), std::logic_error);  // dangling key
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Validator
+// ---------------------------------------------------------------------------
+
+TEST(JsonValid, AcceptsAllValueTypes) {
+  EXPECT_TRUE(json_valid("null"));
+  EXPECT_TRUE(json_valid("true"));
+  EXPECT_TRUE(json_valid("false"));
+  EXPECT_TRUE(json_valid("0"));
+  EXPECT_TRUE(json_valid("-12.5e-3"));
+  EXPECT_TRUE(json_valid("\"str\""));
+  EXPECT_TRUE(json_valid("[1, [2, {\"a\": null}]]"));
+  EXPECT_TRUE(json_valid("  { \"k\" : [ ] }  "));
+  EXPECT_TRUE(json_valid("\"esc \\n \\u00ff\""));
+}
+
+TEST(JsonValid, RejectsMalformedDocuments) {
+  EXPECT_FALSE(json_valid(""));
+  EXPECT_FALSE(json_valid("{"));
+  EXPECT_FALSE(json_valid("}"));
+  EXPECT_FALSE(json_valid("[1,]"));
+  EXPECT_FALSE(json_valid("{\"a\":}"));
+  EXPECT_FALSE(json_valid("{\"a\" 1}"));
+  EXPECT_FALSE(json_valid("{'a': 1}"));
+  EXPECT_FALSE(json_valid("01"));
+  EXPECT_FALSE(json_valid("1."));
+  EXPECT_FALSE(json_valid("1e"));
+  EXPECT_FALSE(json_valid("+1"));
+  EXPECT_FALSE(json_valid("\"unterminated"));
+  EXPECT_FALSE(json_valid("\"bad \\q escape\""));
+  EXPECT_FALSE(json_valid("\"bad \\u12 escape\""));
+  EXPECT_FALSE(json_valid("nul"));
+  EXPECT_FALSE(json_valid("{} {}"));   // trailing value
+  EXPECT_FALSE(json_valid("[1] x"));   // trailing garbage
+  EXPECT_FALSE(json_valid("\"raw \n newline\""));
+}
+
+TEST(JsonValid, ReportsErrorWithOffset) {
+  std::string error;
+  EXPECT_FALSE(json_valid("[1,]", &error));
+  EXPECT_NE(error.find("byte"), std::string::npos);
+}
+
+TEST(JsonValid, DeepNestingIsBounded) {
+  std::string deep(300, '[');
+  deep += std::string(300, ']');
+  EXPECT_FALSE(json_valid(deep));  // beyond the 256-level guard
+  std::string ok(100, '[');
+  ok += "1";
+  ok += std::string(100, ']');
+  EXPECT_TRUE(json_valid(ok));
+}
+
+}  // namespace
+}  // namespace hirep::util
