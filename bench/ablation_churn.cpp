@@ -66,11 +66,12 @@ int main(int argc, char** argv) {
       argc, argv,
       "Ablation — backup agent cache under churn (accuracy + maintenance "
       "traffic)",
-      [](sim::Params& p, const util::Config& cfg) {
-        if (!cfg.has("network_size")) p.network_size = 400;
-        if (!cfg.has("transactions")) p.transactions = 300;
+      [](sim::Scenario& sc, const util::Config& cfg) {
+        if (!cfg.has("network_size")) sc.network_size(400);
+        if (!cfg.has("transactions")) sc.transactions(300);
       },
-      [](const sim::Params& params) -> sim::ExperimentResult {
+      [](const sim::Scenario& sc) -> sim::ExperimentResult {
+        const sim::Params& params = sc.params();
         util::Table table({"churn_rate", "mse_with_cache", "mse_no_cache",
                            "maint_msgs_with_cache", "maint_msgs_no_cache"});
         double maint_with = 0, maint_without = 0;

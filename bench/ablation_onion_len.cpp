@@ -14,10 +14,11 @@ int main(int argc, char** argv) {
   return bench::run_exhibit(
       argc, argv,
       "Ablation — onion relay count: anonymity vs traffic vs latency",
-      [](sim::Params& p, const util::Config& cfg) {
-        if (!cfg.has("network_size")) p.network_size = 500;
+      [](sim::Scenario& sc, const util::Config& cfg) {
+        if (!cfg.has("network_size")) sc.network_size(500);
       },
-      [](const sim::Params& params) -> sim::ExperimentResult {
+      [](const sim::Scenario& sc) -> sim::ExperimentResult {
+        const sim::Params& params = sc.params();
         util::Table table({"relays", "msgs_per_txn", "mean_response_ms",
                            "relay_compromise_probability"});
         std::vector<double> msgs, latency;

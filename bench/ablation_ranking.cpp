@@ -58,8 +58,9 @@ int main(int argc, char** argv) {
       argc, argv,
       "Ablation — ranking rule (max vs mean vs sum) under recommendation "
       "attacks",
-      [](sim::Params&, const util::Config&) {},
-      [](const sim::Params& params) -> sim::ExperimentResult {
+      [](sim::Scenario&, const util::Config&) {},
+      [](const sim::Scenario& sc) -> sim::ExperimentResult {
+        const sim::Params& params = sc.params();
         util::Table table({"hostile_lists", "max_rank_survival",
                            "mean_rank_survival", "sum_rank_survival"});
         double max_at_10 = 0, mean_at_10 = 0, sum_at_10 = 0;

@@ -12,10 +12,11 @@ int main(int argc, char** argv) {
   return bench::run_exhibit(
       argc, argv,
       "Ablation — discovery token budget vs selection quality",
-      [](sim::Params& p, const util::Config& cfg) {
-        if (!cfg.has("network_size")) p.network_size = 500;
+      [](sim::Scenario& sc, const util::Config& cfg) {
+        if (!cfg.has("network_size")) sc.network_size(500);
       },
-      [](const sim::Params& params) -> sim::ExperimentResult {
+      [](const sim::Scenario& sc) -> sim::ExperimentResult {
+        const sim::Params& params = sc.params();
         util::Table table({"tokens", "avg_list_fill", "honest_fraction",
                            "discovery_msgs_per_peer"});
         std::vector<double> fills, qualities;

@@ -69,11 +69,12 @@ int main(int argc, char** argv) {
       argc, argv,
       "Ablation — agent trust-computation model (average / ewma / beta) + "
       "EigenTrust comparator",
-      [](sim::Params& p, const util::Config& cfg) {
-        if (!cfg.has("network_size")) p.network_size = 400;
-        if (!cfg.has("transactions")) p.transactions = 400;
+      [](sim::Scenario& sc, const util::Config& cfg) {
+        if (!cfg.has("network_size")) sc.network_size(400);
+        if (!cfg.has("transactions")) sc.transactions(400);
       },
-      [](const sim::Params& params) -> sim::ExperimentResult {
+      [](const sim::Scenario& sc) -> sim::ExperimentResult {
+        const sim::Params& params = sc.params();
         util::Table table({"model", "mse"});
         std::vector<double> mses;
         for (const std::string model : {"average", "ewma", "beta"}) {

@@ -12,6 +12,6 @@ int main(int argc, char** argv) {
       argc, argv,
       "Analysis §4.1 — measured trust traffic per transaction vs closed "
       "form 3(o+1) per responder",
-      [](sim::Params&, const util::Config&) {},
-      sim::run_traffic_bound);
+      [](sim::Scenario&, const util::Config&) {},
+      [](const sim::Scenario& sc) { return sim::run_traffic_bound(sc.params()); });
 }

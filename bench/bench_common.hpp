@@ -2,6 +2,12 @@
 // figure-specific parameter defaults, uniform output, PASS/FAIL exit code,
 // and optional machine-readable output via json=<path> (hirep-bench-v1,
 // see sim/bench_json.hpp and EXPERIMENTS.md).
+//
+// Configuration flows through sim::Scenario: the declarative option table
+// drives parsing, whole-config validation, and the --help listing, so a
+// bench binary never hand-rolls a key lookup.  Keys the Scenario table
+// does not know (and the bench did not consume itself) are reported by
+// the unused-parameter scan.
 #pragma once
 
 #include <exception>
@@ -13,27 +19,30 @@
 #include "obs/metrics.hpp"
 #include "sim/bench_json.hpp"
 #include "sim/experiment.hpp"
-#include "sim/params.hpp"
+#include "sim/scenario.hpp"
 
 namespace hirep::bench {
 
-/// Runs one exhibit: parses overrides, applies `tune` for figure-specific
-/// defaults (only where the user did not override), executes, prints, and
-/// returns a process exit code (0 iff all qualitative claims held).
+/// Runs one exhibit: parses overrides into a validated sim::Scenario,
+/// applies `tune` for figure-specific defaults (only where the user did
+/// not override), executes, prints, and returns a process exit code
+/// (0 iff all qualitative claims held).  The scenario is re-validated
+/// after `tune` so figure defaults obey the same rules as CLI input.
 /// When json=<path> is supplied the exhibit table, claim checks, registry
 /// snapshot, and phase timings are also written there — before the exit
 /// code is computed, so the artifact exists even for failed claims.
-inline int run_exhibit(int argc, char** argv, const std::string& title,
-                       const std::function<void(sim::Params&, const util::Config&)>& tune,
-                       const std::function<sim::ExperimentResult(const sim::Params&)>& runner) {
+inline int run_exhibit(
+    int argc, char** argv, const std::string& title,
+    const std::function<void(sim::Scenario&, const util::Config&)>& tune,
+    const std::function<sim::ExperimentResult(const sim::Scenario&)>& runner) {
   try {
     const auto cfg = util::Config::from_args(argc, argv);
     if (cfg.help_requested()) {
       std::cout << title << "\nUsage: key=value overrides, e.g.\n"
                 << "  network_size=1000 transactions=200 seed=1 seeds=3 "
-                   "crypto=fast|full malicious_ratio=0.1 ...\n"
-                << "  json=out.json   write a hirep-bench-v1 document\n"
-                << "See sim/params.hpp for the full key list.\n";
+                   "crypto=fast malicious_ratio=0.1 ...\n"
+                << "  json=out.json   write a hirep-bench-v1 document\n\n"
+                << sim::Scenario::help_text();
       return 0;
     }
     // Consume json= up front so it never trips the unused-parameter scan.
@@ -41,14 +50,15 @@ inline int run_exhibit(int argc, char** argv, const std::string& title,
     std::optional<sim::ExperimentResult> result;
     {
       obs::ScopedTimer setup_and_run("bench");
-      auto params = [&] {
+      auto scenario = [&] {
         obs::ScopedTimer setup("setup");
-        auto p = sim::Params::from_config(cfg);
-        tune(p, cfg);
-        return p;
+        auto sc = sim::Scenario::from_config(cfg);
+        tune(sc, cfg);
+        sc.validate();
+        return sc;
       }();
       obs::ScopedTimer run("run");
-      result = runner(params);
+      result = runner(scenario);
     }
     sim::print_result(*result, title);
     if (!json_path.empty()) {

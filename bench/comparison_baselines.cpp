@@ -127,10 +127,11 @@ int main(int argc, char** argv) {
       argc, argv,
       "Comparison — hiREP vs pure voting vs TrustMe-style vs centralized "
       "RCA (same world, 10% attackers)",
-      [](sim::Params& p, const util::Config& cfg) {
-        if (!cfg.has("network_size")) p.network_size = 400;
+      [](sim::Scenario& sc, const util::Config& cfg) {
+        if (!cfg.has("network_size")) sc.network_size(400);
       },
-      [](const sim::Params& params) -> sim::ExperimentResult {
+      [](const sim::Scenario& sc) -> sim::ExperimentResult {
+        const sim::Params& params = sc.params();
         const Row hirep = run_hirep(params);
         const Row voting = run_voting(params);
         const Row trustme = run_trustme(params);

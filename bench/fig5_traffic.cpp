@@ -9,8 +9,8 @@ int main(int argc, char** argv) {
       argc, argv,
       "Figure 5 — Trust query traffic cost of hiREP vs pure voting "
       "(cumulative messages)",
-      [](sim::Params& p, const util::Config& cfg) {
-        if (!cfg.has("transactions")) p.transactions = 200;
+      [](sim::Scenario& sc, const util::Config& cfg) {
+        if (!cfg.has("transactions")) sc.transactions(200);
       },
-      sim::run_fig5_traffic);
+      [](const sim::Scenario& sc) { return sim::run_fig5_traffic(sc.params()); });
 }

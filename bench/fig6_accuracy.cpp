@@ -9,8 +9,8 @@ int main(int argc, char** argv) {
       argc, argv,
       "Figure 6 — Trust accuracy (MSE) vs transactions, voting vs "
       "hirep-4/6/8",
-      [](sim::Params& p, const util::Config& cfg) {
-        if (!cfg.has("transactions")) p.transactions = 500;
+      [](sim::Scenario& sc, const util::Config& cfg) {
+        if (!cfg.has("transactions")) sc.transactions(500);
       },
-      sim::run_fig6_accuracy);
+      [](const sim::Scenario& sc) { return sim::run_fig6_accuracy(sc.params()); });
 }

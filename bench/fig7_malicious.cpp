@@ -7,8 +7,8 @@ int main(int argc, char** argv) {
   return bench::run_exhibit(
       argc, argv,
       "Figure 7 — Trust accuracy (MSE) vs attacker ratio, hiREP vs voting",
-      [](sim::Params& p, const util::Config& cfg) {
-        if (!cfg.has("transactions")) p.transactions = 600;  // training run
+      [](sim::Scenario& sc, const util::Config& cfg) {
+        if (!cfg.has("transactions")) sc.transactions(600);  // training run
       },
-      sim::run_fig7_malicious);
+      [](const sim::Scenario& sc) { return sim::run_fig7_malicious(sc.params()); });
 }

@@ -10,8 +10,8 @@ int main(int argc, char** argv) {
   return bench::run_exhibit(
       argc, argv,
       "Figure 8 — Cumulative response time (ms), voting vs hirep-10/7/5",
-      [](sim::Params& p, const util::Config& cfg) {
-        if (!cfg.has("transactions")) p.transactions = 200;
+      [](sim::Scenario& sc, const util::Config& cfg) {
+        if (!cfg.has("transactions")) sc.transactions(200);
       },
-      [](const sim::Params& p) { return sim::run_fig8_response(p); });
+      [](const sim::Scenario& sc) { return sim::run_fig8_response(sc.params()); });
 }

@@ -3,7 +3,7 @@
 // partially garbled, see DESIGN.md).
 #include <iostream>
 
-#include "sim/params.hpp"
+#include "sim/scenario.hpp"
 #include "util/config.hpp"
 
 int main(int argc, char** argv) {
@@ -12,12 +12,13 @@ int main(int argc, char** argv) {
     const auto cfg = util::Config::from_args(argc, argv);
     if (cfg.help_requested()) {
       std::cout << "Prints Table 1 (simulation parameters). key=value "
-                   "overrides are reflected in the output.\n";
+                   "overrides are reflected in the output.\n\n"
+                << sim::Scenario::help_text();
       return 0;
     }
-    const auto params = sim::Params::from_config(cfg);
+    const auto scenario = sim::Scenario::from_config(cfg);
     std::cout << "== Table 1 — Simulation parameters ==\n\n";
-    params.table1().print(std::cout);
+    scenario.table1().print(std::cout);
     std::cout << "\n(stated) = value given in the paper text;  (inferred) = "
                  "reconstructed from prose/figures, overridable via "
                  "key=value.\n";

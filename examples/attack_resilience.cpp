@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "sim/attacks.hpp"
+#include "sim/scenario.hpp"
 #include "util/config.hpp"
 #include "util/stats.hpp"
 
@@ -14,12 +15,17 @@ int main(int argc, char** argv) {
   using namespace hirep;
   const auto cfg = util::Config::from_args(argc, argv);
 
-  core::HirepOptions options;
-  options.nodes = static_cast<std::size_t>(cfg.get_int("nodes", 96));
-  options.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 3));
-  options.rsa_bits = 128;
-  options.crypto = core::CryptoMode::kFull;
-  options.world.malicious_ratio = 0.15;
+  auto scenario = sim::Scenario()
+                      .network_size(static_cast<std::size_t>(
+                          cfg.get_int("nodes", 96)))
+                      .seed(static_cast<std::uint64_t>(cfg.get_int("seed", 3)))
+                      .crypto("full")
+                      .malicious_ratio(0.15);
+  scenario.params().requestor_pool = 0;
+  scenario.params().provider_pool = 0;
+  scenario.params().rsa_bits = 128;
+  scenario.validate();
+  const core::HirepOptions options = scenario.hirep_options();
   core::HirepSystem system(options);
 
   int failures = 0;

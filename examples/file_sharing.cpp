@@ -15,6 +15,7 @@
 
 #include "baselines/pure_voting.hpp"
 #include "gnutella/session.hpp"
+#include "sim/scenario.hpp"
 #include "util/config.hpp"
 #include "util/table.hpp"
 
@@ -112,11 +113,12 @@ Outcome run_with_voting(std::size_t nodes, std::size_t downloads,
 
 Outcome run_with_hirep(std::size_t nodes, std::size_t downloads,
                        std::uint64_t seed) {
-  core::HirepOptions options;
-  options.nodes = nodes;
-  options.seed = seed;
-  options.crypto = core::CryptoMode::kFast;
-  core::HirepSystem system(options);
+  auto scenario = sim::Scenario().network_size(nodes).seed(seed).crypto(
+      "fast");
+  scenario.params().requestor_pool = 0;
+  scenario.params().provider_pool = 0;
+  scenario.validate();
+  core::HirepSystem system(scenario.hirep_options());
 
   gnutella::SessionOptions session_options;
   session_options.catalog = catalog_params();

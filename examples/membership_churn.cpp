@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "hirep/system.hpp"
+#include "sim/scenario.hpp"
 #include "util/config.hpp"
 #include "util/stats.hpp"
 
@@ -15,12 +16,16 @@ int main(int argc, char** argv) {
   using namespace hirep;
   const auto cfg = util::Config::from_args(argc, argv);
 
-  core::HirepOptions options;
-  options.nodes = static_cast<std::size_t>(cfg.get_int("nodes", 200));
-  options.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 5));
-  options.rsa_bits = 64;
-  options.crypto = core::CryptoMode::kFast;
-  options.world.malicious_ratio = 0.15;
+  auto scenario = sim::Scenario()
+                      .network_size(static_cast<std::size_t>(
+                          cfg.get_int("nodes", 200)))
+                      .seed(static_cast<std::uint64_t>(cfg.get_int("seed", 5)))
+                      .crypto("fast")
+                      .malicious_ratio(0.15);
+  scenario.params().requestor_pool = 0;
+  scenario.params().provider_pool = 0;
+  scenario.validate();
+  const core::HirepOptions options = scenario.hirep_options();
   core::HirepSystem system(options);
   util::Rng churn(options.seed ^ 0xc0ffeeULL);
 

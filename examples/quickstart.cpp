@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "hirep/system.hpp"
+#include "sim/scenario.hpp"
 #include "util/config.hpp"
 #include "util/stats.hpp"
 
@@ -12,13 +13,21 @@ int main(int argc, char** argv) {
   using namespace hirep;
   const auto cfg = util::Config::from_args(argc, argv);
 
-  // 1. Configure the deployment.  Everything in HirepOptions has a
-  //    paper-faithful default; full crypto runs every onion layer for real.
-  core::HirepOptions options;
-  options.nodes = static_cast<std::size_t>(cfg.get_int("nodes", 300));
-  options.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
-  options.crypto = core::CryptoMode::kFull;
-  options.world.malicious_ratio = 0.10;  // Table 1: 10% poor evaluators
+  // 1. Configure the deployment through sim::Scenario — one validated
+  //    parameter set projected into the engine options; full crypto runs
+  //    every onion layer for real.
+  auto scenario = sim::Scenario()
+                      .network_size(static_cast<std::size_t>(
+                          cfg.get_int("nodes", 300)))
+                      .seed(static_cast<std::uint64_t>(cfg.get_int("seed", 1)))
+                      .crypto("full")
+                      .malicious_ratio(0.10);  // Table 1: 10% poor evaluators
+  // This demo drives its own workload; the figure-runner pools don't apply.
+  scenario.params().requestor_pool = 0;
+  scenario.params().provider_pool = 0;
+  scenario.params().rsa_bits = 128;
+  scenario.validate();
+  const core::HirepOptions options = scenario.hirep_options();
 
   std::cout << "Bootstrapping " << options.nodes
             << "-node overlay (power-law topology, RSA-" << options.rsa_bits

@@ -27,10 +27,14 @@ case "$profile" in
   quick)
     fig_params=(network_size=200 transactions=60 seed=7 seeds=1)
     micro_min_time=0.05
+    scale_fast_params=(network_size=10000 transactions=2000 crypto=fast seed=1)
+    scale_full_params=(network_size=2000 transactions=300 crypto=full seed=1)
     ;;
   full)
     fig_params=()
     micro_min_time=0.5
+    scale_fast_params=(network_size=100000 transactions=10000 crypto=fast seed=1)
+    scale_full_params=(network_size=10000 transactions=1000 crypto=full seed=1)
     ;;
   *)
     echo "bench.sh: unknown BENCH_PROFILE '$profile' (use: quick full)" >&2
@@ -54,10 +58,31 @@ for suite in "${micro_suites[@]}"; do
     --benchmark_out_format=json
 done
 
+# Scale engine: serial vs parallel batch execution, both crypto modes
+# (hirep-bench-v1 documents; exit 1 = a claim did not hold, still recorded).
+scale_runs=(micro_scale_fast micro_scale_full)
+for run in "${scale_runs[@]}"; do
+  case "$run" in
+    micro_scale_fast) params=("${scale_fast_params[@]}") ;;
+    micro_scale_full) params=("${scale_full_params[@]}") ;;
+  esac
+  echo "== bench.sh: micro_scale (${params[*]}) =="
+  rc=0
+  "$bench_dir/micro_scale" "${params[@]}" json="$tmp/$run.json" || rc=$?
+  if [[ $rc -ge 2 ]]; then
+    echo "bench.sh: micro_scale failed hard (exit $rc)" >&2
+    exit "$rc"
+  fi
+  if [[ ! -s "$tmp/$run.json" ]]; then
+    echo "bench.sh: micro_scale produced no JSON output" >&2
+    exit 2
+  fi
+done
+
 {
   printf '{\n  "schema": "hirep-bench-micro-v1",\n  "profile": "%s",\n  "suites": {\n' "$profile"
   first=1
-  for suite in "${micro_suites[@]}"; do
+  for suite in "${micro_suites[@]}" "${scale_runs[@]}"; do
     [[ $first -eq 0 ]] && printf ',\n'
     first=0
     printf '    "%s": ' "$suite"

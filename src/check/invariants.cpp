@@ -17,29 +17,23 @@ std::string number(double v) {
 
 bool MonotoneSequence::note(std::uint64_t issuer, std::uint64_t holder,
                             std::uint64_t sq, double tick) {
-  for (auto& s : states_) {
-    if (s.issuer != issuer || s.holder != holder) continue;
-    if (sq < s.last) {
-      report({invariant_,
-              "sq " + std::to_string(sq) + " < last " + std::to_string(s.last),
-              tick, issuer, holder});
-      return false;
-    }
-    s.last = sq;
-    return true;
+  std::lock_guard<std::mutex> lock(*mu_);
+  const auto [it, inserted] = last_.try_emplace(Key{issuer, holder}, sq);
+  if (inserted) return true;
+  if (sq < it->second) {
+    report({invariant_,
+            "sq " + std::to_string(sq) + " < last " +
+                std::to_string(it->second),
+            tick, issuer, holder});
+    return false;
   }
-  states_.emplace_back(issuer, holder, sq);
+  it->second = sq;
   return true;
 }
 
 void MonotoneSequence::forget(std::uint64_t issuer, std::uint64_t holder) {
-  for (std::size_t i = 0; i < states_.size(); ++i) {
-    if (states_[i].issuer == issuer && states_[i].holder == holder) {
-      states_[i] = states_.back();
-      states_.pop_back();
-      return;
-    }
-  }
+  std::lock_guard<std::mutex> lock(*mu_);
+  last_.erase(Key{issuer, holder});
 }
 
 bool unit_interval(const char* invariant, double value, std::uint64_t actor,

@@ -19,8 +19,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <utility>
-#include <vector>
 
 #include "check/check.hpp"
 
@@ -29,7 +31,10 @@ namespace hirep::check {
 /// Per-(issuer, holder) non-decreasing sequence tracking.  Instances are
 /// intentionally *not* global: identities can collide across independently
 /// seeded systems (determinism tests run identical worlds side by side), so
-/// each system owns its tracker.  Not thread-safe; one system == one thread.
+/// each system owns its tracker.  Storage is a hash map (O(1) at 100k
+/// pairs) behind an internal mutex so scale-engine lanes may note
+/// concurrently; the mutex lives behind a unique_ptr to keep instances
+/// movable (peers holding one live in vectors).
 class MonotoneSequence {
  public:
   explicit MonotoneSequence(std::string invariant)
@@ -45,13 +50,23 @@ class MonotoneSequence {
   void forget(std::uint64_t issuer, std::uint64_t holder);
 
  private:
-  struct State {
+  struct Key {
     std::uint64_t issuer;
     std::uint64_t holder;
-    std::uint64_t last;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      std::uint64_t x = k.issuer ^ (k.holder * 0x9e3779b97f4a7c15ULL);
+      x ^= x >> 30;
+      x *= 0xbf58476d1ce4e5b9ULL;
+      x ^= x >> 31;
+      return static_cast<std::size_t>(x);
+    }
   };
   std::string invariant_;
-  std::vector<State> states_;
+  std::unique_ptr<std::mutex> mu_ = std::make_unique<std::mutex>();
+  std::unordered_map<Key, std::uint64_t, KeyHash> last_;
 };
 
 /// True when value is finite and inside [0,1] (with eps slack for float

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "check/invariants.hpp"
+#include "crypto/verify_cache.hpp"
 #include "util/bytes.hpp"
 
 namespace hirep::crypto {
@@ -95,9 +96,9 @@ bool Identity::verify_rotation(const RsaPublicKey& old_key,
                                const RotationAnnouncement& ann) {
   // The announcement must (a) name the id derived from the old key and
   // (b) carry a valid old-key signature over the new key.
-  if (NodeId::of_key(old_key) != ann.old_id) return false;
-  return rsa_verify(old_key, ann.new_signature_public.serialize(),
-                    ann.signature);
+  if (node_id_of_cached(old_key) != ann.old_id) return false;
+  return verify_cached(old_key, ann.new_signature_public.serialize(),
+                       ann.signature);
 }
 
 }  // namespace hirep::crypto

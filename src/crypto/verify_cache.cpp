@@ -1,0 +1,174 @@
+#include "crypto/verify_cache.hpp"
+
+#include <cstring>
+
+#include "crypto/sha256.hpp"
+#include "obs/metrics.hpp"
+
+namespace hirep::crypto {
+
+namespace {
+
+void obs_count(const char* name) {
+  if constexpr (obs::kEnabled) {
+    obs::Registry::global().counter(name).add();
+  }
+}
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) noexcept {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0xbf58476d1ce4e5b9ULL;
+  return h ^ (h >> 31);
+}
+
+std::uint64_t mix_bigint(std::uint64_t h, const BigInt& x) noexcept {
+  h = mix(h, x.bit_length());
+  for (const std::uint32_t limb : x.limbs()) h = mix(h, limb);
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t key_fingerprint(const RsaPublicKey& key) noexcept {
+  std::uint64_t h = 0x243f6a8885a308d3ULL;
+  h = mix_bigint(h, key.n);
+  h = mix_bigint(h, key.e);
+  return h;
+}
+
+std::size_t VerifyCache::DigestHash::operator()(const Digest& d) const noexcept {
+  std::uint64_t x;  // the digest is already uniform — any 8 bytes will do
+  std::memcpy(&x, d.data(), sizeof(x));
+  return static_cast<std::size_t>(x);
+}
+
+VerifyCache::VerifyCache(std::size_t capacity)
+    : shard_capacity_(capacity / kShards > 0 ? capacity / kShards : 1) {}
+
+VerifyCache& VerifyCache::global() {
+  static VerifyCache cache;
+  return cache;
+}
+
+bool VerifyCache::verify(const RsaPublicKey& key,
+                         std::span<const std::uint8_t> data,
+                         std::span<const std::uint8_t> signature) {
+  Sha256 h;
+  const auto frame = [&h](std::span<const std::uint8_t> bytes) {
+    std::array<std::uint8_t, 8> len{};
+    std::uint64_t n = bytes.size();
+    for (auto& b : len) {
+      b = static_cast<std::uint8_t>(n);
+      n >>= 8;
+    }
+    h.update(len);
+    h.update(bytes);
+  };
+  frame(key.serialize());
+  frame(data);
+  frame(signature);
+  const Digest digest = h.finish();
+
+  VerifyShard& shard = verify_shards_[digest[0] & (kShards - 1)];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.map.find(digest);
+    if (it != shard.map.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      verify_hits_.fetch_add(1, std::memory_order_relaxed);
+      obs_count("crypto.verify_cache.hits");
+      return true;  // only successful verifications are ever inserted
+    }
+  }
+  verify_misses_.fetch_add(1, std::memory_order_relaxed);
+  obs_count("crypto.verify_cache.misses");
+
+  const bool ok = rsa_verify(key, data, signature);
+  if (!ok) return false;  // forged: never cached
+
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.map.find(digest) != shard.map.end()) return true;  // raced in
+  shard.lru.push_front(digest);
+  shard.map.emplace(digest, shard.lru.begin());
+  if (shard.map.size() > shard_capacity_) {
+    shard.map.erase(shard.lru.back());
+    shard.lru.pop_back();
+  }
+  return true;
+}
+
+NodeId VerifyCache::node_id_of(const RsaPublicKey& key) {
+  const std::uint64_t fp = key_fingerprint(key);
+  BindShard& shard = bind_shards_[fp & (kShards - 1)];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.map.find(fp);
+    if (it != shard.map.end()) {
+      for (const BindEntry& entry : it->second.first) {
+        if (entry.key == key) {
+          shard.lru.splice(shard.lru.begin(), shard.lru, it->second.second);
+          binding_hits_.fetch_add(1, std::memory_order_relaxed);
+          obs_count("crypto.binding_cache.hits");
+          return entry.id;
+        }
+      }
+    }
+  }
+  binding_misses_.fetch_add(1, std::memory_order_relaxed);
+  obs_count("crypto.binding_cache.misses");
+
+  const NodeId id = NodeId::of_key(key);
+
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(fp);
+  if (it == shard.map.end()) {
+    shard.lru.push_front(fp);
+    it = shard.map.emplace(fp, std::make_pair(std::vector<BindEntry>{},
+                                              shard.lru.begin()))
+             .first;
+    if (shard.map.size() > shard_capacity_) {
+      shard.map.erase(shard.lru.back());
+      shard.lru.pop_back();
+    }
+  }
+  for (const BindEntry& entry : it->second.first) {
+    if (entry.key == key) return entry.id;  // raced in
+  }
+  it->second.first.push_back(BindEntry{key, id});
+  return id;
+}
+
+VerifyCache::Stats VerifyCache::stats() const noexcept {
+  return {verify_hits_.load(std::memory_order_relaxed),
+          verify_misses_.load(std::memory_order_relaxed),
+          binding_hits_.load(std::memory_order_relaxed),
+          binding_misses_.load(std::memory_order_relaxed)};
+}
+
+void VerifyCache::clear() {
+  for (auto& shard : verify_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+    shard.lru.clear();
+  }
+  for (auto& shard : bind_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+    shard.lru.clear();
+  }
+  verify_hits_.store(0, std::memory_order_relaxed);
+  verify_misses_.store(0, std::memory_order_relaxed);
+  binding_hits_.store(0, std::memory_order_relaxed);
+  binding_misses_.store(0, std::memory_order_relaxed);
+}
+
+bool verify_cached(const RsaPublicKey& key, std::span<const std::uint8_t> data,
+                   std::span<const std::uint8_t> signature) {
+  return VerifyCache::global().verify(key, data, signature);
+}
+
+NodeId node_id_of_cached(const RsaPublicKey& key) {
+  return VerifyCache::global().node_id_of(key);
+}
+
+}  // namespace hirep::crypto

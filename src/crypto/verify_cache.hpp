@@ -1,0 +1,114 @@
+// Signature-verification memoization (scale engine, DESIGN.md §9).
+//
+// rsa_verify is deterministic — the same (key, data, signature) triple
+// always yields the same verdict — so repeated verifications of the same
+// onion or report (every holder re-verifies, every refresh re-verifies)
+// can be answered from a cache.  Two memo tables live here:
+//
+//   * verify:  keyed by SHA-256 over the length-framed triple
+//              serialize(key) || data || signature.  Only *successful*
+//              verifications are inserted; a forged signature therefore
+//              never enters the cache and is re-checked (and re-rejected)
+//              every time, so a later legitimate triple with the same
+//              (key, data) cannot be shadowed and cache poisoning is
+//              impossible without a SHA-256 collision.
+//   * binding: nodeId = SHA-1(serialize(SP)) memoized per public key,
+//              keyed by a cheap limb-mix fingerprint with a full key
+//              compare inside the bucket (fingerprint collisions are
+//              handled, not assumed away).
+//
+// Both tables are sharded (mutex + LRU per shard) so scale-engine lanes
+// hit distinct locks; hit/miss counts are mirrored to the obs registry as
+// crypto.verify_cache.* / crypto.binding_cache.*.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/identity.hpp"
+#include "crypto/rsa.hpp"
+
+namespace hirep::crypto {
+
+/// Cheap 64-bit fingerprint of a public key (limb mix over n and e; no
+/// allocation).  Not collision-free — callers must confirm with a full
+/// key compare before trusting a fingerprint match.
+std::uint64_t key_fingerprint(const RsaPublicKey& key) noexcept;
+
+class VerifyCache {
+ public:
+  /// `capacity` bounds each table's total entry count (split over shards).
+  explicit VerifyCache(std::size_t capacity = 1 << 16);
+
+  /// Drop-in for rsa_verify with memoization of successful verdicts.
+  bool verify(const RsaPublicKey& key, std::span<const std::uint8_t> data,
+              std::span<const std::uint8_t> signature);
+
+  /// Drop-in for NodeId::of_key with per-key memoization.
+  NodeId node_id_of(const RsaPublicKey& key);
+
+  struct Stats {
+    std::uint64_t verify_hits = 0;
+    std::uint64_t verify_misses = 0;
+    std::uint64_t binding_hits = 0;
+    std::uint64_t binding_misses = 0;
+  };
+  Stats stats() const noexcept;
+
+  /// Empties both tables and zeroes the stats (tests; not used on hot
+  /// paths).
+  void clear();
+
+  /// Process-wide instance used by the convenience wrappers below.
+  static VerifyCache& global();
+
+ private:
+  static constexpr std::size_t kShards = 8;  // power of two
+
+  using Digest = std::array<std::uint8_t, 32>;
+  struct DigestHash {
+    std::size_t operator()(const Digest& d) const noexcept;
+  };
+
+  struct VerifyShard {
+    std::mutex mu;
+    std::list<Digest> lru;  // front = most recent
+    std::unordered_map<Digest, std::list<Digest>::iterator, DigestHash> map;
+  };
+
+  struct BindEntry {
+    RsaPublicKey key;
+    NodeId id;
+  };
+  struct BindShard {
+    std::mutex mu;
+    std::list<std::uint64_t> lru;  // fingerprints, front = most recent
+    std::unordered_map<std::uint64_t,
+                       std::pair<std::vector<BindEntry>,
+                                 std::list<std::uint64_t>::iterator>>
+        map;
+  };
+
+  std::size_t shard_capacity_;
+  std::array<VerifyShard, kShards> verify_shards_;
+  std::array<BindShard, kShards> bind_shards_;
+  std::atomic<std::uint64_t> verify_hits_{0};
+  std::atomic<std::uint64_t> verify_misses_{0};
+  std::atomic<std::uint64_t> binding_hits_{0};
+  std::atomic<std::uint64_t> binding_misses_{0};
+};
+
+/// rsa_verify through the process-global VerifyCache.
+bool verify_cached(const RsaPublicKey& key, std::span<const std::uint8_t> data,
+                   std::span<const std::uint8_t> signature);
+
+/// NodeId::of_key through the process-global VerifyCache.
+NodeId node_id_of_cached(const RsaPublicKey& key);
+
+}  // namespace hirep::crypto

@@ -1,5 +1,7 @@
 #include "hirep/agent.hpp"
 
+#include "crypto/verify_cache.hpp"
+
 namespace hirep::core {
 
 ReputationAgent::ReputationAgent(const crypto::Identity* identity,
@@ -17,7 +19,7 @@ bool ReputationAgent::register_key(const crypto::NodeId& id,
                                    const crypto::RsaPublicKey& sp) {
   // Self-certifying check: the id must be the hash of the key.  This is
   // what forecloses man-in-the-middle key substitution (§3.3).
-  if (crypto::NodeId::of_key(sp) != id) return false;
+  if (crypto::node_id_of_cached(sp) != id) return false;
   key_list_.emplace(id, sp);
   return true;
 }
@@ -32,7 +34,7 @@ bool ReputationAgent::migrate_key(
     return false;
   }
   const crypto::NodeId new_id =
-      crypto::NodeId::of_key(announcement.new_signature_public);
+      crypto::node_id_of_cached(announcement.new_signature_public);
   key_list_.erase(it);
   key_list_.emplace(new_id, announcement.new_signature_public);
   // Accumulated evidence about the subject follows the identity.

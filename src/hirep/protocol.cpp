@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "check/invariants.hpp"
+#include "crypto/verify_cache.hpp"
 
 namespace hirep::core {
 
@@ -182,7 +183,7 @@ TransactionReport build_report(const crypto::Identity& reporter,
 
 std::optional<OpenedReport> verify_report(const crypto::RsaPublicKey& reporter_sp,
                                           const TransactionReport& report) {
-  if (!crypto::rsa_verify(reporter_sp, report.body, report.signature)) {
+  if (!crypto::verify_cached(reporter_sp, report.body, report.signature)) {
     return std::nullopt;
   }
   if constexpr (check::kEnabled) {
@@ -190,7 +191,7 @@ std::optional<OpenedReport> verify_report(const crypto::RsaPublicKey& reporter_s
     // self-certifying invariant requires the key it verified under to hash
     // to the reporter id the message claims (§3.3).
     check::binding("protocol.report.binding",
-                   crypto::NodeId::of_key(reporter_sp) == report.reporter,
+                   crypto::node_id_of_cached(reporter_sp) == report.reporter,
                    crypto::NodeIdHash{}(report.reporter));
   }
   try {

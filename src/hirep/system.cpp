@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "check/invariants.hpp"
+#include "crypto/verify_cache.hpp"
 #include "obs/metrics.hpp"
 #include "util/log.hpp"
 
@@ -26,6 +27,44 @@ ListParams list_params_from(const HirepOptions& o) {
   return lp;
 }
 
+/// Whether an envelope type lands in one of the buckets
+/// trust_message_total() sums (kOnionRelay is never produced by the
+/// transport, so the three request/response/report kinds are exhaustive).
+bool trust_counted(net::EnvelopeType type) noexcept {
+  switch (net::kind_of(type)) {
+    case net::MessageKind::kTrustRequest:
+    case net::MessageKind::kTrustResponse:
+    case net::MessageKind::kReport:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Stream salts for the scale engine: transaction streams and deferred
+// maintenance draw from disjoint (seed, salt) families.
+constexpr std::uint64_t kTxnStreamSalt = 0x5ca1ab1e0ddba11dULL;
+constexpr std::uint64_t kMaintenanceSalt = 0xdecafbadf00dfeedULL;
+constexpr std::uint64_t kLaneSeedSalt = 0x1a5e5eedULL;
+
+using IdMap = std::vector<std::pair<crypto::NodeId, net::NodeIndex>>;
+
+IdMap::iterator id_lower_bound(IdMap& m, const crypto::NodeId& id) {
+  return std::lower_bound(
+      m.begin(), m.end(), id,
+      [](const IdMap::value_type& e, const crypto::NodeId& k) {
+        return e.first < k;
+      });
+}
+
+IdMap::const_iterator id_lower_bound(const IdMap& m, const crypto::NodeId& id) {
+  return std::lower_bound(
+      m.begin(), m.end(), id,
+      [](const IdMap::value_type& e, const crypto::NodeId& k) {
+        return e.first < k;
+      });
+}
+
 }  // namespace
 
 HirepSystem::HirepSystem(HirepOptions options)
@@ -41,11 +80,16 @@ HirepSystem::HirepSystem(HirepOptions options)
   if (options_.nodes < 8) throw std::invalid_argument("need >= 8 nodes");
 
   // Identities: two RSA key pairs per node; nodeId = SHA1(SP).
+  id_to_ip_.reserve(options_.nodes);
   for (std::size_t v = 0; v < options_.nodes; ++v) {
     identities_.push_back(crypto::Identity::generate(rng_, options_.rsa_bits));
-    id_to_ip_.emplace(identities_.back().node_id(),
-                      static_cast<net::NodeIndex>(v));
+    id_to_ip_.emplace_back(identities_.back().node_id(),
+                           static_cast<net::NodeIndex>(v));
   }
+  std::sort(id_to_ip_.begin(), id_to_ip_.end(),
+            [](const IdMap::value_type& a, const IdMap::value_type& b) {
+              return a.first < b.first;
+            });
 
   // Peers, each with its verified onion relays.
   const ListParams lp = list_params_from(options_);
@@ -57,14 +101,9 @@ HirepSystem::HirepSystem(HirepOptions options)
   }
 
   // Agent community: every bandwidth-qualified node claims agent-hood.
-  const auto model = trust::model_factory_by_name(options_.agent_model);
+  agent_runtimes_.resize(options_.nodes);
   for (net::NodeIndex v : truth_.agent_capable_nodes()) {
-    AgentRuntime rt;
-    rt.agent = std::make_unique<ReputationAgent>(&identities_[v], v, &truth_,
-                                                 model,
-                                                 options_.min_reports_for_model);
-    rt.relays = peers_[v].relays();  // agents reuse their verified relays
-    agents_.emplace(v, std::move(rt));
+    make_agent(v, &identities_[v]);
   }
 
   // Community formation: each peer discovers its trusted agents.  Peers
@@ -78,33 +117,45 @@ HirepSystem::HirepSystem(HirepOptions options)
   for (net::NodeIndex v : order) discover_agents(v);
 }
 
+void HirepSystem::make_agent(net::NodeIndex v,
+                             const crypto::Identity* identity) {
+  AgentRuntime& rt = agent_runtimes_[v];
+  rt.agent = std::make_unique<ReputationAgent>(
+      identity, v, &truth_, trust::model_factory_by_name(options_.agent_model),
+      options_.min_reports_for_model);
+  rt.relays = peers_[v].relays();  // agents reuse their verified relays
+  rt.mu = std::make_unique<std::mutex>();
+  ++agent_count_;
+}
+
 ReputationAgent* HirepSystem::agent_at(net::NodeIndex v) {
-  const auto it = agents_.find(v);
-  return it == agents_.end() ? nullptr : it->second.agent.get();
+  if (v >= agent_runtimes_.size()) return nullptr;
+  return agent_runtimes_[v].agent.get();
 }
 
 std::optional<net::NodeIndex> HirepSystem::ip_of(const crypto::NodeId& id) const {
-  const auto it = id_to_ip_.find(id);
-  if (it == id_to_ip_.end()) return std::nullopt;
+  const auto it = id_lower_bound(id_to_ip_, id);
+  if (it == id_to_ip_.end() || !(it->first == id)) return std::nullopt;
   return it->second;
 }
 
 bool HirepSystem::agent_online(net::NodeIndex v) const {
-  const auto it = agents_.find(v);
-  return it != agents_.end() && it->second.online;
+  return v < agent_runtimes_.size() && agent_runtimes_[v].agent != nullptr &&
+         agent_runtimes_[v].online;
 }
 
 void HirepSystem::set_agent_online(net::NodeIndex v, bool online) {
-  const auto it = agents_.find(v);
-  if (it == agents_.end()) throw std::invalid_argument("node is not an agent");
-  it->second.online = online;
+  if (v >= agent_runtimes_.size() || agent_runtimes_[v].agent == nullptr) {
+    throw std::invalid_argument("node is not an agent");
+  }
+  agent_runtimes_[v].online = online;
 }
 
 HirepSystem::AgentRuntime* HirepSystem::runtime_of(const crypto::NodeId& id) {
   const auto ip = ip_of(id);
-  if (!ip) return nullptr;
-  const auto it = agents_.find(*ip);
-  return it == agents_.end() ? nullptr : &it->second;
+  if (!ip || *ip >= agent_runtimes_.size()) return nullptr;
+  AgentRuntime& rt = agent_runtimes_[*ip];
+  return rt.agent == nullptr ? nullptr : &rt;
 }
 
 std::vector<net::NodeIndex> HirepSystem::path_of(
@@ -153,13 +204,21 @@ std::vector<onion::RelayInfo> HirepSystem::pick_and_verify_relays(
   return relays;
 }
 
-onion::Onion HirepSystem::issue_agent_onion(net::NodeIndex agent_ip,
+onion::Onion HirepSystem::issue_agent_onion(TxnCtx& ctx,
+                                            net::NodeIndex agent_ip,
                                             AgentRuntime& rt) {
-  const std::uint64_t sq = rt.sq++;
-  router_.note_issued(identities_[agent_ip].node_id(), sq);
+  std::uint64_t sq;
+  if (ctx.reserved_sqs != nullptr &&
+      ctx.reserved_cursor < ctx.reserved_sqs->size()) {
+    // Reserved serially at wave formation; note_issued already ran there.
+    sq = (*ctx.reserved_sqs)[ctx.reserved_cursor++];
+  } else {
+    sq = rt.sq++;
+    router_.note_issued(identities_[agent_ip].node_id(), sq);
+  }
   if (options_.crypto == CryptoMode::kFull) {
-    return onion::build_onion(rng_, identities_[agent_ip], agent_ip, rt.relays,
-                              sq);
+    return onion::build_onion(*ctx.rng, identities_[agent_ip], agent_ip,
+                              rt.relays, sq);
   }
   onion::Onion onion;
   onion.entry = rt.relays.empty() ? agent_ip : rt.relays.back().ip;
@@ -169,27 +228,34 @@ onion::Onion HirepSystem::issue_agent_onion(net::NodeIndex agent_ip,
   return onion;
 }
 
-AgentEntry HirepSystem::self_entry(net::NodeIndex agent_ip, AgentRuntime& rt) {
+AgentEntry HirepSystem::self_entry(TxnCtx& ctx, net::NodeIndex agent_ip,
+                                   AgentRuntime& rt) {
   AgentEntry entry;
   entry.weight = 1.0;
   entry.agent_id = identities_[agent_ip].node_id();
   entry.agent_key = identities_[agent_ip].signature_public();
-  entry.onion = issue_agent_onion(agent_ip, rt);
+  entry.onion = issue_agent_onion(ctx, agent_ip, rt);
   entry.relay_path = path_of(rt.relays, agent_ip);
   return entry;
 }
 
-std::vector<AgentEntry> HirepSystem::shareable_list(net::NodeIndex v) {
+std::vector<AgentEntry> HirepSystem::shareable_list(TxnCtx& ctx,
+                                                    net::NodeIndex v) {
   const auto& list = peers_.at(v).agents();
   if (!list.empty()) return list.entries();
-  const auto it = agents_.find(v);
-  if (it != agents_.end() && it->second.online) {
-    return {self_entry(v, it->second)};
+  if (v < agent_runtimes_.size() && agent_runtimes_[v].agent != nullptr &&
+      agent_runtimes_[v].online) {
+    return {self_entry(ctx, v, agent_runtimes_[v])};
   }
   return {};
 }
 
-std::size_t HirepSystem::discover_agents(net::NodeIndex peer_ip) {
+std::vector<AgentEntry> HirepSystem::shareable_list(net::NodeIndex v) {
+  TxnCtx ctx = legacy_ctx();
+  return shareable_list(ctx, v);
+}
+
+std::size_t HirepSystem::discover_agents(TxnCtx& ctx, net::NodeIndex peer_ip) {
   Peer& p = peers_.at(peer_ip);
   if (p.agents().full()) return 0;
   if constexpr (obs::kEnabled) {
@@ -199,10 +265,11 @@ std::size_t HirepSystem::discover_agents(net::NodeIndex peer_ip) {
   }
 
   const auto lists = collect_agent_lists(
-      transport_, rng_, peer_ip, options_.discovery_tokens,
+      *ctx.transport, *ctx.rng, peer_ip, options_.discovery_tokens,
       options_.discovery_ttl,
-      [this, peer_ip](net::NodeIndex v) {
-        return v == peer_ip ? std::vector<AgentEntry>{} : shareable_list(v);
+      [this, &ctx, peer_ip](net::NodeIndex v) {
+        return v == peer_ip ? std::vector<AgentEntry>{}
+                            : shareable_list(ctx, v);
       });
 
   std::vector<std::vector<AgentEntry>> raw;
@@ -210,12 +277,13 @@ std::size_t HirepSystem::discover_agents(net::NodeIndex peer_ip) {
   for (const auto& l : lists) raw.push_back(l.entries);
 
   std::size_t added = 0;
-  for (AgentEntry& e : rank_and_select(raw, p.agents().params().capacity, rng_)) {
+  for (AgentEntry& e :
+       rank_and_select(raw, p.agents().params().capacity, *ctx.rng)) {
     if (p.agents().full()) break;
     // A peer does not pick itself, and re-verification of the nodeId/key
     // binding rejects forged recommendations.
     if (e.agent_id == p.node_id()) continue;
-    if (crypto::NodeId::of_key(e.agent_key) != e.agent_id) continue;
+    if (crypto::node_id_of_cached(e.agent_key) != e.agent_id) continue;
     if (p.agents().add(std::move(e))) ++added;
   }
   if constexpr (obs::kEnabled) {
@@ -226,7 +294,12 @@ std::size_t HirepSystem::discover_agents(net::NodeIndex peer_ip) {
   return added;
 }
 
-void HirepSystem::refill(net::NodeIndex peer_ip) {
+std::size_t HirepSystem::discover_agents(net::NodeIndex peer_ip) {
+  TxnCtx ctx = legacy_ctx();
+  return discover_agents(ctx, peer_ip);
+}
+
+void HirepSystem::refill(TxnCtx& ctx, net::NodeIndex peer_ip) {
   Peer& p = peers_.at(peer_ip);
   // Probe the backup cache, most recent first (§3.4.3).
   while (!p.agents().full()) {
@@ -235,14 +308,19 @@ void HirepSystem::refill(net::NodeIndex peer_ip) {
     const auto probe_ip = ip_of(backup->agent_id);
     if (!probe_ip) continue;
     const auto probed =
-        transport_.send(net::EnvelopeType::kProbe, peer_ip, {*probe_ip});
+        ctx.transport->send(net::EnvelopeType::kProbe, peer_ip, {*probe_ip});
     if (!probed.delivered) continue;  // probe lost: treated as offline
     const auto* rt = runtime_of(backup->agent_id);
     if (rt != nullptr && rt->online) {
       p.agents().add(std::move(*backup));
     }
   }
-  if (p.agents().needs_refill()) discover_agents(peer_ip);
+  if (p.agents().needs_refill()) discover_agents(ctx, peer_ip);
+}
+
+void HirepSystem::refill(net::NodeIndex peer_ip) {
+  TxnCtx ctx = legacy_ctx();
+  refill(ctx, peer_ip);
 }
 
 net::NodeIndex HirepSystem::join_peer() {
@@ -264,19 +342,15 @@ net::NodeIndex HirepSystem::join_peer() {
   const auto truth_index = truth_.add_node(rng_);
   (void)truth_index;  // same index by construction
   identities_.push_back(crypto::Identity::generate(rng_, options_.rsa_bits));
-  id_to_ip_.emplace(identities_.back().node_id(), v);
+  id_to_ip_.insert(id_lower_bound(id_to_ip_, identities_.back().node_id()),
+                   {identities_.back().node_id(), v});
 
   // Peer state: verified relays, then trusted-agent discovery (§3.4.1).
   peers_.emplace_back(&identities_.back(), v, list_params_from(options_));
   peers_.back().set_relays(pick_and_verify_relays(v));
+  agent_runtimes_.resize(peers_.size());
   if (truth_.agent_capable(v)) {
-    AgentRuntime rt;
-    rt.agent = std::make_unique<ReputationAgent>(
-        &identities_.back(), v, &truth_,
-        trust::model_factory_by_name(options_.agent_model),
-        options_.min_reports_for_model);
-    rt.relays = peers_.back().relays();
-    agents_.emplace(v, std::move(rt));
+    make_agent(v, &identities_.back());
   }
   discover_agents(v);
   return v;
@@ -289,12 +363,17 @@ crypto::NodeId HirepSystem::rotate_peer_key(net::NodeIndex v) {
       identity.rotate_signature_key(rng_, options_.rsa_bits);
 
   // Simulation-side reverse mapping follows the identity.
-  id_to_ip_.erase(old_id);
-  id_to_ip_.emplace(identity.node_id(), v);
+  {
+    const auto it = id_lower_bound(id_to_ip_, old_id);
+    if (it != id_to_ip_.end() && it->first == old_id) id_to_ip_.erase(it);
+  }
+  id_to_ip_.insert(id_lower_bound(id_to_ip_, identity.node_id()),
+                   {identity.node_id(), v});
 
   // "New public keys signed by current private key can be sent out using
   // the most recently received onions" (§3.5): the announcement travels to
   // every trusted agent over the freshest Onion_e the peer holds.
+  TxnCtx ctx = legacy_ctx();
   Peer& p = peers_.at(v);
   const util::Bytes wire = announcement.serialize();
   for (auto& entry : p.agents().entries()) {
@@ -307,8 +386,8 @@ crypto::NodeId HirepSystem::rotate_peer_key(net::NodeIndex v) {
       rt->agent->migrate_key(old_id, announcement);
       continue;
     }
-    const auto routed =
-        route_envelope(v, entry.onion, wire, net::EnvelopeType::kKeyRotation);
+    const auto routed = route_envelope(ctx, v, entry.onion, wire,
+                                       net::EnvelopeType::kKeyRotation);
     if (!routed.delivered) continue;
     const auto parsed =
         crypto::Identity::RotationAnnouncement::deserialize(routed.payload);
@@ -319,12 +398,13 @@ crypto::NodeId HirepSystem::rotate_peer_key(net::NodeIndex v) {
 }
 
 HirepSystem::RoutedEnvelope HirepSystem::route_envelope(
-    net::NodeIndex sender, const onion::Onion& onion, util::Bytes wire,
-    net::EnvelopeType type) {
+    TxnCtx& ctx, net::NodeIndex sender, const onion::Onion& onion,
+    util::Bytes wire, net::EnvelopeType type) {
   RoutedEnvelope result;
   const auto path = router_.peel_path(onion);
   if (!path) return result;  // bad signature / stale sq / corrupt layer
-  auto receipt = transport_.send(type, sender, *path, std::move(wire));
+  auto receipt = ctx.transport->send(type, sender, *path, std::move(wire));
+  if (trust_counted(type)) ctx.trust_messages += receipt.messages;
   result.delivered = receipt.delivered;
   result.destination = receipt.destination;
   result.payload = std::move(receipt.payload);
@@ -332,31 +412,39 @@ HirepSystem::RoutedEnvelope HirepSystem::route_envelope(
 }
 
 std::optional<double> HirepSystem::exchange_with_agent(
-    Peer& requestor, AgentEntry& entry, net::NodeIndex subject_ip,
+    TxnCtx& ctx, Peer& requestor, AgentEntry& entry, net::NodeIndex subject_ip,
     const crypto::NodeId& subject_id) {
   AgentRuntime* rt = runtime_of(entry.agent_id);
   if (rt == nullptr || !rt->online) return std::nullopt;
   const auto agent_ip = *ip_of(entry.agent_id);
-  const std::uint64_t nonce = rng_();
+  const std::uint64_t nonce = (*ctx.rng)();
 
   if (options_.crypto == CryptoMode::kFast) {
     // Identical message counts, protocol work elided.  A lost request means
     // the agent never hears the question; a lost response means the agent
     // answered but the requestor treats it as unreachable (§3.4.3).
-    const auto to_agent = transport_.send(net::EnvelopeType::kTrustRequest,
-                                          requestor.ip(), entry.relay_path);
+    const auto to_agent = ctx.transport->send(net::EnvelopeType::kTrustRequest,
+                                              requestor.ip(), entry.relay_path);
+    ctx.trust_messages += to_agent.messages;
     if (!to_agent.delivered) return std::nullopt;
-    rt->agent->register_key(requestor.node_id(),
-                            requestor.identity().signature_public());
-    const double value = rt->agent->trust_value(subject_id, subject_ip, rng_);
+    double value;
+    {
+      // Agents may be shared between transactions of one wave; requestors
+      // are not.  All agent-side state transitions commute (see DESIGN §9).
+      std::lock_guard<std::mutex> lock(*rt->mu);
+      rt->agent->register_key(requestor.node_id(),
+                              requestor.identity().signature_public());
+      value = rt->agent->trust_value(subject_id, subject_ip, *ctx.rng);
+    }
     if constexpr (obs::kEnabled) {
       static obs::Counter& votes =
           obs::Registry::global().counter("hirep.trust.votes_sent");
       votes.add();  // the agent answered, even if the response is then lost
     }
-    onion::Onion fresh = issue_agent_onion(agent_ip, *rt);
-    const auto to_peer = transport_.send(net::EnvelopeType::kTrustResponse,
-                                         agent_ip, requestor.relay_path());
+    onion::Onion fresh = issue_agent_onion(ctx, agent_ip, *rt);
+    const auto to_peer = ctx.transport->send(net::EnvelopeType::kTrustResponse,
+                                             agent_ip, requestor.relay_path());
+    ctx.trust_messages += to_peer.messages;
     if (!to_peer.delivered) return std::nullopt;
     if constexpr (check::kEnabled) {
       // Holder-side §3.3 invariant: within an entry's lifetime, the onion a
@@ -375,12 +463,12 @@ std::optional<double> HirepSystem::exchange_with_agent(
   }
 
   // --- full crypto path ---
-  auto onion_p = requestor.issue_onion(rng_);
+  auto onion_p = requestor.issue_onion(*ctx.rng);
   const TrustValueRequest request = build_trust_request(
-      rng_, entry.agent_key, requestor.identity(), subject_id, nonce,
+      *ctx.rng, entry.agent_key, requestor.identity(), subject_id, nonce,
       std::move(onion_p));
   const auto to_agent =
-      route_envelope(requestor.ip(), entry.onion, request.serialize(),
+      route_envelope(ctx, requestor.ip(), entry.onion, request.serialize(),
                      net::EnvelopeType::kTrustRequest);
   if (!to_agent.delivered || to_agent.destination != agent_ip) {
     return std::nullopt;
@@ -391,18 +479,23 @@ std::optional<double> HirepSystem::exchange_with_agent(
   if (!parsed) return std::nullopt;
   const auto opened = open_trust_request(rt->agent->identity(), *parsed);
   if (!opened) return std::nullopt;
-  rt->agent->register_key(crypto::NodeId::of_key(parsed->sp_p), parsed->sp_p);
-  const double value = rt->agent->trust_value(opened->subject, subject_ip, rng_);
+  double value;
+  {
+    std::lock_guard<std::mutex> lock(*rt->mu);
+    rt->agent->register_key(crypto::node_id_of_cached(parsed->sp_p),
+                            parsed->sp_p);
+    value = rt->agent->trust_value(opened->subject, subject_ip, *ctx.rng);
+  }
   if constexpr (obs::kEnabled) {
     static obs::Counter& votes =
         obs::Registry::global().counter("hirep.trust.votes_sent");
     votes.add();  // the agent answered, even if the response is then lost
   }
   const TrustValueResponse response = build_trust_response(
-      rng_, parsed->sp_p, rt->agent->identity(), value, opened->nonce,
-      issue_agent_onion(agent_ip, *rt));
+      *ctx.rng, parsed->sp_p, rt->agent->identity(), value, opened->nonce,
+      issue_agent_onion(ctx, agent_ip, *rt));
   const auto to_peer =
-      route_envelope(agent_ip, parsed->reply_onion, response.serialize(),
+      route_envelope(ctx, agent_ip, parsed->reply_onion, response.serialize(),
                      net::EnvelopeType::kTrustResponse);
   if (!to_peer.delivered || to_peer.destination != requestor.ip()) {
     return std::nullopt;
@@ -429,7 +522,8 @@ std::optional<double> HirepSystem::exchange_with_agent(
   return opened_resp->value;
 }
 
-HirepSystem::QueryResult HirepSystem::query_trust(net::NodeIndex requestor_ip,
+HirepSystem::QueryResult HirepSystem::query_trust(TxnCtx& ctx,
+                                                  net::NodeIndex requestor_ip,
                                                   net::NodeIndex subject_ip) {
   if constexpr (obs::kEnabled) {
     static obs::Counter& queries =
@@ -443,7 +537,8 @@ HirepSystem::QueryResult HirepSystem::query_trust(net::NodeIndex requestor_ip,
   std::vector<crypto::NodeId> offline;
   for (auto& entry : p.agents().entries()) {
     ++result.contacted;
-    const auto value = exchange_with_agent(p, entry, subject_ip, subject_id);
+    const auto value =
+        exchange_with_agent(ctx, p, entry, subject_ip, subject_id);
     if (!value) {
       offline.push_back(entry.agent_id);
       continue;
@@ -459,32 +554,47 @@ HirepSystem::QueryResult HirepSystem::query_trust(net::NodeIndex requestor_ip,
   return result;
 }
 
-void HirepSystem::send_report(Peer& reporter, AgentEntry& entry,
+HirepSystem::QueryResult HirepSystem::query_trust(net::NodeIndex requestor_ip,
+                                                  net::NodeIndex subject_ip) {
+  TxnCtx ctx = legacy_ctx();
+  return query_trust(ctx, requestor_ip, subject_ip);
+}
+
+void HirepSystem::send_report(TxnCtx& ctx, Peer& reporter, AgentEntry& entry,
                               const crypto::NodeId& subject_id,
                               double outcome) {
   AgentRuntime* rt = runtime_of(entry.agent_id);
   if (rt == nullptr || !rt->online) return;
 
   if (options_.crypto == CryptoMode::kFast) {
-    const auto routed = transport_.send(net::EnvelopeType::kReport,
-                                        reporter.ip(), entry.relay_path);
+    const auto routed = ctx.transport->send(net::EnvelopeType::kReport,
+                                            reporter.ip(), entry.relay_path);
+    ctx.trust_messages += routed.messages;
     if (!routed.delivered) return;  // report lost: agent never learns of it
+    std::lock_guard<std::mutex> lock(*rt->mu);
     rt->agent->accept_report(subject_id, outcome);
     return;
   }
 
   const TransactionReport report =
-      build_report(reporter.identity(), subject_id, outcome, rng_());
-  const auto routed = route_envelope(reporter.ip(), entry.onion,
+      build_report(reporter.identity(), subject_id, outcome, (*ctx.rng)());
+  const auto routed = route_envelope(ctx, reporter.ip(), entry.onion,
                                      report.serialize(),
                                      net::EnvelopeType::kReport);
   if (!routed.delivered) return;
   const auto parsed = TransactionReport::deserialize(routed.payload);
   if (!parsed) return;
-  const auto sp = rt->agent->lookup_key(parsed->reporter);
+  // lookup_key returns the key by value, so the signature check (the
+  // expensive part) runs outside the agent lock.
+  std::optional<crypto::RsaPublicKey> sp;
+  {
+    std::lock_guard<std::mutex> lock(*rt->mu);
+    sp = rt->agent->lookup_key(parsed->reporter);
+  }
   if (!sp) return;  // unknown reporter: §3.5.3 drop
   const auto opened = verify_report(*sp, *parsed);
   if (!opened) return;  // bad signature: drop
+  std::lock_guard<std::mutex> lock(*rt->mu);
   rt->agent->accept_report(opened->subject, opened->outcome);
 }
 
@@ -517,17 +627,18 @@ HirepSystem::TransactionRecord HirepSystem::run_transaction() {
 
 HirepSystem::TransactionRecord HirepSystem::run_transaction(
     net::NodeIndex requestor, net::NodeIndex provider) {
-  const std::uint64_t before = trust_message_total();
-  const QueryResult query = query_trust(requestor, provider);
-  TransactionRecord record = complete_transaction(requestor, provider, query);
-  record.trust_messages = trust_message_total() - before;
+  TxnCtx ctx = legacy_ctx();
+  const QueryResult query = query_trust(ctx, requestor, provider);
+  TransactionRecord record = complete_transaction(ctx, requestor, provider,
+                                                  query);
+  record.trust_messages = ctx.trust_messages;
   return record;
 }
 
 HirepSystem::TransactionRecord HirepSystem::complete_transaction(
-    net::NodeIndex requestor, net::NodeIndex provider,
+    TxnCtx& ctx, net::NodeIndex requestor, net::NodeIndex provider,
     const QueryResult& query) {
-  const std::uint64_t before = trust_message_total();
+  const std::uint64_t before = ctx.trust_messages;
   Peer& p = peers_.at(requestor);
   const crypto::NodeId subject_id = identities_.at(provider).node_id();
 
@@ -548,14 +659,166 @@ HirepSystem::TransactionRecord HirepSystem::complete_transaction(
 
   // Signed transaction reports to all remaining trusted agents (§3.6).
   for (auto& entry : p.agents().entries()) {
-    send_report(p, entry, subject_id, record.outcome);
+    send_report(ctx, p, entry, subject_id, record.outcome);
   }
 
-  // Maintenance (§3.4.3).
-  if (p.agents().needs_refill()) refill(requestor);
+  // Maintenance (§3.4.3).  Batched execution defers it to the wave barrier:
+  // discovery touches peers outside this transaction's conflict set.
+  if (p.agents().needs_refill()) {
+    if (ctx.defer_refill) {
+      ctx.wants_refill = true;
+    } else {
+      refill(ctx, requestor);
+    }
+  }
 
-  record.trust_messages = trust_message_total() - before;
+  record.trust_messages = ctx.trust_messages - before;
   return record;
+}
+
+HirepSystem::TransactionRecord HirepSystem::complete_transaction(
+    net::NodeIndex requestor, net::NodeIndex provider,
+    const QueryResult& query) {
+  TxnCtx ctx = legacy_ctx();
+  return complete_transaction(ctx, requestor, provider, query);
+}
+
+util::Rng HirepSystem::txn_stream(std::uint64_t index) const {
+  // Distinct, decorrelated stream per transaction — the determinism
+  // backbone of the scale engine: a transaction's draws depend only on
+  // (options.seed, lifetime index), never on scheduling.
+  std::uint64_t s = options_.seed ^ kTxnStreamSalt;
+  s += (index + 1) * 0x9e3779b97f4a7c15ULL;
+  return util::Rng(util::splitmix64(s));
+}
+
+std::vector<HirepSystem::TransactionRecord> HirepSystem::run_transactions(
+    std::span<const std::pair<net::NodeIndex, net::NodeIndex>> pairs,
+    const ExecutionPolicy& exec) {
+  const bool instant =
+      options_.delivery.policy == net::DeliveryPolicyKind::kInstant;
+  if (exec.parallel && !instant) {
+    throw std::invalid_argument(
+        "run_transactions: parallel execution requires instant delivery "
+        "(lossy/delayed transports are order-dependent)");
+  }
+  for (const auto& [r, p] : pairs) {
+    if (r >= peers_.size() || p >= peers_.size() || r == p) {
+      throw std::invalid_argument(
+          "run_transactions: invalid requestor/provider pair");
+    }
+  }
+  if (!maintenance_rng_) {
+    std::uint64_t s = options_.seed ^ kMaintenanceSalt;
+    maintenance_rng_.emplace(util::splitmix64(s));
+  }
+
+  std::size_t lane_count = 1;
+  if (exec.parallel) {
+    if (!pool_ || (exec.threads != 0 && pool_->size() != exec.threads)) {
+      pool_ = std::make_unique<util::ThreadPool>(exec.threads);
+    }
+    lane_count = pool_->size();
+    while (lanes_.size() < lane_count) {
+      lanes_.push_back(std::make_unique<net::Transport>(
+          &overlay_, options_.delivery,
+          options_.seed ^ (kLaneSeedSalt + lanes_.size())));
+    }
+  }
+
+  std::vector<TransactionRecord> records(pairs.size());
+  std::vector<std::uint8_t> wants_refill(pairs.size(), 0);
+  std::vector<std::uint8_t> busy(peers_.size(), 0);
+  std::vector<std::size_t> wave;
+  std::vector<std::vector<std::uint64_t>> reserved;
+  std::size_t next = 0;
+
+  while (next < pairs.size()) {
+    // Wave formation: the maximal conflict-free PREFIX of the remaining
+    // transactions.  A transaction joins until one shows up whose
+    // requestor or provider node is already claimed — those are the only
+    // peers a transaction mutates, so wave members touch disjoint peer
+    // state (agents are shared but internally locked; their transitions
+    // commute per subject, DESIGN §9).  The prefix rule — rather than
+    // skipping ahead past conflicts — keeps execution equivalent to
+    // strict index-order serial execution, so splitting a batch at any
+    // boundary yields byte-identical records (checkpointed experiments
+    // compose).
+    wave.clear();
+    std::fill(busy.begin(), busy.end(), std::uint8_t{0});
+    std::size_t stop = next;
+    for (; stop < pairs.size(); ++stop) {
+      const auto [r, p] = pairs[stop];
+      if (busy[r] || busy[p]) break;
+      busy[r] = busy[p] = 1;
+      wave.push_back(stop);
+    }
+
+    // Sequence reservation: under instant delivery every online trusted
+    // agent of a requestor issues exactly one fresh onion per exchange, so
+    // the sq draws are known up front.  Claiming them serially here, in
+    // transaction order, keeps each agent's sq stream identical to a
+    // serial run no matter how the wave is scheduled.
+    reserved.assign(wave.size(), {});
+    if (instant) {
+      for (std::size_t j = 0; j < wave.size(); ++j) {
+        Peer& rp = peers_[pairs[wave[j]].first];
+        for (const AgentEntry& entry : rp.agents().entries()) {
+          AgentRuntime* rt = runtime_of(entry.agent_id);
+          if (rt == nullptr || !rt->online) continue;
+          const std::uint64_t sq = rt->sq++;
+          router_.note_issued(entry.agent_id, sq);
+          reserved[j].push_back(sq);
+        }
+      }
+    }
+
+    const auto run_one = [&](std::size_t j, net::Transport& lane) {
+      const std::size_t i = wave[j];
+      util::Rng rng = txn_stream(txn_counter_ + i);
+      TxnCtx ctx;
+      ctx.rng = &rng;
+      ctx.transport = &lane;
+      if (instant) ctx.reserved_sqs = &reserved[j];
+      ctx.defer_refill = true;
+      const auto [r, p] = pairs[i];
+      const QueryResult query = query_trust(ctx, r, p);
+      records[i] = complete_transaction(ctx, r, p, query);
+      records[i].trust_messages = ctx.trust_messages;
+      wants_refill[i] = ctx.wants_refill ? 1 : 0;
+    };
+
+    if (exec.parallel && lane_count > 1 && wave.size() > 1) {
+      const std::size_t lanes_used = std::min(lane_count, wave.size());
+      const std::size_t per = (wave.size() + lanes_used - 1) / lanes_used;
+      pool_->parallel_for(lanes_used, [&](std::size_t lane) {
+        const std::size_t begin = lane * per;
+        const std::size_t end = std::min(wave.size(), begin + per);
+        for (std::size_t j = begin; j < end; ++j) run_one(j, *lanes_[lane]);
+      });
+      // Barrier: fold lane envelope counters back into the primary
+      // transport so its totals match a serial run.
+      for (std::size_t lane = 0; lane < lanes_used; ++lane) {
+        transport_.absorb_envelopes(*lanes_[lane]);
+      }
+    } else {
+      for (std::size_t j = 0; j < wave.size(); ++j) run_one(j, transport_);
+    }
+
+    // Deferred §3.4.3 maintenance: serial, in transaction order, on its
+    // own stream — refills never perturb any transaction's draws.
+    for (std::size_t j = 0; j < wave.size(); ++j) {
+      const std::size_t i = wave[j];
+      if (!wants_refill[i]) continue;
+      TxnCtx ctx;
+      ctx.rng = &*maintenance_rng_;
+      ctx.transport = &transport_;
+      refill(ctx, pairs[i].first);
+    }
+    next = stop;
+  }
+  txn_counter_ += pairs.size();
+  return records;
 }
 
 std::uint64_t HirepSystem::trust_message_total() const {

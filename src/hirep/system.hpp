@@ -13,13 +13,22 @@
 // Crypto modes: kFull runs every onion layer, signature and encryption for
 // real; kFast executes the identical protocol/state machine and counts the
 // identical messages but skips the cipher work (large parameter sweeps).
+//
+// Scale engine: run_transactions() executes a pre-drawn batch of
+// requestor/provider pairs in conflict-free waves on a thread pool.  Every
+// transaction owns a deterministic RNG stream derived from (seed, index),
+// so serial and parallel execution produce byte-identical records; see
+// DESIGN.md §9 for the batching rule and the determinism argument.
 #pragma once
 
+#include <cstdint>
 #include <deque>
-#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "hirep/agent.hpp"
@@ -31,6 +40,7 @@
 #include "net/transport.hpp"
 #include "onion/router.hpp"
 #include "trust/ground_truth.hpp"
+#include "util/thread_pool.hpp"
 
 namespace hirep::core {
 
@@ -64,6 +74,12 @@ struct HirepOptions {
   std::uint64_t seed = 1;
 };
 
+/// How run_transactions() executes a batch of independent transactions.
+struct ExecutionPolicy {
+  bool parallel = true;     ///< conflict-free waves on a thread pool
+  std::size_t threads = 0;  ///< worker count; 0 = hardware concurrency
+};
+
 class HirepSystem {
  public:
   explicit HirepSystem(HirepOptions options);
@@ -84,7 +100,7 @@ class HirepSystem {
   const Peer& peer(net::NodeIndex v) const { return peers_.at(v); }
   /// nullptr when node v is not a reputation agent.
   ReputationAgent* agent_at(net::NodeIndex v);
-  std::size_t agent_count() const noexcept { return agents_.size(); }
+  std::size_t agent_count() const noexcept { return agent_count_; }
   /// A deque so references stay stable while peers join a running system.
   const std::deque<crypto::Identity>& identities() const noexcept {
     return identities_;
@@ -155,6 +171,26 @@ class HirepSystem {
   TransactionRecord run_transaction(net::NodeIndex requestor,
                                     net::NodeIndex provider);
 
+  /// Scale engine: executes a pre-drawn batch of requestor/provider pairs
+  /// with the same per-transaction semantics as run_transaction(r, p).
+  ///
+  /// Each transaction draws from its own RNG stream derived from
+  /// (options.seed, lifetime transaction index), never from rng(), so the
+  /// result is a pure function of the transaction sequence: serial and
+  /// parallel execution return byte-identical records, and splitting a
+  /// sequence into consecutive batches (checkpointed experiments) yields
+  /// the same records as one big batch.  Execution proceeds in maximal
+  /// conflict-free prefix waves — transactions run concurrently while
+  /// their requestor/provider nodes are all distinct — and §3.4.3 refills
+  /// are deferred to each wave's barrier, serial in transaction order.
+  ///
+  /// Throws std::invalid_argument on an out-of-range or requestor==provider
+  /// pair, and when exec.parallel is set while the delivery policy is not
+  /// instant (lossy/delayed transports are inherently order-dependent).
+  std::vector<TransactionRecord> run_transactions(
+      std::span<const std::pair<net::NodeIndex, net::NodeIndex>> pairs,
+      const ExecutionPolicy& exec = {});
+
   /// Second half of a transaction when the trust query already happened
   /// (e.g. the requestor compared several QueryHit candidates): download,
   /// expertise update, signed reports, maintenance.  `query` must be the
@@ -169,13 +205,41 @@ class HirepSystem {
 
  private:
   struct AgentRuntime {
-    std::unique_ptr<ReputationAgent> agent;
+    std::unique_ptr<ReputationAgent> agent;  ///< null: node is not an agent
     std::vector<onion::RelayInfo> relays;
     std::uint64_t sq = 1;
     bool online = true;
+    /// Serializes agent-side mutation when engine waves share the agent
+    /// (requestors/providers are exclusive per wave; agents are not).
+    /// Allocated only for actual agents; unique_ptr keeps Runtime movable.
+    std::unique_ptr<std::mutex> mu;
   };
 
   AgentRuntime* runtime_of(const crypto::NodeId& id);
+  /// Installs agent state for node v (relays shared with its peer).
+  void make_agent(net::NodeIndex v, const crypto::Identity* identity);
+
+  /// Everything one in-flight transaction threads through the protocol
+  /// stack: its RNG stream, the transport lane it sends on, pre-reserved
+  /// onion sequence numbers, and its own message/maintenance accounting.
+  struct TxnCtx {
+    util::Rng* rng = nullptr;
+    net::Transport* transport = nullptr;
+    /// Onion sequence numbers reserved serially at wave formation (instant
+    /// delivery only); consumed in issue order by issue_agent_onion.
+    const std::vector<std::uint64_t>* reserved_sqs = nullptr;
+    std::size_t reserved_cursor = 0;
+    /// Transmissions under kTrustRequest/kTrustResponse/kReport kinds —
+    /// the same buckets trust_message_total() sums globally.
+    std::uint64_t trust_messages = 0;
+    /// Engine mode: record that a refill is due instead of running it
+    /// inside the wave (it mutates shared discovery state).
+    bool defer_refill = false;
+    bool wants_refill = false;
+  };
+  TxnCtx legacy_ctx() noexcept { return TxnCtx{&rng_, &transport_}; }
+  /// The (seed, index)-derived RNG stream for lifetime transaction `index`.
+  util::Rng txn_stream(std::uint64_t index) const;
 
   /// Full-crypto envelope routing: enumerates the onion's relay hops
   /// (Router::peel_path) and carries `wire` along them through the
@@ -185,11 +249,16 @@ class HirepSystem {
     net::NodeIndex destination = net::kInvalidNode;
     util::Bytes payload;
   };
-  RoutedEnvelope route_envelope(net::NodeIndex sender, const onion::Onion& onion,
-                                util::Bytes wire, net::EnvelopeType type);
+  RoutedEnvelope route_envelope(TxnCtx& ctx, net::NodeIndex sender,
+                                const onion::Onion& onion, util::Bytes wire,
+                                net::EnvelopeType type);
 
-  onion::Onion issue_agent_onion(net::NodeIndex agent_ip, AgentRuntime& rt);
-  AgentEntry self_entry(net::NodeIndex agent_ip, AgentRuntime& rt);
+  onion::Onion issue_agent_onion(TxnCtx& ctx, net::NodeIndex agent_ip,
+                                 AgentRuntime& rt);
+  AgentEntry self_entry(TxnCtx& ctx, net::NodeIndex agent_ip, AgentRuntime& rt);
+  std::vector<AgentEntry> shareable_list(TxnCtx& ctx, net::NodeIndex v);
+  std::size_t discover_agents(TxnCtx& ctx, net::NodeIndex peer_ip);
+  void refill(TxnCtx& ctx, net::NodeIndex peer_ip);
   std::vector<onion::RelayInfo> pick_and_verify_relays(net::NodeIndex owner);
   std::vector<net::NodeIndex> path_of(const std::vector<onion::RelayInfo>& relays,
                                       net::NodeIndex owner) const;
@@ -197,12 +266,19 @@ class HirepSystem {
   /// Runs one request/response round with a single agent entry; returns the
   /// rating, or nullopt when the agent is offline/unreachable (the entry is
   /// then handled per §3.4.3).  Updates entry.onion to the fresh Onion_e.
-  std::optional<double> exchange_with_agent(Peer& requestor, AgentEntry& entry,
+  std::optional<double> exchange_with_agent(TxnCtx& ctx, Peer& requestor,
+                                            AgentEntry& entry,
                                             net::NodeIndex subject_ip,
                                             const crypto::NodeId& subject_id);
 
-  void send_report(Peer& reporter, AgentEntry& entry,
+  void send_report(TxnCtx& ctx, Peer& reporter, AgentEntry& entry,
                    const crypto::NodeId& subject_id, double outcome);
+
+  QueryResult query_trust(TxnCtx& ctx, net::NodeIndex requestor_ip,
+                          net::NodeIndex subject_ip);
+  TransactionRecord complete_transaction(TxnCtx& ctx, net::NodeIndex requestor,
+                                         net::NodeIndex provider,
+                                         const QueryResult& query);
 
   HirepOptions options_;
   util::Rng rng_;
@@ -212,8 +288,23 @@ class HirepSystem {
   std::deque<crypto::Identity> identities_;  // reference-stable on growth
   onion::Router router_;
   std::vector<Peer> peers_;
-  std::map<net::NodeIndex, AgentRuntime> agents_;
-  std::map<crypto::NodeId, net::NodeIndex> id_to_ip_;
+  /// Flat agent storage, one slot per node (agent == nullptr for non-agent
+  /// nodes): index-based hot-path lookups instead of map pointer chasing.
+  std::vector<AgentRuntime> agent_runtimes_;
+  std::size_t agent_count_ = 0;
+  /// Reverse nodeId -> index mapping as a sorted flat vector (binary
+  /// search); rebuilt incrementally on join/rotation.
+  std::vector<std::pair<crypto::NodeId, net::NodeIndex>> id_to_ip_;
+
+  // -- scale-engine state ---------------------------------------------------
+  std::uint64_t txn_counter_ = 0;  ///< lifetime transactions batched so far
+  /// Stream for deferred §3.4.3 maintenance (separate salt, so refills do
+  /// not perturb any transaction's stream); created on first batch.
+  std::optional<util::Rng> maintenance_rng_;
+  std::unique_ptr<util::ThreadPool> pool_;  ///< lazily created, persistent
+  /// One transport lane per worker, all over the shared overlay; envelope
+  /// counters fold back into transport_ at each wave barrier.
+  std::vector<std::unique_ptr<net::Transport>> lanes_;
 };
 
 }  // namespace hirep::core

@@ -4,17 +4,66 @@
 #include <limits>
 #include <queue>
 #include <stdexcept>
+#include <utility>
 
 namespace hirep::net {
 
 Graph::Graph(std::size_t nodes) : adjacency_(nodes) {}
 
+Graph::Graph(const Graph& other)
+    : adjacency_(other.adjacency_), edge_count_(other.edge_count_) {}
+
+Graph& Graph::operator=(const Graph& other) {
+  if (this == &other) return *this;
+  adjacency_ = other.adjacency_;
+  edge_count_ = other.edge_count_;
+  invalidate();
+  return *this;
+}
+
+Graph::Graph(Graph&& other) noexcept
+    : adjacency_(std::move(other.adjacency_)), edge_count_(other.edge_count_) {
+  other.adjacency_.clear();
+  other.edge_count_ = 0;
+  other.invalidate();
+}
+
+Graph& Graph::operator=(Graph&& other) noexcept {
+  if (this == &other) return *this;
+  adjacency_ = std::move(other.adjacency_);
+  edge_count_ = other.edge_count_;
+  invalidate();
+  other.adjacency_.clear();
+  other.edge_count_ = 0;
+  other.invalidate();
+  return *this;
+}
+
 void Graph::check(NodeIndex v) const {
   if (v >= adjacency_.size()) throw std::out_of_range("node index out of range");
 }
 
+void Graph::compact() const {
+  std::lock_guard<std::mutex> lock(compact_mu_);
+  if (compact_valid_.load(std::memory_order_relaxed)) return;
+  offsets_.assign(adjacency_.size() + 1, 0);
+  std::size_t total = 0;
+  for (std::size_t v = 0; v < adjacency_.size(); ++v) {
+    offsets_[v] = total;
+    total += adjacency_[v].size();
+  }
+  offsets_[adjacency_.size()] = total;
+  flat_.clear();
+  flat_.reserve(total);
+  for (const auto& adj : adjacency_) {
+    flat_.insert(flat_.end(), adj.begin(), adj.end());
+  }
+  compact_valid_.store(true, std::memory_order_release);
+}
+
 NodeIndex Graph::add_node() {
   adjacency_.emplace_back();
+  invalidate();
   return static_cast<NodeIndex>(adjacency_.size() - 1);
 }
 
@@ -25,6 +74,7 @@ bool Graph::add_edge(NodeIndex a, NodeIndex b) {
   adjacency_[a].push_back(b);
   adjacency_[b].push_back(a);
   ++edge_count_;
+  invalidate();
   return true;
 }
 
@@ -40,7 +90,8 @@ bool Graph::has_edge(NodeIndex a, NodeIndex b) const {
 
 std::span<const NodeIndex> Graph::neighbors(NodeIndex v) const {
   check(v);
-  return adjacency_[v];
+  if (!compact_valid_.load(std::memory_order_acquire)) compact();
+  return {flat_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
 }
 
 std::size_t Graph::degree(NodeIndex v) const {

@@ -3,7 +3,9 @@
 // NodeIds which live one layer up and are deliberately unlinkable to these.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -12,9 +14,20 @@ namespace hirep::net {
 using NodeIndex = std::uint32_t;
 inline constexpr NodeIndex kInvalidNode = static_cast<NodeIndex>(-1);
 
+/// Adjacency is built as per-node vectors (cheap appends during topology
+/// construction) and lazily compacted into a CSR-style flat array the first
+/// time neighbors() is called after a mutation, so the hot traversal path
+/// walks contiguous memory.  Compaction is guarded by a mutex and published
+/// with release/acquire, making concurrent neighbors() calls from engine
+/// lanes safe on a frozen topology.  Spans returned by neighbors() are
+/// invalidated by the next mutation, as before.
 class Graph {
  public:
   explicit Graph(std::size_t nodes = 0);
+  Graph(const Graph& other);
+  Graph& operator=(const Graph& other);
+  Graph(Graph&& other) noexcept;
+  Graph& operator=(Graph&& other) noexcept;
 
   std::size_t node_count() const noexcept { return adjacency_.size(); }
   std::size_t edge_count() const noexcept { return edge_count_; }
@@ -48,8 +61,18 @@ class Graph {
 
  private:
   void check(NodeIndex v) const;
+  void compact() const;
+  void invalidate() noexcept {
+    compact_valid_.store(false, std::memory_order_release);
+  }
   std::vector<std::vector<NodeIndex>> adjacency_;
   std::size_t edge_count_ = 0;
+
+  // Lazily built CSR view of adjacency_: flat_[offsets_[v]..offsets_[v+1]).
+  mutable std::vector<NodeIndex> flat_;
+  mutable std::vector<std::size_t> offsets_;
+  mutable std::atomic<bool> compact_valid_{false};
+  mutable std::mutex compact_mu_;
 };
 
 }  // namespace hirep::net

@@ -129,6 +129,16 @@ void EnvelopeMetrics::count_hops(EnvelopeType type,
   }
 }
 
+void EnvelopeMetrics::absorb(const EnvelopeMetrics& other) noexcept {
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i].sent += other.counts_[i].sent;
+    counts_[i].delivered += other.counts_[i].delivered;
+    counts_[i].dropped += other.counts_[i].dropped;
+    counts_[i].duplicated += other.counts_[i].duplicated;
+    counts_[i].hop_messages += other.counts_[i].hop_messages;
+  }
+}
+
 void EnvelopeMetrics::reset() noexcept { counts_.fill(Counters{}); }
 
 const EnvelopeMetrics::Counters& EnvelopeMetrics::of(
@@ -168,20 +178,72 @@ std::string EnvelopeMetrics::summary() const {
   return out.str();
 }
 
-void TrafficMetrics::count(MessageKind kind, std::uint64_t messages) noexcept {
-  counts_[static_cast<std::size_t>(kind)] += messages;
+namespace {
+
+// Stable per-thread shard choice, shared by every TrafficMetrics instance.
+std::size_t traffic_shard_slot() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
 }
 
-void TrafficMetrics::reset() noexcept { counts_.fill(0); }
+}  // namespace
+
+TrafficMetrics::TrafficMetrics() : shards_(new Shard[kShards]) {}
+
+TrafficMetrics::TrafficMetrics(const TrafficMetrics& other)
+    : shards_(new Shard[kShards]) {
+  for (std::size_t k = 0; k < static_cast<std::size_t>(MessageKind::kCount);
+       ++k) {
+    shards_[0].counts[k].store(other.of(static_cast<MessageKind>(k)),
+                               std::memory_order_relaxed);
+  }
+}
+
+TrafficMetrics& TrafficMetrics::operator=(const TrafficMetrics& other) {
+  if (this == &other) return *this;
+  reset();
+  for (std::size_t k = 0; k < static_cast<std::size_t>(MessageKind::kCount);
+       ++k) {
+    shards_[0].counts[k].store(other.of(static_cast<MessageKind>(k)),
+                               std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+TrafficMetrics::Shard& TrafficMetrics::shard() noexcept {
+  return shards_[traffic_shard_slot() & (kShards - 1)];
+}
+
+void TrafficMetrics::count(MessageKind kind, std::uint64_t messages) noexcept {
+  shard().counts[static_cast<std::size_t>(kind)].fetch_add(
+      messages, std::memory_order_relaxed);
+}
+
+void TrafficMetrics::reset() noexcept {
+  for (std::size_t s = 0; s < kShards; ++s) {
+    for (auto& c : shards_[s].counts) c.store(0, std::memory_order_relaxed);
+  }
+}
 
 std::uint64_t TrafficMetrics::total() const noexcept {
   std::uint64_t sum = 0;
-  for (auto c : counts_) sum += c;
+  for (std::size_t k = 0; k < static_cast<std::size_t>(MessageKind::kCount);
+       ++k) {
+    sum += of(static_cast<MessageKind>(k));
+  }
   return sum;
 }
 
 std::uint64_t TrafficMetrics::of(MessageKind kind) const noexcept {
-  return counts_[static_cast<std::size_t>(kind)];
+  std::uint64_t sum = 0;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    sum += shards_[s]
+               .counts[static_cast<std::size_t>(kind)]
+               .load(std::memory_order_relaxed);
+  }
+  return sum;
 }
 
 std::uint64_t TrafficMetrics::trust_traffic() const noexcept {
@@ -190,9 +252,11 @@ std::uint64_t TrafficMetrics::trust_traffic() const noexcept {
 
 std::string TrafficMetrics::summary() const {
   std::ostringstream out;
-  for (std::size_t i = 0; i < counts_.size(); ++i) {
-    if (counts_[i] == 0) continue;
-    out << to_string(static_cast<MessageKind>(i)) << '=' << counts_[i] << ' ';
+  for (std::size_t i = 0; i < static_cast<std::size_t>(MessageKind::kCount);
+       ++i) {
+    const std::uint64_t v = of(static_cast<MessageKind>(i));
+    if (v == 0) continue;
+    out << to_string(static_cast<MessageKind>(i)) << '=' << v << ' ';
   }
   out << "total=" << total();
   return out.str();

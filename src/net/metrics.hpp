@@ -4,7 +4,9 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 namespace hirep::net {
@@ -66,6 +68,12 @@ class EnvelopeMetrics {
   void count_hops(EnvelopeType type, std::uint64_t messages) noexcept;
   void reset() noexcept;
 
+  /// Folds another instance's counts into this one *without* re-mirroring
+  /// to the obs registry (the source instance already mirrored at count
+  /// time).  Used by the scale engine to merge per-lane transport metrics
+  /// back into the main transport at a wave barrier.
+  void absorb(const EnvelopeMetrics& other) noexcept;
+
   const Counters& of(EnvelopeType type) const noexcept;
   std::uint64_t total_sent() const noexcept;
   std::uint64_t total_delivered() const noexcept;
@@ -78,8 +86,18 @@ class EnvelopeMetrics {
       counts_{};
 };
 
+/// Thread-safe: count() lands on a per-thread shard of relaxed atomics so
+/// concurrent lanes of the scale engine never contend on one cache line;
+/// readers sum across shards.  Totals are exact whenever no count() is
+/// concurrently in flight (the engine only reads at wave barriers).
 class TrafficMetrics {
  public:
+  TrafficMetrics();
+  TrafficMetrics(const TrafficMetrics& other);
+  TrafficMetrics& operator=(const TrafficMetrics& other);
+  TrafficMetrics(TrafficMetrics&&) noexcept = default;
+  TrafficMetrics& operator=(TrafficMetrics&&) noexcept = default;
+
   void count(MessageKind kind, std::uint64_t messages = 1) noexcept;
   void reset() noexcept;
 
@@ -91,8 +109,14 @@ class TrafficMetrics {
   std::string summary() const;
 
  private:
-  std::array<std::uint64_t, static_cast<std::size_t>(MessageKind::kCount)>
-      counts_{};
+  static constexpr std::size_t kShards = 16;  // power of two
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>,
+               static_cast<std::size_t>(MessageKind::kCount)>
+        counts{};
+  };
+  Shard& shard() noexcept;
+  std::unique_ptr<Shard[]> shards_;
 };
 
 }  // namespace hirep::net

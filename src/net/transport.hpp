@@ -145,6 +145,15 @@ class Transport {
   EnvelopeMetrics& envelopes() noexcept { return envelopes_; }
   const EnvelopeMetrics& envelopes() const noexcept { return envelopes_; }
 
+  /// Folds `other`'s per-envelope counters into this transport and zeroes
+  /// them, so a lane transport used for one execution wave tears down empty
+  /// (its conservation invariant holds trivially) while the primary
+  /// transport's totals match what a serial run would have accumulated.
+  void absorb_envelopes(Transport& other) noexcept {
+    envelopes_.absorb(other.envelopes_);
+    other.envelopes_.reset();
+  }
+
   /// Carries one typed envelope from `sender` hop-by-hop along `path`
   /// (successive receivers; path.back() is the destination).  Each hop is
   /// an EventSim event at now + policy delay; the queue drains before the

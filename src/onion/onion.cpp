@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "crypto/verify_cache.hpp"
 #include "obs/metrics.hpp"
 
 namespace hirep::onion {
@@ -107,8 +108,8 @@ Onion build_onion(util::Rng& rng, const crypto::Identity& owner,
 }
 
 bool verify_onion(const Onion& onion) {
-  return crypto::rsa_verify(onion.owner_sig_key, onion.signed_body(),
-                            onion.signature);
+  return crypto::verify_cached(onion.owner_sig_key, onion.signed_body(),
+                               onion.signature);
 }
 
 std::optional<Peeled> peel(const util::Bytes& blob,
@@ -145,14 +146,11 @@ std::optional<Peeled> peel(const util::Bytes& blob,
 }
 
 SequenceGuard::State& SequenceGuard::state_of(const crypto::NodeId& owner) {
-  for (auto& s : states_) {
-    if (s.owner == owner) return s;
-  }
-  states_.emplace_back(owner, 0, 0);
-  return states_.back();
+  return states_[owner];  // value-initialized on first sight
 }
 
 bool SequenceGuard::accept(const crypto::NodeId& owner, std::uint64_t sq) {
+  std::lock_guard<std::mutex> lock(mu_);
   State& s = state_of(owner);
   if constexpr (obs::kEnabled) {
     static obs::Counter& refreshes = obs_counter("onion.sq.refreshes");
@@ -166,23 +164,24 @@ bool SequenceGuard::accept(const crypto::NodeId& owner, std::uint64_t sq) {
 
 void SequenceGuard::revoke_before(const crypto::NodeId& owner,
                                   std::uint64_t floor) {
+  std::lock_guard<std::mutex> lock(mu_);
   State& s = state_of(owner);
   s.floor = std::max(s.floor, floor);
 }
 
 std::optional<std::uint64_t> SequenceGuard::newest(
     const crypto::NodeId& owner) const {
-  for (const auto& s : states_) {
-    if (s.owner == owner) return s.newest;
-  }
-  return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = states_.find(owner);
+  if (it == states_.end()) return std::nullopt;
+  return it->second.newest;
 }
 
 std::uint64_t SequenceGuard::floor_of(const crypto::NodeId& owner) const {
-  for (const auto& s : states_) {
-    if (s.owner == owner) return s.floor;
-  }
-  return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = states_.find(owner);
+  if (it == states_.end()) return 0;
+  return it->second.floor;
 }
 
 }  // namespace hirep::onion

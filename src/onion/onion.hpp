@@ -17,7 +17,9 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "crypto/identity.hpp"
@@ -82,6 +84,9 @@ std::optional<Peeled> peel(const util::Bytes& blob,
 /// refresh, key rotation, suspected capture) and every onion older than
 /// the floor is rejected network-wide.  The newest sq seen is tracked for
 /// introspection and for holders that want to keep only the freshest.
+///
+/// State is hash-map keyed by owner (O(1) at 100k owners) and guarded by an
+/// internal mutex so engine lanes can accept concurrently.
 class SequenceGuard {
  public:
   /// True iff sq is at or above the owner's revocation floor.  Records the
@@ -97,12 +102,13 @@ class SequenceGuard {
 
  private:
   struct State {
-    crypto::NodeId owner;
     std::uint64_t newest = 0;
     std::uint64_t floor = 0;
   };
+  /// Caller must hold mu_.
   State& state_of(const crypto::NodeId& owner);
-  std::vector<State> states_;
+  mutable std::mutex mu_;
+  std::unordered_map<crypto::NodeId, State, crypto::NodeIdHash> states_;
 };
 
 }  // namespace hirep::onion

@@ -2,41 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 #include <iostream>
+#include <span>
+#include <utility>
 
+#include "sim/scenario.hpp"
+#include "sim/windowed_mse.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 
 namespace hirep::sim {
 
 namespace {
-
-/// Sliding-window MSE tracker for the accuracy-vs-transactions curves.
-class WindowedMse {
- public:
-  explicit WindowedMse(std::size_t window) : window_(window) {}
-
-  void add(double estimate, double truth) {
-    const double e = estimate - truth;
-    values_.push_back(e * e);
-    sum_ += e * e;
-    if (values_.size() > window_) {
-      sum_ -= values_.front();
-      values_.pop_front();
-    }
-  }
-
-  double mse() const {
-    return values_.empty() ? 0.0
-                           : sum_ / static_cast<double>(values_.size());
-  }
-
- private:
-  std::size_t window_;
-  std::deque<double> values_;
-  double sum_ = 0.0;
-};
 
 Params with_seed(Params p, std::uint64_t seed) {
   p.seed = seed;
@@ -59,6 +36,20 @@ std::pair<net::NodeIndex, net::NodeIndex> pick_pair(util::Rng& rng,
     provider = static_cast<net::NodeIndex>(rng.below(pn));
   } while (provider == requestor);
   return {requestor, provider};
+}
+
+/// The figure runners pre-draw their whole transaction workload from a
+/// dedicated stream (decoupled from the engine's per-transaction streams),
+/// then feed it to run_transactions() in checkpoint-sized chunks.
+constexpr std::uint64_t kWorkloadSalt = 0x5eedba5eca11f00dULL;
+
+std::vector<std::pair<net::NodeIndex, net::NodeIndex>> draw_pairs(
+    const Params& p, std::size_t count) {
+  util::Rng rng(p.seed ^ kWorkloadSalt);
+  std::vector<std::pair<net::NodeIndex, net::NodeIndex>> pairs;
+  pairs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) pairs.push_back(pick_pair(rng, p));
+  return pairs;
 }
 
 }  // namespace
@@ -126,17 +117,24 @@ ExperimentResult run_fig5_traffic(const Params& params) {
   };
 
   auto hirep_series = average_over_seeds(params, [&](std::uint64_t seed) {
-    core::HirepSystem system(with_seed(params, seed).hirep_options());
+    const Params p = with_seed(params, seed);
+    core::HirepSystem system(p.hirep_options());
+    const auto exec = Scenario(p).execution_policy();
+    // Figure 5 measures traffic over the whole population (no
+    // active-community pools), like the no-argument run_transaction() the
+    // serial pipeline used.
+    Params workload = p;
+    workload.requestor_pool = 0;
+    workload.provider_pool = 0;
+    const auto pairs = draw_pairs(workload, total);
     const std::uint64_t baseline = system.trust_message_total();
     std::vector<double> ys;
-    std::size_t next = 0;
-    for (std::size_t t = 1; t <= total; ++t) {
-      system.run_transaction();
-      if (next < checkpoints.size() && t == checkpoints[next]) {
-        ys.push_back(
-            static_cast<double>(system.trust_message_total() - baseline));
-        ++next;
-      }
+    std::size_t done = 0;
+    for (const std::size_t t : checkpoints) {
+      system.run_transactions(std::span(pairs).subspan(done, t - done), exec);
+      done = t;
+      ys.push_back(
+          static_cast<double>(system.trust_message_total() - baseline));
     }
     return ys;
   });
@@ -193,17 +191,19 @@ ExperimentResult run_fig6_accuracy(const Params& params) {
       Params p = with_seed(params, seed);
       p.eviction_threshold = threshold;
       core::HirepSystem system(p.hirep_options());
+      const auto exec = Scenario(p).execution_policy();
+      const auto pairs = draw_pairs(p, total);
       WindowedMse window(params.mse_window);
       std::vector<double> ys;
-      std::size_t next = 0;
-      for (std::size_t t = 1; t <= total; ++t) {
-        const auto [requestor, provider] = pick_pair(system.rng(), p);
-        const auto rec = system.run_transaction(requestor, provider);
-        window.add(rec.estimate, rec.truth_value);
-        if (next < checkpoints.size() && t == checkpoints[next]) {
-          ys.push_back(window.mse());
-          ++next;
+      std::size_t done = 0;
+      for (const std::size_t t : checkpoints) {
+        const auto records = system.run_transactions(
+            std::span(pairs).subspan(done, t - done), exec);
+        done = t;
+        for (const auto& rec : records) {
+          window.add(rec.estimate, rec.truth_value);
         }
+        ys.push_back(window.mse());
       }
       return ys;
     });

@@ -1,55 +1,11 @@
 #include "sim/params.hpp"
 
-#include <stdexcept>
+#include "sim/scenario.hpp"
 
 namespace hirep::sim {
 
 Params Params::from_config(const util::Config& c) {
-  Params p;
-  p.network_size = static_cast<std::size_t>(c.get_int("network_size", static_cast<std::int64_t>(p.network_size)));
-  p.neighbors_per_node = c.get_double("neighbors_per_node", p.neighbors_per_node);
-  p.good_rating_lo = c.get_double("good_rating_lo", p.good_rating_lo);
-  p.good_rating_hi = c.get_double("good_rating_hi", p.good_rating_hi);
-  p.bad_rating_lo = c.get_double("bad_rating_lo", p.bad_rating_lo);
-  p.bad_rating_hi = c.get_double("bad_rating_hi", p.bad_rating_hi);
-  p.relays_per_onion = static_cast<std::size_t>(c.get_int("relays_per_onion", static_cast<std::int64_t>(p.relays_per_onion)));
-  p.trusted_agents = static_cast<std::size_t>(c.get_int("trusted_agents", static_cast<std::int64_t>(p.trusted_agents)));
-  p.malicious_ratio = c.get_double("malicious_ratio", p.malicious_ratio);
-  p.voting_ttl = static_cast<std::uint32_t>(c.get_int("voting_ttl", p.voting_ttl));
-  p.tokens = static_cast<std::uint32_t>(c.get_int("tokens", p.tokens));
-  p.trustable_ratio = c.get_double("trustable_ratio", p.trustable_ratio);
-  p.agent_capable_ratio = c.get_double("agent_capable_ratio", p.agent_capable_ratio);
-  p.expertise_alpha = c.get_double("expertise_alpha", p.expertise_alpha);
-  p.eviction_threshold = c.get_double("eviction_threshold", p.eviction_threshold);
-  p.discovery_ttl = static_cast<std::uint32_t>(c.get_int("discovery_ttl", p.discovery_ttl));
-  p.rsa_bits = static_cast<unsigned>(c.get_int("rsa_bits", p.rsa_bits));
-  p.crypto_mode = c.get_string("crypto", p.crypto_mode);
-  p.agent_model = c.get_string("agent_model", p.agent_model);
-  p.delivery = c.get_string("delivery", p.delivery);
-  p.drop_rate = c.get_double("drop_rate", p.drop_rate);
-  p.duplicate_rate = c.get_double("duplicate_rate", p.duplicate_rate);
-  p.fault_delay_min_ms = c.get_double("fault_delay_min_ms", p.fault_delay_min_ms);
-  p.fault_delay_max_ms = c.get_double("fault_delay_max_ms", p.fault_delay_max_ms);
-  p.link_min_ms = c.get_double("link_min_ms", p.link_min_ms);
-  p.link_max_ms = c.get_double("link_max_ms", p.link_max_ms);
-  p.processing_ms = c.get_double("processing_ms", p.processing_ms);
-  p.seed = static_cast<std::uint64_t>(c.get_int("seed", static_cast<std::int64_t>(p.seed)));
-  p.seeds = static_cast<std::size_t>(c.get_int("seeds", static_cast<std::int64_t>(p.seeds)));
-  p.transactions = static_cast<std::size_t>(c.get_int("transactions", static_cast<std::int64_t>(p.transactions)));
-  p.mse_window = static_cast<std::size_t>(c.get_int("mse_window", static_cast<std::int64_t>(p.mse_window)));
-  p.requestor_pool = static_cast<std::size_t>(c.get_int("requestor_pool", static_cast<std::int64_t>(p.requestor_pool)));
-  p.provider_pool = static_cast<std::size_t>(c.get_int("provider_pool", static_cast<std::int64_t>(p.provider_pool)));
-  if (p.crypto_mode != "fast" && p.crypto_mode != "full") {
-    throw std::invalid_argument("crypto must be fast|full");
-  }
-  if (!net::policy_kind_by_name(p.delivery)) {
-    throw std::invalid_argument("delivery must be instant|latency|faulty");
-  }
-  if (p.drop_rate < 0.0 || p.drop_rate > 1.0 || p.duplicate_rate < 0.0 ||
-      p.duplicate_rate > 1.0) {
-    throw std::invalid_argument("drop_rate/duplicate_rate must be in [0,1]");
-  }
-  return p;
+  return Scenario::from_config(c).params();
 }
 
 net::DeliveryConfig Params::delivery_config() const {

@@ -60,8 +60,15 @@ struct Params {
   /// transaction counts.  0 = whole population.
   std::size_t requestor_pool = 50;
   std::size_t provider_pool = 100;
+  /// Scale engine: how run_transactions() executes a batch ("parallel" |
+  /// "serial"; results are byte-identical, see sim::Scenario).
+  std::string execution = "parallel";
+  std::size_t threads = 0;  ///< worker threads, 0 = hardware concurrency
 
   /// Applies key=value overrides (keys match the field names above).
+  /// Thin back-compat wrapper over sim::Scenario::from_config — new code
+  /// should build a Scenario (table-driven parsing + whole-config
+  /// validation) and use its projections.
   static Params from_config(const util::Config& config);
 
   core::HirepOptions hirep_options() const;

@@ -1,0 +1,196 @@
+#include "sim/scenario.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <type_traits>
+
+namespace hirep::sim {
+
+// OptionSpec::Field folds std::uint64_t members into the std::size_t
+// alternative and unsigned members into std::uint32_t; make the layout
+// assumption loud rather than silently mis-binding on an exotic ABI.
+static_assert(std::is_same_v<std::size_t, std::uint64_t>,
+              "OptionSpec::Field expects size_t == uint64_t");
+static_assert(std::is_same_v<unsigned, std::uint32_t>,
+              "OptionSpec::Field expects unsigned == uint32_t");
+
+namespace {
+
+void apply_option(Params& p, const OptionSpec& spec, const util::Config& c) {
+  std::visit(
+      [&](auto field) {
+        using T = std::remove_reference_t<decltype(p.*field)>;
+        if constexpr (std::is_same_v<T, double>) {
+          p.*field = c.get_double(spec.name, p.*field);
+        } else if constexpr (std::is_same_v<T, std::string>) {
+          p.*field = c.get_string(spec.name, p.*field);
+        } else {
+          p.*field = static_cast<T>(
+              c.get_int(spec.name, static_cast<std::int64_t>(p.*field)));
+        }
+      },
+      spec.field);
+}
+
+std::string type_and_default(const Params& defaults, const OptionSpec& spec) {
+  std::ostringstream out;
+  std::visit(
+      [&](auto field) {
+        using T = std::remove_reference_t<decltype(defaults.*field)>;
+        if constexpr (std::is_same_v<T, double>) {
+          out << "float (" << defaults.*field << ")";
+        } else if constexpr (std::is_same_v<T, std::string>) {
+          out << "string (" << defaults.*field << ")";
+        } else {
+          out << "int (" << defaults.*field << ")";
+        }
+      },
+      spec.field);
+  return out.str();
+}
+
+void require(bool ok, const char* message) {
+  if (!ok) throw std::invalid_argument(message);
+}
+
+}  // namespace
+
+const std::vector<OptionSpec>& Scenario::option_table() {
+  static const std::vector<OptionSpec> table = {
+      // ---- Table 1 -------------------------------------------------------
+      {"network_size", &Params::network_size, "number of peers in the network"},
+      {"neighbors_per_node", &Params::neighbors_per_node,
+       "average overlay degree (Fig5 sweeps 2/3/4)"},
+      {"good_rating_lo", &Params::good_rating_lo,
+       "lower bound of a good peer's rating"},
+      {"good_rating_hi", &Params::good_rating_hi,
+       "upper bound of a good peer's rating"},
+      {"bad_rating_lo", &Params::bad_rating_lo,
+       "lower bound of a bad peer's rating"},
+      {"bad_rating_hi", &Params::bad_rating_hi,
+       "upper bound of a bad peer's rating"},
+      {"relays_per_onion", &Params::relays_per_onion,
+       "onion relays per circuit (Fig8 sweeps 5/7/10)"},
+      {"trusted_agents", &Params::trusted_agents,
+       "trusted agents per peer (c)"},
+      {"malicious_ratio", &Params::malicious_ratio,
+       "fraction of poor-performance agents"},
+      {"voting_ttl", &Params::voting_ttl, "TTL of the pure-voting flood"},
+      {"tokens", &Params::tokens, "discovery tokens per walk"},
+      // ---- beyond Table 1 ------------------------------------------------
+      {"trustable_ratio", &Params::trustable_ratio,
+       "fraction of peers whose true trust is 1"},
+      {"agent_capable_ratio", &Params::agent_capable_ratio,
+       "fraction of peers with agent-grade bandwidth"},
+      {"expertise_alpha", &Params::expertise_alpha,
+       "EWMA weight of the agent-expertise update"},
+      {"eviction_threshold", &Params::eviction_threshold,
+       "expertise below this evicts an agent (Fig6: 0.4/0.6/0.8)"},
+      {"discovery_ttl", &Params::discovery_ttl,
+       "TTL of the trusted-agent-list request (§3.4.1)"},
+      {"rsa_bits", &Params::rsa_bits, "RSA modulus size"},
+      {"crypto", &Params::crypto_mode, "crypto mode: fast|full"},
+      {"agent_model", &Params::agent_model,
+       "agent-side computation model (ewma|average|beta)"},
+      {"delivery", &Params::delivery,
+       "envelope delivery: instant|latency|faulty"},
+      {"drop_rate", &Params::drop_rate, "faulty: per-hop loss probability"},
+      {"duplicate_rate", &Params::duplicate_rate,
+       "faulty: per-hop duplication probability"},
+      {"fault_delay_min_ms", &Params::fault_delay_min_ms,
+       "faulty: minimum extra per-hop delay"},
+      {"fault_delay_max_ms", &Params::fault_delay_max_ms,
+       "faulty: maximum extra per-hop delay"},
+      {"link_min_ms", &Params::link_min_ms, "latency: minimum link delay"},
+      {"link_max_ms", &Params::link_max_ms, "latency: maximum link delay"},
+      {"processing_ms", &Params::processing_ms,
+       "latency: per-hop processing time"},
+      {"seed", &Params::seed, "master RNG seed"},
+      {"seeds", &Params::seeds, "independent repetitions to average"},
+      {"transactions", &Params::transactions, "transaction horizon"},
+      {"mse_window", &Params::mse_window,
+       "sliding window of the MSE-vs-time curves"},
+      {"requestor_pool", &Params::requestor_pool,
+       "active requestor community size (0 = whole population)"},
+      {"provider_pool", &Params::provider_pool,
+       "active provider community size (0 = whole population)"},
+      // ---- scale engine --------------------------------------------------
+      {"execution", &Params::execution,
+       "transaction engine: parallel|serial (parallel needs "
+       "delivery=instant; byte-identical results either way)"},
+      {"threads", &Params::threads,
+       "worker threads for execution=parallel (0 = hardware)"},
+  };
+  return table;
+}
+
+Scenario Scenario::from_config(const util::Config& config) {
+  Scenario sc;
+  for (const OptionSpec& spec : option_table()) {
+    apply_option(sc.params_, spec, config);
+  }
+  sc.validate();
+  return sc;
+}
+
+std::string Scenario::help_text() {
+  const Params defaults;
+  std::ostringstream out;
+  out << "Parameters (key=value; every key below is recognized):\n";
+  for (const OptionSpec& spec : option_table()) {
+    out << "  " << spec.name << "=" << type_and_default(defaults, spec) << "  "
+        << spec.help << '\n';
+  }
+  return out.str();
+}
+
+const Scenario& Scenario::validate() const {
+  const Params& p = params_;
+  require(p.network_size >= 8, "network_size must be >= 8");
+  require(p.crypto_mode == "fast" || p.crypto_mode == "full",
+          "crypto must be fast|full");
+  require(net::policy_kind_by_name(p.delivery).has_value(),
+          "delivery must be instant|latency|faulty");
+  require(p.execution == "parallel" || p.execution == "serial",
+          "execution must be parallel|serial");
+  require(p.drop_rate >= 0.0 && p.drop_rate <= 1.0 &&
+              p.duplicate_rate >= 0.0 && p.duplicate_rate <= 1.0,
+          "drop_rate/duplicate_rate must be in [0,1]");
+  require(p.malicious_ratio >= 0.0 && p.malicious_ratio <= 1.0,
+          "malicious_ratio must be in [0,1]");
+  require(p.trustable_ratio >= 0.0 && p.trustable_ratio <= 1.0,
+          "trustable_ratio must be in [0,1]");
+  require(p.agent_capable_ratio >= 0.0 && p.agent_capable_ratio <= 1.0,
+          "agent_capable_ratio must be in [0,1]");
+  require(p.good_rating_lo <= p.good_rating_hi &&
+              p.bad_rating_lo <= p.bad_rating_hi,
+          "rating ranges must satisfy lo <= hi");
+  require(p.expertise_alpha > 0.0 && p.expertise_alpha <= 1.0,
+          "expertise_alpha must be in (0,1]");
+  require(p.eviction_threshold >= 0.0 && p.eviction_threshold <= 1.0,
+          "eviction_threshold must be in [0,1]");
+  require(p.seeds >= 1, "seeds must be >= 1");
+  require(p.trusted_agents >= 1, "trusted_agents must be >= 1");
+  require(p.mse_window >= 1, "mse_window must be >= 1");
+  require(p.relays_per_onion < p.network_size,
+          "relays_per_onion must be < network_size");
+  require(p.requestor_pool <= p.network_size,
+          "requestor_pool must be <= network_size (0 = whole population)");
+  require(p.provider_pool <= p.network_size,
+          "provider_pool must be <= network_size (0 = whole population)");
+  require(p.fault_delay_min_ms <= p.fault_delay_max_ms,
+          "fault_delay_min_ms must be <= fault_delay_max_ms");
+  require(p.link_min_ms <= p.link_max_ms,
+          "link_min_ms must be <= link_max_ms");
+  return *this;
+}
+
+core::ExecutionPolicy Scenario::execution_policy() const {
+  core::ExecutionPolicy exec;
+  exec.parallel =
+      params_.execution == "parallel" && params_.delivery == "instant";
+  exec.threads = params_.threads;
+  return exec;
+}
+
+}  // namespace hirep::sim

@@ -1,0 +1,60 @@
+// Sliding-window MSE tracker for the accuracy-vs-transactions curves.
+//
+// The window slides by adding the newest squared error and subtracting the
+// oldest; with a naive running sum the subtraction step accumulates
+// floating-point drift, so after enough slides the reported MSE diverges
+// from the true window mean (and can even go slightly negative on
+// near-zero windows).  The sum is therefore kept with Neumaier's
+// compensated summation: every add carries the rounding remainder in a
+// second accumulator, which keeps the window sum exact to within one ulp
+// of the true value regardless of how many transactions have passed.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <deque>
+
+namespace hirep::sim {
+
+class WindowedMse {
+ public:
+  explicit WindowedMse(std::size_t window) : window_(window) {}
+
+  void add(double estimate, double truth) {
+    const double e = estimate - truth;
+    values_.push_back(e * e);
+    accumulate(e * e);
+    if (values_.size() > window_) {
+      accumulate(-values_.front());
+      values_.pop_front();
+    }
+  }
+
+  double mse() const {
+    if (values_.empty()) return 0.0;
+    // A window of true zeros must report exactly 0, and compensation can
+    // leave a tiny negative residue — clamp it away.
+    const double total = sum_ + compensation_;
+    return total <= 0.0 ? 0.0 : total / static_cast<double>(values_.size());
+  }
+
+  std::size_t size() const noexcept { return values_.size(); }
+
+ private:
+  void accumulate(double v) {
+    const double t = sum_ + v;
+    if (std::abs(sum_) >= std::abs(v)) {
+      compensation_ += (sum_ - t) + v;
+    } else {
+      compensation_ += (v - t) + sum_;
+    }
+    sum_ = t;
+  }
+
+  std::size_t window_;
+  std::deque<double> values_;
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+}  // namespace hirep::sim

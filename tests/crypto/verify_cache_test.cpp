@@ -1,0 +1,162 @@
+// Verification-cache safety properties (DESIGN.md §9): only successful
+// verdicts are memoized, forged signatures are re-checked every time, the
+// nodeId binding memo agrees with NodeId::of_key, LRU capacity is honored,
+// and concurrent mixed hit/miss traffic neither crashes nor miscounts.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "crypto/identity.hpp"
+#include "crypto/rsa.hpp"
+#include "crypto/verify_cache.hpp"
+#include "util/rng.hpp"
+
+namespace hirep::crypto {
+namespace {
+
+util::Bytes message(std::uint8_t tag, std::size_t n = 24) {
+  util::Bytes m(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m[i] = static_cast<std::uint8_t>(tag + i * 7);
+  }
+  return m;
+}
+
+class VerifyCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::Rng rng(2026);
+    pair_ = rsa_generate(rng, 128);
+    other_ = rsa_generate(rng, 128);
+  }
+
+  RsaKeyPair pair_;
+  RsaKeyPair other_;
+};
+
+TEST_F(VerifyCacheTest, SecondVerificationIsAHit) {
+  VerifyCache cache;
+  const auto data = message(1);
+  const auto sig = rsa_sign(pair_.priv, data);
+  EXPECT_TRUE(cache.verify(pair_.pub, data, sig));
+  EXPECT_TRUE(cache.verify(pair_.pub, data, sig));
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.verify_misses, 1u);
+  EXPECT_EQ(stats.verify_hits, 1u);
+}
+
+TEST_F(VerifyCacheTest, ForgedSignatureIsNeverCached) {
+  VerifyCache cache;
+  const auto data = message(2);
+  auto sig = rsa_sign(pair_.priv, data);
+  sig[0] ^= 0x01;  // forge
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(cache.verify(pair_.pub, data, sig));
+  }
+  const auto stats = cache.stats();
+  // Every attempt re-ran the real verification: all misses, no hits.
+  EXPECT_EQ(stats.verify_misses, 3u);
+  EXPECT_EQ(stats.verify_hits, 0u);
+  // ...and the genuine signature still verifies (no shadowing).
+  sig[0] ^= 0x01;
+  EXPECT_TRUE(cache.verify(pair_.pub, data, sig));
+}
+
+TEST_F(VerifyCacheTest, WrongKeyDataOrSignatureMisses) {
+  VerifyCache cache;
+  const auto data = message(3);
+  const auto sig = rsa_sign(pair_.priv, data);
+  ASSERT_TRUE(cache.verify(pair_.pub, data, sig));
+  EXPECT_FALSE(cache.verify(other_.pub, data, sig));
+  EXPECT_FALSE(cache.verify(pair_.pub, message(4), sig));
+  const auto sig2 = rsa_sign(pair_.priv, message(4));
+  EXPECT_FALSE(cache.verify(pair_.pub, data, sig2));
+  EXPECT_EQ(cache.stats().verify_hits, 0u);
+}
+
+TEST_F(VerifyCacheTest, LruEvictionBoundsTheTable) {
+  // Tiny capacity: 16 entries over 8 shards = 2 per shard.  Insert many
+  // distinct valid triples, then re-verify the first one — it must have
+  // been evicted and count as a miss again (still returning true).
+  VerifyCache cache(16);
+  const auto first = message(10);
+  const auto first_sig = rsa_sign(pair_.priv, first);
+  ASSERT_TRUE(cache.verify(pair_.pub, first, first_sig));
+  for (std::uint8_t tag = 11; tag < 11 + 64; ++tag) {
+    const auto data = message(tag);
+    ASSERT_TRUE(cache.verify(pair_.pub, data, rsa_sign(pair_.priv, data)));
+  }
+  const auto before = cache.stats();
+  EXPECT_TRUE(cache.verify(pair_.pub, first, first_sig));
+  const auto after = cache.stats();
+  EXPECT_EQ(after.verify_misses, before.verify_misses + 1);
+  EXPECT_EQ(after.verify_hits, before.verify_hits);
+}
+
+TEST_F(VerifyCacheTest, NodeIdBindingMatchesOfKeyAndMemoizes) {
+  VerifyCache cache;
+  const auto expected = NodeId::of_key(pair_.pub);
+  EXPECT_EQ(cache.node_id_of(pair_.pub), expected);
+  EXPECT_EQ(cache.node_id_of(pair_.pub), expected);
+  EXPECT_EQ(cache.node_id_of(other_.pub), NodeId::of_key(other_.pub));
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.binding_misses, 2u);
+  EXPECT_EQ(stats.binding_hits, 1u);
+}
+
+TEST_F(VerifyCacheTest, ClearResetsTablesAndStats) {
+  VerifyCache cache;
+  const auto data = message(5);
+  const auto sig = rsa_sign(pair_.priv, data);
+  ASSERT_TRUE(cache.verify(pair_.pub, data, sig));
+  ASSERT_TRUE(cache.verify(pair_.pub, data, sig));
+  cache.clear();
+  const auto zeroed = cache.stats();
+  EXPECT_EQ(zeroed.verify_hits, 0u);
+  EXPECT_EQ(zeroed.verify_misses, 0u);
+  EXPECT_TRUE(cache.verify(pair_.pub, data, sig));
+  EXPECT_EQ(cache.stats().verify_misses, 1u);
+}
+
+TEST_F(VerifyCacheTest, GlobalWrappersAgreeWithDirectCalls) {
+  const auto data = message(6);
+  const auto sig = rsa_sign(pair_.priv, data);
+  EXPECT_EQ(verify_cached(pair_.pub, data, sig),
+            rsa_verify(pair_.pub, data, sig));
+  EXPECT_EQ(node_id_of_cached(pair_.pub), NodeId::of_key(pair_.pub));
+}
+
+TEST_F(VerifyCacheTest, ConcurrentMixedTrafficCountsConsistently) {
+  VerifyCache cache;
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 50;
+  // Each thread hammers a shared valid triple plus its own forged one.
+  const auto data = message(7);
+  const auto good = rsa_sign(pair_.priv, data);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto forged = good;
+      forged[0] ^= static_cast<std::uint8_t>(t + 1);
+      for (int i = 0; i < kRounds; ++i) {
+        ASSERT_TRUE(cache.verify(pair_.pub, data, good));
+        ASSERT_FALSE(cache.verify(pair_.pub, data, forged));
+        cache.node_id_of(pair_.pub);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.verify_hits + stats.verify_misses,
+            static_cast<std::uint64_t>(2 * kThreads * kRounds));
+  // Forged triples never hit, so hits are bounded by the valid lookups
+  // (minus the at-least-one populating miss).
+  EXPECT_LT(stats.verify_hits,
+            static_cast<std::uint64_t>(kThreads * kRounds));
+  EXPECT_EQ(stats.binding_hits + stats.binding_misses,
+            static_cast<std::uint64_t>(kThreads * kRounds));
+}
+
+}  // namespace
+}  // namespace hirep::crypto

@@ -1,7 +1,9 @@
 // Golden-value pins for the figure pipelines.  The tables below were
-// captured from the counted-send implementation (pre-transport) at full
-// double precision; the transport refactor with InstantDelivery must keep
-// reproducing them bit for bit — message counts AND estimates.
+// captured at full double precision from the batched scale engine
+// (per-transaction RNG streams, pre-drawn workload, Neumaier-compensated
+// MSE windows) with the parallel executor enabled; both executors and any
+// future refactor must keep reproducing them bit for bit — message counts
+// AND estimates.
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -27,40 +29,40 @@ Params golden_params() {
 
 // transactions, voting-2, voting-3, voting-4, hirep
 const std::vector<std::vector<double>> kFig5Golden = {
-    {6, 1118, 3924, 6611, 1044},
-    {12, 2627, 8203, 12410, 2088},
-    {18, 3762, 12278, 19016, 3132},
-    {24, 5334, 16558, 25595, 4194},
-    {30, 6219, 20164, 31807, 5274},
-    {36, 7811, 24060, 38173, 6354},
-    {42, 9691, 28273, 44625, 7416},
+    {6, 1118, 3924, 6611, 1080},
+    {12, 2627, 8203, 12410, 2160},
+    {18, 3762, 12278, 19016, 3186},
+    {24, 5334, 16558, 25595, 4230},
+    {30, 6219, 20164, 31807, 5310},
+    {36, 7811, 24060, 38173, 6390},
+    {42, 9691, 28273, 44625, 7434},
     {48, 11027, 31677, 50950, 8496},
-    {54, 13104, 35265, 57253, 9558},
-    {60, 14510, 39553, 63114, 10638},
+    {54, 13104, 35265, 57253, 9540},
+    {60, 14510, 39553, 63114, 10602},
 };
 
 // transactions, voting, hirep-4, hirep-6, hirep-8
 const std::vector<std::vector<double>> kFig6Golden = {
-    {10, 0.065214480445090123, 0.080035689513480765, 0.080035689513480765,
-     0.065145401261152286},
-    {20, 0.066617504433397451, 0.067371222968806876, 0.067371222968806876,
-     0.056654274109578719},
-    {30, 0.068760310759109072, 0.050869266286786077, 0.050455355289226365,
-     0.038948800818810692},
-    {40, 0.069004387412457818, 0.039480252039594037, 0.036623217204582559,
-     0.035974303917042601},
-    {50, 0.068954216591999934, 0.034618628063436553, 0.029845344957288505,
-     0.043887303625152023},
-    {60, 0.068990047087019307, 0.043384601103030607, 0.032215411389345722,
-     0.037280212707840543},
-    {70, 0.068849215668431246, 0.034866607060602309, 0.024936393101890542,
-     0.027186629242294973},
-    {80, 0.068820776620601445, 0.019299958889424703, 0.014438967525969015,
-     0.025166374059194661},
-    {90, 0.06601638460023343, 0.018432784840077265, 0.016359346253063491,
-     0.021439508416014545},
-    {100, 0.065284440396730758, 0.021923948629325792, 0.019405916975276948,
-     0.012842275106270515},
+    {10, 0.065214480445090123, 0.05508763509368194, 0.052465014763679797,
+     0.050683057404128942},
+    {20, 0.066617504433397451, 0.056722056685676113, 0.055410746520675035,
+     0.049215727834424114},
+    {30, 0.068760310759109072, 0.055083403087215176, 0.052087824363662508,
+     0.046783784357187004},
+    {40, 0.069004387412457818, 0.045235900272596739, 0.042240321549044071,
+     0.034547557987852751},
+    {50, 0.068954216591999976, 0.041036754185416552, 0.039190185769198416,
+     0.030742185205088111},
+    {60, 0.068990047087019321, 0.035968456127620438, 0.03106494425688262,
+     0.029481741961594827},
+    {70, 0.068849215668431246, 0.037432651265569009, 0.031601239766079536,
+     0.026959620362453963},
+    {80, 0.068820776620601487, 0.033536857060491948, 0.030762389015522168,
+     0.026625112387190526},
+    {90, 0.066016384600233471, 0.027511702333610027, 0.026033926706891149,
+     0.024962281866082653},
+    {100, 0.065284440396730786, 0.020954497939377356, 0.019476722312658477,
+     0.018728699988924864},
 };
 
 void expect_table_equals(const util::Table& table,
@@ -77,14 +79,23 @@ void expect_table_equals(const util::Table& table,
   }
 }
 
-TEST(GoldenValues, Fig5TrafficIsUnchangedByTheTransportLayer) {
+TEST(GoldenValues, Fig5TrafficIsUnchangedByTheScaleEngine) {
   const auto result = run_fig5_traffic(golden_params());
   expect_table_equals(result.table, kFig5Golden);
 }
 
-TEST(GoldenValues, Fig6AccuracyIsUnchangedByTheTransportLayer) {
+TEST(GoldenValues, Fig6AccuracyIsUnchangedByTheScaleEngine) {
   const auto result = run_fig6_accuracy(golden_params());
   expect_table_equals(result.table, kFig6Golden);
+}
+
+TEST(GoldenValues, SerialExecutorReproducesTheSameFigures) {
+  // The pins above run with Params' default execution=parallel; the serial
+  // engine must land on every golden bit as well.
+  Params p = golden_params();
+  p.execution = "serial";
+  expect_table_equals(run_fig5_traffic(p).table, kFig5Golden);
+  expect_table_equals(run_fig6_accuracy(p).table, kFig6Golden);
 }
 
 TEST(AverageOverSeeds, ParallelMatchesSerialBitForBit) {

@@ -1,0 +1,139 @@
+// sim::Scenario — table-driven parsing, whole-configuration validation,
+// fluent builder, and the execution-policy projection for the scale engine.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "sim/scenario.hpp"
+
+namespace hirep::sim {
+namespace {
+
+util::Config cfg(const std::string& line) {
+  return util::Config::from_string(line);
+}
+
+TEST(ScenarioTable, EveryOptionParsesFromConfig) {
+  // One representative per field type, plus spot checks that values land
+  // in the right Params member.
+  const auto sc = Scenario::from_config(
+      cfg("network_size=500 neighbors_per_node=3.5 crypto=full seed=42 "
+          "voting_ttl=6 execution=serial threads=3 malicious_ratio=0.25"));
+  EXPECT_EQ(sc.params().network_size, 500u);
+  EXPECT_DOUBLE_EQ(sc.params().neighbors_per_node, 3.5);
+  EXPECT_EQ(sc.params().crypto_mode, "full");
+  EXPECT_EQ(sc.params().seed, 42u);
+  EXPECT_EQ(sc.params().voting_ttl, 6u);
+  EXPECT_EQ(sc.params().execution, "serial");
+  EXPECT_EQ(sc.params().threads, 3u);
+  EXPECT_DOUBLE_EQ(sc.params().malicious_ratio, 0.25);
+}
+
+TEST(ScenarioTable, NamesAreUniqueAndHelpCoversThemAll) {
+  std::unordered_set<std::string> names;
+  for (const auto& spec : Scenario::option_table()) {
+    EXPECT_TRUE(names.insert(spec.name).second)
+        << "duplicate option " << spec.name;
+    EXPECT_NE(std::string(spec.help), "") << spec.name;
+  }
+  const auto help = Scenario::help_text();
+  for (const auto& spec : Scenario::option_table()) {
+    EXPECT_NE(help.find(spec.name), std::string::npos)
+        << spec.name << " missing from --help";
+  }
+}
+
+TEST(ScenarioTable, UnknownKeysAreLeftForTheUnusedScan) {
+  const auto config = cfg("network_size=300 not_a_param=1");
+  Scenario::from_config(config);
+  const auto unused = config.unused_keys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "not_a_param");
+}
+
+TEST(ScenarioValidate, RejectsImpossibleCombinations) {
+  EXPECT_THROW(Scenario::from_config(cfg("network_size=4")),
+               std::invalid_argument);
+  EXPECT_THROW(Scenario::from_config(cfg("crypto=quantum")),
+               std::invalid_argument);
+  EXPECT_THROW(Scenario::from_config(cfg("delivery=pigeon")),
+               std::invalid_argument);
+  EXPECT_THROW(Scenario::from_config(cfg("execution=warp")),
+               std::invalid_argument);
+  EXPECT_THROW(Scenario::from_config(cfg("malicious_ratio=1.5")),
+               std::invalid_argument);
+  EXPECT_THROW(Scenario::from_config(cfg("good_rating_lo=0.9 "
+                                         "good_rating_hi=0.2")),
+               std::invalid_argument);
+  EXPECT_THROW(Scenario::from_config(cfg("expertise_alpha=0")),
+               std::invalid_argument);
+  EXPECT_THROW(Scenario::from_config(cfg("seeds=0")), std::invalid_argument);
+  EXPECT_THROW(Scenario::from_config(cfg("network_size=100 "
+                                         "relays_per_onion=100 "
+                                         "provider_pool=100")),
+               std::invalid_argument);
+  // The headline case: a provider pool larger than the network.
+  EXPECT_THROW(Scenario::from_config(cfg("network_size=50")),
+               std::invalid_argument);  // default provider_pool=100 > 50
+  EXPECT_THROW(
+      Scenario::from_config(cfg("network_size=200 provider_pool=300")),
+      std::invalid_argument);
+  EXPECT_THROW(Scenario::from_config(cfg("fault_delay_min_ms=5 "
+                                         "fault_delay_max_ms=1")),
+               std::invalid_argument);
+}
+
+TEST(ScenarioValidate, AcceptsPoolsDisabledOrWithinBounds) {
+  EXPECT_NO_THROW(Scenario::from_config(
+      cfg("network_size=50 requestor_pool=0 provider_pool=0")));
+  EXPECT_NO_THROW(Scenario::from_config(
+      cfg("network_size=200 requestor_pool=50 provider_pool=200")));
+}
+
+TEST(ScenarioBuilder, FluentChainProjectsIntoEngineOptions) {
+  auto sc = Scenario()
+                .network_size(300)
+                .transactions(40)
+                .seed(9)
+                .crypto("full")
+                .trusted_agents(6)
+                .malicious_ratio(0.2)
+                .validate();
+  const auto o = sc.hirep_options();
+  EXPECT_EQ(o.nodes, 300u);
+  EXPECT_EQ(o.seed, 9u);
+  EXPECT_EQ(o.crypto, core::CryptoMode::kFull);
+  EXPECT_EQ(o.trusted_agents, 6u);
+  EXPECT_DOUBLE_EQ(o.world.malicious_ratio, 0.2);
+  EXPECT_EQ(sc.voting_options().nodes, 300u);
+  EXPECT_EQ(sc.trustme_options().nodes, 300u);
+}
+
+TEST(ScenarioExecutionPolicy, ParallelOnlyUnderInstantDelivery) {
+  auto sc = Scenario().execution("parallel").threads(4);
+  EXPECT_TRUE(sc.execution_policy().parallel);
+  EXPECT_EQ(sc.execution_policy().threads, 4u);
+
+  // Lossy/delayed transports are order-dependent: downgrade to serial.
+  sc.delivery("latency");
+  EXPECT_FALSE(sc.execution_policy().parallel);
+  sc.delivery("instant");
+  EXPECT_TRUE(sc.execution_policy().parallel);
+
+  sc.execution("serial");
+  EXPECT_FALSE(sc.execution_policy().parallel);
+}
+
+TEST(ScenarioBackCompat, ParamsFromConfigDelegatesToScenario) {
+  const auto p = Params::from_config(
+      cfg("network_size=400 crypto=full execution=serial"));
+  EXPECT_EQ(p.network_size, 400u);
+  EXPECT_EQ(p.crypto_mode, "full");
+  EXPECT_EQ(p.execution, "serial");
+  EXPECT_THROW(Params::from_config(cfg("network_size=2")),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hirep::sim

@@ -1,0 +1,80 @@
+// WindowedMse — the sliding window must agree with a from-scratch
+// recomputation of the same window even after many slides (the naive
+// running-sum implementation drifts), and never report a negative MSE.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include "sim/windowed_mse.hpp"
+#include "util/rng.hpp"
+
+namespace hirep::sim {
+namespace {
+
+double reference_mse(const std::deque<double>& window) {
+  if (window.empty()) return 0.0;
+  // Exact mean via long-double accumulation of the stored squared errors.
+  long double sum = 0.0L;
+  for (double v : window) sum += v;
+  return static_cast<double>(sum / static_cast<long double>(window.size()));
+}
+
+TEST(WindowedMse, MatchesNaiveDefinitionOnShortStreams) {
+  WindowedMse w(4);
+  EXPECT_EQ(w.mse(), 0.0);
+  w.add(1.0, 0.0);
+  EXPECT_DOUBLE_EQ(w.mse(), 1.0);
+  w.add(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(w.mse(), 1.0);
+  w.add(0.5, 0.0);
+  EXPECT_DOUBLE_EQ(w.mse(), (1.0 + 1.0 + 0.25) / 3.0);
+  w.add(0.0, 0.0);
+  w.add(0.0, 0.0);  // first value slides out
+  EXPECT_DOUBLE_EQ(w.mse(), (1.0 + 0.25) / 4.0);
+  EXPECT_EQ(w.size(), 4u);
+}
+
+TEST(WindowedMse, NoDriftAfterManySlides) {
+  // Mixed magnitudes are the drift trigger: occasional huge squared errors
+  // followed by tiny ones leave the naive running sum with a residue that
+  // dwarfs the true window content.  The compensated window must track the
+  // from-scratch recomputation to ~1 ulp forever.
+  const std::size_t window_size = 50;
+  WindowedMse w(window_size);
+  std::deque<double> window;
+  util::Rng rng(99);
+  for (std::size_t t = 0; t < 200000; ++t) {
+    double err = rng.uniform() * 1e-6;
+    if (t % 97 == 0) err = rng.uniform() * 1e6;  // rare huge outlier
+    w.add(err, 0.0);
+    window.push_back(err * err);
+    if (window.size() > window_size) window.pop_front();
+    if (t % 1000 == 999) {
+      const double expected = reference_mse(window);
+      const double tolerance = std::max(expected * 1e-12, 1e-300);
+      EXPECT_NEAR(w.mse(), expected, tolerance) << "at t=" << t;
+    }
+  }
+}
+
+TEST(WindowedMse, NeverReportsNegativeAfterOutlierPassesThrough) {
+  WindowedMse w(8);
+  w.add(1e8, 0.0);  // huge squared error enters...
+  for (int i = 0; i < 8; ++i) w.add(1e-9, 0.0);  // ...then slides out
+  EXPECT_GE(w.mse(), 0.0);
+  // The window now holds eight 1e-18 squared errors; the reported MSE
+  // must reflect them, not the residue of the departed outlier.
+  EXPECT_NEAR(w.mse(), 1e-18, 1e-24);
+}
+
+TEST(WindowedMse, AllZeroWindowIsExactlyZero) {
+  WindowedMse w(16);
+  w.add(123.0, 0.0);
+  for (int i = 0; i < 16; ++i) w.add(0.5, 0.5);
+  EXPECT_EQ(w.mse(), 0.0);
+}
+
+}  // namespace
+}  // namespace hirep::sim
