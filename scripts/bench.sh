@@ -29,12 +29,14 @@ case "$profile" in
     micro_min_time=0.05
     scale_fast_params=(network_size=10000 transactions=2000 crypto=fast seed=1)
     scale_full_params=(network_size=2000 transactions=300 crypto=full seed=1)
+    chaos_params=(network_size=200 transactions=240 crypto=fast seed=7)
     ;;
   full)
     fig_params=()
     micro_min_time=0.5
     scale_fast_params=(network_size=100000 transactions=10000 crypto=fast seed=1)
     scale_full_params=(network_size=10000 transactions=1000 crypto=full seed=1)
+    chaos_params=(network_size=1000 transactions=2000 crypto=fast seed=7)
     ;;
   *)
     echo "bench.sh: unknown BENCH_PROFILE '$profile' (use: quick full)" >&2
@@ -58,23 +60,25 @@ for suite in "${micro_suites[@]}"; do
     --benchmark_out_format=json
 done
 
-# Scale engine: serial vs parallel batch execution, both crypto modes
-# (hirep-bench-v1 documents; exit 1 = a claim did not hold, still recorded).
-scale_runs=(micro_scale_fast micro_scale_full)
+# Scale engine: serial vs parallel batch execution, both crypto modes;
+# chaos engine: fault schedule + failover recovery (hirep-bench-v1
+# documents; exit 1 = a claim did not hold, still recorded).
+scale_runs=(micro_scale_fast micro_scale_full chaos_recovery)
 for run in "${scale_runs[@]}"; do
   case "$run" in
-    micro_scale_fast) params=("${scale_fast_params[@]}") ;;
-    micro_scale_full) params=("${scale_full_params[@]}") ;;
+    micro_scale_fast) binary=micro_scale params=("${scale_fast_params[@]}") ;;
+    micro_scale_full) binary=micro_scale params=("${scale_full_params[@]}") ;;
+    chaos_recovery)   binary=chaos_recovery params=("${chaos_params[@]}") ;;
   esac
-  echo "== bench.sh: micro_scale (${params[*]}) =="
+  echo "== bench.sh: $binary (${params[*]}) =="
   rc=0
-  "$bench_dir/micro_scale" "${params[@]}" json="$tmp/$run.json" || rc=$?
+  "$bench_dir/$binary" "${params[@]}" json="$tmp/$run.json" || rc=$?
   if [[ $rc -ge 2 ]]; then
-    echo "bench.sh: micro_scale failed hard (exit $rc)" >&2
+    echo "bench.sh: $binary failed hard (exit $rc)" >&2
     exit "$rc"
   fi
   if [[ ! -s "$tmp/$run.json" ]]; then
-    echo "bench.sh: micro_scale produced no JSON output" >&2
+    echo "bench.sh: $binary produced no JSON output" >&2
     exit 2
   fi
 done

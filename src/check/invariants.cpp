@@ -75,4 +75,14 @@ bool binding(const char* invariant, bool bound, std::uint64_t actor,
   return false;
 }
 
+bool gate(const char* invariant, bool precondition_held, const char* context,
+          std::uint64_t actor, std::uint64_t subject) {
+  if (precondition_held) return true;
+  report({invariant,
+          std::string(context) + ": guarded action ran without its "
+                                 "precondition",
+          -1.0, actor, subject});
+  return false;
+}
+
 }  // namespace hirep::check

@@ -89,4 +89,11 @@ bool conserved(const char* invariant, std::uint64_t sent,
 bool binding(const char* invariant, bool bound, std::uint64_t actor = 0,
              std::uint64_t subject = 0);
 
+/// True when a guarded action's precondition held at the moment it ran;
+/// reports otherwise.  Guards state transitions that must only happen with
+/// fresh evidence — e.g. the §3.4.3 recovery rule that a quarantined agent
+/// never re-enters a trusted list without a successful probe.
+bool gate(const char* invariant, bool precondition_held, const char* context,
+          std::uint64_t actor = 0, std::uint64_t subject = 0);
+
 }  // namespace hirep::check

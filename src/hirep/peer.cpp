@@ -32,6 +32,23 @@ onion::Onion Peer::issue_onion(util::Rng& rng) {
   return onion::build_onion(rng, *identity_, ip_, relays_, sq);
 }
 
+std::optional<double> Peer::first_hand(const crypto::NodeId& subject) const {
+  const auto it = first_hand_.find(subject);
+  if (it == first_hand_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Peer::note_outcome(const crypto::NodeId& subject, double outcome) {
+  const double alpha = agents_.params().alpha;
+  const auto [it, inserted] = first_hand_.try_emplace(subject, outcome);
+  if (!inserted) {
+    it->second = alpha * outcome + (1.0 - alpha) * it->second;
+  }
+  if constexpr (check::kEnabled) {
+    check::unit_interval("hirep.first_hand.bounds", it->second);
+  }
+}
+
 double Peer::aggregate(
     const std::vector<std::pair<double, double>>& value_weight_pairs) {
   if (value_weight_pairs.empty()) return 0.5;

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "check/invariants.hpp"
@@ -54,6 +55,13 @@ class Peer {
   std::uint64_t transactions() const noexcept { return transactions_; }
   void note_transaction() noexcept { ++transactions_; }
 
+  /// First-hand trust: an EWMA (same alpha as the expertise update) over
+  /// this peer's own transaction outcomes with a subject — the degradation
+  /// fallback when the live trusted-agent quorum collapses.  nullopt until
+  /// the peer has transacted with the subject at least once.
+  std::optional<double> first_hand(const crypto::NodeId& subject) const;
+  void note_outcome(const crypto::NodeId& subject, double outcome);
+
  private:
   const crypto::Identity* identity_;
   net::NodeIndex ip_;
@@ -61,6 +69,7 @@ class Peer {
   std::vector<onion::RelayInfo> relays_;
   std::uint64_t sq_ = 1;
   std::uint64_t transactions_ = 0;
+  std::unordered_map<crypto::NodeId, double, crypto::NodeIdHash> first_hand_;
   check::MonotoneSequence issued_sq_{"onion.sq.issuer_monotone"};
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string_view>
 
 #include "check/invariants.hpp"
 #include "crypto/verify_cache.hpp"
@@ -46,6 +47,7 @@ bool trust_counted(net::EnvelopeType type) noexcept {
 constexpr std::uint64_t kTxnStreamSalt = 0x5ca1ab1e0ddba11dULL;
 constexpr std::uint64_t kMaintenanceSalt = 0xdecafbadf00dfeedULL;
 constexpr std::uint64_t kLaneSeedSalt = 0x1a5e5eedULL;
+constexpr std::uint64_t kChannelSeedSalt = 0xbadc0ffee0dba11ULL;
 
 using IdMap = std::vector<std::pair<crypto::NodeId, net::NodeIndex>>;
 
@@ -74,6 +76,8 @@ HirepSystem::HirepSystem(HirepOptions options)
       overlay_(net::power_law(rng_, options_.nodes, options_.average_degree),
                options_.latency, options_.seed ^ 0x1eafcafeULL),
       transport_(&overlay_, options_.delivery, options_.seed ^ 0xfa017ca7ULL),
+      reliable_(&transport_, options_.reliable,
+                options_.seed ^ kChannelSeedSalt),
       router_(&overlay_, [this](net::NodeIndex v) -> const crypto::Identity* {
         return v < identities_.size() ? &identities_[v] : nullptr;
       }) {
@@ -125,6 +129,7 @@ void HirepSystem::make_agent(net::NodeIndex v,
       options_.min_reports_for_model);
   rt.relays = peers_[v].relays();  // agents reuse their verified relays
   rt.mu = std::make_unique<std::mutex>();
+  rt.recovery = std::make_unique<AgentRecovery>();
   ++agent_count_;
 }
 
@@ -149,6 +154,77 @@ void HirepSystem::set_agent_online(net::NodeIndex v, bool online) {
     throw std::invalid_argument("node is not an agent");
   }
   agent_runtimes_[v].online = online;
+}
+
+bool HirepSystem::agent_quarantined(net::NodeIndex v) const {
+  return v < agent_runtimes_.size() &&
+         agent_runtimes_[v].recovery != nullptr &&
+         agent_runtimes_[v].recovery->quarantined.load(
+             std::memory_order_relaxed);
+}
+
+void HirepSystem::quarantine_agent(net::NodeIndex v) {
+  if (v >= agent_runtimes_.size() || agent_runtimes_[v].agent == nullptr) {
+    throw std::invalid_argument("node is not an agent");
+  }
+  if (!agent_runtimes_[v].recovery->quarantined.exchange(
+          true, std::memory_order_relaxed)) {
+    recovery_tallies_.quarantines.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+HirepSystem::RecoveryCounters HirepSystem::recovery_counters() const {
+  const auto get = [](const std::atomic<std::uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+  RecoveryCounters c;
+  c.suspicions = get(recovery_tallies_.suspicions);
+  c.quarantines = get(recovery_tallies_.quarantines);
+  c.probations_cleared = get(recovery_tallies_.probations_cleared);
+  c.backup_promotions = get(recovery_tallies_.backup_promotions);
+  c.rediscoveries = get(recovery_tallies_.rediscoveries);
+  c.degraded_queries = get(recovery_tallies_.degraded_queries);
+  return c;
+}
+
+void HirepSystem::note_exchange_failure(AgentRuntime& rt) {
+  recovery_tallies_.suspicions.fetch_add(1, std::memory_order_relaxed);
+  if constexpr (obs::kEnabled) {
+    static obs::Counter& suspicions =
+        obs::Registry::global().counter("hirep.recovery.suspicions");
+    suspicions.add();
+  }
+  const std::uint32_t after =
+      rt.recovery->suspicion.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Exactly one incrementer observes the threshold crossing, so the
+  // quarantine transition (and its tally) happens once no matter how many
+  // lanes report failures concurrently.
+  if (after == options_.recovery.suspicion_threshold &&
+      !rt.recovery->quarantined.exchange(true, std::memory_order_relaxed)) {
+    recovery_tallies_.quarantines.fetch_add(1, std::memory_order_relaxed);
+    if constexpr (obs::kEnabled) {
+      static obs::Counter& quarantines =
+          obs::Registry::global().counter("hirep.recovery.quarantines");
+      quarantines.add();
+    }
+  }
+}
+
+void HirepSystem::note_exchange_success(AgentRuntime& rt) {
+  rt.recovery->suspicion.store(0, std::memory_order_relaxed);
+}
+
+bool HirepSystem::admit_entry(Peer& p, AgentEntry entry, bool fresh_probe) {
+  if constexpr (check::kEnabled) {
+    const auto* rt = runtime_of(entry.agent_id);
+    const bool quarantined =
+        rt != nullptr && rt->recovery->quarantined.load(
+                             std::memory_order_relaxed);
+    check::gate("hirep.quarantine.fresh_probe", fresh_probe || !quarantined,
+                "trusted-list admission",
+                crypto::NodeIdHash{}(entry.agent_id), p.ip());
+  }
+  return p.agents().add(std::move(entry));
 }
 
 HirepSystem::AgentRuntime* HirepSystem::runtime_of(const crypto::NodeId& id) {
@@ -284,7 +360,16 @@ std::size_t HirepSystem::discover_agents(TxnCtx& ctx, net::NodeIndex peer_ip) {
     // binding rejects forged recommendations.
     if (e.agent_id == p.node_id()) continue;
     if (crypto::node_id_of_cached(e.agent_key) != e.agent_id) continue;
-    if (p.agents().add(std::move(e))) ++added;
+    // A quarantined agent cannot re-enter any trusted list from a
+    // recommendation; only a fresh probe (refill) readmits it.
+    {
+      const auto* rt = runtime_of(e.agent_id);
+      if (rt != nullptr && rt->recovery->quarantined.load(
+                               std::memory_order_relaxed)) {
+        continue;
+      }
+    }
+    if (admit_entry(p, std::move(e), /*fresh_probe=*/false)) ++added;
   }
   if constexpr (obs::kEnabled) {
     static obs::Counter& agents_added =
@@ -308,14 +393,43 @@ void HirepSystem::refill(TxnCtx& ctx, net::NodeIndex peer_ip) {
     const auto probe_ip = ip_of(backup->agent_id);
     if (!probe_ip) continue;
     const auto probed =
-        ctx.transport->send(net::EnvelopeType::kProbe, peer_ip, {*probe_ip});
-    if (!probed.delivered) continue;  // probe lost: treated as offline
-    const auto* rt = runtime_of(backup->agent_id);
+        ctx.channel->request(net::EnvelopeType::kProbe, peer_ip, {*probe_ip});
+    if (!probed.ok) continue;  // probe lost: treated as offline
+    auto* rt = runtime_of(backup->agent_id);
     if (rt != nullptr && rt->online) {
-      p.agents().add(std::move(*backup));
+      // A delivered probe to a live agent is exactly the fresh evidence
+      // that lifts a standing quarantine (§3.4.3 re-entry rule).
+      rt->recovery->suspicion.store(0, std::memory_order_relaxed);
+      if (rt->recovery->quarantined.exchange(false,
+                                             std::memory_order_relaxed)) {
+        recovery_tallies_.probations_cleared.fetch_add(
+            1, std::memory_order_relaxed);
+        if constexpr (obs::kEnabled) {
+          static obs::Counter& cleared = obs::Registry::global().counter(
+              "hirep.recovery.probations_cleared");
+          cleared.add();
+        }
+      }
+      if (admit_entry(p, std::move(*backup), /*fresh_probe=*/true)) {
+        recovery_tallies_.backup_promotions.fetch_add(
+            1, std::memory_order_relaxed);
+        if constexpr (obs::kEnabled) {
+          static obs::Counter& promotions = obs::Registry::global().counter(
+              "hirep.recovery.backup_promotions");
+          promotions.add();
+        }
+      }
     }
   }
-  if (p.agents().needs_refill()) discover_agents(ctx, peer_ip);
+  if (p.agents().needs_refill()) {
+    recovery_tallies_.rediscoveries.fetch_add(1, std::memory_order_relaxed);
+    if constexpr (obs::kEnabled) {
+      static obs::Counter& rediscoveries =
+          obs::Registry::global().counter("hirep.recovery.rediscoveries");
+      rediscoveries.add();
+    }
+    discover_agents(ctx, peer_ip);
+  }
 }
 
 void HirepSystem::refill(net::NodeIndex peer_ip) {
@@ -380,9 +494,11 @@ crypto::NodeId HirepSystem::rotate_peer_key(net::NodeIndex v) {
     AgentRuntime* rt = runtime_of(entry.agent_id);
     if (rt == nullptr || !rt->online) continue;
     if (options_.crypto == CryptoMode::kFast) {
-      const auto routed = transport_.send(net::EnvelopeType::kKeyRotation, v,
-                                          entry.relay_path);
-      if (!routed.delivered) continue;  // announcement lost: agent keeps SP
+      const auto routed = reliable_.request(net::EnvelopeType::kKeyRotation, v,
+                                            entry.relay_path);
+      // Announcements need no acknowledgement: any copy that arrived is
+      // applied (at most once).
+      if (!routed.applied) continue;  // announcement lost: agent keeps SP
       rt->agent->migrate_key(old_id, announcement);
       continue;
     }
@@ -403,11 +519,11 @@ HirepSystem::RoutedEnvelope HirepSystem::route_envelope(
   RoutedEnvelope result;
   const auto path = router_.peel_path(onion);
   if (!path) return result;  // bad signature / stale sq / corrupt layer
-  auto receipt = ctx.transport->send(type, sender, *path, std::move(wire));
-  if (trust_counted(type)) ctx.trust_messages += receipt.messages;
-  result.delivered = receipt.delivered;
-  result.destination = receipt.destination;
-  result.payload = std::move(receipt.payload);
+  auto outcome = ctx.channel->request(type, sender, *path, std::move(wire));
+  if (trust_counted(type)) ctx.trust_messages += outcome.messages;
+  result.delivered = outcome.ok;
+  result.destination = outcome.destination;
+  result.payload = std::move(outcome.payload);
   return result;
 }
 
@@ -416,6 +532,11 @@ std::optional<double> HirepSystem::exchange_with_agent(
     const crypto::NodeId& subject_id) {
   AgentRuntime* rt = runtime_of(entry.agent_id);
   if (rt == nullptr || !rt->online) return std::nullopt;
+  // The community has given up on a quarantined agent: no request is even
+  // sent until a fresh probe (refill) readmits it.
+  if (rt->recovery->quarantined.load(std::memory_order_relaxed)) {
+    return std::nullopt;
+  }
   const auto agent_ip = *ip_of(entry.agent_id);
   const std::uint64_t nonce = (*ctx.rng)();
 
@@ -423,10 +544,10 @@ std::optional<double> HirepSystem::exchange_with_agent(
     // Identical message counts, protocol work elided.  A lost request means
     // the agent never hears the question; a lost response means the agent
     // answered but the requestor treats it as unreachable (§3.4.3).
-    const auto to_agent = ctx.transport->send(net::EnvelopeType::kTrustRequest,
-                                              requestor.ip(), entry.relay_path);
+    const auto to_agent = ctx.channel->request(net::EnvelopeType::kTrustRequest,
+                                               requestor.ip(), entry.relay_path);
     ctx.trust_messages += to_agent.messages;
-    if (!to_agent.delivered) return std::nullopt;
+    if (!to_agent.ok) return std::nullopt;
     double value;
     {
       // Agents may be shared between transactions of one wave; requestors
@@ -442,10 +563,10 @@ std::optional<double> HirepSystem::exchange_with_agent(
       votes.add();  // the agent answered, even if the response is then lost
     }
     onion::Onion fresh = issue_agent_onion(ctx, agent_ip, *rt);
-    const auto to_peer = ctx.transport->send(net::EnvelopeType::kTrustResponse,
-                                             agent_ip, requestor.relay_path());
+    const auto to_peer = ctx.channel->request(net::EnvelopeType::kTrustResponse,
+                                              agent_ip, requestor.relay_path());
     ctx.trust_messages += to_peer.messages;
-    if (!to_peer.delivered) return std::nullopt;
+    if (!to_peer.ok) return std::nullopt;
     if constexpr (check::kEnabled) {
       // Holder-side §3.3 invariant: within an entry's lifetime, the onion a
       // holder keeps for an issuer is only ever replaced by a fresher one.
@@ -539,10 +660,13 @@ HirepSystem::QueryResult HirepSystem::query_trust(TxnCtx& ctx,
     ++result.contacted;
     const auto value =
         exchange_with_agent(ctx, p, entry, subject_ip, subject_id);
+    AgentRuntime* rt = runtime_of(entry.agent_id);
     if (!value) {
+      if (rt != nullptr) note_exchange_failure(*rt);
       offline.push_back(entry.agent_id);
       continue;
     }
+    if (rt != nullptr) note_exchange_success(*rt);
     result.ratings.push_back({entry.agent_id, *value, entry.weight});
   }
   for (const auto& id : offline) p.agents().handle_offline(id);
@@ -551,6 +675,26 @@ HirepSystem::QueryResult HirepSystem::query_trust(TxnCtx& ctx,
   vw.reserve(result.ratings.size());
   for (const auto& r : result.ratings) vw.emplace_back(r.value, r.weight);
   result.estimate = Peer::aggregate(vw);
+
+  // Graceful degradation: below the live-rating quorum the requestor stops
+  // trusting the thinned community outright and falls back to (or blends
+  // in) its own first-hand experience with the subject.
+  if (options_.recovery.min_quorum > 0 &&
+      result.ratings.size() < options_.recovery.min_quorum) {
+    result.degraded = true;
+    const auto local = p.first_hand(subject_id);
+    if (local) {
+      result.estimate = result.ratings.empty()
+                            ? *local
+                            : 0.5 * (result.estimate + *local);
+    }
+    recovery_tallies_.degraded_queries.fetch_add(1, std::memory_order_relaxed);
+    if constexpr (obs::kEnabled) {
+      static obs::Counter& degraded =
+          obs::Registry::global().counter("hirep.recovery.degraded_queries");
+      degraded.add();
+    }
+  }
   return result;
 }
 
@@ -567,10 +711,12 @@ void HirepSystem::send_report(TxnCtx& ctx, Peer& reporter, AgentEntry& entry,
   if (rt == nullptr || !rt->online) return;
 
   if (options_.crypto == CryptoMode::kFast) {
-    const auto routed = ctx.transport->send(net::EnvelopeType::kReport,
-                                            reporter.ip(), entry.relay_path);
+    const auto routed = ctx.channel->request(net::EnvelopeType::kReport,
+                                             reporter.ip(), entry.relay_path);
     ctx.trust_messages += routed.messages;
-    if (!routed.delivered) return;  // report lost: agent never learns of it
+    // A report needs no acknowledgement: even a copy that arrived past the
+    // reporter's deadline is applied (at most once) at the agent.
+    if (!routed.applied) return;  // report lost: agent never learns of it
     std::lock_guard<std::mutex> lock(*rt->mu);
     rt->agent->accept_report(subject_id, outcome);
     return;
@@ -650,6 +796,7 @@ HirepSystem::TransactionRecord HirepSystem::complete_transaction(
   record.responses = query.ratings.size();
   record.outcome = truth_.transaction_outcome(provider);
   p.note_transaction();
+  p.note_outcome(subject_id, record.outcome);
 
   // Expertise update: A_c = 1 iff the agent's evaluation matched the result.
   for (const auto& rating : query.ratings) {
@@ -663,8 +810,10 @@ HirepSystem::TransactionRecord HirepSystem::complete_transaction(
   }
 
   // Maintenance (§3.4.3).  Batched execution defers it to the wave barrier:
-  // discovery touches peers outside this transaction's conflict set.
-  if (p.agents().needs_refill()) {
+  // discovery touches peers outside this transaction's conflict set.  A
+  // degraded query is itself a re-discovery trigger: the live community
+  // has thinned below what the peer can work with.
+  if (p.agents().needs_refill() || query.degraded) {
     if (ctx.defer_refill) {
       ctx.wants_refill = true;
     } else {
@@ -695,12 +844,17 @@ util::Rng HirepSystem::txn_stream(std::uint64_t index) const {
 std::vector<HirepSystem::TransactionRecord> HirepSystem::run_transactions(
     std::span<const std::pair<net::NodeIndex, net::NodeIndex>> pairs,
     const ExecutionPolicy& exec) {
+  // Judge the policy actually installed, not just the configured kind: a
+  // chaos wrapper (sim::ChaosDelivery) swapped in over an instant config
+  // still drops and delays, so it forfeits both parallel execution and the
+  // up-front sq reservation below.
   const bool instant =
-      options_.delivery.policy == net::DeliveryPolicyKind::kInstant;
+      options_.delivery.policy == net::DeliveryPolicyKind::kInstant &&
+      std::string_view(transport_.policy().name()) == "instant";
   if (exec.parallel && !instant) {
     throw std::invalid_argument(
         "run_transactions: parallel execution requires instant delivery "
-        "(lossy/delayed transports are order-dependent)");
+        "(lossy/delayed/chaotic transports are order-dependent)");
   }
   for (const auto& [r, p] : pairs) {
     if (r >= peers_.size() || p >= peers_.size() || r == p) {
@@ -723,6 +877,9 @@ std::vector<HirepSystem::TransactionRecord> HirepSystem::run_transactions(
       lanes_.push_back(std::make_unique<net::Transport>(
           &overlay_, options_.delivery,
           options_.seed ^ (kLaneSeedSalt + lanes_.size())));
+      lane_channels_.push_back(std::make_unique<net::ReliableChannel>(
+          lanes_.back().get(), options_.reliable,
+          options_.seed ^ (kChannelSeedSalt + lanes_.size())));
     }
   }
 
@@ -773,12 +930,14 @@ std::vector<HirepSystem::TransactionRecord> HirepSystem::run_transactions(
       }
     }
 
-    const auto run_one = [&](std::size_t j, net::Transport& lane) {
+    const auto run_one = [&](std::size_t j, net::Transport& lane,
+                             net::ReliableChannel& channel) {
       const std::size_t i = wave[j];
       util::Rng rng = txn_stream(txn_counter_ + i);
       TxnCtx ctx;
       ctx.rng = &rng;
       ctx.transport = &lane;
+      ctx.channel = &channel;
       if (instant) ctx.reserved_sqs = &reserved[j];
       ctx.defer_refill = true;
       const auto [r, p] = pairs[i];
@@ -794,7 +953,9 @@ std::vector<HirepSystem::TransactionRecord> HirepSystem::run_transactions(
       pool_->parallel_for(lanes_used, [&](std::size_t lane) {
         const std::size_t begin = lane * per;
         const std::size_t end = std::min(wave.size(), begin + per);
-        for (std::size_t j = begin; j < end; ++j) run_one(j, *lanes_[lane]);
+        for (std::size_t j = begin; j < end; ++j) {
+          run_one(j, *lanes_[lane], *lane_channels_[lane]);
+        }
       });
       // Barrier: fold lane envelope counters back into the primary
       // transport so its totals match a serial run.
@@ -802,7 +963,9 @@ std::vector<HirepSystem::TransactionRecord> HirepSystem::run_transactions(
         transport_.absorb_envelopes(*lanes_[lane]);
       }
     } else {
-      for (std::size_t j = 0; j < wave.size(); ++j) run_one(j, transport_);
+      for (std::size_t j = 0; j < wave.size(); ++j) {
+        run_one(j, transport_, reliable_);
+      }
     }
 
     // Deferred §3.4.3 maintenance: serial, in transaction order, on its
@@ -813,6 +976,7 @@ std::vector<HirepSystem::TransactionRecord> HirepSystem::run_transactions(
       TxnCtx ctx;
       ctx.rng = &*maintenance_rng_;
       ctx.transport = &transport_;
+      ctx.channel = &reliable_;
       refill(ctx, pairs[i].first);
     }
     next = stop;

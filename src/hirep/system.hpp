@@ -21,6 +21,7 @@
 // DESIGN.md §9 for the batching rule and the determinism argument.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -36,6 +37,7 @@
 #include "hirep/peer.hpp"
 #include "hirep/protocol.hpp"
 #include "net/overlay.hpp"
+#include "net/reliable.hpp"
 #include "net/topology.hpp"
 #include "net/transport.hpp"
 #include "onion/router.hpp"
@@ -69,6 +71,22 @@ struct HirepOptions {
   CryptoMode crypto = CryptoMode::kFull;
   /// How protocol envelopes are delivered (instant / latency / faulty).
   net::DeliveryConfig delivery;
+  /// Retry discipline for request/response traffic (trust requests,
+  /// responses, reports, §3.4.3 probes).  The zero-retry default is
+  /// call-for-call identical to bare transport sends, so it cannot perturb
+  /// a single golden bit.
+  net::ReliablePolicy reliable;
+  /// §3.4.3 hardening: when the community gives up on an unresponsive
+  /// agent, and when a query degrades to first-hand trust.
+  struct RecoveryOptions {
+    /// Consecutive failed exchanges (any requestor) before an agent is
+    /// quarantined; re-entry then requires a fresh successful probe.
+    std::uint32_t suspicion_threshold = 3;
+    /// Degrade a query to local first-hand trust when fewer live agent
+    /// ratings than this arrive; 0 disables degradation.
+    std::size_t min_quorum = 0;
+  };
+  RecoveryOptions recovery;
   trust::WorldParams world;        ///< .nodes is overridden by `nodes`
   net::LatencyParams latency;
   std::uint64_t seed = 1;
@@ -115,6 +133,28 @@ class HirepSystem {
   /// Takes an agent down / brings it back (churn & DoS experiments).
   void set_agent_online(net::NodeIndex v, bool online);
 
+  /// True when the community currently quarantines agent v (too many
+  /// consecutive failed exchanges; lifted only by a successful probe).
+  bool agent_quarantined(net::NodeIndex v) const;
+  /// Test/chaos hook: places agent v straight into quarantine.
+  void quarantine_agent(net::NodeIndex v);
+
+  /// The retry channel request/response traffic travels through.
+  net::ReliableChannel& reliable() noexcept { return reliable_; }
+  const net::ReliableChannel& reliable() const noexcept { return reliable_; }
+
+  /// Failover bookkeeping, mirrored into the obs registry under
+  /// hirep.recovery.* at count time.
+  struct RecoveryCounters {
+    std::uint64_t suspicions = 0;         ///< failed exchanges observed
+    std::uint64_t quarantines = 0;        ///< agents placed in quarantine
+    std::uint64_t probations_cleared = 0; ///< quarantines lifted by a probe
+    std::uint64_t backup_promotions = 0;  ///< backup entries probed back in
+    std::uint64_t rediscoveries = 0;      ///< refills that fell through to discovery
+    std::uint64_t degraded_queries = 0;   ///< queries under the quorum floor
+  };
+  RecoveryCounters recovery_counters() const;
+
   /// The trusted-agent list a node shares with discovery requests; an agent
   /// with no list of its own answers with its self-entry (§3.4.1).
   std::vector<AgentEntry> shareable_list(net::NodeIndex v);
@@ -150,6 +190,9 @@ class HirepSystem {
     double estimate = 0.5;
     std::vector<AgentRating> ratings;
     std::size_t contacted = 0;  ///< online agents queried
+    /// Fewer live ratings than options.recovery.min_quorum arrived and the
+    /// estimate fell back to (or blended with) local first-hand trust.
+    bool degraded = false;
   };
   /// Full trust-value query: request -> every trusted agent -> responses,
   /// expertise-weighted aggregation.  Offline agents fall to backup.
@@ -204,6 +247,16 @@ class HirepSystem {
   std::uint64_t trust_message_total() const;
 
  private:
+  /// Community-side failure bookkeeping for one agent.  Atomics (not the
+  /// agent mutex): engine lanes note failures for shared agents
+  /// concurrently, and increments/threshold-crossings commute, so the
+  /// post-wave state is scheduling-independent.  Heap-allocated to keep
+  /// AgentRuntime movable.
+  struct AgentRecovery {
+    std::atomic<std::uint32_t> suspicion{0};  ///< consecutive failures
+    std::atomic<bool> quarantined{false};
+  };
+
   struct AgentRuntime {
     std::unique_ptr<ReputationAgent> agent;  ///< null: node is not an agent
     std::vector<onion::RelayInfo> relays;
@@ -213,6 +266,7 @@ class HirepSystem {
     /// (requestors/providers are exclusive per wave; agents are not).
     /// Allocated only for actual agents; unique_ptr keeps Runtime movable.
     std::unique_ptr<std::mutex> mu;
+    std::unique_ptr<AgentRecovery> recovery;  ///< allocated for agents only
   };
 
   AgentRuntime* runtime_of(const crypto::NodeId& id);
@@ -225,6 +279,10 @@ class HirepSystem {
   struct TxnCtx {
     util::Rng* rng = nullptr;
     net::Transport* transport = nullptr;
+    /// Retry channel over `transport`; carries trust requests/responses,
+    /// reports, and §3.4.3 probes (discovery walks and key handshakes stay
+    /// on the bare transport — they are not request/response exchanges).
+    net::ReliableChannel* channel = nullptr;
     /// Onion sequence numbers reserved serially at wave formation (instant
     /// delivery only); consumed in issue order by issue_agent_onion.
     const std::vector<std::uint64_t>* reserved_sqs = nullptr;
@@ -237,7 +295,7 @@ class HirepSystem {
     bool defer_refill = false;
     bool wants_refill = false;
   };
-  TxnCtx legacy_ctx() noexcept { return TxnCtx{&rng_, &transport_}; }
+  TxnCtx legacy_ctx() noexcept { return TxnCtx{&rng_, &transport_, &reliable_}; }
   /// The (seed, index)-derived RNG stream for lifetime transaction `index`.
   util::Rng txn_stream(std::uint64_t index) const;
 
@@ -274,6 +332,15 @@ class HirepSystem {
   void send_report(TxnCtx& ctx, Peer& reporter, AgentEntry& entry,
                    const crypto::NodeId& subject_id, double outcome);
 
+  /// Suspicion ladder: a failed exchange bumps the agent's counter and
+  /// quarantines it at the threshold; a success resets the counter.
+  void note_exchange_failure(AgentRuntime& rt);
+  void note_exchange_success(AgentRuntime& rt);
+  /// Single admission point for trusted-list entries; runs the
+  /// hirep.quarantine.fresh_probe gate (a quarantined agent may only enter
+  /// via a fresh successful probe).
+  bool admit_entry(Peer& p, AgentEntry entry, bool fresh_probe);
+
   QueryResult query_trust(TxnCtx& ctx, net::NodeIndex requestor_ip,
                           net::NodeIndex subject_ip);
   TransactionRecord complete_transaction(TxnCtx& ctx, net::NodeIndex requestor,
@@ -285,6 +352,7 @@ class HirepSystem {
   trust::GroundTruth truth_;
   net::Overlay overlay_;
   net::Transport transport_;
+  net::ReliableChannel reliable_;  ///< retry channel over transport_
   std::deque<crypto::Identity> identities_;  // reference-stable on growth
   onion::Router router_;
   std::vector<Peer> peers_;
@@ -305,6 +373,19 @@ class HirepSystem {
   /// One transport lane per worker, all over the shared overlay; envelope
   /// counters fold back into transport_ at each wave barrier.
   std::vector<std::unique_ptr<net::Transport>> lanes_;
+  /// One retry channel per lane (jitter streams stay per-lane).
+  std::vector<std::unique_ptr<net::ReliableChannel>> lane_channels_;
+
+  /// Failover tallies; atomics because lanes note failures concurrently.
+  struct RecoveryTallies {
+    std::atomic<std::uint64_t> suspicions{0};
+    std::atomic<std::uint64_t> quarantines{0};
+    std::atomic<std::uint64_t> probations_cleared{0};
+    std::atomic<std::uint64_t> backup_promotions{0};
+    std::atomic<std::uint64_t> rediscoveries{0};
+    std::atomic<std::uint64_t> degraded_queries{0};
+  };
+  RecoveryTallies recovery_tallies_;
 };
 
 }  // namespace hirep::core

@@ -22,6 +22,7 @@ struct EnvelopeRegistryCells {
   std::array<obs::Counter*, kN> dropped{};
   std::array<obs::Counter*, kN> duplicated{};
   std::array<obs::Counter*, kN> hop_messages{};
+  std::array<obs::Counter*, kN> suppressed{};
 };
 
 const EnvelopeRegistryCells& envelope_cells() {
@@ -36,6 +37,7 @@ const EnvelopeRegistryCells& envelope_cells() {
       c.dropped[i] = &reg.counter(base + ".dropped");
       c.duplicated[i] = &reg.counter(base + ".duplicated");
       c.hop_messages[i] = &reg.counter(base + ".hop_messages");
+      c.suppressed[i] = &reg.counter(base + ".suppressed");
     }
     return c;
   }();
@@ -121,6 +123,13 @@ void EnvelopeMetrics::count_duplicated(EnvelopeType type) noexcept {
   }
 }
 
+void EnvelopeMetrics::count_suppressed(EnvelopeType type) noexcept {
+  ++counts_[static_cast<std::size_t>(type)].suppressed;
+  if constexpr (obs::kEnabled) {
+    envelope_cells().suppressed[static_cast<std::size_t>(type)]->add();
+  }
+}
+
 void EnvelopeMetrics::count_hops(EnvelopeType type,
                                  std::uint64_t messages) noexcept {
   counts_[static_cast<std::size_t>(type)].hop_messages += messages;
@@ -136,6 +145,7 @@ void EnvelopeMetrics::absorb(const EnvelopeMetrics& other) noexcept {
     counts_[i].dropped += other.counts_[i].dropped;
     counts_[i].duplicated += other.counts_[i].duplicated;
     counts_[i].hop_messages += other.counts_[i].hop_messages;
+    counts_[i].suppressed += other.counts_[i].suppressed;
   }
 }
 
@@ -171,7 +181,8 @@ std::string EnvelopeMetrics::summary() const {
     if (c.sent == 0 && c.dropped == 0) continue;
     out << to_string(static_cast<EnvelopeType>(i)) << "={sent=" << c.sent
         << " delivered=" << c.delivered << " dropped=" << c.dropped
-        << " dup=" << c.duplicated << " hops=" << c.hop_messages << "} ";
+        << " dup=" << c.duplicated << " suppressed=" << c.suppressed
+        << " hops=" << c.hop_messages << "} ";
   }
   out << "total_sent=" << total_sent() << " total_delivered="
       << total_delivered() << " total_dropped=" << total_dropped();

@@ -59,12 +59,14 @@ class EnvelopeMetrics {
     std::uint64_t dropped = 0;     ///< envelopes lost at some hop
     std::uint64_t duplicated = 0;  ///< hops transmitted twice by the policy
     std::uint64_t hop_messages = 0;///< transmissions spent (incl. duplicates)
+    std::uint64_t suppressed = 0;  ///< duplicate copies discarded at a receiver
   };
 
   void count_sent(EnvelopeType type) noexcept;
   void count_delivered(EnvelopeType type) noexcept;
   void count_dropped(EnvelopeType type) noexcept;
   void count_duplicated(EnvelopeType type) noexcept;
+  void count_suppressed(EnvelopeType type) noexcept;
   void count_hops(EnvelopeType type, std::uint64_t messages) noexcept;
   void reset() noexcept;
 

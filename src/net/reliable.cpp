@@ -1,0 +1,95 @@
+#include "net/reliable.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace hirep::net {
+
+namespace {
+
+struct ReliableCells {
+  obs::Counter* requests;
+  obs::Counter* retries;
+  obs::Counter* timeouts;
+  obs::Counter* gave_up;
+  obs::Counter* dup_suppressed;
+};
+
+const ReliableCells& reliable_cells() {
+  static const ReliableCells cells = [] {
+    auto& reg = obs::Registry::global();
+    return ReliableCells{&reg.counter("net.reliable.requests"),
+                         &reg.counter("net.reliable.retries"),
+                         &reg.counter("net.reliable.timeouts"),
+                         &reg.counter("net.reliable.gave_up"),
+                         &reg.counter("net.reliable.dup_suppressed")};
+  }();
+  return cells;
+}
+
+}  // namespace
+
+RequestOutcome ReliableChannel::request(EnvelopeType type, NodeIndex sender,
+                                        const std::vector<NodeIndex>& path,
+                                        util::Bytes payload) {
+  RequestOutcome out;
+  ++stats_.requests;
+  if constexpr (obs::kEnabled) reliable_cells().requests->add();
+
+  const std::uint32_t max_attempts =
+      policy_.max_attempts == 0 ? 1 : policy_.max_attempts;
+  for (std::uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt > 1) {
+      // Deterministic exponential backoff before each retry, realised on
+      // the transport clock so retried traffic timestamps correctly.
+      const std::uint32_t doublings = attempt - 2 < 30U ? attempt - 2 : 30U;
+      double wait = policy_.backoff_ms * static_cast<double>(1U << doublings);
+      if (policy_.jitter_ms > 0.0) wait += rng_.uniform(0.0, policy_.jitter_ms);
+      if (wait > 0.0) {
+        transport_->sim().schedule_in(wait, [] {});
+        transport_->sim().run();
+      }
+      ++stats_.retries;
+      if constexpr (obs::kEnabled) reliable_cells().retries->add();
+    }
+    const double t0 = transport_->sim().now();
+    // Retries need the original bytes again, so only the final attempt may
+    // surrender the buffer.
+    DeliveryReceipt receipt =
+        attempt == max_attempts
+            ? transport_->send(type, sender, path, std::move(payload))
+            : transport_->send(type, sender, path, payload);
+    out.attempts = attempt;
+    out.messages += receipt.messages;
+    if (receipt.delivered) {
+      if (out.applied) {
+        // A retransmission of a request whose earlier (late) copy already
+        // reached the destination: applied at most once.
+        ++stats_.dup_suppressed;
+        if constexpr (obs::kEnabled) reliable_cells().dup_suppressed->add();
+      } else {
+        out.applied = true;
+      }
+      const bool late = policy_.timeout_ms > 0.0 &&
+                        receipt.completion_ms - t0 > policy_.timeout_ms;
+      if (!late) {
+        out.ok = true;
+        out.destination = receipt.destination;
+        out.completion_ms = receipt.completion_ms;
+        out.payload = std::move(receipt.payload);
+        break;
+      }
+    }
+    // Lost in transit, or delivered past the deadline: the sender's timer
+    // fires either way.
+    ++out.timeouts;
+    ++stats_.timeouts;
+    if constexpr (obs::kEnabled) reliable_cells().timeouts->add();
+  }
+  if (!out.ok) {
+    ++stats_.gave_up;
+    if constexpr (obs::kEnabled) reliable_cells().gave_up->add();
+  }
+  return out;
+}
+
+}  // namespace hirep::net

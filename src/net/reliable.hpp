@@ -1,0 +1,88 @@
+// Reliable request/response channel over the typed transport.
+//
+// Transport::send is fire-and-observe: a dropped hop simply comes back as
+// `delivered == false`.  ReliableChannel wraps it with the retry discipline
+// a real deployment needs — a per-attempt deadline, bounded retransmission,
+// deterministic exponential backoff with seeded jitter — while keeping the
+// determinism contract of the rest of the stack: the same (seed, policy,
+// call sequence) produces the same wire behaviour, and the zero-retry
+// default policy is call-for-call identical to a bare Transport::send (no
+// extra RNG draws, no clock movement), which is what keeps the fig5/fig6
+// goldens bit-identical.
+//
+// Duplicate suppression happens at two layers.  On the wire, the transport
+// itself suppresses policy-duplicated copies by envelope id (the second
+// copy lands and is discarded, see transport.cpp).  At the channel layer,
+// retransmissions of one logical request are also applied at most once at
+// the destination: a retry after a *late* delivery (deadline exceeded but
+// the envelope did arrive) counts as a suppressed duplicate rather than a
+// second application.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "util/rng.hpp"
+
+namespace hirep::net {
+
+/// Retry discipline for one channel.  Defaults are the zero-retry identity
+/// wrapper; anything stronger is opt-in per scenario.
+struct ReliablePolicy {
+  std::uint32_t max_attempts = 1;  ///< total tries (1 = no retries)
+  double timeout_ms = 0.0;  ///< per-attempt deadline; 0 = loss-signal only
+  double backoff_ms = 0.0;  ///< base backoff; attempt k waits base * 2^(k-2)
+  double jitter_ms = 0.0;   ///< + uniform [0, jitter) drawn from the channel rng
+};
+
+/// What the caller learns about one logical request.
+struct RequestOutcome {
+  bool ok = false;       ///< a copy arrived within the deadline; payload valid
+  bool applied = false;  ///< destination received >= 1 copy (side effects
+                         ///< apply exactly once even when ok is false)
+  std::uint32_t attempts = 0;   ///< transmissions tried (>= 1)
+  std::uint32_t timeouts = 0;   ///< attempts lost or past the deadline
+  std::uint64_t messages = 0;   ///< wire transmissions across all attempts
+  double completion_ms = 0.0;   ///< sim clock when the accepted copy landed
+  NodeIndex destination = kInvalidNode;
+  util::Bytes payload;          ///< destination-side bytes (ok only)
+};
+
+class ReliableChannel {
+ public:
+  /// Cumulative per-channel counters (mirrored into the obs registry under
+  /// net.reliable.* at count time).
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t retries = 0;         ///< attempts beyond the first
+    std::uint64_t timeouts = 0;        ///< per-attempt losses/deadline misses
+    std::uint64_t gave_up = 0;         ///< requests that exhausted attempts
+    std::uint64_t dup_suppressed = 0;  ///< retransmissions applied-then-dropped
+  };
+
+  /// The channel draws backoff jitter from its own Rng (seeded here) so
+  /// retries never perturb the simulation's main random stream.
+  ReliableChannel(Transport* transport, ReliablePolicy policy,
+                  std::uint64_t seed)
+      : transport_(transport), policy_(policy), rng_(seed) {}
+
+  /// Sends one logical request along `path`, retrying per the policy.
+  /// Backoff is realised on the transport's EventSim clock, so retried
+  /// traffic is correctly ordered against everything else in the run.
+  RequestOutcome request(EnvelopeType type, NodeIndex sender,
+                         const std::vector<NodeIndex>& path,
+                         util::Bytes payload = {});
+
+  Transport& transport() noexcept { return *transport_; }
+  const ReliablePolicy& policy() const noexcept { return policy_; }
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  Transport* transport_;
+  ReliablePolicy policy_;
+  util::Rng rng_;
+  Stats stats_;
+};
+
+}  // namespace hirep::net

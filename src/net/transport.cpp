@@ -132,6 +132,14 @@ DeliveryReceipt Transport::send(EnvelopeType type, NodeIndex sender,
       }
       transmit(index + 1, to);
     });
+    if (decision.duplicate) {
+      // The second copy lands too, but the receiver has already seen this
+      // envelope id (the primary copy was scheduled first at the same
+      // delay, so FIFO ordering lands it first): the duplicate is
+      // discarded without re-forwarding or re-applying any side effect.
+      sim_.schedule_in(decision.delay_ms,
+                       [this, type] { envelopes_.count_suppressed(type); });
+    }
   };
   transmit(0, sender);
   sim_.run();

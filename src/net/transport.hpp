@@ -41,7 +41,10 @@ struct Envelope {
 /// A policy's verdict for one hop transmission.
 struct HopDecision {
   bool drop = false;       ///< the copy is lost in transit
-  bool duplicate = false;  ///< the hop is transmitted twice (both counted)
+  bool duplicate = false;  ///< the hop is transmitted twice (both copies are
+                           ///< counted on the wire; the second one lands and
+                           ///< is suppressed at the receiver by envelope id,
+                           ///< so handler side effects apply exactly once)
   double delay_ms = 0.0;   ///< sim-clock delay before the hop lands
 };
 

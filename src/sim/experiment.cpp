@@ -6,6 +6,7 @@
 #include <span>
 #include <utility>
 
+#include "sim/chaos.hpp"
 #include "sim/scenario.hpp"
 #include "sim/windowed_mse.hpp"
 #include "util/stats.hpp"
@@ -119,6 +120,9 @@ ExperimentResult run_fig5_traffic(const Params& params) {
   auto hirep_series = average_over_seeds(params, [&](std::uint64_t seed) {
     const Params p = with_seed(params, seed);
     core::HirepSystem system(p.hirep_options());
+    // Opt-in fault schedule (nullptr — and zero side effects — when
+    // chaos=off); the tick clock advances at checkpoint boundaries.
+    const auto chaos = install_chaos(system, p);
     const auto exec = Scenario(p).execution_policy();
     // Figure 5 measures traffic over the whole population (no
     // active-community pools), like the no-argument run_transaction() the
@@ -133,6 +137,7 @@ ExperimentResult run_fig5_traffic(const Params& params) {
     for (const std::size_t t : checkpoints) {
       system.run_transactions(std::span(pairs).subspan(done, t - done), exec);
       done = t;
+      if (chaos) chaos->advance_to(done);
       ys.push_back(
           static_cast<double>(system.trust_message_total() - baseline));
     }
@@ -191,6 +196,9 @@ ExperimentResult run_fig6_accuracy(const Params& params) {
       Params p = with_seed(params, seed);
       p.eviction_threshold = threshold;
       core::HirepSystem system(p.hirep_options());
+      // Opt-in fault schedule (nullptr when chaos=off), advanced at
+      // checkpoint boundaries like Figure 5.
+      const auto chaos = install_chaos(system, p);
       const auto exec = Scenario(p).execution_policy();
       const auto pairs = draw_pairs(p, total);
       WindowedMse window(params.mse_window);
@@ -200,6 +208,7 @@ ExperimentResult run_fig6_accuracy(const Params& params) {
         const auto records = system.run_transactions(
             std::span(pairs).subspan(done, t - done), exec);
         done = t;
+        if (chaos) chaos->advance_to(done);
         for (const auto& rec : records) {
           window.add(rec.estimate, rec.truth_value);
         }

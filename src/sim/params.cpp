@@ -43,6 +43,12 @@ core::HirepOptions Params::hirep_options() const {
   o.latency.link_max_ms = link_max_ms;
   o.latency.processing_ms = processing_ms;
   o.delivery = delivery_config();
+  o.reliable.max_attempts = retry_max_attempts;
+  o.reliable.timeout_ms = retry_timeout_ms;
+  o.reliable.backoff_ms = retry_backoff_ms;
+  o.reliable.jitter_ms = retry_jitter_ms;
+  o.recovery.suspicion_threshold = suspicion_threshold;
+  o.recovery.min_quorum = min_quorum;
   o.seed = seed;
   return o;
 }

@@ -65,6 +65,37 @@ struct Params {
   std::string execution = "parallel";
   std::size_t threads = 0;  ///< worker threads, 0 = hardware concurrency
 
+  // ---- reliable request channel (src/net/reliable.hpp) ----------------
+  // Defaults are the golden-safe zero-retry configuration: one attempt, no
+  // deadline, no backoff — call-for-call identical to a bare send.
+  std::uint32_t retry_max_attempts = 1;  ///< attempts per request (1 = no retry)
+  double retry_timeout_ms = 0.0;         ///< reply deadline (0 = none)
+  double retry_backoff_ms = 0.0;         ///< exponential-backoff base
+  double retry_jitter_ms = 0.0;          ///< seeded jitter added to each backoff
+
+  // ---- agent failover / recovery (§3.4.3 + graceful degradation) ------
+  std::uint32_t suspicion_threshold = 3; ///< consecutive timeouts to quarantine
+  std::size_t min_quorum = 0;            ///< live-agent quorum (0 = no degradation)
+
+  // ---- chaos engine (src/sim/chaos.hpp) --------------------------------
+  // All schedule times are transaction ticks; 0 means "never" for the
+  // *_at knobs.  chaos=off compiles everything out of the run entirely.
+  std::string chaos = "off";             ///< "off" | "on"
+  std::uint64_t chaos_seed = 0;          ///< 0 = derive from the master seed
+  double chaos_crash_rate = 0.0;         ///< per-node per-tick crash probability
+  double chaos_mean_downtime = 20.0;     ///< mean ticks a crashed node stays down
+  std::size_t chaos_crash_at = 0;        ///< scripted mass-crash tick (0 = never)
+  std::size_t chaos_restart_at = 0;      ///< scripted mass-restart tick (0 = never)
+  double chaos_agent_crash_fraction = 0.0;  ///< agents crashed at chaos_crash_at
+  std::size_t chaos_partition_at = 0;    ///< group partition start tick (0 = never)
+  std::size_t chaos_heal_at = 0;         ///< partition heal tick (0 = never)
+  double chaos_partition_fraction = 0.0; ///< nodes severed onto the minority side
+  std::size_t chaos_burst_at = 0;        ///< burst-loss window start tick (0 = never)
+  std::size_t chaos_burst_until = 0;     ///< burst-loss window end tick
+  double chaos_burst_drop = 0.0;         ///< per-hop drop probability in the window
+  double chaos_slowdown_fraction = 0.0;  ///< fraction of nodes slowed down
+  double chaos_slowdown_ms = 0.0;        ///< extra per-hop delay for slowed nodes
+
   /// Applies key=value overrides (keys match the field names above).
   /// Thin back-compat wrapper over sim::Scenario::from_config — new code
   /// should build a Scenario (table-driven parsing + whole-config

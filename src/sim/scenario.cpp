@@ -120,6 +120,51 @@ const std::vector<OptionSpec>& Scenario::option_table() {
        "delivery=instant; byte-identical results either way)"},
       {"threads", &Params::threads,
        "worker threads for execution=parallel (0 = hardware)"},
+      // ---- reliable request channel --------------------------------------
+      {"retry_max_attempts", &Params::retry_max_attempts,
+       "attempts per reliable request (1 = fire once, no retry)"},
+      {"retry_timeout_ms", &Params::retry_timeout_ms,
+       "reliable-request reply deadline (0 = none)"},
+      {"retry_backoff_ms", &Params::retry_backoff_ms,
+       "exponential-backoff base between retries"},
+      {"retry_jitter_ms", &Params::retry_jitter_ms,
+       "seeded jitter added to each retry backoff"},
+      // ---- agent failover / recovery -------------------------------------
+      {"suspicion_threshold", &Params::suspicion_threshold,
+       "consecutive exchange failures before an agent is quarantined"},
+      {"min_quorum", &Params::min_quorum,
+       "live trusted-agent quorum below which a query degrades to "
+       "first-hand trust (0 = degradation off)"},
+      // ---- chaos engine --------------------------------------------------
+      {"chaos", &Params::chaos, "deterministic fault scheduler: off|on"},
+      {"chaos_seed", &Params::chaos_seed,
+       "chaos RNG seed (0 = derive from the master seed)"},
+      {"chaos_crash_rate", &Params::chaos_crash_rate,
+       "per-node per-tick random crash probability"},
+      {"chaos_mean_downtime", &Params::chaos_mean_downtime,
+       "mean ticks a randomly crashed node stays down"},
+      {"chaos_crash_at", &Params::chaos_crash_at,
+       "scripted mass-crash tick (0 = never)"},
+      {"chaos_restart_at", &Params::chaos_restart_at,
+       "scripted mass-restart tick (0 = never)"},
+      {"chaos_agent_crash_fraction", &Params::chaos_agent_crash_fraction,
+       "fraction of agent-capable nodes crashed at chaos_crash_at"},
+      {"chaos_partition_at", &Params::chaos_partition_at,
+       "group-partition start tick (0 = never)"},
+      {"chaos_heal_at", &Params::chaos_heal_at,
+       "partition heal tick (0 = never)"},
+      {"chaos_partition_fraction", &Params::chaos_partition_fraction,
+       "fraction of nodes severed onto the minority side"},
+      {"chaos_burst_at", &Params::chaos_burst_at,
+       "burst-loss window start tick (0 = never)"},
+      {"chaos_burst_until", &Params::chaos_burst_until,
+       "burst-loss window end tick"},
+      {"chaos_burst_drop", &Params::chaos_burst_drop,
+       "per-hop drop probability inside the burst window"},
+      {"chaos_slowdown_fraction", &Params::chaos_slowdown_fraction,
+       "fraction of nodes given extra per-hop delay"},
+      {"chaos_slowdown_ms", &Params::chaos_slowdown_ms,
+       "extra per-hop delay for slowed-down nodes"},
   };
   return table;
 }
@@ -182,13 +227,53 @@ const Scenario& Scenario::validate() const {
           "fault_delay_min_ms must be <= fault_delay_max_ms");
   require(p.link_min_ms <= p.link_max_ms,
           "link_min_ms must be <= link_max_ms");
+  // ---- reliable request channel -----------------------------------------
+  // retry_max_attempts parses through int64, so a negative CLI value would
+  // wrap to a huge uint32 — bound it above to catch that mistake.
+  require(p.retry_max_attempts >= 1 && p.retry_max_attempts <= 1000,
+          "retry_max_attempts must be in [1,1000] (negative values wrap)");
+  require(p.retry_timeout_ms >= 0.0,
+          "retry_timeout_ms must be >= 0 (0 = no deadline)");
+  require(p.retry_backoff_ms >= 0.0, "retry_backoff_ms must be >= 0");
+  require(p.retry_jitter_ms >= 0.0, "retry_jitter_ms must be >= 0");
+  require(p.suspicion_threshold >= 1 && p.suspicion_threshold <= 1000000,
+          "suspicion_threshold must be in [1,1e6] (negative values wrap)");
+  // ---- chaos engine -------------------------------------------------------
+  require(p.chaos == "off" || p.chaos == "on", "chaos must be off|on");
+  require(p.chaos_crash_rate >= 0.0 && p.chaos_crash_rate <= 1.0,
+          "chaos_crash_rate must be in [0,1]");
+  require(p.chaos_mean_downtime >= 0.0, "chaos_mean_downtime must be >= 0");
+  require(p.chaos_agent_crash_fraction >= 0.0 &&
+              p.chaos_agent_crash_fraction <= 1.0,
+          "chaos_agent_crash_fraction must be in [0,1]");
+  require(p.chaos_partition_fraction >= 0.0 &&
+              p.chaos_partition_fraction <= 1.0,
+          "chaos_partition_fraction must be in [0,1]");
+  require(p.chaos_burst_drop >= 0.0 && p.chaos_burst_drop <= 1.0,
+          "chaos_burst_drop must be in [0,1]");
+  require(p.chaos_slowdown_fraction >= 0.0 &&
+              p.chaos_slowdown_fraction <= 1.0,
+          "chaos_slowdown_fraction must be in [0,1]");
+  require(p.chaos_slowdown_ms >= 0.0, "chaos_slowdown_ms must be >= 0");
+  require(p.chaos_restart_at == 0 || p.chaos_crash_at == 0 ||
+              p.chaos_restart_at >= p.chaos_crash_at,
+          "chaos_restart_at must be >= chaos_crash_at (0 = never)");
+  require(p.chaos_heal_at == 0 || p.chaos_partition_at == 0 ||
+              p.chaos_heal_at >= p.chaos_partition_at,
+          "chaos_heal_at must be >= chaos_partition_at (0 = never)");
+  require(p.chaos_burst_until == 0 || p.chaos_burst_at == 0 ||
+              p.chaos_burst_until >= p.chaos_burst_at,
+          "chaos_burst_until must be >= chaos_burst_at (0 = never)");
   return *this;
 }
 
 core::ExecutionPolicy Scenario::execution_policy() const {
   core::ExecutionPolicy exec;
-  exec.parallel =
-      params_.execution == "parallel" && params_.delivery == "instant";
+  // Chaos schedules faults against the global transaction tick, which the
+  // parallel engine's wave boundaries do not preserve hop-for-hop — a
+  // chaotic run downgrades to serial just like a lossy transport does.
+  exec.parallel = params_.execution == "parallel" &&
+                  params_.delivery == "instant" && params_.chaos != "on";
   exec.threads = params_.threads;
   return exec;
 }

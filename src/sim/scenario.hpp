@@ -95,9 +95,9 @@ class Scenario {
     return params_.delivery_config();
   }
   /// The scale engine's execution policy.  execution=parallel applies under
-  /// delivery=instant; lossy/delayed transports are order-dependent, so any
-  /// other delivery policy downgrades to serial execution (same results,
-  /// one thread).
+  /// delivery=instant with chaos=off; lossy/delayed transports and chaos
+  /// fault schedules are order-dependent, so either downgrades to serial
+  /// execution (same results, one thread).
   core::ExecutionPolicy execution_policy() const;
   util::Table table1() const { return params_.table1(); }
 

@@ -146,6 +146,23 @@ TEST(CheckPrimitives, BindingFiresOnMismatch) {
   EXPECT_EQ(capture.captured()[0].subject, 4u);
 }
 
+TEST(CheckPrimitives, GateIsSilentWhenThePreconditionHeld) {
+  ScopedCapture capture;
+  EXPECT_TRUE(gate("test.gate", true, "guarded action"));
+  EXPECT_EQ(capture.count(), 0u);
+}
+
+TEST(CheckPrimitives, GateFiresWhenAGuardedActionRanWithoutItsPrecondition) {
+  ScopedCapture capture;
+  EXPECT_FALSE(gate("test.gate", false, "trusted-list admission", 3, 4));
+  ASSERT_EQ(capture.count(), 1u);
+  const auto& v = capture.captured()[0];
+  EXPECT_EQ(v.invariant, "test.gate");
+  EXPECT_NE(v.detail.find("trusted-list admission"), std::string::npos);
+  EXPECT_EQ(v.actor, 3u);
+  EXPECT_EQ(v.subject, 4u);
+}
+
 // ------------------------------------------------------------- hot-path wiring
 //
 // These prove the invariants are live in the code paths they guard.  They

@@ -135,6 +135,33 @@ TEST(AgentList, BackupIsMostRecentFirstAndBounded) {
   EXPECT_FALSE(list.pop_backup().has_value());
 }
 
+TEST(AgentList, BackupOrderingHoldsAcrossChurnCycles) {
+  // Repeated offline -> probe -> re-add cycles (the §3.4.3 failover loop
+  // under churn): the backup stack must stay most-recent-first across
+  // interleaved evictions and promotions, and exhaust cleanly.
+  TrustedAgentList list(default_params());
+  for (std::uint8_t i = 1; i <= 3; ++i) list.add(entry_of(i));
+
+  list.handle_offline(id_of(1));
+  list.handle_offline(id_of(2));
+  // The most recent casualty (2) is probed back before 3 ever goes down...
+  auto restored = list.pop_backup();
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->agent_id, id_of(2));
+  list.handle_offline(id_of(3));
+  // ...so the stack now reads 3 (newest), then 1 (oldest survivor).
+  EXPECT_EQ(list.backup_size(), 2u);
+  EXPECT_EQ(list.pop_backup()->agent_id, id_of(3));
+  EXPECT_EQ(list.pop_backup()->agent_id, id_of(1));
+  EXPECT_FALSE(list.pop_backup().has_value());
+  EXPECT_EQ(list.backup_size(), 0u);
+
+  // A second full cycle after exhaustion starts a fresh, ordered stack.
+  EXPECT_TRUE(list.add(*restored));
+  list.handle_offline(id_of(2));
+  EXPECT_EQ(list.pop_backup()->agent_id, id_of(2));
+}
+
 TEST(AgentList, NeedsRefillBelowFraction) {
   TrustedAgentList list(default_params());  // capacity 4, fraction 0.5
   EXPECT_TRUE(list.needs_refill());

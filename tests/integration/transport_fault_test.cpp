@@ -84,6 +84,37 @@ TEST(TransportFaults, LossyRunCompletesEveryTransaction) {
             envelopes.total_sent());
 }
 
+TEST(TransportFaults, DuplicatedDeliveriesNeverDoubleApply) {
+  // Regression for the duplicate-application bug: with duplicate_rate=1
+  // (and nothing dropped or delayed) every hop lands twice, but the second
+  // copy is suppressed by envelope id at the receiver — so agent-side state
+  // transitions (reports, expertise updates, sq bumps) apply exactly once
+  // and every trust estimate matches the duplicate-free run bit for bit.
+  const auto records = [](double duplicate_rate) {
+    HirepOptions o = small_options(11);
+    if (duplicate_rate > 0.0) {
+      o.delivery.policy = net::DeliveryPolicyKind::kFaulty;
+      o.delivery.faults.duplicate_rate = duplicate_rate;
+    }
+    HirepSystem system(o);
+    std::vector<HirepSystem::TransactionRecord> out;
+    for (int t = 0; t < 30; ++t) out.push_back(system.run_transaction());
+    return out;
+  };
+  const auto clean = records(0.0);
+  const auto doubled = records(1.0);
+  ASSERT_EQ(clean.size(), doubled.size());
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    EXPECT_EQ(clean[i].requestor, doubled[i].requestor) << i;
+    EXPECT_EQ(clean[i].provider, doubled[i].provider) << i;
+    EXPECT_EQ(clean[i].estimate, doubled[i].estimate) << i;
+    EXPECT_EQ(clean[i].outcome, doubled[i].outcome) << i;
+    EXPECT_EQ(clean[i].responses, doubled[i].responses) << i;
+    // trust_messages intentionally not compared: duplicated copies are
+    // real wire transmissions and land in the traffic books.
+  }
+}
+
 TEST(TransportFaults, FullCryptoSurvivesLossToo) {
   HirepOptions o;
   o.nodes = 16;

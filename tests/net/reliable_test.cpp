@@ -1,0 +1,184 @@
+// ReliableChannel: the retry discipline over the typed transport — the
+// zero-retry identity contract (golden safety), loss recovery through
+// bounded retransmission, per-attempt deadlines, deterministic exponential
+// backoff with seeded jitter, and at-most-once application of retried
+// copies at the destination.
+#include "net/reliable.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace hirep::net {
+namespace {
+
+Overlay make_overlay(std::size_t nodes = 12, std::uint64_t seed = 1) {
+  return Overlay(ring_lattice(nodes, 2), LatencyParams{}, seed);
+}
+
+DeliveryConfig faulty(double drop_rate) {
+  DeliveryConfig config;
+  config.policy = DeliveryPolicyKind::kFaulty;
+  config.faults.drop_rate = drop_rate;
+  return config;
+}
+
+TEST(ReliableZeroRetry, DefaultPolicyIsCallForCallIdenticalToBareSend) {
+  // The golden-safety contract: with the default (1 attempt, no deadline)
+  // policy, a lossy transport driven through the channel sees the exact
+  // same per-request outcomes as the same transport driven bare — no extra
+  // RNG draws, no clock movement.
+  const auto outcomes = [](bool through_channel) {
+    Overlay overlay = make_overlay();
+    Transport transport(&overlay, faulty(0.3), 42);
+    ReliableChannel channel(&transport, ReliablePolicy{}, 99);
+    std::vector<std::tuple<bool, std::uint64_t, NodeIndex>> seen;
+    for (int i = 0; i < 50; ++i) {
+      if (through_channel) {
+        const auto r =
+            channel.request(EnvelopeType::kTrustRequest, 0, {1, 2, 3});
+        seen.emplace_back(r.ok, r.messages, r.destination);
+      } else {
+        const auto r =
+            transport.send(EnvelopeType::kTrustRequest, 0, {1, 2, 3});
+        seen.emplace_back(r.delivered, r.messages, r.destination);
+      }
+    }
+    // The wrapper never advances the event clock under the default policy.
+    EXPECT_DOUBLE_EQ(transport.sim().now(), 0.0);
+    return seen;
+  };
+  EXPECT_EQ(outcomes(true), outcomes(false));
+}
+
+TEST(ReliableZeroRetry, StatsCountRequestsButNoRetries) {
+  Overlay overlay = make_overlay();
+  Transport transport(&overlay, DeliveryConfig{}, 1);
+  ReliableChannel channel(&transport, ReliablePolicy{}, 1);
+  const auto r = channel.request(EnvelopeType::kProbe, 0, {1, 2});
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.applied);
+  EXPECT_EQ(r.attempts, 1u);
+  EXPECT_EQ(channel.stats().requests, 1u);
+  EXPECT_EQ(channel.stats().retries, 0u);
+  EXPECT_EQ(channel.stats().timeouts, 0u);
+  EXPECT_EQ(channel.stats().gave_up, 0u);
+}
+
+TEST(ReliableRetry, BoundedRetransmissionRecoversLoss) {
+  const auto successes = [](std::uint32_t max_attempts, std::uint64_t* retries) {
+    Overlay overlay = make_overlay();
+    Transport transport(&overlay, faulty(0.5), 7);
+    ReliablePolicy policy;
+    policy.max_attempts = max_attempts;
+    ReliableChannel channel(&transport, policy, 11);
+    std::size_t ok = 0;
+    for (int i = 0; i < 100; ++i) {
+      ok += channel.request(EnvelopeType::kTrustRequest, 0, {1, 2}).ok;
+    }
+    if (retries != nullptr) *retries = channel.stats().retries;
+    return ok;
+  };
+  std::uint64_t retries = 0;
+  const auto one_shot = successes(1, nullptr);
+  const auto retried = successes(5, &retries);
+  // P(deliver a 2-hop path) = 0.25 per attempt vs 1 - 0.75^5 ~ 0.76.
+  EXPECT_GT(retried, one_shot);
+  EXPECT_GT(retries, 0u);
+  EXPECT_GT(retried, 50u);
+  EXPECT_LT(one_shot, 50u);
+}
+
+TEST(ReliableRetry, ExhaustedAttemptsAreCountedAsGivingUp) {
+  Overlay overlay = make_overlay();
+  Transport transport(&overlay, faulty(1.0), 3);
+  ReliablePolicy policy;
+  policy.max_attempts = 3;
+  ReliableChannel channel(&transport, policy, 3);
+  const auto r = channel.request(EnvelopeType::kReport, 0, {1, 2});
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.applied);
+  EXPECT_EQ(r.attempts, 3u);
+  EXPECT_EQ(r.timeouts, 3u);
+  EXPECT_EQ(channel.stats().retries, 2u);
+  EXPECT_EQ(channel.stats().timeouts, 3u);
+  EXPECT_EQ(channel.stats().gave_up, 1u);
+}
+
+TEST(ReliableDeadline, LateDeliveryFailsTheRequestButStillApplies) {
+  // Latency delivery lands the envelope after a positive delay; a deadline
+  // below that makes every attempt "late": the destination received the
+  // copy (side effects applied), but the requestor treats it as lost.
+  Overlay overlay = make_overlay();
+  DeliveryConfig config;
+  config.policy = DeliveryPolicyKind::kLatency;
+  Transport transport(&overlay, config, 1);
+  ReliablePolicy policy;
+  policy.max_attempts = 1;
+  policy.timeout_ms = 1e-6;
+  ReliableChannel channel(&transport, policy, 5);
+  const auto r = channel.request(EnvelopeType::kTrustRequest, 0, {1, 2});
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(r.applied);
+  EXPECT_EQ(r.timeouts, 1u);
+  EXPECT_EQ(channel.stats().timeouts, 1u);
+  EXPECT_EQ(channel.stats().gave_up, 1u);
+}
+
+TEST(ReliableBackoff, ExponentialScheduleIsExactOnTheSimClock) {
+  // drop=1 forces every attempt to fail; with backoff 2ms and no jitter the
+  // waits before attempts 2, 3, 4 are 2, 4, 8 ms — the clock must land on
+  // exactly 14 ms, nothing stochastic about it.
+  Overlay overlay = make_overlay();
+  Transport transport(&overlay, faulty(1.0), 9);
+  ReliablePolicy policy;
+  policy.max_attempts = 4;
+  policy.backoff_ms = 2.0;
+  ReliableChannel channel(&transport, policy, 17);
+  channel.request(EnvelopeType::kTrustRequest, 0, {1});
+  EXPECT_DOUBLE_EQ(transport.sim().now(), 14.0);
+}
+
+TEST(ReliableBackoff, JitterIsDrawnFromTheChannelSeed) {
+  const auto clock_after = [](std::uint64_t channel_seed) {
+    Overlay overlay = make_overlay();
+    Transport transport(&overlay, faulty(1.0), 9);
+    ReliablePolicy policy;
+    policy.max_attempts = 3;
+    policy.backoff_ms = 1.0;
+    policy.jitter_ms = 5.0;
+    ReliableChannel channel(&transport, policy, channel_seed);
+    channel.request(EnvelopeType::kTrustRequest, 0, {1});
+    return transport.sim().now();
+  };
+  EXPECT_EQ(clock_after(21), clock_after(21));  // deterministic per seed
+  EXPECT_NE(clock_after(21), clock_after(22));  // but genuinely seeded
+  // Base waits are 1 + 2 = 3ms; jitter adds [0, 5) per retry.
+  EXPECT_GE(clock_after(21), 3.0);
+  EXPECT_LT(clock_after(21), 13.0);
+}
+
+TEST(ReliableDuplicates, RetransmissionsApplyAtMostOnce) {
+  // Every attempt is delivered but late (deadline below the latency floor),
+  // so the channel retries after copies already landed: the first copy
+  // applies, every retransmission that lands afterwards is suppressed.
+  Overlay overlay = make_overlay();
+  DeliveryConfig config;
+  config.policy = DeliveryPolicyKind::kLatency;
+  Transport transport(&overlay, config, 1);
+  ReliablePolicy policy;
+  policy.max_attempts = 3;
+  policy.timeout_ms = 1e-6;
+  ReliableChannel channel(&transport, policy, 5);
+  const auto r = channel.request(EnvelopeType::kReport, 0, {1, 2});
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(r.applied);
+  EXPECT_EQ(r.attempts, 3u);
+  EXPECT_EQ(channel.stats().dup_suppressed, 2u);
+}
+
+}  // namespace
+}  // namespace hirep::net

@@ -121,6 +121,10 @@ TEST(TransportFaulty, DuplicateRateOneDoublesEveryTransmission) {
   EXPECT_EQ(overlay.metrics().of(MessageKind::kReport), 2 * path.size());
   EXPECT_EQ(transport.envelopes().of(EnvelopeType::kReport).duplicated,
             path.size());
+  // Every second copy lands at its receiver and is discarded by envelope
+  // id, so handler side effects apply exactly once per hop.
+  EXPECT_EQ(transport.envelopes().of(EnvelopeType::kReport).suppressed,
+            path.size());
 }
 
 TEST(TransportFaulty, OutcomesAreDeterministicUnderAFixedSeed) {
@@ -177,7 +181,7 @@ TEST(TransportFaulty, ConservationHoldsExactlyUnderDropsAndDuplicates) {
     }
 
     std::uint64_t sent = 0, delivered = 0, dropped = 0;
-    std::uint64_t duplicated = 0, hop_messages = 0;
+    std::uint64_t duplicated = 0, hop_messages = 0, suppressed = 0;
     for (const auto type : types) {
       const auto& c = transport.envelopes().of(type);
       EXPECT_EQ(c.sent, c.delivered + c.dropped) << to_string(type);
@@ -186,6 +190,7 @@ TEST(TransportFaulty, ConservationHoldsExactlyUnderDropsAndDuplicates) {
       dropped += c.dropped;
       duplicated += c.duplicated;
       hop_messages += c.hop_messages;
+      suppressed += c.suppressed;
     }
     EXPECT_EQ(sent, 400u);
     EXPECT_EQ(delivered, receipt_delivered);
@@ -194,6 +199,9 @@ TEST(TransportFaulty, ConservationHoldsExactlyUnderDropsAndDuplicates) {
     EXPECT_GT(duplicated, 0u);
     EXPECT_EQ(hop_messages, receipt_messages);
     EXPECT_EQ(hop_messages, receipt_hops + duplicated + dropped);
+    // Duplicates are only minted on undropped hops, so every second copy
+    // lands and is suppressed at its receiver — one for one.
+    EXPECT_EQ(suppressed, duplicated);
     EXPECT_EQ(overlay.metrics().total(), receipt_messages);
   }
   // Teardown ran the envelope-conservation invariant; the books balance,

@@ -1,0 +1,347 @@
+// sim::ChaosEngine — the deterministic fault scheduler: scripted crash /
+// restart, group partitions, burst-loss windows, per-node slowdown, random
+// churn, the ChaosDelivery wire overlay, golden safety (chaos=off touches
+// nothing), and bit-identical replay of a chaotic run.
+#include "sim/chaos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "sim/scenario.hpp"
+
+namespace hirep::sim {
+namespace {
+
+Params small_params() {
+  Params p;
+  p.network_size = 64;
+  p.transactions = 40;
+  p.requestor_pool = 0;  // whole-network workload at this size
+  p.provider_pool = 0;
+  p.seed = 11;
+  return p;
+}
+
+TEST(ChaosInstall, OffLeavesTheRunUntouched) {
+  const Params p = small_params();  // chaos defaults to "off"
+  core::HirepSystem sys(p.hirep_options());
+  EXPECT_EQ(install_chaos(sys, p), nullptr);
+  EXPECT_STREQ(sys.transport().policy().name(), "instant");
+}
+
+TEST(ChaosInstall, OnWrapsTheConfiguredDeliveryPolicy) {
+  Params p = small_params();
+  p.chaos = "on";
+  core::HirepSystem sys(p.hirep_options());
+  const auto engine = install_chaos(sys, p);
+  ASSERT_NE(engine, nullptr);
+  EXPECT_STREQ(sys.transport().policy().name(), "chaos");
+  EXPECT_EQ(engine->now(), 0u);
+}
+
+TEST(ChaosParamsFrom, ProjectsEveryScheduleKnob) {
+  Params p = small_params();
+  p.chaos_seed = 77;
+  p.chaos_crash_rate = 0.1;
+  p.chaos_mean_downtime = 5.0;
+  p.chaos_crash_at = 3;
+  p.chaos_restart_at = 6;
+  p.chaos_agent_crash_fraction = 0.4;
+  p.chaos_partition_at = 9;
+  p.chaos_heal_at = 12;
+  p.chaos_partition_fraction = 0.2;
+  p.chaos_burst_at = 15;
+  p.chaos_burst_until = 18;
+  p.chaos_burst_drop = 0.6;
+  p.chaos_slowdown_fraction = 0.3;
+  p.chaos_slowdown_ms = 2.5;
+  const auto c = chaos_params_from(p);
+  EXPECT_EQ(c.seed, 77u);
+  EXPECT_DOUBLE_EQ(c.crash_rate, 0.1);
+  EXPECT_DOUBLE_EQ(c.mean_downtime, 5.0);
+  EXPECT_EQ(c.crash_at, 3u);
+  EXPECT_EQ(c.restart_at, 6u);
+  EXPECT_DOUBLE_EQ(c.agent_crash_fraction, 0.4);
+  EXPECT_EQ(c.partition_at, 9u);
+  EXPECT_EQ(c.heal_at, 12u);
+  EXPECT_DOUBLE_EQ(c.partition_fraction, 0.2);
+  EXPECT_EQ(c.burst_at, 15u);
+  EXPECT_EQ(c.burst_until, 18u);
+  EXPECT_DOUBLE_EQ(c.burst_drop, 0.6);
+  EXPECT_DOUBLE_EQ(c.slowdown_fraction, 0.3);
+  EXPECT_DOUBLE_EQ(c.slowdown_ms, 2.5);
+}
+
+TEST(ChaosSchedule, ScriptedCrashDownsAgentsAndRestartRevivesThem) {
+  Params p = small_params();
+  p.chaos = "on";
+  p.chaos_crash_at = 2;
+  p.chaos_restart_at = 4;
+  p.chaos_agent_crash_fraction = 1.0;
+  core::HirepSystem sys(p.hirep_options());
+  const auto engine = install_chaos(sys, p);
+  ASSERT_NE(engine, nullptr);
+
+  engine->advance_to(1);
+  EXPECT_EQ(engine->counters().scripted_crashes, 0u);
+
+  engine->advance_to(2);
+  EXPECT_EQ(engine->counters().scripted_crashes, sys.agent_count());
+  for (net::NodeIndex v = 0; v < sys.node_count(); ++v) {
+    if (sys.agent_at(v) != nullptr) {
+      EXPECT_TRUE(engine->crashed(v)) << "agent " << v;
+      EXPECT_FALSE(sys.agent_online(v)) << "agent " << v;
+    }
+  }
+
+  engine->advance_to(4);
+  EXPECT_EQ(engine->counters().restarts, sys.agent_count());
+  for (net::NodeIndex v = 0; v < sys.node_count(); ++v) {
+    if (sys.agent_at(v) != nullptr) {
+      EXPECT_FALSE(engine->crashed(v)) << "agent " << v;
+      EXPECT_TRUE(sys.agent_online(v)) << "agent " << v;
+    }
+  }
+  // Ticks already in the past are a no-op.
+  engine->advance_to(2);
+  EXPECT_EQ(engine->now(), 4u);
+}
+
+TEST(ChaosSchedule, PartitionSeversExactlyTheCutAndHealsClean) {
+  Params p = small_params();
+  p.chaos = "on";
+  p.chaos_partition_at = 1;
+  p.chaos_heal_at = 3;
+  p.chaos_partition_fraction = 0.25;
+  core::HirepSystem sys(p.hirep_options());
+  const auto engine = install_chaos(sys, p);
+  ASSERT_NE(engine, nullptr);
+
+  EXPECT_FALSE(engine->severed(0, 1));  // no cut before the schedule fires
+  engine->advance_to(1);
+  EXPECT_EQ(engine->counters().partitions, 1u);
+
+  // A fraction-0.25 cut of 64 nodes severs a 16-node side: exactly
+  // 16 * 48 unordered pairs cross the cut, every one symmetrically.
+  const auto n = static_cast<net::NodeIndex>(sys.node_count());
+  std::size_t severed_pairs = 0;
+  for (net::NodeIndex a = 0; a < n; ++a) {
+    for (net::NodeIndex b = a + 1; b < n; ++b) {
+      if (engine->severed(a, b)) {
+        ++severed_pairs;
+        EXPECT_TRUE(engine->severed(b, a));
+      }
+    }
+  }
+  EXPECT_EQ(severed_pairs, 16u * 48u);
+
+  engine->advance_to(3);
+  EXPECT_EQ(engine->counters().heals, 1u);
+  for (net::NodeIndex a = 0; a < n; ++a) {
+    for (net::NodeIndex b = a + 1; b < n; ++b) {
+      EXPECT_FALSE(engine->severed(a, b));
+    }
+  }
+}
+
+TEST(ChaosSchedule, BurstWindowOpensAndClosesOnSchedule) {
+  Params p = small_params();
+  p.chaos = "on";
+  p.chaos_burst_at = 2;
+  p.chaos_burst_until = 4;
+  p.chaos_burst_drop = 1.0;
+  core::HirepSystem sys(p.hirep_options());
+  const auto engine = install_chaos(sys, p);
+  ASSERT_NE(engine, nullptr);
+
+  engine->advance_to(1);
+  EXPECT_FALSE(engine->burst_active());
+  engine->advance_to(2);
+  EXPECT_TRUE(engine->burst_active());
+  EXPECT_TRUE(engine->draw_burst_drop());  // drop=1: every draw loses
+  engine->advance_to(3);
+  EXPECT_TRUE(engine->burst_active());
+  engine->advance_to(4);
+  EXPECT_FALSE(engine->burst_active());
+}
+
+TEST(ChaosSchedule, BurstUntilZeroNeverCloses) {
+  Params p = small_params();
+  p.chaos = "on";
+  p.chaos_burst_at = 1;
+  p.chaos_burst_until = 0;
+  p.chaos_burst_drop = 0.5;
+  core::HirepSystem sys(p.hirep_options());
+  const auto engine = install_chaos(sys, p);
+  engine->advance_to(100);
+  EXPECT_TRUE(engine->burst_active());
+}
+
+TEST(ChaosSchedule, SlowdownTaxesExactlyTheSampledFraction) {
+  Params p = small_params();
+  p.chaos = "on";
+  p.chaos_slowdown_fraction = 0.5;
+  p.chaos_slowdown_ms = 2.5;
+  core::HirepSystem sys(p.hirep_options());
+  const auto engine = install_chaos(sys, p);
+  std::size_t slowed = 0;
+  for (net::NodeIndex v = 0; v < sys.node_count(); ++v) {
+    const double s = engine->slowdown_of(v);
+    EXPECT_TRUE(s == 0.0 || s == 2.5);
+    slowed += s > 0.0;
+  }
+  EXPECT_EQ(slowed, sys.node_count() / 2);
+}
+
+TEST(ChaosChurn, RandomCrashesAreDeterministicPerSeed) {
+  const auto trace = [](std::uint64_t chaos_seed) {
+    Params p = small_params();
+    p.chaos = "on";
+    p.chaos_seed = chaos_seed;
+    p.chaos_crash_rate = 0.05;
+    p.chaos_mean_downtime = 3.0;
+    core::HirepSystem sys(p.hirep_options());
+    const auto engine = install_chaos(sys, p);
+    std::vector<std::pair<std::uint64_t, std::vector<bool>>> snapshots;
+    for (std::uint64_t t = 1; t <= 30; ++t) {
+      engine->advance_to(t);
+      std::vector<bool> down;
+      for (net::NodeIndex v = 0; v < sys.node_count(); ++v) {
+        down.push_back(engine->crashed(v));
+      }
+      snapshots.emplace_back(engine->counters().random_crashes,
+                             std::move(down));
+    }
+    return snapshots;
+  };
+  const auto a = trace(5);
+  EXPECT_EQ(a, trace(5));
+  EXPECT_NE(a, trace(6));
+  // The churn actually fires at this rate and nodes do come back.
+  EXPECT_GT(a.back().first, 0u);
+}
+
+TEST(ChaosDeliveryOverlay, CrashedEndpointDropsTheHop) {
+  Params p = small_params();
+  p.chaos = "on";
+  p.chaos_crash_at = 1;
+  p.chaos_agent_crash_fraction = 1.0;
+  core::HirepSystem sys(p.hirep_options());
+  const auto engine = install_chaos(sys, p);
+  engine->advance_to(1);
+
+  net::NodeIndex agent_ip = net::kInvalidNode;
+  net::NodeIndex plain_ip = net::kInvalidNode;
+  for (net::NodeIndex v = 0; v < sys.node_count(); ++v) {
+    if (sys.agent_at(v) != nullptr && agent_ip == net::kInvalidNode) {
+      agent_ip = v;
+    }
+    if (sys.agent_at(v) == nullptr && plain_ip == net::kInvalidNode) {
+      plain_ip = v;
+    }
+  }
+  ASSERT_NE(agent_ip, net::kInvalidNode);
+  ASSERT_NE(plain_ip, net::kInvalidNode);
+
+  const auto to_crashed =
+      sys.transport().send(net::EnvelopeType::kProbe, plain_ip, {agent_ip});
+  EXPECT_FALSE(to_crashed.delivered);
+  EXPECT_GE(engine->counters().crash_drops, 1u);
+
+  // Hops between two live nodes still go through untouched.
+  net::NodeIndex other_plain = net::kInvalidNode;
+  for (net::NodeIndex v = plain_ip + 1; v < sys.node_count(); ++v) {
+    if (sys.agent_at(v) == nullptr) {
+      other_plain = v;
+      break;
+    }
+  }
+  ASSERT_NE(other_plain, net::kInvalidNode);
+  EXPECT_TRUE(sys.transport()
+                  .send(net::EnvelopeType::kProbe, plain_ip, {other_plain})
+                  .delivered);
+}
+
+TEST(ChaosExecution, ParallelBatchesAreRejectedUnderChaos) {
+  Params p = small_params();
+  p.chaos = "on";
+  core::HirepSystem sys(p.hirep_options());
+  install_chaos(sys, p);
+  const std::vector<std::pair<net::NodeIndex, net::NodeIndex>> pairs{{0, 1}};
+  core::ExecutionPolicy exec;
+  exec.parallel = true;
+  EXPECT_THROW(sys.run_transactions(pairs, exec), std::invalid_argument);
+}
+
+TEST(ChaosExecution, ScenarioDowngradesToSerialWhenChaosIsOn) {
+  Params p = small_params();
+  p.execution = "parallel";
+  p.chaos = "on";
+  EXPECT_FALSE(Scenario(p).execution_policy().parallel);
+  p.chaos = "off";
+  EXPECT_TRUE(Scenario(p).execution_policy().parallel);
+}
+
+TEST(ChaosReplay, FullChaoticRunIsBitIdentical) {
+  Params p = small_params();
+  p.chaos = "on";
+  p.chaos_crash_at = 10;
+  p.chaos_restart_at = 20;
+  p.chaos_agent_crash_fraction = 0.5;
+  p.chaos_partition_at = 25;
+  p.chaos_heal_at = 30;
+  p.chaos_partition_fraction = 0.3;
+  p.retry_max_attempts = 2;
+  p.retry_backoff_ms = 0.5;
+  p.min_quorum = 4;
+
+  std::vector<std::pair<net::NodeIndex, net::NodeIndex>> pairs;
+  for (std::size_t i = 0; i < p.transactions; ++i) {
+    pairs.emplace_back(static_cast<net::NodeIndex>(i % 32),
+                       static_cast<net::NodeIndex>(32 + (i * 7) % 32));
+  }
+
+  const auto run = [&] {
+    core::HirepSystem sys(p.hirep_options());
+    const auto engine = install_chaos(sys, p);
+    std::vector<core::HirepSystem::TransactionRecord> records;
+    const std::span<const std::pair<net::NodeIndex, net::NodeIndex>> all(
+        pairs);
+    core::ExecutionPolicy exec;
+    exec.parallel = false;
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      records.push_back(sys.run_transactions(all.subspan(i, 1), exec)[0]);
+      engine->advance_to(i + 1);
+    }
+    return std::make_pair(std::move(records), engine->counters());
+  };
+
+  const auto first = run();
+  const auto second = run();
+  const auto bits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+  ASSERT_EQ(first.first.size(), second.first.size());
+  for (std::size_t i = 0; i < first.first.size(); ++i) {
+    const auto& a = first.first[i];
+    const auto& b = second.first[i];
+    EXPECT_EQ(a.requestor, b.requestor) << i;
+    EXPECT_EQ(a.provider, b.provider) << i;
+    EXPECT_EQ(bits(a.estimate), bits(b.estimate)) << i;
+    EXPECT_EQ(bits(a.outcome), bits(b.outcome)) << i;
+    EXPECT_EQ(a.responses, b.responses) << i;
+    EXPECT_EQ(a.trust_messages, b.trust_messages) << i;
+  }
+  EXPECT_EQ(first.second.scripted_crashes, second.second.scripted_crashes);
+  EXPECT_EQ(first.second.restarts, second.second.restarts);
+  EXPECT_EQ(first.second.crash_drops, second.second.crash_drops);
+  EXPECT_EQ(first.second.partition_drops, second.second.partition_drops);
+  // The schedule genuinely fired (this is a chaos run, not a calm one).
+  EXPECT_GT(first.second.scripted_crashes, 0u);
+  EXPECT_GT(first.second.crash_drops, 0u);
+}
+
+}  // namespace
+}  // namespace hirep::sim

@@ -98,6 +98,26 @@ TEST(GoldenValues, SerialExecutorReproducesTheSameFigures) {
   expect_table_equals(run_fig6_accuracy(p).table, kFig6Golden);
 }
 
+TEST(GoldenValues, ChaosStackDisabledLeavesEveryGoldenBitAlone) {
+  // The robustness layer's golden-safety contract, spelled out: with the
+  // chaos engine compiled in but off, the zero-retry reliable channel, and
+  // recovery at its defaults (quorum disabled), the figure pipelines —
+  // which now route every request through ReliableChannel and call
+  // install_chaos() unconditionally — reproduce the pre-chaos pins bit for
+  // bit.  Every knob is pinned explicitly so a future default change that
+  // would silently perturb the goldens fails here, by name.
+  Params p = golden_params();
+  p.chaos = "off";
+  p.retry_max_attempts = 1;
+  p.retry_timeout_ms = 0.0;
+  p.retry_backoff_ms = 0.0;
+  p.retry_jitter_ms = 0.0;
+  p.suspicion_threshold = 3;
+  p.min_quorum = 0;
+  expect_table_equals(run_fig5_traffic(p).table, kFig5Golden);
+  expect_table_equals(run_fig6_accuracy(p).table, kFig6Golden);
+}
+
 TEST(AverageOverSeeds, ParallelMatchesSerialBitForBit) {
   Params p = golden_params();
   p.seeds = 4;

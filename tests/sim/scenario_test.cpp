@@ -84,6 +84,62 @@ TEST(ScenarioValidate, RejectsImpossibleCombinations) {
                std::invalid_argument);
 }
 
+TEST(ScenarioValidate, RejectsBrokenRetryAndRecoveryKnobs) {
+  // retry_max_attempts parses through int64: 0 and negative (which would
+  // wrap the uint32) are both rejected at the validation layer.
+  EXPECT_THROW(Scenario::from_config(cfg("retry_max_attempts=0")),
+               std::invalid_argument);
+  EXPECT_THROW(Scenario::from_config(cfg("retry_max_attempts=-1")),
+               std::invalid_argument);
+  EXPECT_THROW(Scenario::from_config(cfg("retry_max_attempts=100000")),
+               std::invalid_argument);
+  EXPECT_THROW(Scenario::from_config(cfg("retry_timeout_ms=-1")),
+               std::invalid_argument);
+  EXPECT_THROW(Scenario::from_config(cfg("retry_backoff_ms=-0.5")),
+               std::invalid_argument);
+  EXPECT_THROW(Scenario::from_config(cfg("retry_jitter_ms=-2")),
+               std::invalid_argument);
+  EXPECT_THROW(Scenario::from_config(cfg("suspicion_threshold=0")),
+               std::invalid_argument);
+  EXPECT_NO_THROW(Scenario::from_config(
+      cfg("retry_max_attempts=5 retry_timeout_ms=10 retry_backoff_ms=1 "
+          "retry_jitter_ms=0.5 suspicion_threshold=2 min_quorum=3")));
+}
+
+TEST(ScenarioValidate, RejectsImpossibleChaosSchedules) {
+  EXPECT_THROW(Scenario::from_config(cfg("chaos=sometimes")),
+               std::invalid_argument);
+  EXPECT_THROW(Scenario::from_config(cfg("chaos_crash_rate=1.5")),
+               std::invalid_argument);
+  EXPECT_THROW(Scenario::from_config(cfg("chaos_agent_crash_fraction=-0.1")),
+               std::invalid_argument);
+  EXPECT_THROW(Scenario::from_config(cfg("chaos_partition_fraction=2")),
+               std::invalid_argument);
+  EXPECT_THROW(Scenario::from_config(cfg("chaos_burst_drop=1.01")),
+               std::invalid_argument);
+  EXPECT_THROW(Scenario::from_config(cfg("chaos_slowdown_fraction=7")),
+               std::invalid_argument);
+  EXPECT_THROW(Scenario::from_config(cfg("chaos_mean_downtime=-1")),
+               std::invalid_argument);
+  EXPECT_THROW(Scenario::from_config(cfg("chaos_slowdown_ms=-3")),
+               std::invalid_argument);
+  // A restart/heal/burst-close scheduled before its opening event can
+  // never fire as intended.
+  EXPECT_THROW(
+      Scenario::from_config(cfg("chaos_crash_at=10 chaos_restart_at=5")),
+      std::invalid_argument);
+  EXPECT_THROW(
+      Scenario::from_config(cfg("chaos_partition_at=10 chaos_heal_at=5")),
+      std::invalid_argument);
+  EXPECT_THROW(
+      Scenario::from_config(cfg("chaos_burst_at=10 chaos_burst_until=5")),
+      std::invalid_argument);
+  // 0 means "never"/"stay open", so one-sided schedules are fine.
+  EXPECT_NO_THROW(Scenario::from_config(
+      cfg("chaos=on chaos_crash_at=10 chaos_agent_crash_fraction=0.3 "
+          "chaos_burst_at=4 chaos_burst_until=0")));
+}
+
 TEST(ScenarioValidate, AcceptsPoolsDisabledOrWithinBounds) {
   EXPECT_NO_THROW(Scenario::from_config(
       cfg("network_size=50 requestor_pool=0 provider_pool=0")));
