@@ -30,6 +30,7 @@ case "$profile" in
     scale_fast_params=(network_size=10000 transactions=2000 crypto=fast seed=1)
     scale_full_params=(network_size=2000 transactions=300 crypto=full seed=1)
     chaos_params=(network_size=200 transactions=240 crypto=fast seed=7)
+    transport_params=(network_size=1000 transactions=100000 seed=1)
     ;;
   full)
     fig_params=()
@@ -37,6 +38,7 @@ case "$profile" in
     scale_fast_params=(network_size=100000 transactions=10000 crypto=fast seed=1)
     scale_full_params=(network_size=10000 transactions=1000 crypto=full seed=1)
     chaos_params=(network_size=1000 transactions=2000 crypto=fast seed=7)
+    transport_params=(network_size=10000 transactions=1000000 seed=1)
     ;;
   *)
     echo "bench.sh: unknown BENCH_PROFILE '$profile' (use: quick full)" >&2
@@ -61,14 +63,16 @@ for suite in "${micro_suites[@]}"; do
 done
 
 # Scale engine: serial vs parallel batch execution, both crypto modes;
-# chaos engine: fault schedule + failover recovery (hirep-bench-v1
-# documents; exit 1 = a claim did not hold, still recorded).
-scale_runs=(micro_scale_fast micro_scale_full chaos_recovery)
+# chaos engine: fault schedule + failover recovery; batched transport:
+# per-envelope vs arena-backed send_batch (hirep-bench-v1 documents;
+# exit 1 = a claim did not hold, still recorded).
+scale_runs=(micro_scale_fast micro_scale_full chaos_recovery micro_transport)
 for run in "${scale_runs[@]}"; do
   case "$run" in
     micro_scale_fast) binary=micro_scale params=("${scale_fast_params[@]}") ;;
     micro_scale_full) binary=micro_scale params=("${scale_full_params[@]}") ;;
     chaos_recovery)   binary=chaos_recovery params=("${chaos_params[@]}") ;;
+    micro_transport)  binary=micro_transport params=("${transport_params[@]}") ;;
   esac
   echo "== bench.sh: $binary (${params[*]}) =="
   rc=0

@@ -29,27 +29,37 @@ PureVotingSystem::PollResult PureVotingSystem::poll(net::NodeIndex requestor,
                                 net::EnvelopeType::kVotePoll);
   const auto parent = flood.parents_by_node(overlay_.node_count());
 
-  double sum = 0.0;
+  // Every vote of one poll rides back in a single envelope batch.  The
+  // voter evaluates the candidate at enqueue time — the draw happens at
+  // the voter, in reached order, regardless of whether its vote survives
+  // the trip back — and the tally runs over the drained receipts.  All
+  // returns target the requestor, so the destination-sorted drain
+  // degenerates to entry order and the float sum matches the sequential
+  // form bit for bit.
+  auto batch = transport_.make_batch();
+  std::vector<double> votes;
+  std::vector<net::NodeIndex> reverse;
   for (std::size_t i = 0; i < flood.reached.size(); ++i) {
     const net::NodeIndex voter = flood.reached[i];
     if (voter == provider) continue;  // the candidate does not vote on itself
-    // The voter evaluates the candidate regardless of whether its vote
-    // survives the trip back — the draw happens at the voter.
-    const double vote = truth_.evaluate(voter, provider, rng_);
+    votes.push_back(truth_.evaluate(voter, provider, rng_));
     // The vote travels back hop-by-hop along the reverse flooding path.
-    std::vector<net::NodeIndex> reverse;
+    reverse.clear();
     reverse.reserve(flood.depth[i]);
     for (net::NodeIndex at = voter; at != requestor;) {
       const net::NodeIndex up = parent[at];
       reverse.push_back(up);
       at = up;
     }
-    const auto receipt =
-        transport_.send(net::EnvelopeType::kVoteReturn, voter, reverse);
-    if (!receipt.delivered) continue;  // lost vote never reaches the tally
-    sum += vote;
-    ++result.votes;
+    batch.push(net::EnvelopeType::kVoteReturn, voter, reverse);
   }
+  transport_.send_batch(batch);
+  double sum = 0.0;
+  batch.drain_sorted([&](std::size_t i, const net::DeliveryReceipt&) {
+    // A lost vote never reaches the tally.
+    sum += votes[i];
+    ++result.votes;
+  });
   result.estimate = result.votes
                         ? sum / static_cast<double>(result.votes)
                         : 0.5;

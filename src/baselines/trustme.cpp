@@ -71,25 +71,37 @@ TrustMeSystem::TransactionRecord TrustMeSystem::run_transaction(
   const auto query_flood = net::flood(transport_, requestor, options_.ttl,
                                       net::EnvelopeType::kTrustRequest);
   const auto parent = query_flood.parents_by_node(overlay_.node_count());
-  double sum = 0.0;
+  // All THA answers of one query ride back in a single envelope batch;
+  // the answers themselves are read at tally time (tha_answer is a pure
+  // read of the stores, which only change under broadcast #2 below).
+  // Every answer targets the requestor, so the destination-sorted drain
+  // degenerates to entry order and the float sum matches the sequential
+  // form bit for bit.
+  auto batch = transport_.make_batch();
+  std::vector<net::NodeIndex> answering;
+  std::vector<net::NodeIndex> reverse;
   for (std::size_t i = 0; i < query_flood.reached.size(); ++i) {
     const net::NodeIndex node = query_flood.reached[i];
     for (net::NodeIndex tha : thas_[provider]) {
       if (tha != node) continue;
-      std::vector<net::NodeIndex> reverse;
+      reverse.clear();
       reverse.reserve(query_flood.depth[i]);
       for (net::NodeIndex at = tha; at != requestor;) {
         const net::NodeIndex up = parent[at];
         reverse.push_back(up);
         at = up;
       }
-      const auto receipt =
-          transport_.send(net::EnvelopeType::kTrustResponse, tha, reverse);
-      if (!receipt.delivered) continue;  // the answer was lost on the way back
-      sum += tha_answer(tha, provider);
-      ++record.responses;
+      batch.push(net::EnvelopeType::kTrustResponse, tha, reverse);
+      answering.push_back(tha);
     }
   }
+  transport_.send_batch(batch);
+  double sum = 0.0;
+  batch.drain_sorted([&](std::size_t i, const net::DeliveryReceipt&) {
+    // An answer lost on the way back never reaches the tally.
+    sum += tha_answer(answering[i], provider);
+    ++record.responses;
+  });
   record.estimate = record.responses
                         ? sum / static_cast<double>(record.responses)
                         : 0.5;

@@ -489,19 +489,30 @@ crypto::NodeId HirepSystem::rotate_peer_key(net::NodeIndex v) {
   // every trusted agent over the freshest Onion_e the peer holds.
   TxnCtx ctx = legacy_ctx();
   Peer& p = peers_.at(v);
+  if (options_.crypto == CryptoMode::kFast) {
+    // All announcements of one rotation ride in one envelope batch.
+    // Announcements need no acknowledgement: any copy that arrived is
+    // applied (at most once).
+    std::vector<net::ReliableChannel::BatchRequest> requests;
+    std::vector<AgentRuntime*> targets;
+    for (auto& entry : p.agents().entries()) {
+      AgentRuntime* rt = runtime_of(entry.agent_id);
+      if (rt == nullptr || !rt->online) continue;
+      requests.push_back({v, &entry.relay_path, {}});
+      targets.push_back(rt);
+    }
+    const auto routed =
+        reliable_.request_batch(net::EnvelopeType::kKeyRotation, requests);
+    for (std::size_t i = 0; i < routed.size(); ++i) {
+      if (!routed[i].applied) continue;  // announcement lost: agent keeps SP
+      targets[i]->agent->migrate_key(old_id, announcement);
+    }
+    return identity.node_id();
+  }
   const util::Bytes wire = announcement.serialize();
   for (auto& entry : p.agents().entries()) {
     AgentRuntime* rt = runtime_of(entry.agent_id);
     if (rt == nullptr || !rt->online) continue;
-    if (options_.crypto == CryptoMode::kFast) {
-      const auto routed = reliable_.request(net::EnvelopeType::kKeyRotation, v,
-                                            entry.relay_path);
-      // Announcements need no acknowledgement: any copy that arrived is
-      // applied (at most once).
-      if (!routed.applied) continue;  // announcement lost: agent keeps SP
-      rt->agent->migrate_key(old_id, announcement);
-      continue;
-    }
     const auto routed = route_envelope(ctx, v, entry.onion, wire,
                                        net::EnvelopeType::kKeyRotation);
     if (!routed.delivered) continue;
@@ -744,6 +755,32 @@ void HirepSystem::send_report(TxnCtx& ctx, Peer& reporter, AgentEntry& entry,
   rt->agent->accept_report(opened->subject, opened->outcome);
 }
 
+void HirepSystem::report_batch(TxnCtx& ctx, Peer& reporter,
+                               const crypto::NodeId& subject_id,
+                               double outcome) {
+  // Fast-crypto fan-out: every §3.6 report of this transaction rides in
+  // one envelope batch through the reliable channel.  Reports need no
+  // acknowledgement — any copy that arrived is applied at most once — and
+  // agent application commutes across distinct agents, so tallying after
+  // the batch is equivalent to the per-entry sequential form.
+  std::vector<net::ReliableChannel::BatchRequest> requests;
+  std::vector<AgentRuntime*> targets;
+  for (auto& entry : reporter.agents().entries()) {
+    AgentRuntime* rt = runtime_of(entry.agent_id);
+    if (rt == nullptr || !rt->online) continue;
+    requests.push_back({reporter.ip(), &entry.relay_path, {}});
+    targets.push_back(rt);
+  }
+  const auto routed =
+      ctx.channel->request_batch(net::EnvelopeType::kReport, requests);
+  for (std::size_t i = 0; i < routed.size(); ++i) {
+    ctx.trust_messages += routed[i].messages;
+    if (!routed[i].applied) continue;  // report lost: agent never learns
+    std::lock_guard<std::mutex> lock(*targets[i]->mu);
+    targets[i]->agent->accept_report(subject_id, outcome);
+  }
+}
+
 HirepSystem::TransactionRecord HirepSystem::run_transaction() {
   const std::size_t population = peers_.size();
   const auto requestor = static_cast<net::NodeIndex>(rng_.below(population));
@@ -805,8 +842,12 @@ HirepSystem::TransactionRecord HirepSystem::complete_transaction(
   }
 
   // Signed transaction reports to all remaining trusted agents (§3.6).
-  for (auto& entry : p.agents().entries()) {
-    send_report(ctx, p, entry, subject_id, record.outcome);
+  if (options_.crypto == CryptoMode::kFast) {
+    report_batch(ctx, p, subject_id, record.outcome);
+  } else {
+    for (auto& entry : p.agents().entries()) {
+      send_report(ctx, p, entry, subject_id, record.outcome);
+    }
   }
 
   // Maintenance (§3.4.3).  Batched execution defers it to the wave barrier:
@@ -958,9 +999,12 @@ std::vector<HirepSystem::TransactionRecord> HirepSystem::run_transactions(
         }
       });
       // Barrier: fold lane envelope counters back into the primary
-      // transport so its totals match a serial run.
+      // transport so its totals match a serial run, and release each
+      // lane's payload arena — batches never outlive a wave, so lane
+      // memory stays flat across the run.
       for (std::size_t lane = 0; lane < lanes_used; ++lane) {
         transport_.absorb_envelopes(*lanes_[lane]);
+        lanes_[lane]->arena().reset();
       }
     } else {
       for (std::size_t j = 0; j < wave.size(); ++j) {

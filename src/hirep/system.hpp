@@ -332,6 +332,11 @@ class HirepSystem {
   void send_report(TxnCtx& ctx, Peer& reporter, AgentEntry& entry,
                    const crypto::NodeId& subject_id, double outcome);
 
+  /// Fast-crypto §3.6 fan-out: all of one transaction's reports in one
+  /// envelope batch through ctx.channel.
+  void report_batch(TxnCtx& ctx, Peer& reporter,
+                    const crypto::NodeId& subject_id, double outcome);
+
   /// Suspicion ladder: a failed exchange bumps the agent's counter and
   /// quarantines it at the threshold; a success resets the counter.
   void note_exchange_failure(AgentRuntime& rt);

@@ -1,0 +1,84 @@
+// PayloadArena — slab/bump allocator backing EnvelopeBatch payloads.
+//
+// The batched transport pipeline copies every outgoing payload into the
+// transport's arena instead of handing each envelope its own heap vector:
+// a batch of N envelopes costs at most a handful of slab allocations (and
+// zero once the slabs are warm), where the per-envelope path cost N
+// vector allocations.  Envelope::payload is a span view into this memory,
+// valid until the arena position is rewound past it.
+//
+// Lifetime discipline (LIFO, like any region allocator):
+//   * EnvelopeBatch::clear() captures the arena position (a Mark);
+//     Transport::send_batch() rewinds to it once the receipts have copied
+//     the delivered bytes out, so a batch leaves the arena exactly where
+//     it found it.  Batches on one arena must therefore be sent in the
+//     reverse order of their construction; in practice every call site
+//     fills and sends one batch at a time.
+//   * reset() drops everything at once — the scale engine calls it on
+//     each lane arena at the wave barrier, so lane memory never grows
+//     across waves.
+//
+// Slabs are stable: growing the arena allocates a new slab, it never
+// moves existing ones, so spans handed out earlier stay valid until
+// rewound past.  Occupancy is mirrored into the obs registry
+// (net.arena.bytes_in_use / high_water / slab_allocs / slab_bytes /
+// resets) so allocator pressure is measurable (bench/micro_transport).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace hirep::net {
+
+class PayloadArena {
+ public:
+  static constexpr std::size_t kDefaultSlabBytes = 256 * 1024;
+
+  explicit PayloadArena(std::size_t slab_bytes = kDefaultSlabBytes);
+  PayloadArena(const PayloadArena&) = delete;
+  PayloadArena& operator=(const PayloadArena&) = delete;
+
+  /// Uninitialised storage for `n` bytes (empty span when n == 0).  An
+  /// allocation larger than the slab size gets a dedicated slab.
+  std::span<std::uint8_t> allocate(std::size_t n);
+  /// allocate + copy; the canonical "intern this payload" call.
+  std::span<const std::uint8_t> store(std::span<const std::uint8_t> data);
+
+  /// A position in the arena; rewind(mark()) is a no-op.
+  struct Mark {
+    std::size_t slab = 0;
+    std::size_t used = 0;
+  };
+  Mark mark() const noexcept { return {active_, used_}; }
+  /// Releases everything allocated after `m` (LIFO — see header comment).
+  void rewind(Mark m) noexcept;
+  /// Releases everything; slabs are retained for reuse.  Wave boundary.
+  void reset() noexcept;
+
+  std::size_t bytes_in_use() const noexcept;
+  std::size_t high_water() const noexcept { return high_water_; }
+  std::size_t slab_count() const noexcept { return slabs_.size(); }
+  std::uint64_t slab_allocs() const noexcept { return slab_allocs_; }
+  std::uint64_t resets() const noexcept { return resets_; }
+
+ private:
+  struct Slab {
+    std::unique_ptr<std::uint8_t[]> data;
+    std::size_t size = 0;
+  };
+  void add_slab(std::size_t at_least);
+  void note_occupancy() noexcept;
+
+  std::size_t slab_bytes_;
+  std::vector<Slab> slabs_;
+  std::size_t active_ = 0;  ///< slab currently being filled
+  std::size_t used_ = 0;    ///< bytes used in the active slab
+  std::size_t high_water_ = 0;
+  std::uint64_t slab_allocs_ = 0;
+  std::uint64_t resets_ = 0;
+};
+
+}  // namespace hirep::net

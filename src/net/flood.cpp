@@ -67,37 +67,47 @@ FloodResult flood(Transport& transport, NodeIndex source, std::uint32_t ttl,
   std::vector<std::uint32_t> depth(g.node_count(), kUnseen);
   depth[source] = 0;
 
-  struct Pending {
-    NodeIndex node;
+  // BFS by rounds over the batched transport: every edge transmission of
+  // one ring of the flood rides in one EnvelopeBatch.  Because the
+  // sequential form's FIFO frontier is strictly round-ordered and a node's
+  // forwards are emitted in pop order, pushing round r's edges in that
+  // same order keeps the delivery-policy stream hop-for-hop identical to
+  // per-envelope sends (pinned by tests/net/transport_batch_test.cpp).
+  struct Tx {
+    NodeIndex to;
     NodeIndex from;
     std::uint32_t hops;
   };
-  std::deque<Pending> frontier;
+  std::vector<Tx> round;
+  std::vector<Tx> next;
+  EnvelopeBatch batch = transport.make_batch();
 
-  // Each edge transmission is one single-hop envelope under the policy; a
-  // dropped copy never enters the frontier.
-  const auto transmit = [&](NodeIndex from, NodeIndex to,
-                            std::uint32_t hops) {
-    const auto receipt = transport.send(type, from, {to});
-    result.messages += receipt.messages;
-    if (receipt.delivered) frontier.push_back({to, from, hops});
-  };
+  for (NodeIndex nb : g.neighbors(source)) round.push_back({nb, source, 1});
 
-  for (NodeIndex nb : g.neighbors(source)) transmit(source, nb, 1);
-
-  while (!frontier.empty()) {
-    const Pending p = frontier.front();
-    frontier.pop_front();
-    if (depth[p.node] != kUnseen) continue;
-    depth[p.node] = p.hops;
-    result.reached.push_back(p.node);
-    result.depth.push_back(p.hops);
-    result.parent.push_back(p.from);
-    if (p.hops >= ttl) continue;
-    for (NodeIndex nb : g.neighbors(p.node)) {
-      if (nb == p.from) continue;
-      transmit(p.node, nb, p.hops + 1);
+  while (!round.empty()) {
+    batch.clear();
+    for (const Tx& tx : round) {
+      batch.push(type, tx.from, std::span<const NodeIndex>(&tx.to, 1));
     }
+    const auto receipts = transport.send_batch(batch);
+    next.clear();
+    for (std::size_t i = 0; i < round.size(); ++i) {
+      result.messages += receipts[i].messages;
+      // A dropped copy never enters the frontier.
+      if (!receipts[i].delivered) continue;
+      const Tx& tx = round[i];
+      if (depth[tx.to] != kUnseen) continue;  // duplicate copy: dropped
+      depth[tx.to] = tx.hops;
+      result.reached.push_back(tx.to);
+      result.depth.push_back(tx.hops);
+      result.parent.push_back(tx.from);
+      if (tx.hops >= ttl) continue;
+      for (NodeIndex nb : g.neighbors(tx.to)) {
+        if (nb == tx.from) continue;
+        next.push_back({nb, tx.to, tx.hops + 1});
+      }
+    }
+    round.swap(next);
   }
   return result;
 }
@@ -236,65 +246,80 @@ std::vector<TokenVisit> token_walk(Transport& transport, util::Rng& rng,
   std::vector<bool> visited(g.node_count(), false);
   visited[source] = true;
 
+  // Round-batched walk.  Each round plans its sends first — visiting
+  // nodes, drawing the split shuffles from the caller's rng, computing
+  // token shares — then ships every reply and forward of the round in one
+  // EnvelopeBatch.  Neither visited[] nor the share arithmetic depends on
+  // in-round delivery outcomes, and replies/forwards are planned in
+  // exactly the per-node order the sequential form sent them, so both the
+  // caller's rng stream and the delivery-policy stream are draw-for-draw
+  // identical to per-envelope sends.
   struct Pending {
     NodeIndex node;
-    NodeIndex from;
     std::uint32_t tokens;
     std::uint32_t ttl;
   };
-  std::deque<Pending> frontier;
+  struct Planned {
+    bool reply;      ///< reply to the source vs forwarded share
+    NodeIndex node;  ///< replying node, or the forward's receiver
+    std::uint32_t tokens;
+    std::uint32_t ttl;
+  };
+  EnvelopeBatch batch = transport.make_batch();
+  std::vector<Planned> plan;
+  std::vector<Pending> landed;
 
-  // A forwarded share only survives if its envelope lands (a dropped
-  // request loses the tokens it carried, exactly like a lossy link).
-  const auto forward = [&](NodeIndex from, NodeIndex to, std::uint32_t share,
-                           std::uint32_t ttl_left) {
-    const auto receipt =
-        transport.send(EnvelopeType::kAgentListRequest, from, {to});
-    if (receipt.delivered) frontier.push_back({to, from, share, ttl_left});
+  // Splits `remaining` tokens across the unvisited neighbors of `from`
+  // (Figure 4: even split of what is left across the rest) and plans one
+  // forward per share.  A dropped forward loses the tokens it carried,
+  // exactly like a lossy link.
+  const auto plan_forwards = [&](NodeIndex from, std::uint32_t remaining,
+                                 std::uint32_t ttl_left) {
+    std::vector<NodeIndex> nbs;
+    for (NodeIndex nb : g.neighbors(from)) {
+      if (!visited[nb]) nbs.push_back(nb);
+    }
+    rng.shuffle(nbs);
+    for (std::size_t i = 0; i < nbs.size() && remaining > 0; ++i) {
+      const auto share = static_cast<std::uint32_t>(
+          (remaining + nbs.size() - 1 - i) / (nbs.size() - i));
+      batch.push(EnvelopeType::kAgentListRequest, from,
+                 std::span<const NodeIndex>(&nbs[i], 1));
+      plan.push_back({false, nbs[i], share, ttl_left});
+      remaining -= share;
+    }
   };
 
   // The source splits its token budget across its neighbors (Figure 4).
-  {
-    std::vector<NodeIndex> nbs;
-    for (NodeIndex nb : g.neighbors(source)) {
-      if (!visited[nb]) nbs.push_back(nb);
-    }
-    rng.shuffle(nbs);
-    std::uint32_t remaining = tokens;
-    for (std::size_t i = 0; i < nbs.size() && remaining > 0; ++i) {
-      const auto share = static_cast<std::uint32_t>(
-          (remaining + nbs.size() - 1 - i) / (nbs.size() - i));
-      forward(source, nbs[i], share, ttl);
-      remaining -= share;
-    }
-  }
+  plan_forwards(source, tokens, ttl);
 
-  while (!frontier.empty()) {
-    Pending p = frontier.front();
-    frontier.pop_front();
-    if (visited[p.node]) continue;  // duplicate copy: tokens lost with it
-    visited[p.node] = true;
-    std::uint32_t remaining = p.tokens;
-    if (consumes(p.node) && remaining > 0) {
-      // One token pays for this node's reply, returned directly to the
-      // requestor; a dropped reply still consumed the token.
-      const auto receipt =
-          transport.send(EnvelopeType::kAgentListReply, p.node, {source});
-      if (receipt.delivered) visits.push_back({p.node, 1});
-      --remaining;
+  while (!plan.empty()) {
+    const auto receipts = transport.send_batch(batch);
+    landed.clear();
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      const Planned& p = plan[i];
+      if (p.reply) {
+        // A dropped reply still consumed the node's token.
+        if (receipts[i].delivered) visits.push_back({p.node, 1});
+      } else if (receipts[i].delivered) {
+        landed.push_back({p.node, p.tokens, p.ttl});
+      }
     }
-    if (remaining == 0 || p.ttl <= 1) continue;
-    std::vector<NodeIndex> nbs;
-    for (NodeIndex nb : g.neighbors(p.node)) {
-      if (!visited[nb]) nbs.push_back(nb);
-    }
-    if (nbs.empty()) continue;
-    rng.shuffle(nbs);
-    for (std::size_t i = 0; i < nbs.size() && remaining > 0; ++i) {
-      const auto share = static_cast<std::uint32_t>(
-          (remaining + nbs.size() - 1 - i) / (nbs.size() - i));
-      forward(p.node, nbs[i], share, p.ttl - 1);
-      remaining -= share;
+    plan.clear();
+    for (const Pending& p : landed) {
+      if (visited[p.node]) continue;  // duplicate copy: tokens lost with it
+      visited[p.node] = true;
+      std::uint32_t remaining = p.tokens;
+      if (consumes(p.node) && remaining > 0) {
+        // One token pays for this node's reply, returned directly to the
+        // requestor.
+        batch.push(EnvelopeType::kAgentListReply, p.node,
+                   std::span<const NodeIndex>(&source, 1));
+        plan.push_back({true, p.node, 0, 0});
+        --remaining;
+      }
+      if (remaining == 0 || p.ttl <= 1) continue;
+      plan_forwards(p.node, remaining, p.ttl - 1);
     }
   }
   return visits;

@@ -23,6 +23,9 @@ struct EnvelopeRegistryCells {
   std::array<obs::Counter*, kN> duplicated{};
   std::array<obs::Counter*, kN> hop_messages{};
   std::array<obs::Counter*, kN> suppressed{};
+  std::array<obs::Counter*, kN> bytes_sent{};
+  std::array<obs::Counter*, kN> bytes_delivered{};
+  std::array<obs::Counter*, kN> bytes_dropped{};
 };
 
 const EnvelopeRegistryCells& envelope_cells() {
@@ -38,6 +41,9 @@ const EnvelopeRegistryCells& envelope_cells() {
       c.duplicated[i] = &reg.counter(base + ".duplicated");
       c.hop_messages[i] = &reg.counter(base + ".hop_messages");
       c.suppressed[i] = &reg.counter(base + ".suppressed");
+      c.bytes_sent[i] = &reg.counter(base + ".payload_bytes_sent");
+      c.bytes_delivered[i] = &reg.counter(base + ".payload_bytes_delivered");
+      c.bytes_dropped[i] = &reg.counter(base + ".payload_bytes_dropped");
     }
     return c;
   }();
@@ -138,6 +144,38 @@ void EnvelopeMetrics::count_hops(EnvelopeType type,
   }
 }
 
+void EnvelopeMetrics::add(EnvelopeType type, const Counters& delta) noexcept {
+  const std::size_t i = static_cast<std::size_t>(type);
+  Counters& c = counts_[i];
+  c.sent += delta.sent;
+  c.delivered += delta.delivered;
+  c.dropped += delta.dropped;
+  c.duplicated += delta.duplicated;
+  c.hop_messages += delta.hop_messages;
+  c.suppressed += delta.suppressed;
+  c.payload_bytes_sent += delta.payload_bytes_sent;
+  c.payload_bytes_delivered += delta.payload_bytes_delivered;
+  c.payload_bytes_dropped += delta.payload_bytes_dropped;
+  if constexpr (obs::kEnabled) {
+    const auto& cells = envelope_cells();
+    if (delta.sent) cells.sent[i]->add(delta.sent);
+    if (delta.delivered) cells.delivered[i]->add(delta.delivered);
+    if (delta.dropped) cells.dropped[i]->add(delta.dropped);
+    if (delta.duplicated) cells.duplicated[i]->add(delta.duplicated);
+    if (delta.hop_messages) cells.hop_messages[i]->add(delta.hop_messages);
+    if (delta.suppressed) cells.suppressed[i]->add(delta.suppressed);
+    if (delta.payload_bytes_sent) {
+      cells.bytes_sent[i]->add(delta.payload_bytes_sent);
+    }
+    if (delta.payload_bytes_delivered) {
+      cells.bytes_delivered[i]->add(delta.payload_bytes_delivered);
+    }
+    if (delta.payload_bytes_dropped) {
+      cells.bytes_dropped[i]->add(delta.payload_bytes_dropped);
+    }
+  }
+}
+
 void EnvelopeMetrics::absorb(const EnvelopeMetrics& other) noexcept {
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     counts_[i].sent += other.counts_[i].sent;
@@ -146,6 +184,10 @@ void EnvelopeMetrics::absorb(const EnvelopeMetrics& other) noexcept {
     counts_[i].duplicated += other.counts_[i].duplicated;
     counts_[i].hop_messages += other.counts_[i].hop_messages;
     counts_[i].suppressed += other.counts_[i].suppressed;
+    counts_[i].payload_bytes_sent += other.counts_[i].payload_bytes_sent;
+    counts_[i].payload_bytes_delivered +=
+        other.counts_[i].payload_bytes_delivered;
+    counts_[i].payload_bytes_dropped += other.counts_[i].payload_bytes_dropped;
   }
 }
 
@@ -182,7 +224,10 @@ std::string EnvelopeMetrics::summary() const {
     out << to_string(static_cast<EnvelopeType>(i)) << "={sent=" << c.sent
         << " delivered=" << c.delivered << " dropped=" << c.dropped
         << " dup=" << c.duplicated << " suppressed=" << c.suppressed
-        << " hops=" << c.hop_messages << "} ";
+        << " hops=" << c.hop_messages
+        << " bytes=" << c.payload_bytes_sent << '/'
+        << c.payload_bytes_delivered << '/' << c.payload_bytes_dropped
+        << "} ";
   }
   out << "total_sent=" << total_sent() << " total_delivered="
       << total_delivered() << " total_dropped=" << total_dropped();

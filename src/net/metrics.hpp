@@ -60,6 +60,9 @@ class EnvelopeMetrics {
     std::uint64_t duplicated = 0;  ///< hops transmitted twice by the policy
     std::uint64_t hop_messages = 0;///< transmissions spent (incl. duplicates)
     std::uint64_t suppressed = 0;  ///< duplicate copies discarded at a receiver
+    std::uint64_t payload_bytes_sent = 0;       ///< bytes handed to transport
+    std::uint64_t payload_bytes_delivered = 0;  ///< bytes that reached path end
+    std::uint64_t payload_bytes_dropped = 0;    ///< bytes lost at some hop
   };
 
   void count_sent(EnvelopeType type) noexcept;
@@ -68,6 +71,12 @@ class EnvelopeMetrics {
   void count_duplicated(EnvelopeType type) noexcept;
   void count_suppressed(EnvelopeType type) noexcept;
   void count_hops(EnvelopeType type, std::uint64_t messages) noexcept;
+
+  /// Folds a per-batch delta into one type's counters and mirrors the
+  /// non-zero fields to the obs registry — the batched transport's single
+  /// flush point, equivalent to calling the count_* methods field by field.
+  void add(EnvelopeType type, const Counters& delta) noexcept;
+
   void reset() noexcept;
 
   /// Folds another instance's counts into this one *without* re-mirroring

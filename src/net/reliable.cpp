@@ -26,7 +26,64 @@ const ReliableCells& reliable_cells() {
   return cells;
 }
 
+/// Backoff before retry wave `attempt` (>= 2): base * 2^(attempt-2), plus
+/// one uniform jitter draw from `rng` when configured.
+double backoff_wait(const ReliablePolicy& policy, std::uint32_t attempt,
+                    util::Rng& rng) {
+  const std::uint32_t doublings = attempt - 2 < 30U ? attempt - 2 : 30U;
+  double wait = policy.backoff_ms * static_cast<double>(1U << doublings);
+  if (policy.jitter_ms > 0.0) wait += rng.uniform(0.0, policy.jitter_ms);
+  return wait;
+}
+
 }  // namespace
+
+bool DedupTable::first_application(std::uint64_t id, double now_ms) {
+  maybe_rotate(now_ms);
+  if (current_.contains(id)) return false;
+  if (prev_.contains(id)) {
+    // Refresh an actively retried id into the current generation so it
+    // cannot age out between its own attempts.
+    current_.insert(id);
+    return false;
+  }
+  current_.insert(id);
+  return true;
+}
+
+void DedupTable::maybe_rotate(double now_ms) {
+  const bool full = current_.size() >= capacity_;
+  const bool stale =
+      !current_.empty() && now_ms - window_start_ >= window_ms_;
+  if (full || stale) {
+    prev_ = std::move(current_);
+    current_.clear();
+    window_start_ = now_ms;
+  }
+}
+
+bool ReliableChannel::settle(const DeliveryReceipt& receipt,
+                            std::uint64_t request_id, RequestOutcome& out) {
+  out.messages += receipt.messages;
+  if (!receipt.delivered) return false;
+  if (dedup_.first_application(request_id, receipt.completion_ms)) {
+    out.applied = true;
+  } else {
+    // A retransmission of a request whose earlier (late) copy already
+    // reached the destination: applied at most once.
+    ++stats_.dup_suppressed;
+    if constexpr (obs::kEnabled) reliable_cells().dup_suppressed->add();
+  }
+  const bool late =
+      policy_.timeout_ms > 0.0 &&
+      receipt.completion_ms - receipt.start_ms > policy_.timeout_ms;
+  if (late) return false;
+  out.ok = true;
+  out.destination = receipt.destination;
+  out.completion_ms = receipt.completion_ms;
+  out.payload = receipt.payload;
+  return true;
+}
 
 RequestOutcome ReliableChannel::request(EnvelopeType type, NodeIndex sender,
                                         const std::vector<NodeIndex>& path,
@@ -34,6 +91,7 @@ RequestOutcome ReliableChannel::request(EnvelopeType type, NodeIndex sender,
   RequestOutcome out;
   ++stats_.requests;
   if constexpr (obs::kEnabled) reliable_cells().requests->add();
+  const std::uint64_t request_id = next_request_id_++;
 
   const std::uint32_t max_attempts =
       policy_.max_attempts == 0 ? 1 : policy_.max_attempts;
@@ -41,9 +99,7 @@ RequestOutcome ReliableChannel::request(EnvelopeType type, NodeIndex sender,
     if (attempt > 1) {
       // Deterministic exponential backoff before each retry, realised on
       // the transport clock so retried traffic timestamps correctly.
-      const std::uint32_t doublings = attempt - 2 < 30U ? attempt - 2 : 30U;
-      double wait = policy_.backoff_ms * static_cast<double>(1U << doublings);
-      if (policy_.jitter_ms > 0.0) wait += rng_.uniform(0.0, policy_.jitter_ms);
+      const double wait = backoff_wait(policy_, attempt, rng_);
       if (wait > 0.0) {
         transport_->sim().schedule_in(wait, [] {});
         transport_->sim().run();
@@ -51,34 +107,14 @@ RequestOutcome ReliableChannel::request(EnvelopeType type, NodeIndex sender,
       ++stats_.retries;
       if constexpr (obs::kEnabled) reliable_cells().retries->add();
     }
-    const double t0 = transport_->sim().now();
     // Retries need the original bytes again, so only the final attempt may
     // surrender the buffer.
-    DeliveryReceipt receipt =
+    const DeliveryReceipt receipt =
         attempt == max_attempts
             ? transport_->send(type, sender, path, std::move(payload))
             : transport_->send(type, sender, path, payload);
     out.attempts = attempt;
-    out.messages += receipt.messages;
-    if (receipt.delivered) {
-      if (out.applied) {
-        // A retransmission of a request whose earlier (late) copy already
-        // reached the destination: applied at most once.
-        ++stats_.dup_suppressed;
-        if constexpr (obs::kEnabled) reliable_cells().dup_suppressed->add();
-      } else {
-        out.applied = true;
-      }
-      const bool late = policy_.timeout_ms > 0.0 &&
-                        receipt.completion_ms - t0 > policy_.timeout_ms;
-      if (!late) {
-        out.ok = true;
-        out.destination = receipt.destination;
-        out.completion_ms = receipt.completion_ms;
-        out.payload = std::move(receipt.payload);
-        break;
-      }
-    }
+    if (settle(receipt, request_id, out)) break;
     // Lost in transit, or delivered past the deadline: the sender's timer
     // fires either way.
     ++out.timeouts;
@@ -90,6 +126,67 @@ RequestOutcome ReliableChannel::request(EnvelopeType type, NodeIndex sender,
     if constexpr (obs::kEnabled) reliable_cells().gave_up->add();
   }
   return out;
+}
+
+std::vector<RequestOutcome> ReliableChannel::request_batch(
+    EnvelopeType type, std::span<const BatchRequest> requests) {
+  std::vector<RequestOutcome> outs(requests.size());
+  if (requests.empty()) return outs;
+  stats_.requests += requests.size();
+  if constexpr (obs::kEnabled) {
+    reliable_cells().requests->add(requests.size());
+  }
+  std::vector<std::uint64_t> ids(requests.size());
+  for (auto& id : ids) id = next_request_id_++;
+
+  std::vector<std::uint32_t> pending(requests.size());
+  for (std::uint32_t i = 0; i < pending.size(); ++i) pending[i] = i;
+  std::vector<std::uint32_t> still_pending;
+
+  EnvelopeBatch batch = transport_->make_batch();
+  const std::uint32_t max_attempts =
+      policy_.max_attempts == 0 ? 1 : policy_.max_attempts;
+  for (std::uint32_t attempt = 1; attempt <= max_attempts && !pending.empty();
+       ++attempt) {
+    if (attempt > 1) {
+      // One backoff tick per wave — a single jitter draw covers every
+      // pending request, and their retransmissions ride in one batch.
+      const double wait = backoff_wait(policy_, attempt, rng_);
+      if (wait > 0.0) {
+        transport_->sim().schedule_in(wait, [] {});
+        transport_->sim().run();
+      }
+      stats_.retries += pending.size();
+      if constexpr (obs::kEnabled) {
+        reliable_cells().retries->add(pending.size());
+      }
+    }
+    batch.clear();
+    for (std::uint32_t i : pending) {
+      batch.push(type, requests[i].sender, *requests[i].path,
+                 requests[i].payload);
+    }
+    const auto receipts = transport_->send_batch(batch);
+    still_pending.clear();
+    for (std::size_t k = 0; k < pending.size(); ++k) {
+      const std::uint32_t i = pending[k];
+      RequestOutcome& out = outs[i];
+      out.attempts = attempt;
+      if (settle(receipts[k], ids[i], out)) continue;
+      ++out.timeouts;
+      ++stats_.timeouts;
+      if constexpr (obs::kEnabled) reliable_cells().timeouts->add();
+      still_pending.push_back(i);
+    }
+    pending.swap(still_pending);
+  }
+  for (const RequestOutcome& out : outs) {
+    if (!out.ok) {
+      ++stats_.gave_up;
+      if constexpr (obs::kEnabled) reliable_cells().gave_up->add();
+    }
+  }
+  return outs;
 }
 
 }  // namespace hirep::net

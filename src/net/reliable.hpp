@@ -20,12 +20,49 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <unordered_set>
 #include <vector>
 
 #include "net/transport.hpp"
 #include "util/rng.hpp"
 
 namespace hirep::net {
+
+/// Bounded at-most-once ledger: remembers which logical request ids have
+/// already been applied at a destination so a retransmission of an already
+/// landed request is suppressed rather than applied twice.
+///
+/// State is bounded by two-generation compaction keyed on the sim clock: ids
+/// live in a current and a previous generation; when the current generation
+/// fills (`capacity` ids) or a clock window elapses, it becomes the previous
+/// generation and the old previous one is discarded.  Retained state never
+/// exceeds 2 * capacity ids regardless of run length.  An id seen again is
+/// refreshed into the current generation, so a request that is actively
+/// being retried cannot age out between its own attempts.
+class DedupTable {
+ public:
+  explicit DedupTable(std::size_t capacity = 4096,
+                      double window_ms = 60'000.0)
+      : capacity_(capacity == 0 ? 1 : capacity), window_ms_(window_ms) {}
+
+  /// True exactly once per id: the first call records the id and returns
+  /// true; later calls (within the retention bound) return false.
+  bool first_application(std::uint64_t id, double now_ms);
+
+  std::size_t size() const noexcept { return current_.size() + prev_.size(); }
+  /// Hard bound on size(): two generations of `capacity` ids each.
+  std::size_t capacity() const noexcept { return 2 * capacity_; }
+
+ private:
+  void maybe_rotate(double now_ms);
+
+  std::size_t capacity_;
+  double window_ms_;
+  double window_start_ = 0.0;
+  std::unordered_set<std::uint64_t> current_;
+  std::unordered_set<std::uint64_t> prev_;
+};
 
 /// Retry discipline for one channel.  Defaults are the zero-retry identity
 /// wrapper; anything stronger is opt-in per scenario.
@@ -74,15 +111,46 @@ class ReliableChannel {
                          const std::vector<NodeIndex>& path,
                          util::Bytes payload = {});
 
+  /// One logical request of a batch; `path` must outlive the
+  /// request_batch() call, `payload` is copied into the transport arena at
+  /// enqueue time.
+  struct BatchRequest {
+    NodeIndex sender = kInvalidNode;
+    const std::vector<NodeIndex>* path = nullptr;
+    std::span<const std::uint8_t> payload;
+  };
+
+  /// Sends many logical requests through the batched transport path.
+  /// Attempts advance in waves: wave 1 enqueues every request into one
+  /// EnvelopeBatch; each later wave waits one backoff (a single jitter
+  /// draw per wave, not per request) and retransmits every still-pending
+  /// request in the batch of that attempt tick.  With the default
+  /// zero-retry policy this is request-for-request identical to sequential
+  /// request() calls (per-request deadlines are measured from the
+  /// receipt's own start_ms); under retries, coalescing the backoff into
+  /// per-wave ticks is the intended behaviour change of the batched path.
+  std::vector<RequestOutcome> request_batch(
+      EnvelopeType type, std::span<const BatchRequest> requests);
+
   Transport& transport() noexcept { return *transport_; }
   const ReliablePolicy& policy() const noexcept { return policy_; }
   const Stats& stats() const noexcept { return stats_; }
 
+  std::size_t dedup_size() const noexcept { return dedup_.size(); }
+  std::size_t dedup_capacity() const noexcept { return dedup_.capacity(); }
+
  private:
+  /// Folds one delivery receipt into `out` (at-most-once ledger, deadline
+  /// check, stats); true when the request is now satisfied.
+  bool settle(const DeliveryReceipt& receipt, std::uint64_t request_id,
+              RequestOutcome& out);
+
   Transport* transport_;
   ReliablePolicy policy_;
   util::Rng rng_;
   Stats stats_;
+  DedupTable dedup_;
+  std::uint64_t next_request_id_ = 0;
 };
 
 }  // namespace hirep::net

@@ -1,11 +1,35 @@
 #include "net/transport.hpp"
 
+#include <algorithm>
 #include <functional>
 #include <stdexcept>
 
 #include "check/invariants.hpp"
+#include "obs/metrics.hpp"
 
 namespace hirep::net {
+
+namespace {
+
+// Flat phase timers for the batched pipeline (bench/micro_transport reads
+// their means).  Resolved once; record() is two relaxed atomics.
+struct TransportTimers {
+  obs::Timer* send;         ///< one batch-of-one send(), end to end
+  obs::Timer* batch_build;  ///< one EnvelopeBatch::push()
+  obs::Timer* drain;        ///< one send_batch() pass
+};
+
+const TransportTimers& transport_timers() {
+  static const TransportTimers timers = [] {
+    auto& reg = obs::Registry::global();
+    return TransportTimers{&reg.timer("transport/send"),
+                           &reg.timer("transport/batch_build"),
+                           &reg.timer("transport/drain")};
+  }();
+  return timers;
+}
+
+}  // namespace
 
 HopDecision LatencyDelivery::on_hop(const Envelope&, NodeIndex from,
                                     NodeIndex to) {
@@ -54,6 +78,77 @@ std::unique_ptr<DeliveryPolicy> make_policy(const DeliveryConfig& config,
   throw std::invalid_argument("unknown delivery policy");
 }
 
+// ---------------------------------------------------------------------------
+// EnvelopeBatch
+
+EnvelopeBatch::EnvelopeBatch(PayloadArena* arena) : arena_(arena) {
+  if (arena_ == nullptr) {
+    throw std::invalid_argument("EnvelopeBatch needs a PayloadArena");
+  }
+  mark_ = arena_->mark();
+}
+
+void EnvelopeBatch::clear() {
+  // LIFO discipline: everything above mark_ belongs to this batch, so an
+  // unsent batch releases its arena bytes here.
+  if (!entries_.empty()) arena_->rewind(mark_);
+  entries_.clear();
+  path_pool_.clear();
+  receipts_.clear();
+  mark_ = arena_->mark();
+}
+
+std::size_t EnvelopeBatch::push(EnvelopeType type, NodeIndex sender,
+                                std::span<const NodeIndex> path,
+                                std::span<const std::uint8_t> payload) {
+  std::uint64_t t0 = 0;
+  if constexpr (obs::kEnabled) t0 = obs::now_ns();
+  Entry entry;
+  entry.type = type;
+  entry.sender = sender;
+  entry.path_offset = static_cast<std::uint32_t>(path_pool_.size());
+  entry.path_size = static_cast<std::uint32_t>(path.size());
+  path_pool_.insert(path_pool_.end(), path.begin(), path.end());
+  const auto interned = arena_->store(payload);
+  entry.payload = interned.data();
+  entry.payload_size = static_cast<std::uint32_t>(interned.size());
+  entries_.push_back(entry);
+  if constexpr (obs::kEnabled) {
+    transport_timers().batch_build->record(obs::now_ns() - t0);
+  }
+  return entries_.size() - 1;
+}
+
+void EnvelopeBatch::drain_sorted(
+    const std::function<void(std::size_t, const DeliveryReceipt&)>& fn) const {
+  order_.clear();
+  for (std::uint32_t i = 0; i < receipts_.size(); ++i) {
+    if (receipts_[i].delivered) order_.push_back(i);
+  }
+  std::stable_sort(order_.begin(), order_.end(),
+                   [this](std::uint32_t a, std::uint32_t b) {
+                     return receipts_[a].destination <
+                            receipts_[b].destination;
+                   });
+  for (std::uint32_t i : order_) fn(i, receipts_[i]);
+}
+
+// ---------------------------------------------------------------------------
+// Transport
+
+/// Per-flush metric deltas: everything transmit_one counts lands here and
+/// is folded into EnvelopeMetrics / TrafficMetrics once per send() or
+/// send_batch().  Totals are exactly what per-hop counting would have
+/// produced — only the update granularity changes, which no consumer can
+/// observe (counters are read between sends, never inside one).
+struct Transport::Acc {
+  std::array<EnvelopeMetrics::Counters,
+             static_cast<std::size_t>(EnvelopeType::kCount)>
+      env{};
+  std::array<std::uint64_t, static_cast<std::size_t>(MessageKind::kCount)>
+      traffic{};
+};
+
 Transport::Transport(Overlay* overlay, const DeliveryConfig& config,
                      std::uint64_t seed)
     : overlay_(overlay),
@@ -90,60 +185,182 @@ void Transport::set_policy(std::unique_ptr<DeliveryPolicy> policy) {
   policy_ = std::move(policy);
 }
 
-DeliveryReceipt Transport::send(EnvelopeType type, NodeIndex sender,
-                                const std::vector<NodeIndex>& path,
-                                util::Bytes payload) {
-  DeliveryReceipt receipt;
-  if (path.empty()) return receipt;
+void Transport::transmit_one(EnvelopeType type, NodeIndex sender,
+                             std::span<const NodeIndex> path,
+                             std::span<const std::uint8_t> payload,
+                             DeliveryReceipt& receipt, Acc& acc) {
+  receipt = DeliveryReceipt{};
+  receipt.start_ms = sim_.now();
+  if (path.empty()) return;
 
   Envelope envelope;
   envelope.type = type;
   envelope.origin = sender;
   envelope.destination = path.back();
   envelope.id = next_id_++;
-  envelope.payload = std::move(payload);
-  envelopes_.count_sent(type);
-  const MessageKind kind = kind_of(type);
+  envelope.payload = payload;
+  EnvelopeMetrics::Counters& ec = acc.env[static_cast<std::size_t>(type)];
+  std::uint64_t& traffic =
+      acc.traffic[static_cast<std::size_t>(kind_of(type))];
+  ++ec.sent;
+  ec.payload_bytes_sent += payload.size();
 
-  // Hop chain as a self-scheduling event sequence.  All events fire inside
-  // this call's sim_.run(), so reference captures of locals are safe.
+  // Tight loop while hops land instantly — the batched fast path: no
+  // event allocation, no queue, no clock movement.  A zero-delay landing
+  // processed inline is indistinguishable from the event-driven form (the
+  // landing would fire immediately, FIFO, at the same now()); the policy
+  // sees the identical on_hop() sequence either way, which is the RNG
+  // stream-alignment contract.
+  std::size_t index = 0;
+  NodeIndex from = sender;
+  for (;;) {
+    const NodeIndex to = path[index];
+    const HopDecision decision = policy_->on_hop(envelope, from, to);
+    const std::uint64_t copies = decision.duplicate ? 2 : 1;
+    traffic += copies;
+    receipt.messages += copies;
+    ec.hop_messages += copies;
+    if (decision.duplicate) ++ec.duplicated;
+    if (decision.drop) {
+      ++ec.dropped;  // the copy left the sender but never lands
+      ec.payload_bytes_dropped += payload.size();
+      return;
+    }
+    if (decision.delay_ms > 0.0) {
+      transmit_delayed(envelope, path, index, decision, receipt, acc);
+      return;
+    }
+    ++receipt.hops;
+    // The duplicated copy lands right behind the primary at the same
+    // (zero) delay and is discarded by envelope id.
+    if (decision.duplicate) ++ec.suppressed;
+    if (index + 1 == path.size()) {
+      receipt.delivered = true;
+      receipt.destination = to;
+      receipt.completion_ms = sim_.now();
+      receipt.payload.assign(payload.begin(), payload.end());
+      ++ec.delivered;
+      ec.payload_bytes_delivered += payload.size();
+      return;
+    }
+    from = to;
+    ++index;
+  }
+}
+
+void Transport::transmit_delayed(const Envelope& envelope,
+                                 std::span<const NodeIndex> path,
+                                 std::size_t start, const HopDecision& first,
+                                 DeliveryReceipt& receipt, Acc& acc) {
+  EnvelopeMetrics::Counters& ec =
+      acc.env[static_cast<std::size_t>(envelope.type)];
+  std::uint64_t& traffic =
+      acc.traffic[static_cast<std::size_t>(kind_of(envelope.type))];
+
+  // Hop chain as a self-scheduling event sequence, picking up at hop
+  // `start` whose decision is already drawn.  All events fire inside this
+  // call's sim_.run(), so reference captures of locals are safe.
   std::function<void(std::size_t, NodeIndex)> transmit;
+  std::function<void(std::size_t, NodeIndex)> land;
+  land = [&](std::size_t index, NodeIndex to) {
+    ++receipt.hops;
+    if (index + 1 == path.size()) {
+      receipt.delivered = true;
+      receipt.destination = to;
+      receipt.completion_ms = sim_.now();
+      receipt.payload.assign(envelope.payload.begin(),
+                             envelope.payload.end());
+      ++ec.delivered;
+      ec.payload_bytes_delivered += envelope.payload.size();
+      return;
+    }
+    transmit(index + 1, to);
+  };
   transmit = [&](std::size_t index, NodeIndex from) {
     const NodeIndex to = path[index];
     const HopDecision decision = policy_->on_hop(envelope, from, to);
     const std::uint64_t copies = decision.duplicate ? 2 : 1;
-    overlay_->count_send(kind, copies);
+    traffic += copies;
     receipt.messages += copies;
-    envelopes_.count_hops(type, copies);
-    if (decision.duplicate) envelopes_.count_duplicated(type);
+    ec.hop_messages += copies;
+    if (decision.duplicate) ++ec.duplicated;
     if (decision.drop) {
-      envelopes_.count_dropped(type);
-      return;  // the copy left the sender but never lands
+      ++ec.dropped;
+      ec.payload_bytes_dropped += envelope.payload.size();
+      return;
     }
-    sim_.schedule_in(decision.delay_ms, [&, index, to] {
-      ++receipt.hops;
-      if (index + 1 == path.size()) {
-        receipt.delivered = true;
-        receipt.destination = to;
-        receipt.completion_ms = sim_.now();
-        receipt.payload = std::move(envelope.payload);
-        envelopes_.count_delivered(envelope.type);
-        return;
-      }
-      transmit(index + 1, to);
-    });
+    sim_.schedule_in(decision.delay_ms,
+                     [&, index, to] { land(index, to); });
     if (decision.duplicate) {
       // The second copy lands too, but the receiver has already seen this
       // envelope id (the primary copy was scheduled first at the same
       // delay, so FIFO ordering lands it first): the duplicate is
       // discarded without re-forwarding or re-applying any side effect.
-      sim_.schedule_in(decision.delay_ms,
-                       [this, type] { envelopes_.count_suppressed(type); });
+      sim_.schedule_in(decision.delay_ms, [&ec] { ++ec.suppressed; });
     }
   };
-  transmit(0, sender);
+  const NodeIndex to = path[start];
+  sim_.schedule_in(first.delay_ms, [&, start, to] { land(start, to); });
+  if (first.duplicate) {
+    sim_.schedule_in(first.delay_ms, [&ec] { ++ec.suppressed; });
+  }
   sim_.run();
+}
+
+void Transport::flush(const Acc& acc) {
+  for (std::size_t i = 0; i < acc.env.size(); ++i) {
+    envelopes_.add(static_cast<EnvelopeType>(i), acc.env[i]);
+  }
+  for (std::size_t k = 0; k < acc.traffic.size(); ++k) {
+    if (acc.traffic[k] != 0) {
+      overlay_->count_send(static_cast<MessageKind>(k), acc.traffic[k]);
+    }
+  }
+}
+
+DeliveryReceipt Transport::send(EnvelopeType type, NodeIndex sender,
+                                const std::vector<NodeIndex>& path,
+                                util::Bytes payload) {
+  std::uint64_t t0 = 0;
+  if constexpr (obs::kEnabled) t0 = obs::now_ns();
+  // Batch-of-one: the same per-envelope engine and one metric flush; the
+  // payload is viewed in place (no arena round trip).
+  DeliveryReceipt receipt;
+  Acc acc{};
+  transmit_one(type, sender, path, payload, receipt, acc);
+  flush(acc);
+  if constexpr (obs::kEnabled) {
+    transport_timers().send->record(obs::now_ns() - t0);
+  }
   return receipt;
+}
+
+std::span<const DeliveryReceipt> Transport::send_batch(EnvelopeBatch& batch) {
+  std::uint64_t t0 = 0;
+  if constexpr (obs::kEnabled) t0 = obs::now_ns();
+  batch.receipts_.resize(batch.entries_.size());
+  Acc acc{};
+  for (std::size_t i = 0; i < batch.entries_.size(); ++i) {
+    const EnvelopeBatch::Entry& entry = batch.entries_[i];
+    transmit_one(
+        entry.type, entry.sender,
+        std::span<const NodeIndex>(batch.path_pool_.data() + entry.path_offset,
+                                   entry.path_size),
+        std::span<const std::uint8_t>(entry.payload, entry.payload_size),
+        batch.receipts_[i], acc);
+  }
+  flush(acc);
+  // Delivered payloads have been copied into the receipts; release the
+  // batch's arena bytes and leave the batch empty (receipts readable,
+  // capacity retained) for the caller's next round.
+  batch.arena_->rewind(batch.mark_);
+  batch.entries_.clear();
+  batch.path_pool_.clear();
+  batch.mark_ = batch.arena_->mark();
+  if constexpr (obs::kEnabled) {
+    transport_timers().drain->record(obs::now_ns() - t0);
+  }
+  return batch.receipts();
 }
 
 }  // namespace hirep::net

@@ -14,13 +14,30 @@
 // the message left the sender); callers observe `delivered == false` and
 // fall back exactly as the paper's §3.4.3 maintenance prescribes.  All
 // outcomes are tallied per EnvelopeType in net::EnvelopeMetrics.
+//
+// Batched data path (DESIGN.md §11): call sites that fan out many
+// independent envelopes fill an EnvelopeBatch — payload bytes interned in
+// the transport's PayloadArena, paths pooled — and hand it to
+// send_batch(), which runs the delivery engine per envelope in a tight
+// loop and flushes the metric deltas once per batch.  Envelopes are
+// processed strictly one at a time, in push order, each drained to
+// completion before the next begins, so a batch is *defined* to be
+// byte-identical to the same sends issued sequentially: the policy sees
+// the exact same on_hop() call sequence, which keeps every policy RNG
+// stream aligned and the fig5/fig6 goldens bit-identical (pinned by
+// tests/net/transport_batch_test.cpp).  The single-envelope send() is the
+// batch-of-one wrapper over the same engine.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string_view>
 #include <vector>
 
+#include "net/arena.hpp"
 #include "net/event_sim.hpp"
 #include "net/metrics.hpp"
 #include "net/overlay.hpp"
@@ -29,13 +46,15 @@
 
 namespace hirep::net {
 
-/// One typed protocol message in flight.
+/// One typed protocol message in flight.  `payload` is a zero-copy view
+/// into the sender's buffer (or the transport arena for batched sends),
+/// valid for the duration of the delivery; policies never read it.
 struct Envelope {
   EnvelopeType type = EnvelopeType::kProbe;
   NodeIndex origin = kInvalidNode;       ///< first sender
   NodeIndex destination = kInvalidNode;  ///< final receiver (path end)
   std::uint64_t id = 0;                  ///< per-transport sequence number
-  util::Bytes payload;                   ///< wire bytes (empty in kFast mode)
+  std::span<const std::uint8_t> payload; ///< wire bytes (empty in kFast mode)
 };
 
 /// A policy's verdict for one hop transmission.
@@ -125,8 +144,73 @@ struct DeliveryReceipt {
   NodeIndex destination = kInvalidNode;
   std::uint64_t messages = 0;  ///< transmissions performed (incl. duplicates)
   std::uint32_t hops = 0;      ///< hops completed (landed at their receiver)
+  double start_ms = 0.0;       ///< sim-clock time the send entered the wire
   double completion_ms = 0.0;  ///< sim-clock time the destination was reached
   util::Bytes payload;         ///< what the destination received (delivered only)
+};
+
+class Transport;
+
+/// A set of independent envelopes built up by one call site and carried by
+/// Transport::send_batch in one pass.  Payload bytes are interned into the
+/// owning transport's PayloadArena at push() time (zero per-envelope heap
+/// traffic); paths share one pooled vector.  After send_batch() the
+/// receipts — parallel to push order — stay readable until the next
+/// clear()/push(); the batch itself is reusable (capacity retained).
+class EnvelopeBatch {
+ public:
+  /// Bind to the arena the payload bytes intern into; use
+  /// Transport::make_batch() to bind to a transport's own arena.
+  explicit EnvelopeBatch(PayloadArena* arena);
+
+  /// Forgets entries and receipts and re-captures the arena position.
+  void clear();
+
+  /// Appends one envelope; returns its entry index.  `path` and `payload`
+  /// are copied (into the pool / arena), so the caller's buffers may die.
+  std::size_t push(EnvelopeType type, NodeIndex sender,
+                   std::span<const NodeIndex> path,
+                   std::span<const std::uint8_t> payload = {});
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+
+  /// Receipts parallel to push order; valid after send_batch().
+  std::span<const DeliveryReceipt> receipts() const noexcept {
+    return receipts_;
+  }
+  const DeliveryReceipt& receipt(std::size_t i) const {
+    return receipts_.at(i);
+  }
+
+  /// Visits every *delivered* receipt grouped by destination (ascending
+  /// node index, stable by entry order within a destination), so a
+  /// consumer touching per-receiver state absorbs contiguous runs per
+  /// receiving node.  `fn(entry_index, receipt)`.  Only valid for
+  /// order-insensitive consumers — per-destination state is fine, a
+  /// cross-entry float accumulation is not.
+  void drain_sorted(
+      const std::function<void(std::size_t, const DeliveryReceipt&)>& fn)
+      const;
+
+ private:
+  friend class Transport;
+
+  struct Entry {
+    EnvelopeType type = EnvelopeType::kProbe;
+    NodeIndex sender = kInvalidNode;
+    std::uint32_t path_offset = 0;
+    std::uint32_t path_size = 0;
+    const std::uint8_t* payload = nullptr;  ///< arena memory (stable slabs)
+    std::uint32_t payload_size = 0;
+  };
+
+  PayloadArena* arena_;
+  PayloadArena::Mark mark_{};  ///< arena position this batch builds above
+  std::vector<Entry> entries_;
+  std::vector<NodeIndex> path_pool_;
+  std::vector<DeliveryReceipt> receipts_;
+  mutable std::vector<std::uint32_t> order_;  ///< drain_sorted scratch
 };
 
 class Transport {
@@ -145,6 +229,12 @@ class Transport {
   /// Swaps the delivery policy mid-run (churn/fault scenarios).
   void set_policy(std::unique_ptr<DeliveryPolicy> policy);
 
+  /// The slab arena batched payloads intern into.  The scale engine resets
+  /// each lane's arena at the wave barrier (absorb_envelopes time).
+  PayloadArena& arena() noexcept { return arena_; }
+  /// An empty batch bound to this transport's arena.
+  EnvelopeBatch make_batch() { return EnvelopeBatch(&arena_); }
+
   EnvelopeMetrics& envelopes() noexcept { return envelopes_; }
   const EnvelopeMetrics& envelopes() const noexcept { return envelopes_; }
 
@@ -162,16 +252,43 @@ class Transport {
   /// an EventSim event at now + policy delay; the queue drains before the
   /// receipt returns, so call sites stay synchronous while the message
   /// path itself is event-driven.  Every transmission is counted into the
-  /// overlay's TrafficMetrics under kind_of(type).
+  /// overlay's TrafficMetrics under kind_of(type).  Implemented as a
+  /// batch-of-one over the batched engine.
   DeliveryReceipt send(EnvelopeType type, NodeIndex sender,
                        const std::vector<NodeIndex>& path,
                        util::Bytes payload = {});
 
+  /// Carries every envelope in `batch`, strictly in push order, each one
+  /// drained to completion before the next starts — byte-identical to the
+  /// equivalent sequence of send() calls (the determinism contract; see
+  /// header comment).  Per-type/per-kind metric deltas accumulate locally
+  /// and flush once at the end; the batch's arena bytes are released
+  /// (receipts keep their own copies of delivered payloads).  Returns
+  /// batch.receipts().
+  std::span<const DeliveryReceipt> send_batch(EnvelopeBatch& batch);
+
  private:
+  /// Local metric deltas for one send()/send_batch() flush.
+  struct Acc;
+
+  /// The delivery engine for one envelope: runs the policy per hop in a
+  /// tight loop while hops land instantly, falling back to the EventSim
+  /// chain from the first hop with a positive delay.
+  void transmit_one(EnvelopeType type, NodeIndex sender,
+                    std::span<const NodeIndex> path,
+                    std::span<const std::uint8_t> payload,
+                    DeliveryReceipt& receipt, Acc& acc);
+  void transmit_delayed(const Envelope& envelope,
+                        std::span<const NodeIndex> path, std::size_t start,
+                        const HopDecision& first, DeliveryReceipt& receipt,
+                        Acc& acc);
+  void flush(const Acc& acc);
+
   Overlay* overlay_;
   EventSim sim_;
   std::unique_ptr<DeliveryPolicy> policy_;
   EnvelopeMetrics envelopes_;
+  PayloadArena arena_;
   std::uint64_t next_id_ = 1;
 };
 

@@ -1,0 +1,121 @@
+// PayloadArena: slab growth, LIFO mark/rewind, reset-with-slab-reuse, and
+// the stability guarantee batched envelopes rely on (spans handed out stay
+// valid while the arena grows).
+#include "net/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+namespace hirep::net {
+namespace {
+
+TEST(PayloadArena, AllocateHandsOutDistinctWritableRegions) {
+  PayloadArena arena(64);
+  auto a = arena.allocate(16);
+  auto b = arena.allocate(16);
+  ASSERT_EQ(a.size(), 16u);
+  ASSERT_EQ(b.size(), 16u);
+  std::memset(a.data(), 0xAA, a.size());
+  std::memset(b.data(), 0xBB, b.size());
+  EXPECT_EQ(a[0], 0xAA);
+  EXPECT_EQ(b[0], 0xBB);
+  EXPECT_EQ(arena.bytes_in_use(), 32u);
+}
+
+TEST(PayloadArena, ZeroByteAllocationIsEmptyAndFree) {
+  PayloadArena arena(64);
+  EXPECT_TRUE(arena.allocate(0).empty());
+  EXPECT_TRUE(arena.store({}).empty());
+  EXPECT_EQ(arena.bytes_in_use(), 0u);
+  EXPECT_EQ(arena.slab_count(), 0u);
+}
+
+TEST(PayloadArena, StoreCopiesTheBytes) {
+  PayloadArena arena;
+  std::vector<std::uint8_t> src(33);
+  std::iota(src.begin(), src.end(), 1);
+  const auto interned = arena.store(src);
+  ASSERT_EQ(interned.size(), src.size());
+  EXPECT_NE(interned.data(), src.data());
+  EXPECT_EQ(0, std::memcmp(interned.data(), src.data(), src.size()));
+}
+
+TEST(PayloadArena, GrowsByWholeSlabsAndOversizedGetsADedicatedSlab) {
+  PayloadArena arena(64);
+  arena.allocate(40);
+  EXPECT_EQ(arena.slab_count(), 1u);
+  arena.allocate(40);  // does not fit the 24 bytes left: second slab
+  EXPECT_EQ(arena.slab_count(), 2u);
+  const auto big = arena.allocate(1000);  // larger than the slab size
+  EXPECT_EQ(big.size(), 1000u);
+  EXPECT_EQ(arena.slab_count(), 3u);
+  EXPECT_EQ(arena.slab_allocs(), 3u);
+}
+
+TEST(PayloadArena, SpansStayValidWhileTheArenaGrows) {
+  // The batched transport keeps Envelope::payload views across later
+  // pushes; growing must never move existing slabs.
+  PayloadArena arena(64);
+  auto first = arena.allocate(48);
+  std::memset(first.data(), 0x5A, first.size());
+  for (int i = 0; i < 32; ++i) arena.allocate(48);  // many new slabs
+  for (std::uint8_t byte : first) EXPECT_EQ(byte, 0x5A);
+}
+
+TEST(PayloadArena, RewindReleasesAndReusesMemoryWithoutNewSlabs) {
+  PayloadArena arena(64);
+  const auto mark = arena.mark();
+  const auto a = arena.allocate(32);
+  const auto allocs_before = arena.slab_allocs();
+  arena.rewind(mark);
+  EXPECT_EQ(arena.bytes_in_use(), 0u);
+  const auto b = arena.allocate(32);
+  EXPECT_EQ(a.data(), b.data());  // same storage, no fresh slab
+  EXPECT_EQ(arena.slab_allocs(), allocs_before);
+}
+
+TEST(PayloadArena, RewindAcrossSlabBoundaryRestoresOccupancy) {
+  PayloadArena arena(64);
+  arena.allocate(48);
+  const auto mark = arena.mark();
+  arena.allocate(48);  // spills into a second slab
+  arena.allocate(48);  // and a third
+  EXPECT_EQ(arena.slab_count(), 3u);
+  arena.rewind(mark);
+  EXPECT_EQ(arena.bytes_in_use(), 48u);
+  // Refilling reuses the retained slabs: no new allocations.
+  const auto allocs = arena.slab_allocs();
+  arena.allocate(48);
+  arena.allocate(48);
+  EXPECT_EQ(arena.slab_allocs(), allocs);
+}
+
+TEST(PayloadArena, ResetRetainsSlabsForReuse) {
+  PayloadArena arena(64);
+  for (int i = 0; i < 8; ++i) arena.allocate(48);
+  const auto slabs = arena.slab_count();
+  const auto allocs = arena.slab_allocs();
+  arena.reset();
+  EXPECT_EQ(arena.bytes_in_use(), 0u);
+  EXPECT_EQ(arena.resets(), 1u);
+  EXPECT_EQ(arena.slab_count(), slabs);
+  for (int i = 0; i < 8; ++i) arena.allocate(48);
+  EXPECT_EQ(arena.slab_allocs(), allocs);  // warm slabs, zero allocator work
+}
+
+TEST(PayloadArena, HighWaterTracksThePeakNotThePresent) {
+  PayloadArena arena(64);
+  const auto mark = arena.mark();
+  arena.allocate(48);
+  arena.allocate(48);
+  const auto peak = arena.bytes_in_use();
+  arena.rewind(mark);
+  EXPECT_EQ(arena.bytes_in_use(), 0u);
+  EXPECT_GE(arena.high_water(), peak);
+}
+
+}  // namespace
+}  // namespace hirep::net

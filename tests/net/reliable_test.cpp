@@ -180,5 +180,146 @@ TEST(ReliableDuplicates, RetransmissionsApplyAtMostOnce) {
   EXPECT_EQ(channel.stats().dup_suppressed, 2u);
 }
 
+TEST(DedupTable, FirstApplicationIsTrueExactlyOnce) {
+  DedupTable table;
+  EXPECT_TRUE(table.first_application(1, 0.0));
+  EXPECT_FALSE(table.first_application(1, 0.0));
+  EXPECT_TRUE(table.first_application(2, 0.0));
+  EXPECT_FALSE(table.first_application(2, 0.0));
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(DedupTable, SizeStaysBoundedByTwiceTheGenerationCapacity) {
+  DedupTable table(/*capacity=*/64, /*window_ms=*/60'000.0);
+  for (std::uint64_t id = 0; id < 10'000; ++id) {
+    EXPECT_TRUE(table.first_application(id, 0.0));
+    EXPECT_LE(table.size(), table.capacity());
+  }
+  EXPECT_EQ(table.capacity(), 128u);
+}
+
+TEST(DedupTable, ActivelyRetriedIdsSurviveGenerationRotation) {
+  // A duplicate check refreshes the id into the current generation, so an
+  // id that keeps being retried never ages out even while the table churns
+  // through thousands of other ids.
+  DedupTable table(/*capacity=*/64, /*window_ms=*/60'000.0);
+  EXPECT_TRUE(table.first_application(999'999, 0.0));
+  for (std::uint64_t id = 0; id < 2'000; ++id) {
+    table.first_application(id, 0.0);
+    EXPECT_FALSE(table.first_application(999'999, 0.0));
+  }
+}
+
+TEST(DedupTable, IdleIdsAgeOutAfterTheTimeWindow) {
+  DedupTable table(/*capacity=*/1024, /*window_ms=*/100.0);
+  EXPECT_TRUE(table.first_application(7, 0.0));
+  // Two window rotations with no touches in between: the id is forgotten.
+  EXPECT_TRUE(table.first_application(8, 150.0));
+  EXPECT_TRUE(table.first_application(9, 300.0));
+  EXPECT_TRUE(table.first_application(7, 450.0));
+}
+
+TEST(ReliableDuplicates, SuppressionTableStaysBoundedUnderSustainedRetries) {
+  // S1 regression: 10k logical requests, every one retried (latency floor
+  // above the deadline forces a timeout per attempt), must not grow the
+  // duplicate-suppression state without bound.
+  Overlay overlay = make_overlay();
+  DeliveryConfig config;
+  config.policy = DeliveryPolicyKind::kLatency;
+  Transport transport(&overlay, config, 1);
+  ReliablePolicy policy;
+  policy.max_attempts = 2;
+  policy.timeout_ms = 1e-6;
+  ReliableChannel channel(&transport, policy, 5);
+  for (int i = 0; i < 10'000; ++i) {
+    channel.request(EnvelopeType::kReport, 0, {1});
+    ASSERT_LE(channel.dedup_size(), channel.dedup_capacity());
+  }
+  EXPECT_GT(channel.stats().dup_suppressed, 0u);
+}
+
+TEST(ReliableBatch, DefaultPolicyIsRequestForRequestIdenticalToSequential) {
+  // The batched form of the zero-retry identity: with the default policy a
+  // request_batch over N requests must match N sequential request() calls
+  // outcome for outcome on the same lossy transport.
+  const std::vector<NodeIndex> path_a{1, 2, 3};
+  const std::vector<NodeIndex> path_b{4, 5};
+  const auto outcomes = [&](bool batched) {
+    Overlay overlay = make_overlay();
+    Transport transport(&overlay, faulty(0.3), 42);
+    ReliableChannel channel(&transport, ReliablePolicy{}, 99);
+    std::vector<std::tuple<bool, bool, std::uint64_t, NodeIndex>> seen;
+    const auto note = [&](const RequestOutcome& r) {
+      seen.emplace_back(r.ok, r.applied, r.messages, r.destination);
+    };
+    for (int round = 0; round < 25; ++round) {
+      if (batched) {
+        const ReliableChannel::BatchRequest requests[] = {
+            {.sender = 0, .path = &path_a},
+            {.sender = 0, .path = &path_b},
+        };
+        for (const auto& r :
+             channel.request_batch(EnvelopeType::kTrustRequest, requests)) {
+          note(r);
+        }
+      } else {
+        note(channel.request(EnvelopeType::kTrustRequest, 0, path_a));
+        note(channel.request(EnvelopeType::kTrustRequest, 0, path_b));
+      }
+    }
+    EXPECT_DOUBLE_EQ(transport.sim().now(), 0.0);
+    return seen;
+  };
+  EXPECT_EQ(outcomes(true), outcomes(false));
+}
+
+TEST(ReliableBatch, RetriedWavesRecoverLossAndCountStats) {
+  Overlay overlay = make_overlay();
+  Transport transport(&overlay, faulty(0.5), 7);
+  ReliablePolicy policy;
+  policy.max_attempts = 5;
+  policy.backoff_ms = 1.0;
+  ReliableChannel channel(&transport, policy, 11);
+  const std::vector<NodeIndex> path{1, 2};
+  std::vector<ReliableChannel::BatchRequest> requests(
+      100, ReliableChannel::BatchRequest{.sender = 0, .path = &path,
+                                         .payload = {}});
+  const auto outcomes =
+      channel.request_batch(EnvelopeType::kTrustRequest, requests);
+  ASSERT_EQ(outcomes.size(), 100u);
+  std::size_t ok = 0;
+  for (const auto& r : outcomes) ok += r.ok;
+  // P(deliver the 2-hop path) = 0.25 per attempt, ~0.76 across five.
+  EXPECT_GT(ok, 50u);
+  EXPECT_EQ(channel.stats().requests, 100u);
+  EXPECT_GT(channel.stats().retries, 0u);
+  EXPECT_EQ(channel.stats().gave_up, 100u - ok);
+  // Waves only retry the still-pending requests, so the retry total is far
+  // below the worst case of every request burning all four retries.
+  EXPECT_LT(channel.stats().retries, 400u);
+}
+
+TEST(ReliableBatch, PayloadsReachTheirDestinations) {
+  Overlay overlay = make_overlay();
+  Transport transport(&overlay, DeliveryConfig{}, 1);
+  ReliableChannel channel(&transport, ReliablePolicy{}, 1);
+  const std::vector<NodeIndex> path_a{1};
+  const std::vector<NodeIndex> path_b{2};
+  const util::Bytes payload_a{0xAA, 0xAB};
+  const util::Bytes payload_b{0xBB};
+  const ReliableChannel::BatchRequest requests[] = {
+      {.sender = 0, .path = &path_a, .payload = payload_a},
+      {.sender = 0, .path = &path_b, .payload = payload_b},
+  };
+  const auto outcomes = channel.request_batch(EnvelopeType::kReport, requests);
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_TRUE(outcomes[0].ok);
+  EXPECT_EQ(outcomes[0].destination, 1u);
+  EXPECT_EQ(outcomes[0].payload, payload_a);
+  EXPECT_TRUE(outcomes[1].ok);
+  EXPECT_EQ(outcomes[1].destination, 2u);
+  EXPECT_EQ(outcomes[1].payload, payload_b);
+}
+
 }  // namespace
 }  // namespace hirep::net
