@@ -6,6 +6,7 @@
 # Usage: scripts/check.sh [flavour ...]   (default: address thread)
 #   scripts/check.sh address   # ASan+UBSan only (build-asan/)
 #   scripts/check.sh thread    # TSan only (build-tsan/)
+#   scripts/check.sh lint      # static analysis gate (scripts/lint.sh)
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -17,7 +18,10 @@ for flavour in "${flavours[@]}"; do
   case "$flavour" in
     address) build="$repo/build-asan" ;;
     thread)  build="$repo/build-tsan" ;;
-    *) echo "check.sh: unknown flavour '$flavour' (use: address thread)" >&2
+    lint)
+      "$repo/scripts/lint.sh"
+      continue ;;
+    *) echo "check.sh: unknown flavour '$flavour' (use: address thread lint)" >&2
        exit 2 ;;
   esac
   echo "== check.sh: HIREP_SANITIZE=$flavour ($build) =="

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Project static-analysis gate (DESIGN.md §12):
+#
+#   1. builds hirep-lint and runs it over src/ with every rule enabled,
+#      feeding it the compile database (CMAKE_EXPORT_COMPILE_COMMANDS is
+#      always on) so the TU list matches what the build actually compiles;
+#   2. runs the lint fixture suite (ctest -R '^lint\.') — every known-bad
+#      fixture must be flagged by exactly its rule, and the clean tree must
+#      stay clean;
+#   3. when a Clang toolchain is available, configures a separate build
+#      tree with -DHIREP_THREAD_SAFETY=ON and -Werror and builds it, so
+#      -Wthread-safety verifies the HIREP_GUARDED_BY / HIREP_REQUIRES
+#      annotations for real.  On gcc-only hosts this step prints a notice
+#      and is skipped (the annotations compile away under GCC); CI runs it.
+#
+# Usage: scripts/lint.sh [build-dir]   (default: build)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "== lint.sh: hirep-lint over src/ =="
+if [[ ! -f "$build/compile_commands.json" ]]; then
+  cmake -B "$build" -S "$repo" >/dev/null
+fi
+cmake --build "$build" --target hirep-lint -j "$jobs"
+lint="$build/tools/lint/hirep-lint"
+"$lint" --root "$repo" --compdb "$build/compile_commands.json"
+
+echo "== lint.sh: fixture suite =="
+# The fixture tests need the test tree configured; build whatever the lint
+# tests depend on (just hirep-lint, already built) and run them.
+ctest --test-dir "$build" -R '^lint\.' --output-on-failure -j "$jobs"
+
+echo "== lint.sh: clang thread-safety analysis =="
+clangxx=""
+for candidate in clang++ clang++-19 clang++-18 clang++-17 clang++-16 \
+                 clang++-15 clang++-14; do
+  if command -v "$candidate" >/dev/null 2>&1; then
+    clangxx="$candidate"
+    break
+  fi
+done
+if [[ -z "$clangxx" ]]; then
+  echo "lint.sh: clang++ not found on PATH; skipping -Wthread-safety build" \
+       "(the annotations are inert under GCC — CI runs this step)"
+  exit 0
+fi
+tsbuild="$repo/build-threadsafety"
+cmake -B "$tsbuild" -S "$repo" \
+  -DCMAKE_CXX_COMPILER="$clangxx" \
+  -DHIREP_THREAD_SAFETY=ON -DHIREP_WERROR=ON >/dev/null
+cmake --build "$tsbuild" -j "$jobs"
+echo "lint.sh: thread-safety build clean"

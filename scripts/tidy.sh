@@ -32,7 +32,10 @@ if [[ ! -f "$build/compile_commands.json" ]]; then
   cmake -B "$build" -S "$repo" >/dev/null
 fi
 
-mapfile -t sources < <(find "$repo/src" -name '*.cpp' | sort)
+# Production sources plus the test and bench trees (each has its own
+# .clang-tidy layering extra checks / opt-outs on top of the root config).
+mapfile -t sources < <(find "$repo/src" "$repo/tests" "$repo/bench" \
+  -name '*.cpp' | sort)
 echo "tidy.sh: $tidy over ${#sources[@]} files ($build/compile_commands.json)"
 
 if command -v run-clang-tidy >/dev/null 2>&1; then

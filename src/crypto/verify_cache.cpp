@@ -71,7 +71,7 @@ bool VerifyCache::verify(const RsaPublicKey& key,
 
   VerifyShard& shard = verify_shards_[digest[0] & (kShards - 1)];
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     const auto it = shard.map.find(digest);
     if (it != shard.map.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
@@ -86,7 +86,7 @@ bool VerifyCache::verify(const RsaPublicKey& key,
   const bool ok = rsa_verify(key, data, signature);
   if (!ok) return false;  // forged: never cached
 
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(shard.mu);
   if (shard.map.find(digest) != shard.map.end()) return true;  // raced in
   shard.lru.push_front(digest);
   shard.map.emplace(digest, shard.lru.begin());
@@ -101,7 +101,7 @@ NodeId VerifyCache::node_id_of(const RsaPublicKey& key) {
   const std::uint64_t fp = key_fingerprint(key);
   BindShard& shard = bind_shards_[fp & (kShards - 1)];
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     const auto it = shard.map.find(fp);
     if (it != shard.map.end()) {
       for (const BindEntry& entry : it->second.first) {
@@ -119,7 +119,7 @@ NodeId VerifyCache::node_id_of(const RsaPublicKey& key) {
 
   const NodeId id = NodeId::of_key(key);
 
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(shard.mu);
   auto it = shard.map.find(fp);
   if (it == shard.map.end()) {
     shard.lru.push_front(fp);
@@ -147,12 +147,12 @@ VerifyCache::Stats VerifyCache::stats() const noexcept {
 
 void VerifyCache::clear() {
   for (auto& shard : verify_shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     shard.map.clear();
     shard.lru.clear();
   }
   for (auto& shard : bind_shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     shard.map.clear();
     shard.lru.clear();
   }

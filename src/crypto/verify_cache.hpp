@@ -26,13 +26,13 @@
 #include <atomic>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "crypto/identity.hpp"
 #include "crypto/rsa.hpp"
+#include "util/sync.hpp"
 
 namespace hirep::crypto {
 
@@ -77,9 +77,10 @@ class VerifyCache {
   };
 
   struct VerifyShard {
-    std::mutex mu;
-    std::list<Digest> lru;  // front = most recent
-    std::unordered_map<Digest, std::list<Digest>::iterator, DigestHash> map;
+    util::Mutex mu;
+    std::list<Digest> lru HIREP_GUARDED_BY(mu);  // front = most recent
+    std::unordered_map<Digest, std::list<Digest>::iterator, DigestHash> map
+        HIREP_GUARDED_BY(mu);
   };
 
   struct BindEntry {
@@ -87,12 +88,13 @@ class VerifyCache {
     NodeId id;
   };
   struct BindShard {
-    std::mutex mu;
-    std::list<std::uint64_t> lru;  // fingerprints, front = most recent
+    util::Mutex mu;
+    std::list<std::uint64_t> lru
+        HIREP_GUARDED_BY(mu);  // fingerprints, front = most recent
     std::unordered_map<std::uint64_t,
                        std::pair<std::vector<BindEntry>,
                                  std::list<std::uint64_t>::iterator>>
-        map;
+        map HIREP_GUARDED_BY(mu);
   };
 
   std::size_t shard_capacity_;

@@ -128,7 +128,7 @@ void HirepSystem::make_agent(net::NodeIndex v,
       identity, v, &truth_, trust::model_factory_by_name(options_.agent_model),
       options_.min_reports_for_model);
   rt.relays = peers_[v].relays();  // agents reuse their verified relays
-  rt.mu = std::make_unique<std::mutex>();
+  rt.mu = std::make_unique<util::Mutex>();
   rt.recovery = std::make_unique<AgentRecovery>();
   ++agent_count_;
 }
@@ -563,7 +563,7 @@ std::optional<double> HirepSystem::exchange_with_agent(
     {
       // Agents may be shared between transactions of one wave; requestors
       // are not.  All agent-side state transitions commute (see DESIGN §9).
-      std::lock_guard<std::mutex> lock(*rt->mu);
+      util::MutexLock lock(*rt->mu);
       rt->agent->register_key(requestor.node_id(),
                               requestor.identity().signature_public());
       value = rt->agent->trust_value(subject_id, subject_ip, *ctx.rng);
@@ -613,7 +613,7 @@ std::optional<double> HirepSystem::exchange_with_agent(
   if (!opened) return std::nullopt;
   double value;
   {
-    std::lock_guard<std::mutex> lock(*rt->mu);
+    util::MutexLock lock(*rt->mu);
     rt->agent->register_key(crypto::node_id_of_cached(parsed->sp_p),
                             parsed->sp_p);
     value = rt->agent->trust_value(opened->subject, subject_ip, *ctx.rng);
@@ -728,7 +728,7 @@ void HirepSystem::send_report(TxnCtx& ctx, Peer& reporter, AgentEntry& entry,
     // A report needs no acknowledgement: even a copy that arrived past the
     // reporter's deadline is applied (at most once) at the agent.
     if (!routed.applied) return;  // report lost: agent never learns of it
-    std::lock_guard<std::mutex> lock(*rt->mu);
+    util::MutexLock lock(*rt->mu);
     rt->agent->accept_report(subject_id, outcome);
     return;
   }
@@ -745,13 +745,13 @@ void HirepSystem::send_report(TxnCtx& ctx, Peer& reporter, AgentEntry& entry,
   // expensive part) runs outside the agent lock.
   std::optional<crypto::RsaPublicKey> sp;
   {
-    std::lock_guard<std::mutex> lock(*rt->mu);
+    util::MutexLock lock(*rt->mu);
     sp = rt->agent->lookup_key(parsed->reporter);
   }
   if (!sp) return;  // unknown reporter: §3.5.3 drop
   const auto opened = verify_report(*sp, *parsed);
   if (!opened) return;  // bad signature: drop
-  std::lock_guard<std::mutex> lock(*rt->mu);
+  util::MutexLock lock(*rt->mu);
   rt->agent->accept_report(opened->subject, opened->outcome);
 }
 
@@ -776,7 +776,7 @@ void HirepSystem::report_batch(TxnCtx& ctx, Peer& reporter,
   for (std::size_t i = 0; i < routed.size(); ++i) {
     ctx.trust_messages += routed[i].messages;
     if (!routed[i].applied) continue;  // report lost: agent never learns
-    std::lock_guard<std::mutex> lock(*targets[i]->mu);
+    util::MutexLock lock(*targets[i]->mu);
     targets[i]->agent->accept_report(subject_id, outcome);
   }
 }

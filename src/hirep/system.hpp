@@ -25,7 +25,6 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -42,6 +41,7 @@
 #include "net/transport.hpp"
 #include "onion/router.hpp"
 #include "trust/ground_truth.hpp"
+#include "util/sync.hpp"
 #include "util/thread_pool.hpp"
 
 namespace hirep::core {
@@ -265,7 +265,7 @@ class HirepSystem {
     /// Serializes agent-side mutation when engine waves share the agent
     /// (requestors/providers are exclusive per wave; agents are not).
     /// Allocated only for actual agents; unique_ptr keeps Runtime movable.
-    std::unique_ptr<std::mutex> mu;
+    std::unique_ptr<util::Mutex> mu;
     std::unique_ptr<AgentRecovery> recovery;  ///< allocated for agents only
   };
 

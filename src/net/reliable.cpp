@@ -39,6 +39,7 @@ double backoff_wait(const ReliablePolicy& policy, std::uint32_t attempt,
 }  // namespace
 
 bool DedupTable::first_application(std::uint64_t id, double now_ms) {
+  util::MutexLock lock(mu_);
   maybe_rotate(now_ms);
   if (current_.contains(id)) return false;
   if (prev_.contains(id)) {

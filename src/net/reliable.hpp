@@ -26,6 +26,7 @@
 
 #include "net/transport.hpp"
 #include "util/rng.hpp"
+#include "util/sync.hpp"
 
 namespace hirep::net {
 
@@ -50,18 +51,25 @@ class DedupTable {
   /// true; later calls (within the retention bound) return false.
   bool first_application(std::uint64_t id, double now_ms);
 
-  std::size_t size() const noexcept { return current_.size() + prev_.size(); }
+  std::size_t size() const {
+    util::MutexLock lock(mu_);
+    return current_.size() + prev_.size();
+  }
   /// Hard bound on size(): two generations of `capacity` ids each.
   std::size_t capacity() const noexcept { return 2 * capacity_; }
 
  private:
-  void maybe_rotate(double now_ms);
+  void maybe_rotate(double now_ms) HIREP_REQUIRES(mu_);
 
   std::size_t capacity_;
   double window_ms_;
-  double window_start_ = 0.0;
-  std::unordered_set<std::uint64_t> current_;
-  std::unordered_set<std::uint64_t> prev_;
+  /// Engine lanes each own a channel, so the table sees one thread in
+  /// steady state; the mutex makes the at-most-once ledger safe to share
+  /// and gives the thread-safety analysis a capability to check against.
+  mutable util::Mutex mu_;
+  double window_start_ HIREP_GUARDED_BY(mu_) = 0.0;
+  std::unordered_set<std::uint64_t> current_ HIREP_GUARDED_BY(mu_);
+  std::unordered_set<std::uint64_t> prev_ HIREP_GUARDED_BY(mu_);
 };
 
 /// Retry discipline for one channel.  Defaults are the zero-retry identity
@@ -136,7 +144,7 @@ class ReliableChannel {
   const ReliablePolicy& policy() const noexcept { return policy_; }
   const Stats& stats() const noexcept { return stats_; }
 
-  std::size_t dedup_size() const noexcept { return dedup_.size(); }
+  std::size_t dedup_size() const { return dedup_.size(); }
   std::size_t dedup_capacity() const noexcept { return dedup_.capacity(); }
 
  private:

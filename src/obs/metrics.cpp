@@ -105,7 +105,7 @@ void Timer::reset() noexcept {
 // ---------------------------------------------------------------------------
 
 Counter& Registry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const auto it = counters_.find(name);
   if (it != counters_.end()) return *it->second;
   return *counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -113,7 +113,7 @@ Counter& Registry::counter(std::string_view name) {
 }
 
 Gauge& Registry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const auto it = gauges_.find(name);
   if (it != gauges_.end()) return *it->second;
   return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
@@ -122,7 +122,7 @@ Gauge& Registry::gauge(std::string_view name) {
 
 Histogram& Registry::histogram(std::string_view name,
                                std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) {
     if (it->second->bounds() != bounds) {
@@ -138,7 +138,7 @@ Histogram& Registry::histogram(std::string_view name,
 }
 
 Timer& Registry::timer(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const auto it = timers_.find(name);
   if (it != timers_.end()) return *it->second;
   return *timers_.emplace(std::string(name), std::make_unique<Timer>())
@@ -146,7 +146,7 @@ Timer& Registry::timer(std::string_view name) {
 }
 
 Snapshot Registry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   Snapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_) {
@@ -177,7 +177,7 @@ Snapshot Registry::snapshot() const {
 }
 
 void Registry::reset() noexcept {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();

@@ -27,10 +27,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace hirep::obs {
 
@@ -193,11 +194,15 @@ class Registry {
   static Registry& global();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
-  std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers_;
+  mutable util::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      HIREP_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      HIREP_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      HIREP_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers_
+      HIREP_GUARDED_BY(mu_);
 };
 
 /// Default latency buckets (milliseconds) shared by the crypto op

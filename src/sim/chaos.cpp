@@ -88,6 +88,7 @@ ChaosEngine::ChaosEngine(core::HirepSystem* system, ChaosParams params,
 }
 
 void ChaosEngine::advance_to(std::uint64_t tick) {
+  util::MutexLock lock(mu_);
   while (now_ < tick) step(++now_);
 }
 
@@ -173,11 +174,13 @@ void ChaosEngine::revive(net::NodeIndex v) {
   if constexpr (obs::kEnabled) chaos_cells().restarts->add();
 }
 
-bool ChaosEngine::crashed(net::NodeIndex v) const noexcept {
+bool ChaosEngine::crashed(net::NodeIndex v) const {
+  util::MutexLock lock(mu_);
   return v < crashed_.size() && crashed_[v] != 0;
 }
 
-bool ChaosEngine::severed(net::NodeIndex a, net::NodeIndex b) const noexcept {
+bool ChaosEngine::severed(net::NodeIndex a, net::NodeIndex b) const {
+  util::MutexLock lock(mu_);
   if (!partition_on_) return false;
   const std::uint8_t sa = a < side_.size() ? side_[a] : 0;
   const std::uint8_t sb = b < side_.size() ? side_[b] : 0;
@@ -185,29 +188,35 @@ bool ChaosEngine::severed(net::NodeIndex a, net::NodeIndex b) const noexcept {
 }
 
 bool ChaosEngine::draw_burst_drop() {
+  util::MutexLock lock(mu_);
   return hop_rng_.chance(params_.burst_drop);
 }
 
-double ChaosEngine::slowdown_of(net::NodeIndex v) const noexcept {
+double ChaosEngine::slowdown_of(net::NodeIndex v) const {
+  util::MutexLock lock(mu_);
   return v < slow_.size() && slow_[v] != 0 ? params_.slowdown_ms : 0.0;
 }
 
 void ChaosEngine::note_crash_drop() {
+  util::MutexLock lock(mu_);
   ++counters_.crash_drops;
   if constexpr (obs::kEnabled) chaos_cells().crash_drops->add();
 }
 
 void ChaosEngine::note_partition_drop() {
+  util::MutexLock lock(mu_);
   ++counters_.partition_drops;
   if constexpr (obs::kEnabled) chaos_cells().partition_drops->add();
 }
 
 void ChaosEngine::note_burst_drop() {
+  util::MutexLock lock(mu_);
   ++counters_.burst_drops;
   if constexpr (obs::kEnabled) chaos_cells().burst_drops->add();
 }
 
 void ChaosEngine::note_slowdown_hop() {
+  util::MutexLock lock(mu_);
   ++counters_.slowdown_hops;
   if constexpr (obs::kEnabled) chaos_cells().slowdown_hops->add();
 }

@@ -30,6 +30,7 @@
 #include "net/transport.hpp"
 #include "sim/params.hpp"
 #include "util/rng.hpp"
+#include "util/sync.hpp"
 
 namespace hirep::sim {
 
@@ -67,17 +68,23 @@ class ChaosEngine {
   /// transaction (tick = transactions run so far); calling with a tick in
   /// the past is a no-op.
   void advance_to(std::uint64_t tick);
-  std::uint64_t now() const noexcept { return now_; }
+  std::uint64_t now() const {
+    util::MutexLock lock(mu_);
+    return now_;
+  }
 
   // -- wire-level queries (ChaosDelivery) ----------------------------------
-  bool crashed(net::NodeIndex v) const noexcept;
+  bool crashed(net::NodeIndex v) const;
   /// True when an active partition separates a and b.
-  bool severed(net::NodeIndex a, net::NodeIndex b) const noexcept;
-  bool burst_active() const noexcept { return burst_on_; }
+  bool severed(net::NodeIndex a, net::NodeIndex b) const;
+  bool burst_active() const {
+    util::MutexLock lock(mu_);
+    return burst_on_;
+  }
   /// Draws from the engine's hop stream; call only while burst_active().
   bool draw_burst_drop();
   /// Extra per-hop delay contributed by node v (0 unless v is slowed).
-  double slowdown_of(net::NodeIndex v) const noexcept;
+  double slowdown_of(net::NodeIndex v) const;
 
   /// Fault bookkeeping, mirrored into the obs registry under sim.chaos.*.
   struct Counters {
@@ -91,7 +98,12 @@ class ChaosEngine {
     std::uint64_t burst_drops = 0;       ///< hops lost in a burst window
     std::uint64_t slowdown_hops = 0;     ///< hops given slowdown delay
   };
-  const Counters& counters() const noexcept { return counters_; }
+  /// Returns a consistent copy taken under the engine lock (the tallies
+  /// mutate per hop, so a reference would be a torn read under load).
+  Counters counters() const {
+    util::MutexLock lock(mu_);
+    return counters_;
+  }
 
   // -- ChaosDelivery tallies -----------------------------------------------
   void note_crash_drop();
@@ -100,23 +112,32 @@ class ChaosEngine {
   void note_slowdown_hop();
 
  private:
-  void step(std::uint64_t tick);
-  void crash(net::NodeIndex v);
-  void revive(net::NodeIndex v);
+  void step(std::uint64_t tick) HIREP_REQUIRES(mu_);
+  void crash(net::NodeIndex v) HIREP_REQUIRES(mu_);
+  void revive(net::NodeIndex v) HIREP_REQUIRES(mu_);
 
   core::HirepSystem* system_;
   ChaosParams params_;
-  util::Rng rng_;      ///< schedule stream (who crashes, downtimes, sides)
-  util::Rng hop_rng_;  ///< per-hop burst-loss stream
-  std::uint64_t now_ = 0;
-  bool partition_on_ = false;
-  bool burst_on_ = false;
-  std::vector<std::uint8_t> crashed_;
-  std::vector<std::uint64_t> restart_tick_;  ///< 0 = no pending restart
-  std::vector<std::uint8_t> side_;           ///< partition side (1 = minority)
-  std::vector<std::uint8_t> slow_;           ///< slowdown membership
-  std::vector<net::NodeIndex> scripted_down_;  ///< awaiting restart_at
-  Counters counters_;
+  /// One lock over the whole fault schedule: advance_to mutations and the
+  /// per-hop ChaosDelivery queries are serialized against each other, so
+  /// the schedule replays identically whether or not delivery interleaves.
+  mutable util::Mutex mu_;
+  util::Rng rng_
+      HIREP_GUARDED_BY(mu_);  ///< schedule stream (crashes, downtimes, sides)
+  util::Rng hop_rng_ HIREP_GUARDED_BY(mu_);  ///< per-hop burst-loss stream
+  std::uint64_t now_ HIREP_GUARDED_BY(mu_) = 0;
+  bool partition_on_ HIREP_GUARDED_BY(mu_) = false;
+  bool burst_on_ HIREP_GUARDED_BY(mu_) = false;
+  std::vector<std::uint8_t> crashed_ HIREP_GUARDED_BY(mu_);
+  std::vector<std::uint64_t> restart_tick_
+      HIREP_GUARDED_BY(mu_);  ///< 0 = no pending restart
+  std::vector<std::uint8_t> side_
+      HIREP_GUARDED_BY(mu_);  ///< partition side (1 = minority)
+  std::vector<std::uint8_t> slow_
+      HIREP_GUARDED_BY(mu_);  ///< slowdown membership
+  std::vector<net::NodeIndex> scripted_down_
+      HIREP_GUARDED_BY(mu_);  ///< awaiting restart_at
+  Counters counters_ HIREP_GUARDED_BY(mu_);
 };
 
 /// Wraps the run's configured DeliveryPolicy with the engine's fault

@@ -1,0 +1,55 @@
+// Clang thread-safety-analysis capability annotations (DESIGN.md §12.2).
+//
+// Every shared mutable structure in the tree declares its lock discipline
+// with these macros so `clang -Wthread-safety -Wthread-safety-beta`
+// verifies, at compile time, what TSan can only observe dynamically: a
+// guarded field is never touched without its capability held.  The build
+// gate is the HIREP_THREAD_SAFETY CMake option (scripts/lint.sh runs it
+// whenever a clang toolchain is available; the CI `lint` job always does).
+//
+// Under GCC — which has no thread-safety analysis — every macro expands to
+// nothing, so annotations are zero-cost documentation there.  The
+// project-specific `hirep-lint` checker (tools/lint) reads the same macros
+// textually and enforces a conservative subset (guarded-field-write) on
+// every toolchain, clang or not.
+//
+// libstdc++'s std::mutex carries no capability attributes, which is why
+// util/sync.hpp wraps it in an annotated util::Mutex — GUARDED_BY on a
+// plain std::mutex would be rejected by -Wthread-safety-attributes.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define HIREP_TSA_HAS_ATTRIBUTE(x) __has_attribute(x)
+#else
+#define HIREP_TSA_HAS_ATTRIBUTE(x) 0
+#endif
+
+#if HIREP_TSA_HAS_ATTRIBUTE(capability)
+#define HIREP_TSA(x) __attribute__((x))
+#else
+#define HIREP_TSA(x)  // not clang: annotations are documentation only
+#endif
+
+/// Marks a type as a lockable capability ("mutex" in diagnostics).
+#define HIREP_CAPABILITY(x) HIREP_TSA(capability(x))
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define HIREP_SCOPED_CAPABILITY HIREP_TSA(scoped_lockable)
+/// Field may only be touched while `x` is held.
+#define HIREP_GUARDED_BY(x) HIREP_TSA(guarded_by(x))
+/// Data *pointed to* by this field may only be touched while `x` is held.
+#define HIREP_PT_GUARDED_BY(x) HIREP_TSA(pt_guarded_by(x))
+/// Caller must hold the listed capabilities when invoking the function.
+#define HIREP_REQUIRES(...) HIREP_TSA(requires_capability(__VA_ARGS__))
+/// Function acquires the listed capabilities (its own `this` when empty).
+#define HIREP_ACQUIRE(...) HIREP_TSA(acquire_capability(__VA_ARGS__))
+/// Function releases the listed capabilities (its own `this` when empty).
+#define HIREP_RELEASE(...) HIREP_TSA(release_capability(__VA_ARGS__))
+/// Function acquires the capability when it returns `b`.
+#define HIREP_TRY_ACQUIRE(b, ...) HIREP_TSA(try_acquire_capability(b, __VA_ARGS__))
+/// Caller must NOT hold the listed capabilities (deadlock prevention).
+#define HIREP_EXCLUDES(...) HIREP_TSA(locks_excluded(__VA_ARGS__))
+/// Function returns a reference to the capability guarding its result.
+#define HIREP_RETURN_CAPABILITY(x) HIREP_TSA(lock_returned(x))
+/// Escape hatch: the function is exempt from analysis.  Every use must
+/// carry a comment explaining why the discipline cannot be expressed.
+#define HIREP_NO_THREAD_SAFETY_ANALYSIS HIREP_TSA(no_thread_safety_analysis)

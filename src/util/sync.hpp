@@ -1,0 +1,69 @@
+// Annotated synchronisation primitives (DESIGN.md §12.2).
+//
+// Thin wrappers over std::mutex / std::condition_variable_any that carry
+// the Clang thread-safety capability attributes from util/annotations.hpp.
+// libstdc++'s std::mutex is not annotated, so locking it through
+// std::lock_guard is invisible to -Wthread-safety; routing every shared
+// structure through util::Mutex + util::MutexLock is what makes the
+// analysis actually check GUARDED_BY fields.
+//
+// The wrappers add no state and no behaviour: Mutex is exactly a
+// std::mutex, MutexLock is exactly a lock_guard, CondVar is a
+// condition_variable_any that waits on a Mutex directly (Mutex satisfies
+// BasicLockable).  Goldens are unaffected by construction — locks never
+// draw randomness or reorder deterministic work.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/annotations.hpp"
+
+namespace hirep::util {
+
+/// Annotated mutex: a std::mutex declared as a thread-safety capability.
+class HIREP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() HIREP_ACQUIRE() { mu_.lock(); }
+  void unlock() HIREP_RELEASE() { mu_.unlock(); }
+  bool try_lock() HIREP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII scoped acquisition of a util::Mutex (annotated lock_guard).
+class HIREP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) HIREP_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() HIREP_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable waiting directly on a util::Mutex.  Only the plain
+/// wait is offered: predicate-lambda waits defeat the thread-safety
+/// analysis (the lambda body is analysed without the lock held), so call
+/// sites spell the guard loop out — `while (!ready_) cv.wait(mu_);` —
+/// which the analysis verifies field by field.
+class CondVar {
+ public:
+  /// Atomically releases `mu`, blocks, and reacquires before returning.
+  /// Spurious wakeups happen; always wait in a condition loop.
+  void wait(Mutex& mu) HIREP_REQUIRES(mu) { cv_.wait(mu); }
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace hirep::util

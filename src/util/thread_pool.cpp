@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 ThreadPool::~ThreadPool() {
   std::queue<std::function<void()>> discarded;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
     // Queued-but-unstarted tasks are discarded, not run: a task that blocks
     // (or re-submits) must not be able to wedge teardown.  In-flight tasks
@@ -34,8 +34,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      // Spelled-out condition loop (not a predicate lambda) so the
+      // thread-safety analysis sees the guarded reads under mu_.
+      while (!stopping_ && queue_.empty()) cv_.wait(mu_);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop();

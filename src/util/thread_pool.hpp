@@ -4,14 +4,14 @@
 // concurrency simple, no data races by construction).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace hirep::util {
 
@@ -36,7 +36,7 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> result = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (stopping_) throw std::runtime_error("submit on stopped ThreadPool");
       queue_.emplace([task] { (*task)(); });
     }
@@ -53,10 +53,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::queue<std::function<void()>> queue_ HIREP_GUARDED_BY(mu_);
+  bool stopping_ HIREP_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace hirep::util

@@ -1,0 +1,23 @@
+// Fixture: stashes an Envelope's arena-backed payload span into long-lived
+// storage.  hirep-lint must flag both the member assignment and the
+// container store (rule: arena-span-escape) — the arena resets at batch
+// scope, so the span dangles on the next batch.
+#include <cstdint>
+#include <span>
+#include <vector>
+
+struct Envelope {
+  std::span<const std::uint8_t> payload;
+};
+
+class PayloadHoarder {
+ public:
+  void observe(const Envelope& env) {
+    stash_ = env.payload;            // <-- finding (member assignment)
+    history_.push_back(env.payload); // <-- finding (member container store)
+  }
+
+ private:
+  std::span<const std::uint8_t> stash_;
+  std::vector<std::span<const std::uint8_t>> history_;
+};

@@ -1,0 +1,9 @@
+// Fixture: draws from libc's hidden global generator.  hirep-lint must
+// flag both the seeding and the draw (rule: no-libc-rand) — global RNG
+// state is shared across every caller, so draw order depends on scheduling.
+#include <cstdlib>
+
+int libc_draw() {
+  std::srand(42);        // <-- finding
+  return rand() % 100;   // <-- finding
+}

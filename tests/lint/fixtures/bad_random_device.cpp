@@ -1,0 +1,10 @@
+// Fixture: seeds an RNG from hardware entropy.  hirep-lint must flag the
+// std::random_device use (rule: no-random-device) — runs would differ on
+// every execution, breaking the replayable-simulation contract.
+#include <cstdint>
+#include <random>
+
+std::uint64_t nondeterministic_seed() {
+  std::random_device rd;  // <-- finding
+  return (static_cast<std::uint64_t>(rd()) << 32) | rd();
+}

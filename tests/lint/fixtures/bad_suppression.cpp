@@ -1,0 +1,13 @@
+// Fixture: malformed suppression comments.  hirep-lint must flag each
+// (rule: suppression-format) — a typo'd allow() silently allowing nothing
+// is worse than no suppression at all, so the grammar is enforced.
+#include <random>
+
+int typod_suppressions() {
+  // hirep-lint: allow(no-random-devise) -- unknown rule name   <-- finding
+  std::random_device rd;
+  // hirep-lint: allow(no-random-device)                        <-- finding (no reason)
+  std::random_device rd2;
+  // hirep-lint: please-ignore                                  <-- finding (bad directive)
+  return static_cast<int>(rd() + rd2());
+}

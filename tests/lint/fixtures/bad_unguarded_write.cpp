@@ -1,0 +1,39 @@
+// Fixture: writes a HIREP_GUARDED_BY field with no lock scope in the body
+// and no HIREP_REQUIRES on the method.  hirep-lint must flag the writes
+// (rule: guarded-field-write).  The macros are stubbed locally so the
+// fixture is self-contained for the tool's token scan.
+#include <cstdint>
+#include <queue>
+
+#define HIREP_GUARDED_BY(x)
+#define HIREP_REQUIRES(x)
+
+namespace fixture {
+
+struct Mutex {
+  void lock() {}
+  void unlock() {}
+};
+
+class Unguarded {
+ public:
+  void enqueue(std::uint64_t v) {
+    pending_.push(v);  // <-- finding (no lock, no REQUIRES)
+    ++count_;          // <-- finding
+  }
+
+  void drain() HIREP_REQUIRES(mu_);
+
+ private:
+  Mutex mu_;
+  std::queue<std::uint64_t> pending_ HIREP_GUARDED_BY(mu_);
+  std::uint64_t count_ HIREP_GUARDED_BY(mu_) = 0;
+};
+
+// REQUIRES-annotated body: the caller holds the lock, so this one is clean.
+void Unguarded::drain() {
+  while (!pending_.empty()) pending_.pop();
+  count_ = 0;
+}
+
+}  // namespace fixture

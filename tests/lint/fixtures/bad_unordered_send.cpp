@@ -1,0 +1,29 @@
+// Fixture: iterates an unordered_map and sends inside the loop body.
+// hirep-lint must flag the loop (rule: unordered-iteration) — bucket order
+// is implementation-defined, so the wire order (and thus every downstream
+// RNG alignment) would differ across standard libraries and reserve()
+// calls.  A float accumulation over a set is flagged for the same reason:
+// FP addition does not commute.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+struct FakeTransport {
+  void send(std::uint32_t to) { last = to; }
+  std::uint32_t last = 0;
+};
+
+double order_sensitive(FakeTransport& transport) {
+  std::unordered_map<std::uint32_t, double> scores;
+  scores[3] = 0.5;
+  for (const auto& [node, score] : scores) {  // <-- finding (send in body)
+    transport.send(node);
+  }
+
+  std::unordered_set<std::uint32_t> members{1, 2, 3};
+  double total = 0.0;
+  for (std::uint32_t m : members) {  // <-- finding (float accumulation)
+    total += 0.1 * static_cast<double>(m);
+  }
+  return total;
+}

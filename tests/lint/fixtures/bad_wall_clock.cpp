@@ -1,0 +1,18 @@
+// Fixture: reads the host clock from simulation code.  hirep-lint must
+// flag both clock types (rule: no-wall-clock) — simulated time comes from
+// EventSim; host time makes runs irreproducible and machine-dependent.
+#include <chrono>
+#include <cstdint>
+
+std::uint64_t wall_now() {
+  const auto t = std::chrono::steady_clock::now();  // <-- finding
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          t.time_since_epoch())
+          .count());
+}
+
+double wall_seconds() {
+  const auto t = std::chrono::system_clock::now();  // <-- finding
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}

@@ -1,0 +1,17 @@
+// Fixture: every violation here carries a well-formed inline suppression,
+// so hirep-lint must report ZERO findings for this file.  Exercises the
+// same-line form, the line-above form, and allow-file.
+//
+// hirep-lint: allow-file(no-libc-rand) -- fixture demonstrates file-wide suppression
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+int suppressed_everything() {
+  // hirep-lint: allow(no-random-device) -- fixture: line-above suppression form
+  std::random_device rd;
+  const auto t = std::chrono::steady_clock::now();  // hirep-lint: allow(no-wall-clock) -- fixture: same-line suppression form
+  std::srand(7);  // covered by the allow-file directive above
+  return static_cast<int>(rd()) ^ rand() ^
+         static_cast<int>(t.time_since_epoch().count());
+}

@@ -1,0 +1,101 @@
+// util::Mutex / MutexLock / CondVar — the annotated wrappers every guarded
+// structure now locks through (util/sync.hpp).  The semantics under test
+// are exactly std::mutex semantics; what these tests pin down is that the
+// wrappers stay drop-in (mutual exclusion, RAII release, condition wakeup)
+// while carrying the thread-safety capability annotations.
+#include "util/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace hirep::util {
+namespace {
+
+TEST(SyncTest, MutexLockProvidesMutualExclusion) {
+  Mutex mu;
+  std::uint64_t counter = 0;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(SyncTest, TryLockReportsContention) {
+  Mutex mu;
+  mu.lock();
+  EXPECT_FALSE(mu.try_lock());
+  mu.unlock();
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(SyncTest, MutexLockReleasesOnScopeExit) {
+  Mutex mu;
+  {
+    MutexLock lock(mu);
+  }
+  // If the RAII release failed this would deadlock (and trip the test
+  // timeout); acquiring again proves the scope exit unlocked.
+  MutexLock lock(mu);
+  SUCCEED();
+}
+
+TEST(SyncTest, CondVarWakesExplicitConditionLoop) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  int observed = 0;
+
+  std::thread waiter([&] {
+    MutexLock lock(mu);
+    while (!ready) cv.wait(mu);
+    observed = 42;
+  });
+
+  {
+    MutexLock lock(mu);
+    ready = true;
+  }
+  cv.notify_one();
+  waiter.join();
+  EXPECT_EQ(observed, 42);
+}
+
+TEST(SyncTest, NotifyAllReleasesEveryWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool go = false;
+  int woken = 0;
+  constexpr int kWaiters = 4;
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      MutexLock lock(mu);
+      while (!go) cv.wait(mu);
+      ++woken;
+    });
+  }
+  {
+    MutexLock lock(mu);
+    go = true;
+  }
+  cv.notify_all();
+  for (auto& th : waiters) th.join();
+  EXPECT_EQ(woken, kWaiters);
+}
+
+}  // namespace
+}  // namespace hirep::util

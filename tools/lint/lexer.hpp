@@ -1,0 +1,48 @@
+// Token stream for hirep-lint (tools/lint/README.md).
+//
+// A full C++ front end is deliberately out of scope: the determinism and
+// lock-discipline rules key off identifier patterns, balanced brackets, and
+// comments, all of which a flat token stream exposes.  The lexer therefore
+// only has to get the *boundaries* right — comments, string/char literals
+// (including raw strings), and preprocessor noise must never leak tokens —
+// so that rules never fire on quoted or commented text.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hirep::lint {
+
+enum class TokKind {
+  Identifier,  // [A-Za-z_][A-Za-z0-9_]*
+  Number,      // numeric literal (pp-number: keeps suffixes and '.' inside)
+  Punct,       // operator / punctuation; multi-char ops are single tokens
+  String,      // "..." or R"(...)" — text excludes quotes
+  CharLit,     // '...'
+};
+
+struct Token {
+  TokKind kind;
+  std::string_view text;  // view into LexedFile::source
+  int line;               // 1-based
+};
+
+struct Comment {
+  int line;          // line the comment starts on
+  std::string text;  // body without the leading // or /* */ delimiters
+};
+
+struct LexedFile {
+  std::string source;           // owned backing buffer for token views
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Lexes `source` (takes ownership of the buffer).
+LexedFile lex_source(std::string source);
+
+/// Reads and lexes a file; throws std::runtime_error when unreadable.
+LexedFile lex_file(const std::string& path);
+
+}  // namespace hirep::lint
