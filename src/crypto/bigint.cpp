@@ -1,19 +1,52 @@
 #include "crypto/bigint.hpp"
 
+#include "crypto/limb_ops.hpp"
 #include "crypto/montgomery.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <memory>
 #include <stdexcept>
 
 namespace hirep::crypto {
 
 namespace {
-constexpr unsigned kLimbBits = 32;
+
+constexpr unsigned kLimbBits = 64;
+
+using limb::adc64;
+using limb::div128by64;
+using limb::mac64;
+using limb::mul64;
+using limb::sbb64;
+
+// Per-thread memo of Montgomery contexts keyed by modulus.  RSA hammers
+// powmod with the same handful of moduli (n, and under CRT p and q, per
+// key), so the context setup — a shift-mod plus a mulmod — would otherwise
+// dominate small-key exponentiations.  thread_local keeps the memo
+// lock-free; move-to-front eviction bounds it.  unique_ptr entries keep the
+// returned reference stable across the rotate.
+const MontgomeryContext& mont_context_for(const BigInt& m) {
+  constexpr std::size_t kSlots = 8;
+  thread_local std::vector<std::unique_ptr<MontgomeryContext>> cache;
+  for (std::size_t i = 0; i < cache.size(); ++i) {
+    if (cache[i]->modulus() == m) {
+      if (i != 0) {
+        std::rotate(cache.begin(), cache.begin() + static_cast<std::ptrdiff_t>(i),
+                    cache.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+      }
+      return *cache.front();
+    }
+  }
+  cache.insert(cache.begin(), std::make_unique<MontgomeryContext>(m));
+  if (cache.size() > kSlots) cache.pop_back();
+  return *cache.front();
 }
 
+}  // namespace
+
 BigInt::BigInt(std::uint64_t value) {
-  if (value) limbs_.push_back(static_cast<std::uint32_t>(value));
-  if (value >> 32) limbs_.push_back(static_cast<std::uint32_t>(value >> 32));
+  if (value) limbs_.push_back(value);
 }
 
 void BigInt::trim() noexcept {
@@ -22,9 +55,14 @@ void BigInt::trim() noexcept {
 
 BigInt BigInt::from_bytes(std::span<const std::uint8_t> be_bytes) {
   BigInt out;
-  for (std::uint8_t b : be_bytes) {
-    out = (out << 8) + BigInt(b);
+  const std::size_t n = be_bytes.size();
+  out.limbs_.assign((n + 7) / 8, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Byte i counted from the little end.
+    const std::uint8_t b = be_bytes[n - 1 - i];
+    out.limbs_[i / 8] |= static_cast<std::uint64_t>(b) << ((i % 8) * 8);
   }
+  out.trim();
   return out;
 }
 
@@ -33,10 +71,17 @@ util::Bytes BigInt::to_bytes() const {
   const unsigned bytes = (bit_length() + 7) / 8;
   out.resize(bytes);
   for (unsigned i = 0; i < bytes; ++i) {
-    const unsigned limb = i / 4;
-    const unsigned shift = (i % 4) * 8;
+    const unsigned limb = i / 8;
+    const unsigned shift = (i % 8) * 8;
     out[bytes - 1 - i] = static_cast<std::uint8_t>(limbs_[limb] >> shift);
   }
+  return out;
+}
+
+BigInt BigInt::from_limbs(std::span<const Limb> le_limbs) {
+  BigInt out;
+  out.limbs_.assign(le_limbs.begin(), le_limbs.end());
+  out.trim();
   return out;
 }
 
@@ -59,7 +104,7 @@ std::string BigInt::to_hex() const {
   std::string out;
   bool leading = true;
   for (std::size_t li = limbs_.size(); li-- > 0;) {
-    for (int nib = 7; nib >= 0; --nib) {
+    for (int nib = 15; nib >= 0; --nib) {
       const unsigned v = (limbs_[li] >> (nib * 4)) & 0xfu;
       if (leading && v == 0) continue;
       leading = false;
@@ -83,18 +128,28 @@ std::string BigInt::to_decimal() const {
   return digits;
 }
 
+// Both random generators draw one 32-bit word per rng() call, exactly as
+// the original base-2^32 implementation did: simulation seeds reproduce
+// the same keys and primes bit for bit across the limb-width change.
 BigInt BigInt::random_below(util::Rng& rng, const BigInt& bound) {
   if (bound.is_zero()) throw std::domain_error("random_below(0)");
   const unsigned bits = bound.bit_length();
+  const unsigned words = (bits + 31) / 32;
   for (;;) {
     BigInt candidate;
-    const unsigned limbs = (bits + kLimbBits - 1) / kLimbBits;
-    candidate.limbs_.resize(limbs);
-    for (auto& l : candidate.limbs_) l = static_cast<std::uint32_t>(rng());
-    // Mask the top limb down to the bound's bit length.
-    const unsigned top_bits = bits % kLimbBits;
+    candidate.limbs_.assign((words + 1) / 2, 0);
+    for (unsigned w = 0; w < words; ++w) {
+      const auto draw = static_cast<std::uint32_t>(rng());
+      candidate.limbs_[w / 2] |= static_cast<std::uint64_t>(draw)
+                                 << ((w % 2) * 32);
+    }
+    // Mask the top word down to the bound's bit length.
+    const unsigned top_bits = bits % 32;
     if (top_bits != 0) {
-      candidate.limbs_.back() &= (std::uint32_t{1} << top_bits) - 1;
+      const unsigned shift = ((words - 1) % 2) * 32;
+      const std::uint64_t keep =
+          (std::uint64_t{1} << (shift + top_bits)) - 1;
+      candidate.limbs_.back() &= keep;
     }
     candidate.trim();
     if (candidate < bound) return candidate;
@@ -104,23 +159,26 @@ BigInt BigInt::random_below(util::Rng& rng, const BigInt& bound) {
 BigInt BigInt::random_bits(util::Rng& rng, unsigned bits) {
   if (bits == 0) throw std::domain_error("random_bits(0)");
   BigInt out;
-  const unsigned limbs = (bits + kLimbBits - 1) / kLimbBits;
-  out.limbs_.resize(limbs);
-  for (auto& l : out.limbs_) l = static_cast<std::uint32_t>(rng());
-  const unsigned top = (bits - 1) % kLimbBits;
+  const unsigned words = (bits + 31) / 32;
+  out.limbs_.assign((words + 1) / 2, 0);
+  for (unsigned w = 0; w < words; ++w) {
+    const auto draw = static_cast<std::uint32_t>(rng());
+    out.limbs_[w / 2] |= static_cast<std::uint64_t>(draw) << ((w % 2) * 32);
+  }
   // Clear bits above the requested width, then force the top bit on.
-  out.limbs_.back() &= (top == 31) ? ~std::uint32_t{0}
-                                   : ((std::uint32_t{1} << (top + 1)) - 1);
-  out.limbs_.back() |= std::uint32_t{1} << top;
+  const unsigned top = (bits - 1) % kLimbBits;
+  out.limbs_.back() &= (top == kLimbBits - 1)
+                           ? ~std::uint64_t{0}
+                           : ((std::uint64_t{1} << (top + 1)) - 1);
+  out.limbs_.back() |= std::uint64_t{1} << top;
   out.trim();
   return out;
 }
 
 unsigned BigInt::bit_length() const noexcept {
   if (limbs_.empty()) return 0;
-  const std::uint32_t top = limbs_.back();
-  unsigned bits = (static_cast<unsigned>(limbs_.size()) - 1) * kLimbBits;
-  return bits + (kLimbBits - static_cast<unsigned>(__builtin_clz(top)));
+  const unsigned bits = (static_cast<unsigned>(limbs_.size()) - 1) * kLimbBits;
+  return bits + (kLimbBits - static_cast<unsigned>(std::countl_zero(limbs_.back())));
 }
 
 bool BigInt::bit(unsigned i) const noexcept {
@@ -130,10 +188,7 @@ bool BigInt::bit(unsigned i) const noexcept {
 }
 
 std::uint64_t BigInt::low_u64() const noexcept {
-  std::uint64_t v = 0;
-  if (!limbs_.empty()) v = limbs_[0];
-  if (limbs_.size() > 1) v |= static_cast<std::uint64_t>(limbs_[1]) << 32;
-  return v;
+  return limbs_.empty() ? 0 : limbs_[0];
 }
 
 int BigInt::compare(const BigInt& a, const BigInt& b) noexcept {
@@ -159,13 +214,11 @@ BigInt BigInt::operator+(const BigInt& rhs) const {
   out.limbs_.resize(n + 1, 0);
   std::uint64_t carry = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    std::uint64_t sum = carry;
-    if (i < limbs_.size()) sum += limbs_[i];
-    if (i < rhs.limbs_.size()) sum += rhs.limbs_[i];
-    out.limbs_[i] = static_cast<std::uint32_t>(sum);
-    carry = sum >> 32;
+    const std::uint64_t a = i < limbs_.size() ? limbs_[i] : 0;
+    const std::uint64_t b = i < rhs.limbs_.size() ? rhs.limbs_[i] : 0;
+    out.limbs_[i] = adc64(a, b, carry);
   }
-  out.limbs_[n] = static_cast<std::uint32_t>(carry);
+  out.limbs_[n] = carry;
   out.trim();
   return out;
 }
@@ -174,17 +227,10 @@ BigInt BigInt::operator-(const BigInt& rhs) const {
   if (*this < rhs) throw std::underflow_error("BigInt subtraction underflow");
   BigInt out;
   out.limbs_.resize(limbs_.size(), 0);
-  std::int64_t borrow = 0;
+  std::uint64_t borrow = 0;
   for (std::size_t i = 0; i < limbs_.size(); ++i) {
-    std::int64_t diff = static_cast<std::int64_t>(limbs_[i]) - borrow;
-    if (i < rhs.limbs_.size()) diff -= rhs.limbs_[i];
-    if (diff < 0) {
-      diff += (std::int64_t{1} << 32);
-      borrow = 1;
-    } else {
-      borrow = 0;
-    }
-    out.limbs_[i] = static_cast<std::uint32_t>(diff);
+    const std::uint64_t b = i < rhs.limbs_.size() ? rhs.limbs_[i] : 0;
+    out.limbs_[i] = sbb64(limbs_[i], b, borrow);
   }
   out.trim();
   return out;
@@ -198,18 +244,11 @@ BigInt BigInt::operator*(const BigInt& rhs) const {
     std::uint64_t carry = 0;
     const std::uint64_t a = limbs_[i];
     for (std::size_t j = 0; j < rhs.limbs_.size(); ++j) {
-      const std::uint64_t cur =
-          static_cast<std::uint64_t>(out.limbs_[i + j]) + a * rhs.limbs_[j] + carry;
-      out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
-      carry = cur >> 32;
+      out.limbs_[i + j] = mac64(out.limbs_[i + j], a, rhs.limbs_[j], carry);
     }
-    std::size_t k = i + rhs.limbs_.size();
-    while (carry) {
-      const std::uint64_t cur = static_cast<std::uint64_t>(out.limbs_[k]) + carry;
-      out.limbs_[k] = static_cast<std::uint32_t>(cur);
-      carry = cur >> 32;
-      ++k;
-    }
+    // The carry out of the chain cannot overflow again: the slot above the
+    // partial product is always small enough to absorb it.
+    out.limbs_[i + rhs.limbs_.size()] += carry;
   }
   out.trim();
   return out;
@@ -221,10 +260,15 @@ BigInt BigInt::operator<<(unsigned bits) const {
   const unsigned bit_shift = bits % kLimbBits;
   BigInt out;
   out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
-  for (std::size_t i = 0; i < limbs_.size(); ++i) {
-    const std::uint64_t v = static_cast<std::uint64_t>(limbs_[i]) << bit_shift;
-    out.limbs_[i + limb_shift] |= static_cast<std::uint32_t>(v);
-    out.limbs_[i + limb_shift + 1] |= static_cast<std::uint32_t>(v >> 32);
+  if (bit_shift == 0) {
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+      out.limbs_[i + limb_shift] = limbs_[i];
+    }
+  } else {
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+      out.limbs_[i + limb_shift] |= limbs_[i] << bit_shift;
+      out.limbs_[i + limb_shift + 1] |= limbs_[i] >> (kLimbBits - bit_shift);
+    }
   }
   out.trim();
   return out;
@@ -240,10 +284,9 @@ BigInt BigInt::operator>>(unsigned bits) const {
   for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
     std::uint64_t v = limbs_[i + limb_shift] >> bit_shift;
     if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
-      v |= static_cast<std::uint64_t>(limbs_[i + limb_shift + 1])
-           << (kLimbBits - bit_shift);
+      v |= limbs_[i + limb_shift + 1] << (kLimbBits - bit_shift);
     }
-    out.limbs_[i] = static_cast<std::uint32_t>(v);
+    out.limbs_[i] = v;
   }
   out.trim();
   return out;
@@ -253,76 +296,79 @@ std::pair<BigInt, BigInt> BigInt::divmod(const BigInt& num, const BigInt& den) {
   if (den.is_zero()) throw std::domain_error("division by zero");
   if (num < den) return {BigInt(), num};
   if (den.limbs_.size() == 1) {
-    // Single-limb fast path.
+    // Single-limb fast path: one 128-by-64 divide per digit.
     const std::uint64_t d = den.limbs_[0];
     BigInt q;
     q.limbs_.resize(num.limbs_.size());
     std::uint64_t rem = 0;
     for (std::size_t i = num.limbs_.size(); i-- > 0;) {
-      const std::uint64_t cur = (rem << 32) | num.limbs_[i];
-      q.limbs_[i] = static_cast<std::uint32_t>(cur / d);
-      rem = cur % d;
+      q.limbs_[i] = div128by64(rem, num.limbs_[i], d, rem);
     }
     q.trim();
     return {std::move(q), BigInt(rem)};
   }
 
-  // Knuth Algorithm D. Normalise so the divisor's top limb has its high bit
-  // set, which keeps the quotient-digit estimate within 2 of correct.
-  const unsigned shift =
-      static_cast<unsigned>(__builtin_clz(den.limbs_.back()));
+  // Knuth Algorithm D over 64-bit digits.  Normalise so the divisor's top
+  // limb has its high bit set, which keeps the quotient-digit estimate
+  // within 2 of correct.
+  const unsigned shift = static_cast<unsigned>(std::countl_zero(den.limbs_.back()));
   const BigInt u = num << shift;
   const BigInt v = den << shift;
   const std::size_t n = v.limbs_.size();
   const std::size_t m = u.limbs_.size() - n;
 
-  std::vector<std::uint32_t> un(u.limbs_);
+  std::vector<std::uint64_t> un(u.limbs_);
   un.push_back(0);  // extra high limb for the algorithm
-  const std::vector<std::uint32_t>& vn = v.limbs_;
+  const std::vector<std::uint64_t>& vn = v.limbs_;
 
   BigInt q;
   q.limbs_.assign(m + 1, 0);
 
   for (std::size_t j = m + 1; j-- > 0;) {
-    const std::uint64_t top =
-        (static_cast<std::uint64_t>(un[j + n]) << 32) | un[j + n - 1];
-    std::uint64_t qhat = top / vn[n - 1];
-    std::uint64_t rhat = top % vn[n - 1];
-    while (qhat > 0xffffffffULL ||
-           qhat * vn[n - 2] > ((rhat << 32) | un[j + n - 2])) {
-      --qhat;
-      rhat += vn[n - 1];
-      if (rhat > 0xffffffffULL) break;
+    // Estimate the quotient digit from the top two dividend limbs.  After
+    // normalisation un[j+n] <= vn[n-1]; the estimate overflows one word
+    // only at equality, where the max digit is the right clamp.
+    std::uint64_t qhat, rhat;
+    bool rhat_overflow = false;
+    if (un[j + n] == vn[n - 1]) {
+      qhat = ~std::uint64_t{0};
+      // rhat = top - qhat * vn[n-1] = un[j+n-1] + vn[n-1]
+      rhat = un[j + n - 1] + vn[n - 1];
+      rhat_overflow = rhat < vn[n - 1];
+    } else {
+      qhat = div128by64(un[j + n], un[j + n - 1], vn[n - 1], rhat);
     }
+    // Refine: while qhat * vn[n-2] > rhat:un[j+n-2], decrement.
+    while (!rhat_overflow) {
+      std::uint64_t hi;
+      const std::uint64_t lo = mul64(qhat, vn[n - 2], hi);
+      if (hi < rhat || (hi == rhat && lo <= un[j + n - 2])) break;
+      --qhat;
+      const std::uint64_t prev = rhat;
+      rhat += vn[n - 1];
+      rhat_overflow = rhat < prev;
+    }
+
     // Multiply-subtract qhat * v from u[j .. j+n].
-    std::int64_t borrow = 0;
+    std::uint64_t borrow = 0;
     std::uint64_t carry = 0;
     for (std::size_t i = 0; i < n; ++i) {
-      const std::uint64_t p = qhat * vn[i] + carry;
-      carry = p >> 32;
-      const std::int64_t t =
-          static_cast<std::int64_t>(un[i + j]) -
-          static_cast<std::int64_t>(static_cast<std::uint32_t>(p)) - borrow;
-      un[i + j] = static_cast<std::uint32_t>(t);
-      borrow = t < 0 ? 1 : 0;
+      const std::uint64_t plo = mac64(0, qhat, vn[i], carry);
+      un[i + j] = sbb64(un[i + j], plo, borrow);
     }
-    const std::int64_t t = static_cast<std::int64_t>(un[j + n]) -
-                           static_cast<std::int64_t>(carry) - borrow;
-    un[j + n] = static_cast<std::uint32_t>(t);
+    const std::uint64_t before = un[j + n];
+    un[j + n] = sbb64(before, carry, borrow);
 
-    if (t < 0) {
+    if (borrow) {
       // Estimate was one too large: add the divisor back.
       --qhat;
       std::uint64_t c = 0;
       for (std::size_t i = 0; i < n; ++i) {
-        const std::uint64_t s =
-            static_cast<std::uint64_t>(un[i + j]) + vn[i] + c;
-        un[i + j] = static_cast<std::uint32_t>(s);
-        c = s >> 32;
+        un[i + j] = adc64(un[i + j], vn[i], c);
       }
-      un[j + n] = static_cast<std::uint32_t>(un[j + n] + c);
+      un[j + n] += c;
     }
-    q.limbs_[j] = static_cast<std::uint32_t>(qhat);
+    q.limbs_[j] = qhat;
   }
   q.trim();
 
@@ -333,7 +379,20 @@ std::pair<BigInt, BigInt> BigInt::divmod(const BigInt& num, const BigInt& den) {
 }
 
 BigInt BigInt::operator/(const BigInt& rhs) const { return divmod(*this, rhs).first; }
-BigInt BigInt::operator%(const BigInt& rhs) const { return divmod(*this, rhs).second; }
+BigInt BigInt::operator%(const BigInt& rhs) const {
+  // Remainder-only single-limb fast path: skips the quotient allocation
+  // divmod would make.  The RSA hot loops (digest mod n, CRT residues of
+  // small keys) reduce by one-limb moduli constantly.
+  if (rhs.limbs_.size() == 1 && !(*this < rhs)) {
+    const std::uint64_t d = rhs.limbs_[0];
+    std::uint64_t rem = 0;
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+      (void)div128by64(rem, limbs_[i], d, rem);
+    }
+    return BigInt(rem);
+  }
+  return divmod(*this, rhs).second;
+}
 
 BigInt BigInt::mulmod(const BigInt& a, const BigInt& b, const BigInt& m) {
   return (a * b) % m;
@@ -343,10 +402,11 @@ BigInt BigInt::powmod(const BigInt& base, const BigInt& exp, const BigInt& m) {
   if (m.is_zero()) throw std::domain_error("powmod modulus zero");
   if (m == BigInt(1)) return BigInt();
   // Odd moduli with non-trivial exponents take the Montgomery fast path —
-  // every RSA/Miller-Rabin exponentiation lands here.  The context setup
-  // (one shift-mod + one mulmod) amortizes over the exponent bits.
-  if (m.is_odd() && m.bit_length() >= 64 && exp.bit_length() >= 8) {
-    return MontgomeryContext(m).pow(base, exp);
+  // every RSA/Miller-Rabin exponentiation lands here.  The per-thread
+  // context memo makes repeated exponentiations against the same modulus
+  // (the RSA sign/verify pattern) skip the R/R^2 setup entirely.
+  if (m.is_odd() && m >= BigInt(3) && exp.bit_length() >= 8) {
+    return mont_context_for(m).pow(base, exp);
   }
   BigInt result(1);
   BigInt b = base % m;

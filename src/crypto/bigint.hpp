@@ -1,6 +1,9 @@
 // Arbitrary-precision unsigned integers sized for RSA moduli up to a few
-// thousand bits.  Little-endian base-2^32 limbs, schoolbook multiplication
-// (adequate at these sizes) and Knuth Algorithm D division.
+// thousand bits.  Little-endian base-2^64 limbs with multiply-accumulate
+// carry chains (128-bit intermediates where the compiler provides them,
+// portable hi/lo decomposition otherwise), schoolbook multiplication
+// (adequate at these sizes) and Knuth Algorithm D division on full
+// machine-word digits.
 //
 // Only non-negative values are representable: every quantity in the RSA /
 // Miller-Rabin code paths is non-negative, and keeping the type unsigned
@@ -21,12 +24,19 @@ namespace hirep::crypto {
 
 class BigInt {
  public:
+  /// One machine word per limb, little-endian, no trailing zero limbs.
+  using Limb = std::uint64_t;
+
   BigInt() = default;
   BigInt(std::uint64_t value);  // NOLINT(google-explicit-constructor): numeric literal convenience
 
   /// Big-endian byte import/export (the conventional wire format for keys).
   static BigInt from_bytes(std::span<const std::uint8_t> be_bytes);
   util::Bytes to_bytes() const;  ///< minimal big-endian encoding; empty for 0
+
+  /// Little-endian limb import; leading (high) zero limbs are normalized
+  /// away.  The inverse of limbs().
+  static BigInt from_limbs(std::span<const Limb> le_limbs);
 
   /// Hex (no 0x prefix). Throws std::invalid_argument on bad digits.
   static BigInt from_hex(const std::string& hex);
@@ -35,7 +45,9 @@ class BigInt {
   /// Decimal rendering, for docs/examples.
   std::string to_decimal() const;
 
-  /// Uniform value in [0, bound) — rejection sampling over whole limbs.
+  /// Uniform value in [0, bound) — rejection sampling over whole 32-bit
+  /// words (one rng draw per 32 bits; the draw pattern is part of the
+  /// deterministic-replay contract and must never change).
   static BigInt random_below(util::Rng& rng, const BigInt& bound);
   /// Uniform value with exactly `bits` bits (top bit set). bits >= 1.
   static BigInt random_bits(util::Rng& rng, unsigned bits);
@@ -67,19 +79,20 @@ class BigInt {
 
   /// (a * b) mod m.
   static BigInt mulmod(const BigInt& a, const BigInt& b, const BigInt& m);
-  /// (base ^ exp) mod m by square-and-multiply. m must be > 0.
+  /// (base ^ exp) mod m. m must be > 0.  Odd moduli with non-trivial
+  /// exponents dispatch to Montgomery fixed-window exponentiation.
   static BigInt powmod(const BigInt& base, const BigInt& exp, const BigInt& m);
   static BigInt gcd(BigInt a, BigInt b);
   /// Modular inverse of a mod m; throws std::domain_error when gcd(a,m) != 1.
   static BigInt modinv(const BigInt& a, const BigInt& m);
 
-  const std::vector<std::uint32_t>& limbs() const noexcept { return limbs_; }
+  const std::vector<Limb>& limbs() const noexcept { return limbs_; }
 
  private:
   void trim() noexcept;
   static int compare(const BigInt& a, const BigInt& b) noexcept;
 
-  std::vector<std::uint32_t> limbs_;  // little-endian, no trailing zeros
+  std::vector<Limb> limbs_;  // little-endian, no trailing zeros
 };
 
 }  // namespace hirep::crypto

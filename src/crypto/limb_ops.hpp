@@ -1,0 +1,112 @@
+// Word-level primitives for the base-2^64 bignum kernels: full 64x64->128
+// multiply, multiply-accumulate carry-chain steps, add/sub with carry, and
+// 128-by-64 division.  Uses __uint128_t where the compiler provides it
+// (gcc/clang on 64-bit targets) with a portable hi/lo decomposition
+// fallback, so the arithmetic layer has no hard dependency on the
+// extension.
+#pragma once
+
+#include <cstdint>
+
+namespace hirep::crypto::limb {
+
+#if defined(__SIZEOF_INT128__)
+#define HIREP_LIMB_HAS_INT128 1
+using uint128 = unsigned __int128;
+#endif
+
+/// Full 64x64 -> 128 multiply: returns the low word, writes the high word.
+inline std::uint64_t mul64(std::uint64_t a, std::uint64_t b,
+                           std::uint64_t& hi) noexcept {
+#if defined(HIREP_LIMB_HAS_INT128)
+  const uint128 p = static_cast<uint128>(a) * b;
+  hi = static_cast<std::uint64_t>(p >> 64);
+  return static_cast<std::uint64_t>(p);
+#else
+  // Portable hi/lo decomposition into four 32x32 products.
+  const std::uint64_t a_lo = a & 0xffffffffULL, a_hi = a >> 32;
+  const std::uint64_t b_lo = b & 0xffffffffULL, b_hi = b >> 32;
+  const std::uint64_t p0 = a_lo * b_lo;
+  const std::uint64_t p1 = a_lo * b_hi;
+  const std::uint64_t p2 = a_hi * b_lo;
+  const std::uint64_t p3 = a_hi * b_hi;
+  const std::uint64_t mid =
+      (p0 >> 32) + (p1 & 0xffffffffULL) + (p2 & 0xffffffffULL);
+  hi = p3 + (p1 >> 32) + (p2 >> 32) + (mid >> 32);
+  return (mid << 32) | (p0 & 0xffffffffULL);
+#endif
+}
+
+/// Multiply-accumulate carry-chain step: acc + b*c + carry; low word
+/// returned, carry replaced by the high word.  Cannot overflow 128 bits:
+/// (2^64-1)^2 + 2*(2^64-1) == 2^128 - 1.
+inline std::uint64_t mac64(std::uint64_t acc, std::uint64_t b, std::uint64_t c,
+                           std::uint64_t& carry) noexcept {
+  std::uint64_t hi;
+  std::uint64_t lo = mul64(b, c, hi);
+  lo += acc;
+  hi += static_cast<std::uint64_t>(lo < acc);
+  lo += carry;
+  hi += static_cast<std::uint64_t>(lo < carry);
+  carry = hi;
+  return lo;
+}
+
+/// a + b + carry with carry in {0,1}; carry replaced by the carry out.
+inline std::uint64_t adc64(std::uint64_t a, std::uint64_t b,
+                           std::uint64_t& carry) noexcept {
+  const std::uint64_t s1 = a + b;
+  const std::uint64_t c1 = static_cast<std::uint64_t>(s1 < a);
+  const std::uint64_t s2 = s1 + carry;
+  carry = c1 + static_cast<std::uint64_t>(s2 < s1);
+  return s2;
+}
+
+/// a - b - borrow with borrow in {0,1}; borrow replaced by the borrow out.
+inline std::uint64_t sbb64(std::uint64_t a, std::uint64_t b,
+                           std::uint64_t& borrow) noexcept {
+  const std::uint64_t d1 = a - b;
+  const std::uint64_t c1 = static_cast<std::uint64_t>(a < b);
+  const std::uint64_t d2 = d1 - borrow;
+  borrow = c1 + static_cast<std::uint64_t>(d1 < borrow);
+  return d2;
+}
+
+#if defined(HIREP_LIMB_HAS_INT128)
+/// (hi:lo) / d and remainder; requires hi < d so the quotient fits a word.
+inline std::uint64_t div128by64(std::uint64_t hi, std::uint64_t lo,
+                                std::uint64_t d, std::uint64_t& rem) noexcept {
+  const uint128 num = (static_cast<uint128>(hi) << 64) | lo;
+  rem = static_cast<std::uint64_t>(num % d);
+  return static_cast<std::uint64_t>(num / d);
+}
+#else
+/// Portable shift-subtract long division, one quotient bit per step.
+inline std::uint64_t div128by64(std::uint64_t hi, std::uint64_t lo,
+                                std::uint64_t d, std::uint64_t& rem) noexcept {
+  std::uint64_t q = 0;
+  std::uint64_t r = hi;  // invariant: r < d
+  for (int i = 63; i >= 0; --i) {
+    const std::uint64_t top = r >> 63;
+    r = (r << 1) | ((lo >> i) & 1u);
+    if (top || r >= d) {
+      r -= d;
+      q |= std::uint64_t{1} << i;
+    }
+  }
+  rem = r;
+  return q;
+}
+#endif
+
+/// Inverse of an odd 64-bit value modulo 2^64 by Newton iteration: each
+/// step doubles the number of correct low bits (6 steps reach 64+).
+inline std::uint64_t inv64(std::uint64_t odd) noexcept {
+  std::uint64_t inv = 1;
+  for (int i = 0; i < 6; ++i) {
+    inv *= 2u - odd * inv;
+  }
+  return inv;
+}
+
+}  // namespace hirep::crypto::limb

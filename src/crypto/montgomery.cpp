@@ -1,19 +1,85 @@
 #include "crypto/montgomery.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "crypto/limb_ops.hpp"
 
 namespace hirep::crypto {
 
 namespace {
 
-// Inverse of an odd 32-bit value modulo 2^32 by Newton iteration: each
-// step doubles the number of correct low bits (5 steps reach 32+).
-std::uint32_t inv32(std::uint32_t odd) {
-  std::uint32_t inv = 1;
-  for (int i = 0; i < 5; ++i) {
-    inv *= 2u - odd * inv;
+using limb::adc64;
+using limb::mac64;
+using limb::sbb64;
+
+// Window width for fixed-window exponentiation: wider windows trade table
+// precomputation (2^(w-1) Montgomery products) against one multiply per w
+// exponent bits.  Break-even points follow the usual 2^(w-1) + bits/w
+// minimisation.
+unsigned window_bits(unsigned exp_bits) noexcept {
+  if (exp_bits <= 24) return 1;
+  if (exp_bits <= 80) return 2;
+  if (exp_bits <= 240) return 3;
+  if (exp_bits <= 768) return 4;
+  return 5;
+}
+
+// Fixed-width CIOS for small moduli: same algorithm as the generic path
+// below, but with K a compile-time constant the whole carry chain unrolls
+// into registers — no vector traffic on the per-product hot path.  K <= 4
+// covers every modulus the simulator mints (n up to 256 bits, CRT halves
+// up to 128).  a and b must be K limbs (caller pads); out gets K limbs.
+template <std::size_t K>
+void cios_fixed(const std::uint64_t* a, const std::uint64_t* b,
+                const std::uint64_t* n, std::uint64_t n_prime,
+                std::uint64_t* out) noexcept {
+  std::uint64_t t[K + 2] = {};
+  for (std::size_t i = 0; i < K; ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < K; ++j) t[j] = mac64(t[j], a[i], b[j], carry);
+    std::uint64_t c2 = 0;
+    t[K] = adc64(t[K], carry, c2);
+    t[K + 1] += c2;  // < 2: cannot overflow
+
+    const std::uint64_t m = t[0] * n_prime;
+    carry = 0;
+    (void)mac64(t[0], m, n[0], carry);  // low word is zero by construction
+    for (std::size_t j = 1; j < K; ++j) t[j - 1] = mac64(t[j], m, n[j], carry);
+    c2 = 0;
+    t[K - 1] = adc64(t[K], carry, c2);
+    t[K] = t[K + 1] + c2;
+    t[K + 1] = 0;
   }
-  return inv;
+  bool geq = t[K] != 0;
+  if (!geq) {
+    geq = true;
+    for (std::size_t j = K; j-- > 0;) {
+      if (t[j] != n[j]) {
+        geq = t[j] > n[j];
+        break;
+      }
+    }
+  }
+  if (geq) {
+    std::uint64_t borrow = 0;
+    for (std::size_t j = 0; j < K; ++j) out[j] = sbb64(t[j], n[j], borrow);
+  } else {
+    for (std::size_t j = 0; j < K; ++j) out[j] = t[j];
+  }
+}
+
+// Runtime-k front for the unrolled kernels.  Writes happen only after all
+// reads, so `out` may alias `a` or `b` — pow_small squares in place.
+inline void cios_small(std::size_t k, const std::uint64_t* a,
+                       const std::uint64_t* b, const std::uint64_t* n,
+                       std::uint64_t n_prime, std::uint64_t* out) noexcept {
+  switch (k) {
+    case 1: cios_fixed<1>(a, b, n, n_prime, out); break;
+    case 2: cios_fixed<2>(a, b, n, n_prime, out); break;
+    case 3: cios_fixed<3>(a, b, n, n_prime, out); break;
+    default: cios_fixed<4>(a, b, n, n_prime, out); break;
+  }
 }
 
 }  // namespace
@@ -24,82 +90,88 @@ MontgomeryContext::MontgomeryContext(const BigInt& modulus)
     throw std::invalid_argument("Montgomery modulus must be odd and >= 3");
   }
   n_ = modulus.limbs();
-  n_prime_ = static_cast<std::uint32_t>(0u - inv32(n_[0]));
+  n_prime_ = 0u - limb::inv64(n_[0]);
 
-  const unsigned r_bits = static_cast<unsigned>(n_.size()) * 32;
+  const unsigned r_bits = static_cast<unsigned>(n_.size()) * 64;
   r_mod_n_ = (BigInt(1) << r_bits) % modulus_;
   r2_mod_n_ = BigInt::mulmod(r_mod_n_, r_mod_n_, modulus_);
+  one_mont_ = r_mod_n_.limbs();
+  one_mont_.resize(n_.size(), 0);
 }
 
-MontgomeryContext::Limbs MontgomeryContext::mont_mul(const Limbs& a,
-                                                     const Limbs& b) const {
-  // CIOS (coarsely integrated operand scanning), Koc et al.
+void MontgomeryContext::mont_mul_into(const Limbs& a, const Limbs& b, Limbs& t,
+                                      Limbs& out) const {
+  // CIOS (coarsely integrated operand scanning), Koc et al., on 64-bit
+  // words: interleave one row of a[i] * b with one reduction step per
+  // outer iteration, shifting t down a word each time.
   const std::size_t k = n_.size();
-  Limbs t(k + 2, 0);
+  if (k <= 4) {
+    // Operands may be shorter than k (trimmed BigInt limbs); pad into the
+    // stack blocks the unrolled kernels expect.
+    std::uint64_t aa[4] = {}, bb[4] = {}, rr[4];
+    std::copy(a.begin(), a.begin() + static_cast<std::ptrdiff_t>(std::min(a.size(), k)), aa);
+    std::copy(b.begin(), b.begin() + static_cast<std::ptrdiff_t>(std::min(b.size(), k)), bb);
+    switch (k) {
+      case 1: cios_fixed<1>(aa, bb, n_.data(), n_prime_, rr); break;
+      case 2: cios_fixed<2>(aa, bb, n_.data(), n_prime_, rr); break;
+      case 3: cios_fixed<3>(aa, bb, n_.data(), n_prime_, rr); break;
+      default: cios_fixed<4>(aa, bb, n_.data(), n_prime_, rr); break;
+    }
+    out.assign(rr, rr + k);
+    return;
+  }
+  t.assign(k + 2, 0);
   for (std::size_t i = 0; i < k; ++i) {
     // t += a[i] * b
     std::uint64_t carry = 0;
     const std::uint64_t ai = i < a.size() ? a[i] : 0;
     for (std::size_t j = 0; j < k; ++j) {
       const std::uint64_t bj = j < b.size() ? b[j] : 0;
-      const std::uint64_t cur = t[j] + ai * bj + carry;
-      t[j] = static_cast<std::uint32_t>(cur);
-      carry = cur >> 32;
+      t[j] = mac64(t[j], ai, bj, carry);
     }
-    std::uint64_t cur = static_cast<std::uint64_t>(t[k]) + carry;
-    t[k] = static_cast<std::uint32_t>(cur);
-    t[k + 1] = static_cast<std::uint32_t>(cur >> 32);
+    std::uint64_t c2 = 0;
+    t[k] = adc64(t[k], carry, c2);
+    t[k + 1] += c2;  // < 2: cannot overflow
 
-    // m = t[0] * n' mod 2^32;  t += m * n;  t >>= 32
-    const std::uint32_t m = t[0] * n_prime_;
+    // m = t[0] * n' mod 2^64;  t += m * n;  t >>= 64
+    const std::uint64_t m = t[0] * n_prime_;
     carry = 0;
-    {
-      const std::uint64_t first =
-          static_cast<std::uint64_t>(t[0]) +
-          static_cast<std::uint64_t>(m) * n_[0];
-      carry = first >> 32;  // low 32 bits are zero by construction
-    }
+    (void)mac64(t[0], m, n_[0], carry);  // low word is zero by construction
     for (std::size_t j = 1; j < k; ++j) {
-      const std::uint64_t cur2 = static_cast<std::uint64_t>(t[j]) +
-                                 static_cast<std::uint64_t>(m) * n_[j] + carry;
-      t[j - 1] = static_cast<std::uint32_t>(cur2);
-      carry = cur2 >> 32;
+      t[j - 1] = mac64(t[j], m, n_[j], carry);
     }
-    const std::uint64_t cur3 = static_cast<std::uint64_t>(t[k]) + carry;
-    t[k - 1] = static_cast<std::uint32_t>(cur3);
-    const std::uint64_t cur4 =
-        static_cast<std::uint64_t>(t[k + 1]) + (cur3 >> 32);
-    t[k] = static_cast<std::uint32_t>(cur4);
-    t[k + 1] = static_cast<std::uint32_t>(cur4 >> 32);
+    c2 = 0;
+    t[k - 1] = adc64(t[k], carry, c2);
+    t[k] = t[k + 1] + c2;  // t[k+1] < 2 and the sum fits one word
+    t[k + 1] = 0;
   }
 
   // Final conditional subtraction: t (k+1 limbs significant) vs n.
-  Limbs result(t.begin(), t.begin() + static_cast<std::ptrdiff_t>(k));
+  out.assign(t.begin(), t.begin() + static_cast<std::ptrdiff_t>(k));
   bool geq = t[k] != 0;
   if (!geq) {
     geq = true;
     for (std::size_t j = k; j-- > 0;) {
-      if (result[j] != n_[j]) {
-        geq = result[j] > n_[j];
+      if (out[j] != n_[j]) {
+        geq = out[j] > n_[j];
         break;
       }
     }
   }
   if (geq) {
-    std::int64_t borrow = 0;
+    std::uint64_t borrow = 0;
     for (std::size_t j = 0; j < k; ++j) {
-      std::int64_t diff = static_cast<std::int64_t>(result[j]) -
-                          static_cast<std::int64_t>(n_[j]) - borrow;
-      if (diff < 0) {
-        diff += (std::int64_t{1} << 32);
-        borrow = 1;
-      } else {
-        borrow = 0;
-      }
-      result[j] = static_cast<std::uint32_t>(diff);
+      out[j] = sbb64(out[j], n_[j], borrow);
     }
   }
-  return result;
+}
+
+MontgomeryContext::Limbs MontgomeryContext::mont_mul(const Limbs& a,
+                                                     const Limbs& b) const {
+  Limbs t;
+  Limbs out;
+  mont_mul_into(a, b, t, out);
+  return out;
 }
 
 MontgomeryContext::Limbs MontgomeryContext::to_mont(const BigInt& x) const {
@@ -110,17 +182,7 @@ MontgomeryContext::Limbs MontgomeryContext::to_mont(const BigInt& x) const {
 BigInt MontgomeryContext::from_mont(const Limbs& x) const {
   // xR^{-1} mod n = mont_mul(x, 1)
   const Limbs one{1};
-  const Limbs out = mont_mul(x, one);
-  // Rebuild via bytes to stay within BigInt's public interface.
-  util::Bytes be;
-  be.reserve(out.size() * 4);
-  for (std::size_t i = out.size(); i-- > 0;) {
-    be.push_back(static_cast<std::uint8_t>(out[i] >> 24));
-    be.push_back(static_cast<std::uint8_t>(out[i] >> 16));
-    be.push_back(static_cast<std::uint8_t>(out[i] >> 8));
-    be.push_back(static_cast<std::uint8_t>(out[i]));
-  }
-  return BigInt::from_bytes(be);
+  return BigInt::from_limbs(mont_mul(x, one));
 }
 
 BigInt MontgomeryContext::mul(const BigInt& a, const BigInt& b) const {
@@ -129,13 +191,114 @@ BigInt MontgomeryContext::mul(const BigInt& a, const BigInt& b) const {
   return from_mont(mont_mul(am, bm));
 }
 
+BigInt MontgomeryContext::pow_small(const BigInt& base, const BigInt& exp,
+                                    unsigned bits) const {
+  const std::size_t k = n_.size();
+  const std::uint64_t* n = n_.data();
+
+  // b = to_mont(base mod n), all on the stack.
+  std::uint64_t b[4] = {};
+  {
+    std::uint64_t x[4] = {}, r2[4] = {};
+    if (base < modulus_) {
+      std::copy(base.limbs().begin(), base.limbs().end(), x);
+    } else {
+      const BigInt reduced = base % modulus_;
+      std::copy(reduced.limbs().begin(), reduced.limbs().end(), x);
+    }
+    std::copy(r2_mod_n_.limbs().begin(), r2_mod_n_.limbs().end(), r2);
+    cios_small(k, x, r2, n, n_prime_, b);
+  }
+
+  const unsigned w = window_bits(bits);
+
+  // Odd-power table: table[i] = b^(2i+1) in Montgomery form.  w <= 5 so
+  // 16 entries of 4 limbs bound it; only 2^(w-1) rows are filled.
+  std::uint64_t table[16][4];
+  std::copy(b, b + 4, table[0]);
+  if (w > 1) {
+    std::uint64_t b2[4];
+    cios_small(k, b, b, n, n_prime_, b2);
+    for (std::size_t i = 1; i < (std::size_t{1} << (w - 1)); ++i) {
+      cios_small(k, table[i - 1], b2, n, n_prime_, table[i]);
+    }
+  }
+
+  std::uint64_t result[4] = {};
+  std::copy(one_mont_.begin(), one_mont_.end(), result);
+  int i = static_cast<int>(bits) - 1;
+  while (i >= 0) {
+    if (!exp.bit(static_cast<unsigned>(i))) {
+      cios_small(k, result, result, n, n_prime_, result);
+      --i;
+      continue;
+    }
+    int l = i - static_cast<int>(w) + 1;
+    if (l < 0) l = 0;
+    while (!exp.bit(static_cast<unsigned>(l))) ++l;
+    unsigned window = 0;
+    for (int k2 = i; k2 >= l; --k2) {
+      window = (window << 1) | static_cast<unsigned>(exp.bit(static_cast<unsigned>(k2)));
+    }
+    for (int k2 = 0; k2 < i - l + 1; ++k2) {
+      cios_small(k, result, result, n, n_prime_, result);
+    }
+    cios_small(k, result, table[(window - 1) >> 1], n, n_prime_, result);
+    i = l - 1;
+  }
+
+  const std::uint64_t one[4] = {1, 0, 0, 0};
+  cios_small(k, result, one, n, n_prime_, result);
+  return BigInt::from_limbs(std::span<const std::uint64_t>(result, k));
+}
+
 BigInt MontgomeryContext::pow(const BigInt& base, const BigInt& exp) const {
-  Limbs result = to_mont(BigInt(1));
-  Limbs b = to_mont(base % modulus_);
   const unsigned bits = exp.bit_length();
-  for (unsigned i = 0; i < bits; ++i) {
-    if (exp.bit(i)) result = mont_mul(result, b);
-    b = mont_mul(b, b);
+  if (bits == 0) return from_mont(one_mont_);  // x^0 = 1 (mod n)
+  if (n_.size() <= 4) return pow_small(base, exp, bits);
+
+  const Limbs b =
+      base < modulus_ ? to_mont(base) : to_mont(base % modulus_);
+  const unsigned w = window_bits(bits);
+
+  // Odd-power table: table[i] = b^(2i+1) in Montgomery form.
+  std::vector<Limbs> table(std::size_t{1} << (w - 1));
+  table[0] = b;
+  if (w > 1) {
+    const Limbs b2 = mont_mul(b, b);
+    for (std::size_t i = 1; i < table.size(); ++i) {
+      table[i] = mont_mul(table[i - 1], b2);
+    }
+  }
+
+  // Left-to-right sliding window over the exponent bits.  The two ping-pong
+  // buffers keep the hot loop allocation-free.
+  Limbs result = one_mont_;
+  Limbs scratch;
+  Limbs tmp(n_.size());
+  int i = static_cast<int>(bits) - 1;
+  while (i >= 0) {
+    if (!exp.bit(static_cast<unsigned>(i))) {
+      mont_mul_into(result, result, scratch, tmp);
+      std::swap(result, tmp);
+      --i;
+      continue;
+    }
+    // Greedy window [i .. l], trimmed to end on a set bit (odd value).
+    int l = i - static_cast<int>(w) + 1;
+    if (l < 0) l = 0;
+    while (!exp.bit(static_cast<unsigned>(l))) ++l;
+    unsigned window = 0;
+    for (int k2 = i; k2 >= l; --k2) {
+      window = (window << 1) | static_cast<unsigned>(exp.bit(static_cast<unsigned>(k2)));
+    }
+    for (int k2 = 0; k2 < i - l + 1; ++k2) {
+      mont_mul_into(result, result, scratch, tmp);
+      std::swap(result, tmp);
+    }
+    mont_mul_into(result, table[(window - 1) >> 1], scratch, tmp);
+    std::swap(result, tmp);
+    i = l - 1;
   }
   return from_mont(result);
 }

@@ -1,8 +1,10 @@
 // Montgomery modular arithmetic (CIOS reduction) for odd moduli — the fast
 // path behind BigInt::powmod and therefore every RSA operation in the
-// simulator.  A context precomputes n' = -n^{-1} mod 2^32 and R^2 mod n
-// once per modulus; each modular multiplication then costs one fused
-// multiply-reduce pass over the limbs instead of a full division.
+// simulator.  A context precomputes n' = -n^{-1} mod 2^64 and R^2 mod n
+// once per modulus (R = 2^(64k) for a k-limb modulus); each modular
+// multiplication then costs one fused multiply-reduce pass over the limbs
+// instead of a full division.  Exponentiation uses fixed-window scanning
+// with a precomputed odd-power table, sized to the exponent.
 #pragma once
 
 #include <cstdint>
@@ -20,25 +22,34 @@ class MontgomeryContext {
 
   const BigInt& modulus() const noexcept { return modulus_; }
 
-  /// (base ^ exp) mod n, base reduced mod n first.
+  /// (base ^ exp) mod n, base reduced mod n first.  Fixed-window
+  /// left-to-right exponentiation (window 1–5 bits by exponent size).
   BigInt pow(const BigInt& base, const BigInt& exp) const;
 
   /// (a * b) mod n — exposed for tests; both reduced mod n first.
   BigInt mul(const BigInt& a, const BigInt& b) const;
 
  private:
-  using Limbs = std::vector<std::uint32_t>;
+  using Limbs = std::vector<std::uint64_t>;
 
   Limbs to_mont(const BigInt& x) const;   ///< xR mod n
   BigInt from_mont(const Limbs& x) const; ///< xR^{-1} mod n
   /// CIOS: returns abR^{-1} mod n for a, b in Montgomery form.
   Limbs mont_mul(const Limbs& a, const Limbs& b) const;
+  /// Alloc-free CIOS into `out` (k limbs) using `t` as scratch (k+2
+  /// limbs); `out` must not alias `a` or `b`.
+  void mont_mul_into(const Limbs& a, const Limbs& b, Limbs& t,
+                     Limbs& out) const;
+  /// Stack-only exponentiation for moduli of at most 4 limbs — the whole
+  /// window table lives in registers/stack, no heap traffic per call.
+  BigInt pow_small(const BigInt& base, const BigInt& exp, unsigned bits) const;
 
   BigInt modulus_;
   Limbs n_;                 // modulus limbs, length k
-  std::uint32_t n_prime_;   // -n^{-1} mod 2^32
+  std::uint64_t n_prime_;   // -n^{-1} mod 2^64
   BigInt r_mod_n_;          // R mod n      (Montgomery form of 1)
   BigInt r2_mod_n_;         // R^2 mod n    (conversion constant)
+  Limbs one_mont_;          // R mod n padded to k limbs
 };
 
 }  // namespace hirep::crypto

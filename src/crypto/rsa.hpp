@@ -33,8 +33,26 @@ struct RsaPrivateKey {
   BigInt d;  ///< private exponent
   BigInt p;
   BigInt q;
+  // CRT residues (d_p = d mod p-1, d_q = d mod q-1, q_inv = q^{-1} mod p).
+  // Zero when the key was loaded without factors; private-key operations
+  // then fall back to the single full-width exponentiation.
+  BigInt d_p;
+  BigInt d_q;
+  BigInt q_inv;
 
   RsaPublicKey public_key() const { return {n, e}; }
+
+  /// True when the CRT residues are populated and private-key operations
+  /// take the two-half-exponentiations fast path.
+  bool has_crt() const noexcept {
+    return !p.is_zero() && !q.is_zero() && !d_p.is_zero() && !d_q.is_zero() &&
+           !q_inv.is_zero();
+  }
+
+  /// Computes d_p/d_q/q_inv from (d, p, q).  No-op when the factors are
+  /// missing.  The residues are derived against the stored order of p and
+  /// q, so a key with swapped factors still signs identically.
+  void derive_crt();
 };
 
 struct RsaKeyPair {

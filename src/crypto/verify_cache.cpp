@@ -23,7 +23,7 @@ std::uint64_t mix(std::uint64_t h, std::uint64_t v) noexcept {
 
 std::uint64_t mix_bigint(std::uint64_t h, const BigInt& x) noexcept {
   h = mix(h, x.bit_length());
-  for (const std::uint32_t limb : x.limbs()) h = mix(h, limb);
+  for (const std::uint64_t limb : x.limbs()) h = mix(h, limb);
   return h;
 }
 

@@ -107,5 +107,87 @@ TEST(Montgomery, RsaRoundTripThroughMontgomeryPath) {
   EXPECT_EQ(BigInt::powmod(c, pair.priv.d, pair.priv.n), m);
 }
 
+TEST(Montgomery, SmallestLegalModulus) {
+  // n = 3 stresses every reduction corner: R mod 3, the conditional
+  // subtract, and exhaustively small residues.
+  MontgomeryContext ctx(BigInt(3));
+  for (std::uint64_t a = 0; a < 3; ++a) {
+    for (std::uint64_t b = 0; b < 3; ++b) {
+      EXPECT_EQ(ctx.mul(BigInt(a), BigInt(b)), BigInt((a * b) % 3));
+    }
+    for (std::uint64_t e = 0; e < 8; ++e) {
+      EXPECT_EQ(ctx.pow(BigInt(a), BigInt(e)),
+                naive_powmod(BigInt(a), BigInt(e), BigInt(3)));
+    }
+  }
+}
+
+TEST(Montgomery, AllOnesLimbModulus) {
+  // n = 2^64 - 1: every limb of n is maximal, so the m * n rows in the
+  // reduction produce the largest possible carries; a dropped carry
+  // anywhere in the chain shows up here.
+  const BigInt m(~std::uint64_t{0});
+  MontgomeryContext ctx(m);
+  util::Rng rng(0xff5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const BigInt a = BigInt::random_below(rng, m);
+    const BigInt b = BigInt::random_below(rng, m);
+    EXPECT_EQ(ctx.mul(a, b), (a * b) % m);
+    EXPECT_EQ(ctx.pow(a, BigInt(0x10001)),
+              naive_powmod(a, BigInt(0x10001), m));
+  }
+  // Multi-limb all-ones: (2^192 - 1) is divisible by 3^2*7*... but still
+  // odd, so it is a legal modulus with maximal limbs everywhere.
+  const BigInt m3 = (BigInt(1) << 192) - BigInt(1);
+  MontgomeryContext ctx3(m3);
+  const BigInt a = BigInt::random_below(rng, m3);
+  const BigInt b = BigInt::random_below(rng, m3);
+  EXPECT_EQ(ctx3.mul(a, b), (a * b) % m3);
+}
+
+TEST(Montgomery, FixedKernelToGenericSeam) {
+  // Moduli of 4 limbs take the unrolled stack kernels; 5 limbs fall back
+  // to the generic CIOS loop.  The two paths must agree with the naive
+  // reference right across the seam (and with each other via it).
+  util::Rng rng(0x5ea);
+  for (unsigned bits : {255u, 256u, 257u, 319u, 320u, 321u}) {
+    SCOPED_TRACE(bits);
+    BigInt m = BigInt::random_bits(rng, bits);
+    if (m.is_even()) m = m + BigInt(1);
+    MontgomeryContext ctx(m);
+    const BigInt base = BigInt::random_below(rng, m);
+    const BigInt exp = BigInt::random_bits(rng, 48);
+    EXPECT_EQ(ctx.pow(base, exp), naive_powmod(base, exp, m));
+    const BigInt b2 = BigInt::random_below(rng, m);
+    EXPECT_EQ(ctx.mul(base, b2), (base * b2) % m);
+  }
+}
+
+TEST(Montgomery, EveryWindowWidthAgreesWithNaive) {
+  // Exponent bit lengths straddling each window-width breakpoint (1/2/3/4/5
+  // bits at <=24, <=80, <=240, <=768, else) — the table construction and
+  // the final odd-window multiply differ at every width.
+  util::Rng rng(0x33);
+  BigInt m = BigInt::random_bits(rng, 96);
+  if (m.is_even()) m = m + BigInt(1);
+  MontgomeryContext ctx(m);
+  for (unsigned ebits : {8u, 24u, 25u, 80u, 81u, 240u, 241u, 768u, 769u}) {
+    SCOPED_TRACE(ebits);
+    const BigInt base = BigInt::random_below(rng, m);
+    const BigInt exp = BigInt::random_bits(rng, ebits);
+    EXPECT_EQ(ctx.pow(base, exp), naive_powmod(base, exp, m));
+  }
+}
+
+TEST(Montgomery, PowHandlesDegenerateBases) {
+  MontgomeryContext ctx(BigInt(1000003));
+  EXPECT_EQ(ctx.pow(BigInt(0), BigInt(12345)), BigInt(0));
+  EXPECT_EQ(ctx.pow(BigInt(0), BigInt(0)), BigInt(1));  // 0^0 = 1 here
+  EXPECT_EQ(ctx.pow(BigInt(1), BigInt(1) << 200), BigInt(1));
+  // base == n reduces to zero; base = n+1 reduces to one.
+  EXPECT_EQ(ctx.pow(BigInt(1000003), BigInt(3)), BigInt(0));
+  EXPECT_EQ(ctx.pow(BigInt(1000004), BigInt(1) << 100), BigInt(1));
+}
+
 }  // namespace
 }  // namespace hirep::crypto

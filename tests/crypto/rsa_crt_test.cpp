@@ -1,0 +1,171 @@
+// CRT private-key path: equivalence with the single-exponentiation path,
+// pinned known-answer signatures, factor-order robustness, and domain
+// checks.  Signatures are deterministic (hash-then-sign, no salt), so
+// CRT on/off must be byte-identical — any divergence means the Garner
+// recombination or the CRT residues are wrong for that key.
+#include <gtest/gtest.h>
+
+#include <string_view>
+
+#include "crypto/rsa.hpp"
+
+namespace hirep::crypto {
+namespace {
+
+util::Bytes bytes_of(std::string_view s) {
+  return util::Bytes(s.begin(), s.end());
+}
+
+RsaPrivateKey without_crt(RsaPrivateKey key) {
+  key.d_p = BigInt();
+  key.d_q = BigInt();
+  key.q_inv = BigInt();
+  return key;
+}
+
+TEST(RsaCrt, GeneratedKeysCarryCrtResidues) {
+  util::Rng rng(1);
+  const auto pair = rsa_generate(rng, 128);
+  EXPECT_TRUE(pair.priv.has_crt());
+  EXPECT_EQ(pair.priv.d_p, pair.priv.d % (pair.priv.p - BigInt(1)));
+  EXPECT_EQ(pair.priv.d_q, pair.priv.d % (pair.priv.q - BigInt(1)));
+  EXPECT_EQ(BigInt::mulmod(pair.priv.q_inv, pair.priv.q, pair.priv.p),
+            BigInt(1));
+  EXPECT_FALSE(without_crt(pair.priv).has_crt());
+}
+
+TEST(RsaCrt, CrtAndFallbackSignaturesAreByteIdentical) {
+  // The satellite contract at real key sizes: 512/1024/2048-bit seeded
+  // keys, several messages each, CRT on vs CRT off.
+  for (unsigned bits : {512u, 1024u, 2048u}) {
+    SCOPED_TRACE(bits);
+    util::Rng rng(0xca7 + bits);
+    const auto pair = rsa_generate(rng, bits);
+    ASSERT_TRUE(pair.priv.has_crt());
+    const RsaPrivateKey slow = without_crt(pair.priv);
+    ASSERT_FALSE(slow.has_crt());
+    for (int i = 0; i < 3; ++i) {
+      const auto msg = bytes_of("hirep crt message " + std::to_string(i));
+      const auto fast_sig = rsa_sign(pair.priv, msg);
+      const auto slow_sig = rsa_sign(slow, msg);
+      EXPECT_EQ(fast_sig, slow_sig);
+      EXPECT_TRUE(rsa_verify(pair.pub, msg, fast_sig));
+    }
+  }
+}
+
+TEST(RsaCrt, CrtAndFallbackDecryptIdentically) {
+  util::Rng rng(0xdec);
+  const auto pair = rsa_generate(rng, 512);
+  const RsaPrivateKey slow = without_crt(pair.priv);
+  for (int i = 0; i < 8; ++i) {
+    const BigInt m = BigInt::random_below(rng, pair.pub.n);
+    const BigInt c = rsa_encrypt_raw(pair.pub, m);
+    EXPECT_EQ(rsa_decrypt_raw(pair.priv, c), m);
+    EXPECT_EQ(rsa_decrypt_raw(slow, c), m);
+  }
+}
+
+TEST(RsaCrt, PinnedKnownAnswerSignatures) {
+  // Captured from this implementation at the keygen seeds below; the
+  // whole chain — prime generation draw pattern, keygen, SHA-256,
+  // CRT exponentiation, byte codec — must keep reproducing them.
+  struct Kat {
+    unsigned bits;
+    const char* n_hex;
+    const char* sig_hex;
+  };
+  const Kat kats[] = {
+      {512u,
+       "7b51952e82bce7b6da68e20be44a061d72437f9b2ac9b29be50a73c1bf6008c8"
+       "4bfb6d199053fbc55648ed26c005f77e8fff3bdc3c91a0cdb6b4f8de8d4b8eef",
+       "2925139b306d1d3d92924b9c9505ca1c3e49ef354fc1f6885e5326c15117280b"
+       "4016c087eb098c48a9c0f1f19d520667c3ff42cbc5d210fa44cb96a637b0c404"},
+      {1024u,
+       "8c2aacc582386f9b1364aa65379d8f0ec1c69246e33eb038e42ec3533330f765"
+       "28353b46430c530b9f14f5c1af9d66e41ed416c398d9ae818b28b7cb937d5040"
+       "7f2ac9573b825433d883844419de6e91ab831ebd05aaf272570f41df4eafc46f"
+       "dcecf45b13566ed0c98b4c2761b5b81e61938b7e276eaf261661ab1d735ba3e1",
+       "6d35ce0ebcb37e3a8865c6c3471f568b74b821adad962afa7818bd93c965a8db"
+       "ac1bf1c55ae01811151d07a8ee1cdf072dfd68107a7d5a03f047532b31ffdc0d"
+       "973692f62d9938ef832a358f5da09d23e6bce9f7e8a16f57ff931155c5b88091"
+       "060a614783e9e56c95391399d26779650224e6a121f181c31340a15c41b65dcd"},
+      {2048u,
+       "82c748f8066240f9488120e5ee9ba8c4c8ec860374fe22161f90d6c65552a6e8"
+       "b893393bf02fb3c32fa235427115dbd1e7a2ca6a8d3d7374840a83dacdfb779c"
+       "6c38ef5d66b0a0f8ed5bda09dd7dc973528d9a5d03d628cc049a4d005f3a88db"
+       "a6dcbd905d1e6549945e4d54b62ae5833684b0de86216932a8059af26c725517"
+       "c8774c5c65a442e10b9580b338e1ee27c1b9920fa7e78a2e9ef586258bd2438c"
+       "00eddbec0655809d1a755623430d444941bd37e46ffed9fcec125538dd2f6a5e"
+       "27239ee63712c3612ea8515b1c9829d88005fc809e2376d79bda01f480eb6090"
+       "857f4de03861cdb3bc4ac07a29c00bb4a2a26571f69228a23630bd45069fda15",
+       "7128140dbed752b8e761ce2fee2c284e7ad3d767f0e2719dbe6e0e8948403621"
+       "15182e59f6cbd674c45a977bbfa3ca32cbb478f54c805fc961d8dfcb2cc522cc"
+       "ca62945e99fef084e298b37c713a95a0b4f23eabf3b905bf5227dfc48b315e94"
+       "704f1f8727c07fa4a284d490303c4ef8795311db7148f7a7dde9e68ca9fbad64"
+       "27bbcd56ee4dada73b02dad532d5a7d1d6447dc0d3787288e963125ba2ac0a70"
+       "4f78e133705671c6e5436390615390280e0c2817bed4972f67960eb1a5b647dd"
+       "eca09b64e8dd5c8f78e8f2a0171a445234e4caf7ffda8ea9d72f98fa99c94808"
+       "5ecdc20db6ae5b48a6a570f57b598dbf8965a8cf0910414ac78fc32c5fec90f5"},
+  };
+  const auto msg = bytes_of("hirep kat message");
+  for (const Kat& kat : kats) {
+    SCOPED_TRACE(kat.bits);
+    util::Rng rng(0xca7 + kat.bits);
+    const auto pair = rsa_generate(rng, kat.bits);
+    EXPECT_EQ(pair.pub.n, BigInt::from_hex(kat.n_hex));
+    const auto sig = rsa_sign(pair.priv, msg);
+    EXPECT_EQ(BigInt::from_bytes(sig), BigInt::from_hex(kat.sig_hex));
+    EXPECT_TRUE(rsa_verify(pair.pub, msg, sig));
+  }
+}
+
+TEST(RsaCrt, SwappedFactorsSignIdentically) {
+  // derive_crt computes the residues against the stored order of p and q,
+  // so a key imported with the factors the other way round must produce
+  // the same signatures.
+  util::Rng rng(0x5a9);
+  const auto pair = rsa_generate(rng, 512);
+  RsaPrivateKey swapped = pair.priv;
+  std::swap(swapped.p, swapped.q);
+  swapped.d_p = BigInt();
+  swapped.d_q = BigInt();
+  swapped.q_inv = BigInt();
+  swapped.derive_crt();
+  ASSERT_TRUE(swapped.has_crt());
+  const auto msg = bytes_of("factor order must not matter");
+  EXPECT_EQ(rsa_sign(swapped, msg), rsa_sign(pair.priv, msg));
+}
+
+TEST(RsaCrt, DeriveCrtIsANoOpWithoutFactors) {
+  util::Rng rng(0x90);
+  const auto pair = rsa_generate(rng, 128);
+  RsaPrivateKey external;  // e.g. a key loaded as (n, e, d) only
+  external.n = pair.priv.n;
+  external.e = pair.priv.e;
+  external.d = pair.priv.d;
+  external.derive_crt();
+  EXPECT_FALSE(external.has_crt());
+  // It still signs — through the full-width fallback — and verifies.
+  const auto msg = bytes_of("no factors");
+  const auto sig = rsa_sign(external, msg);
+  EXPECT_EQ(sig, rsa_sign(pair.priv, msg));
+  EXPECT_TRUE(rsa_verify(pair.pub, msg, sig));
+}
+
+TEST(RsaCrt, MessageAtLeastModulusIsRejected) {
+  util::Rng rng(0xbad);
+  const auto pair = rsa_generate(rng, 128);
+  EXPECT_THROW((void)rsa_encrypt_raw(pair.pub, pair.pub.n),
+               std::invalid_argument);
+  EXPECT_THROW((void)rsa_encrypt_raw(pair.pub, pair.pub.n + BigInt(1)),
+               std::invalid_argument);
+  EXPECT_THROW((void)rsa_decrypt_raw(pair.priv, pair.priv.n),
+               std::invalid_argument);
+  // An oversized signature blob is rejected (false), not an exception.
+  const auto msg = bytes_of("m");
+  EXPECT_FALSE(rsa_verify(pair.pub, msg, (pair.pub.n + BigInt(1)).to_bytes()));
+}
+
+}  // namespace
+}  // namespace hirep::crypto

@@ -65,6 +65,50 @@ const std::vector<std::vector<double>> kFig6Golden = {
      0.018728699988924864},
 };
 
+// Full-crypto pins, captured from the base-2^32 schoolbook bignum before
+// the word-limb Montgomery + CRT rewrite.  RSA is deterministic math and
+// the random draw pattern (one 32-bit word per rng() call) is part of the
+// BigInt contract, so the rewrite — and any future exponentiation-strategy
+// change — must reproduce every count and estimate bit for bit; only
+// walltime may move.
+// transactions, voting-2, voting-3, voting-4, hirep
+const std::vector<std::vector<double>> kFig5FullCryptoGolden = {
+    {6, 1118, 3924, 6611, 1080},
+    {12, 2627, 8203, 12410, 2142},
+    {18, 3762, 12278, 19016, 3150},
+    {24, 5334, 16558, 25595, 4230},
+    {30, 6219, 20164, 31807, 5292},
+    {36, 7811, 24060, 38173, 6372},
+    {42, 9691, 28273, 44625, 7416},
+    {48, 11027, 31677, 50950, 8424},
+    {54, 13104, 35265, 57253, 9468},
+    {60, 14510, 39553, 63114, 10512},
+};
+
+// transactions, voting, hirep-4, hirep-6, hirep-8
+const std::vector<std::vector<double>> kFig6FullCryptoGolden = {
+    {10, 0.065214480445090123, 0.064557153544964302, 0.064557153544964302,
+     0.064557153544964302},
+    {20, 0.066617504433397451, 0.062143217813308983, 0.062143217813308983,
+     0.06004917227054065},
+    {30, 0.068760310759109072, 0.053356021097825945, 0.049466478920644319,
+     0.044776928199562721},
+    {40, 0.069004387412457818, 0.039149038235274589, 0.035259496058092962,
+     0.028922168993577614},
+    {50, 0.068954216591999976, 0.032100909309034684, 0.031556253178500283,
+     0.027005304049157314},
+    {60, 0.068990047087019321, 0.026455837717664722, 0.024556078862603581,
+     0.023746951619462699},
+    {70, 0.068849215668431246, 0.026803130716015745, 0.024745396289175679,
+     0.023250579218913683},
+    {80, 0.068820776620601487, 0.025462440185696999, 0.024159540498910281,
+     0.02176241618458355},
+    {90, 0.066016384600233471, 0.016668987624261482, 0.014795867085309073,
+     0.013697995831036236},
+    {100, 0.065284440396730786, 0.012091743437725525, 0.010818890883246508,
+     0.010623326873038404},
+};
+
 void expect_table_equals(const util::Table& table,
                          const std::vector<std::vector<double>>& golden) {
   ASSERT_EQ(table.rows(), golden.size());
@@ -87,6 +131,18 @@ TEST(GoldenValues, Fig5TrafficIsUnchangedByTheScaleEngine) {
 TEST(GoldenValues, Fig6AccuracyIsUnchangedByTheScaleEngine) {
   const auto result = run_fig6_accuracy(golden_params());
   expect_table_equals(result.table, kFig6Golden);
+}
+
+TEST(GoldenValues, Fig5FullCryptoIsUnchangedByTheBignumKernel) {
+  Params p = golden_params();
+  p.crypto_mode = "full";
+  expect_table_equals(run_fig5_traffic(p).table, kFig5FullCryptoGolden);
+}
+
+TEST(GoldenValues, Fig6FullCryptoIsUnchangedByTheBignumKernel) {
+  Params p = golden_params();
+  p.crypto_mode = "full";
+  expect_table_equals(run_fig6_accuracy(p).table, kFig6FullCryptoGolden);
 }
 
 TEST(GoldenValues, SerialExecutorReproducesTheSameFigures) {
