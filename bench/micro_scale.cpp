@@ -46,7 +46,7 @@ struct ModeRun {
 ModeRun run_mode(const sim::Scenario& sc,
                  std::span<const std::pair<net::NodeIndex, net::NodeIndex>>
                      pairs,
-                 const core::ExecutionPolicy& exec) {
+                 const core::Executor& exec) {
   core::HirepSystem system(sc.hirep_options());
   const auto start = std::chrono::steady_clock::now();
   ModeRun run;
@@ -86,11 +86,21 @@ int main(int argc, char** argv) {
         const sim::Params& p = sc.params();
         const auto pairs = draw_pairs(p);
 
-        core::ExecutionPolicy serial_exec;
-        serial_exec.parallel = false;
-        core::ExecutionPolicy parallel_exec;
-        parallel_exec.parallel = true;
-        parallel_exec.threads = p.threads;
+        // Executors come from Scenario (the one construction path), so the
+        // same downgrade/validation diagnostics apply as everywhere else.
+        // shards(0): a user-supplied shard knob is illegal (by design) on
+        // the non-sharded executors this exhibit compares.
+        const auto serial_exec = sim::Scenario(sc)
+                                     .execution("serial")
+                                     .shards(0)
+                                     .validate()
+                                     .execution_policy();
+        const auto parallel_exec = sim::Scenario(sc)
+                                       .execution("parallel")
+                                       .shards(0)
+                                       .threads(p.threads)
+                                       .validate()
+                                       .execution_policy();
 
         const auto serial = run_mode(sc, pairs, serial_exec);
         const auto parallel = run_mode(sc, pairs, parallel_exec);

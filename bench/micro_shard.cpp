@@ -1,0 +1,162 @@
+// Sharded scale engine — thread scaling of run_transactions() under
+// execution=sharded (DESIGN.md §14).  Two stages:
+//
+//   1. Byte-identity spot check at small N: serial vs sharded(4) on
+//      identical bootstrap states, records compared bit-for-bit.  This is
+//      the same contract tests/hirep/shard_engine_test.cpp pins across 20
+//      seeds; the bench embeds one instance so the exhibit is
+//      self-certifying even at scales the test suite never constructs.
+//   2. Thread sweep at full N: ONE system is constructed (at N=1,000,000
+//      bootstrap dominates wall-clock, so the sweep shares it) and
+//      consecutive fig5-shaped batches run under sharded executors with
+//      1, 2, 4, 8 worker threads over a fixed shard partition.  Reported:
+//      wall-clock, throughput, and scaling vs the 1-thread run.
+//
+//   ./build/bench/micro_shard network_size=100000 transactions=2000
+//       crypto=fast shards=8 json=out.json
+#include <bit>
+#include <chrono>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "hirep/system.hpp"
+
+namespace {
+
+using namespace hirep;
+
+constexpr std::uint64_t kWorkloadSalt = 0x5eedba5eca11f00dULL;
+
+std::vector<std::pair<net::NodeIndex, net::NodeIndex>> draw_pairs(
+    std::uint64_t seed, std::size_t nodes, std::size_t count) {
+  util::Rng rng(seed ^ kWorkloadSalt);
+  std::vector<std::pair<net::NodeIndex, net::NodeIndex>> pairs;
+  pairs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto r = static_cast<net::NodeIndex>(rng.below(nodes));
+    auto q = r;
+    while (q == r) q = static_cast<net::NodeIndex>(rng.below(nodes));
+    pairs.emplace_back(r, q);
+  }
+  return pairs;
+}
+
+bool identical(const core::HirepSystem::TransactionRecord& a,
+               const core::HirepSystem::TransactionRecord& b) {
+  const auto bits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+  return a.requestor == b.requestor && a.provider == b.provider &&
+         bits(a.estimate) == bits(b.estimate) &&
+         bits(a.truth_value) == bits(b.truth_value) &&
+         bits(a.outcome) == bits(b.outcome) && a.responses == b.responses &&
+         a.trust_messages == b.trust_messages;
+}
+
+/// Stage 1: serial vs sharded on small identical systems; returns the
+/// number of records that differ (0 = contract holds).
+std::size_t identity_mismatches(const sim::Scenario& sc) {
+  const std::size_t nodes =
+      std::min<std::size_t>(sc.params().network_size, 1'000);
+  auto small = sim::Scenario(sc).network_size(nodes).validate();
+  const auto pairs = draw_pairs(sc.params().seed + 1, nodes, 400);
+
+  // shards(0): the copied scenario carries the sweep's shard knob, which
+  // is illegal (by design) on a non-sharded executor.
+  const auto serial_exec = sim::Scenario(small)
+                               .execution("serial")
+                               .shards(0)
+                               .validate()
+                               .execution_policy();
+  const auto sharded_exec = sim::Scenario(small)
+                                .execution("sharded")
+                                .shards(4)
+                                .threads(2)
+                                .validate()
+                                .execution_policy();
+
+  core::HirepSystem a(small.hirep_options());
+  core::HirepSystem b(small.hirep_options());
+  const auto serial = a.run_transactions(pairs, serial_exec);
+  const auto sharded = b.run_transactions(pairs, sharded_exec);
+  std::size_t mismatches = serial.size() != sharded.size();
+  for (std::size_t i = 0; i < serial.size() && i < sharded.size(); ++i) {
+    mismatches += !identical(serial[i], sharded[i]);
+  }
+  return mismatches;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::run_exhibit(
+      argc, argv,
+      "Sharded scale engine — thread scaling over a fixed shard partition "
+      "(byte-identity spot check + 1/2/4/8-thread sweep)",
+      [](sim::Scenario& sc, const util::Config& cfg) {
+        if (!cfg.has("network_size")) sc.network_size(10'000);
+        if (!cfg.has("transactions")) sc.transactions(2'000);
+        if (!cfg.has("execution")) sc.execution("sharded");
+        if (!cfg.has("shards")) sc.shards(8);
+        // Fig5-shaped whole-population workload (as in micro_scale).
+        sc.params().requestor_pool = 0;
+        sc.params().provider_pool = 0;
+      },
+      [](const sim::Scenario& sc) -> sim::ExperimentResult {
+        const sim::Params& p = sc.params();
+        const std::size_t mismatches = identity_mismatches(sc);
+
+        // Stage 2: one shared system, consecutive batches per sweep point.
+        // Later points run on warmer trust state, which only adds work —
+        // the scaling measurement is conservative, never flattered.
+        const std::size_t shards = p.shards ? p.shards : 8;
+        constexpr std::size_t kSweep[] = {1, 2, 4, 8};
+        core::HirepSystem system(sc.hirep_options());
+
+        util::Table table(
+            {"threads", "shards", "seconds", "txns_per_sec", "scaling"});
+        const double txns = static_cast<double>(p.transactions);
+        double base_seconds = 0.0;
+        double last_scaling = 0.0;
+        for (std::size_t i = 0; i < std::size(kSweep); ++i) {
+          const std::size_t threads = kSweep[i];
+          const auto exec = sim::Scenario(sc)
+                                .execution("sharded")
+                                .shards(shards)
+                                .threads(threads)
+                                .validate()
+                                .execution_policy();
+          const auto pairs =
+              draw_pairs(p.seed + 100 + i, p.network_size, p.transactions);
+          const auto start = std::chrono::steady_clock::now();
+          system.run_transactions(pairs, exec);
+          const double seconds = std::chrono::duration<double>(
+                                     std::chrono::steady_clock::now() - start)
+                                     .count();
+          if (i == 0) base_seconds = seconds;
+          last_scaling = seconds > 0.0 ? base_seconds / seconds : 0.0;
+          table.add_row({static_cast<std::int64_t>(threads),
+                         static_cast<std::int64_t>(shards), seconds,
+                         txns / seconds, last_scaling});
+        }
+
+        sim::ExperimentResult result{std::move(table), {}};
+        result.checks.push_back(
+            {"sharded records are byte-identical to serial (small-N spot "
+             "check)",
+             mismatches == 0, std::to_string(mismatches) + " records differ"});
+        // ISSUE acceptance: >= 0.6x linear from 1 to 8 threads.  Only
+        // expressible on hardware with >= 8 threads; below that the sweep
+        // is recorded and the claim passes vacuously (micro_scale
+        // precedent).
+        const unsigned hw = std::thread::hardware_concurrency();
+        const bool enough_cores = hw >= 8;
+        result.checks.push_back(
+            {"sharded scaling 1->8 threads is >= 0.6x linear (on >= 8 "
+             "hardware threads)",
+             !enough_cores || last_scaling >= 4.8,
+             "scaling=" + std::to_string(last_scaling) +
+                 " hardware_threads=" + std::to_string(hw) +
+                 (enough_cores ? "" : " (< 8: measurement recorded, "
+                                      "threshold not applicable)")});
+        return result;
+      });
+}

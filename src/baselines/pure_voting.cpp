@@ -55,11 +55,19 @@ PureVotingSystem::PollResult PureVotingSystem::poll(net::NodeIndex requestor,
   }
   transport_.send_batch(batch);
   double sum = 0.0;
-  batch.drain_sorted([&](std::size_t i, const net::DeliveryReceipt&) {
-    // A lost vote never reaches the tally.
-    sum += votes[i];
-    ++result.votes;
-  });
+  // Single-destination drain (every vote lands at the requestor), so the
+  // grouped visit degenerates to one group in entry order.
+  batch.drain_groups(
+      [](std::size_t, const net::DeliveryReceipt& r) {
+        return static_cast<std::uint64_t>(r.destination);
+      },
+      [&](const net::ReceiptGroup& group) {
+        for (const std::uint32_t i : group.entries) {
+          // A lost vote never reaches the tally.
+          sum += votes[i];
+          ++result.votes;
+        }
+      });
   result.estimate = result.votes
                         ? sum / static_cast<double>(result.votes)
                         : 0.5;

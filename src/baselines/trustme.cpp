@@ -97,11 +97,19 @@ TrustMeSystem::TransactionRecord TrustMeSystem::run_transaction(
   }
   transport_.send_batch(batch);
   double sum = 0.0;
-  batch.drain_sorted([&](std::size_t i, const net::DeliveryReceipt&) {
-    // An answer lost on the way back never reaches the tally.
-    sum += tha_answer(answering[i], provider);
-    ++record.responses;
-  });
+  // Single-destination drain (every answer lands at the requestor), so the
+  // grouped visit degenerates to one group in entry order.
+  batch.drain_groups(
+      [](std::size_t, const net::DeliveryReceipt& r) {
+        return static_cast<std::uint64_t>(r.destination);
+      },
+      [&](const net::ReceiptGroup& group) {
+        for (const std::uint32_t i : group.entries) {
+          // An answer lost on the way back never reaches the tally.
+          sum += tha_answer(answering[i], provider);
+          ++record.responses;
+        }
+      });
   record.estimate = record.responses
                         ? sum / static_cast<double>(record.responses)
                         : 0.5;

@@ -106,6 +106,8 @@ HirepSystem::HirepSystem(HirepOptions options)
 
   // Agent community: every bandwidth-qualified node claims agent-hood.
   agent_runtimes_.resize(options_.nodes);
+  agent_sq_.assign(options_.nodes, 1);
+  agent_online_.assign(options_.nodes, 0);
   for (net::NodeIndex v : truth_.agent_capable_nodes()) {
     make_agent(v, &identities_[v]);
   }
@@ -130,6 +132,7 @@ void HirepSystem::make_agent(net::NodeIndex v,
   rt.relays = peers_[v].relays();  // agents reuse their verified relays
   rt.mu = std::make_unique<util::Mutex>();
   rt.recovery = std::make_unique<AgentRecovery>();
+  agent_online_[v] = 1;
   ++agent_count_;
 }
 
@@ -145,15 +148,14 @@ std::optional<net::NodeIndex> HirepSystem::ip_of(const crypto::NodeId& id) const
 }
 
 bool HirepSystem::agent_online(net::NodeIndex v) const {
-  return v < agent_runtimes_.size() && agent_runtimes_[v].agent != nullptr &&
-         agent_runtimes_[v].online;
+  return v < agent_online_.size() && agent_online_[v] != 0;
 }
 
 void HirepSystem::set_agent_online(net::NodeIndex v, bool online) {
   if (v >= agent_runtimes_.size() || agent_runtimes_[v].agent == nullptr) {
     throw std::invalid_argument("node is not an agent");
   }
-  agent_runtimes_[v].online = online;
+  agent_online_[v] = online ? 1 : 0;
 }
 
 bool HirepSystem::agent_quarantined(net::NodeIndex v) const {
@@ -227,11 +229,16 @@ bool HirepSystem::admit_entry(Peer& p, AgentEntry entry, bool fresh_probe) {
   return p.agents().add(std::move(entry));
 }
 
-HirepSystem::AgentRuntime* HirepSystem::runtime_of(const crypto::NodeId& id) {
-  const auto ip = ip_of(id);
-  if (!ip || *ip >= agent_runtimes_.size()) return nullptr;
-  AgentRuntime& rt = agent_runtimes_[*ip];
-  return rt.agent == nullptr ? nullptr : &rt;
+HirepSystem::AgentRef HirepSystem::resolve_agent(const crypto::NodeId& id) {
+  const auto it = id_lower_bound(id_to_ip_, id);
+  if (it == id_to_ip_.end() || !(it->first == id)) return {};
+  AgentRef ref;
+  ref.ip = it->second;  // set for any known id, agent or not
+  if (ref.ip < agent_runtimes_.size() &&
+      agent_runtimes_[ref.ip].agent != nullptr) {
+    ref.rt = &agent_runtimes_[ref.ip];
+  }
+  return ref;
 }
 
 std::vector<net::NodeIndex> HirepSystem::path_of(
@@ -289,7 +296,7 @@ onion::Onion HirepSystem::issue_agent_onion(TxnCtx& ctx,
     // Reserved serially at wave formation; note_issued already ran there.
     sq = (*ctx.reserved_sqs)[ctx.reserved_cursor++];
   } else {
-    sq = rt.sq++;
+    sq = agent_sq_[agent_ip]++;
     router_.note_issued(identities_[agent_ip].node_id(), sq);
   }
   if (options_.crypto == CryptoMode::kFull) {
@@ -319,8 +326,7 @@ std::vector<AgentEntry> HirepSystem::shareable_list(TxnCtx& ctx,
                                                     net::NodeIndex v) {
   const auto& list = peers_.at(v).agents();
   if (!list.empty()) return list.entries();
-  if (v < agent_runtimes_.size() && agent_runtimes_[v].agent != nullptr &&
-      agent_runtimes_[v].online) {
+  if (agent_online(v)) {
     return {self_entry(ctx, v, agent_runtimes_[v])};
   }
   return {};
@@ -390,13 +396,13 @@ void HirepSystem::refill(TxnCtx& ctx, net::NodeIndex peer_ip) {
   while (!p.agents().full()) {
     auto backup = p.agents().pop_backup();
     if (!backup) break;
-    const auto probe_ip = ip_of(backup->agent_id);
-    if (!probe_ip) continue;
+    const AgentRef ref = resolve_agent(backup->agent_id);
+    if (ref.ip == net::kInvalidNode) continue;
     const auto probed =
-        ctx.channel->request(net::EnvelopeType::kProbe, peer_ip, {*probe_ip});
+        ctx.channel->request(net::EnvelopeType::kProbe, peer_ip, {ref.ip});
     if (!probed.ok) continue;  // probe lost: treated as offline
-    auto* rt = runtime_of(backup->agent_id);
-    if (rt != nullptr && rt->online) {
+    AgentRuntime* rt = ref.rt;
+    if (rt != nullptr && agent_online_[ref.ip]) {
       // A delivered probe to a live agent is exactly the fresh evidence
       // that lifts a standing quarantine (§3.4.3 re-entry rule).
       rt->recovery->suspicion.store(0, std::memory_order_relaxed);
@@ -463,6 +469,8 @@ net::NodeIndex HirepSystem::join_peer() {
   peers_.emplace_back(&identities_.back(), v, list_params_from(options_));
   peers_.back().set_relays(pick_and_verify_relays(v));
   agent_runtimes_.resize(peers_.size());
+  agent_sq_.resize(peers_.size(), 1);
+  agent_online_.resize(peers_.size(), 0);
   if (truth_.agent_capable(v)) {
     make_agent(v, &identities_.back());
   }
@@ -496,10 +504,10 @@ crypto::NodeId HirepSystem::rotate_peer_key(net::NodeIndex v) {
     std::vector<net::ReliableChannel::BatchRequest> requests;
     std::vector<AgentRuntime*> targets;
     for (auto& entry : p.agents().entries()) {
-      AgentRuntime* rt = runtime_of(entry.agent_id);
-      if (rt == nullptr || !rt->online) continue;
+      const AgentRef ref = resolve_agent(entry.agent_id);
+      if (!ref || !agent_online_[ref.ip]) continue;
       requests.push_back({v, &entry.relay_path, {}});
-      targets.push_back(rt);
+      targets.push_back(ref.rt);
     }
     const auto routed =
         reliable_.request_batch(net::EnvelopeType::kKeyRotation, requests);
@@ -511,15 +519,15 @@ crypto::NodeId HirepSystem::rotate_peer_key(net::NodeIndex v) {
   }
   const util::Bytes wire = announcement.serialize();
   for (auto& entry : p.agents().entries()) {
-    AgentRuntime* rt = runtime_of(entry.agent_id);
-    if (rt == nullptr || !rt->online) continue;
+    const AgentRef ref = resolve_agent(entry.agent_id);
+    if (!ref || !agent_online_[ref.ip]) continue;
     const auto routed = route_envelope(ctx, v, entry.onion, wire,
                                        net::EnvelopeType::kKeyRotation);
     if (!routed.delivered) continue;
     const auto parsed =
         crypto::Identity::RotationAnnouncement::deserialize(routed.payload);
     if (!parsed) continue;
-    rt->agent->migrate_key(old_id, *parsed);
+    ref.rt->agent->migrate_key(old_id, *parsed);
   }
   return identity.node_id();
 }
@@ -541,14 +549,15 @@ HirepSystem::RoutedEnvelope HirepSystem::route_envelope(
 std::optional<double> HirepSystem::exchange_with_agent(
     TxnCtx& ctx, Peer& requestor, AgentEntry& entry, net::NodeIndex subject_ip,
     const crypto::NodeId& subject_id) {
-  AgentRuntime* rt = runtime_of(entry.agent_id);
-  if (rt == nullptr || !rt->online) return std::nullopt;
+  const AgentRef ref = resolve_agent(entry.agent_id);
+  if (!ref || !agent_online_[ref.ip]) return std::nullopt;
+  AgentRuntime* rt = ref.rt;
   // The community has given up on a quarantined agent: no request is even
   // sent until a fresh probe (refill) readmits it.
   if (rt->recovery->quarantined.load(std::memory_order_relaxed)) {
     return std::nullopt;
   }
-  const auto agent_ip = *ip_of(entry.agent_id);
+  const auto agent_ip = ref.ip;
   const std::uint64_t nonce = (*ctx.rng)();
 
   if (options_.crypto == CryptoMode::kFast) {
@@ -718,8 +727,9 @@ HirepSystem::QueryResult HirepSystem::query_trust(net::NodeIndex requestor_ip,
 void HirepSystem::send_report(TxnCtx& ctx, Peer& reporter, AgentEntry& entry,
                               const crypto::NodeId& subject_id,
                               double outcome) {
-  AgentRuntime* rt = runtime_of(entry.agent_id);
-  if (rt == nullptr || !rt->online) return;
+  const AgentRef ref = resolve_agent(entry.agent_id);
+  if (!ref || !agent_online_[ref.ip]) return;
+  AgentRuntime* rt = ref.rt;
 
   if (options_.crypto == CryptoMode::kFast) {
     const auto routed = ctx.channel->request(net::EnvelopeType::kReport,
@@ -728,6 +738,19 @@ void HirepSystem::send_report(TxnCtx& ctx, Peer& reporter, AgentEntry& entry,
     // A report needs no acknowledgement: even a copy that arrived past the
     // reporter's deadline is applied (at most once) at the agent.
     if (!routed.applied) return;  // report lost: agent never learns of it
+    if (defer_cross_shard(ctx, ref.ip)) {
+      // Wire delivery and accounting happened on this shard's lane; the
+      // state application crosses a shard boundary and waits for the
+      // barrier (DESIGN.md §14).
+      if constexpr (obs::kEnabled) {
+        static obs::Counter& deferred = obs::Registry::global().counter(
+            "hirep.engine.cross_shard_reports");
+        deferred.add();
+      }
+      ctx.report_outbox->push_back(
+          {ctx.txn_index, ref.ip, subject_id, outcome, {}});
+      return;
+    }
     util::MutexLock lock(*rt->mu);
     rt->agent->accept_report(subject_id, outcome);
     return;
@@ -739,6 +762,18 @@ void HirepSystem::send_report(TxnCtx& ctx, Peer& reporter, AgentEntry& entry,
                                      report.serialize(),
                                      net::EnvelopeType::kReport);
   if (!routed.delivered) return;
+  if (defer_cross_shard(ctx, ref.ip)) {
+    // The delivered envelope payload is replayed verbatim at the barrier:
+    // deserialize / lookup_key / verify / accept all run there.
+    if constexpr (obs::kEnabled) {
+      static obs::Counter& deferred = obs::Registry::global().counter(
+          "hirep.engine.cross_shard_reports");
+      deferred.add();
+    }
+    ctx.report_outbox->push_back(
+        {ctx.txn_index, ref.ip, subject_id, outcome, routed.payload});
+    return;
+  }
   const auto parsed = TransactionReport::deserialize(routed.payload);
   if (!parsed) return;
   // lookup_key returns the key by value, so the signature check (the
@@ -755,6 +790,28 @@ void HirepSystem::send_report(TxnCtx& ctx, Peer& reporter, AgentEntry& entry,
   rt->agent->accept_report(opened->subject, opened->outcome);
 }
 
+void HirepSystem::apply_deferred_report(const DeferredReport& dr) {
+  AgentRuntime& rt = agent_runtimes_[dr.agent_ip];
+  if (dr.wire.empty()) {  // fast crypto: apply subject + outcome directly
+    util::MutexLock lock(*rt.mu);
+    rt.agent->accept_report(dr.subject, dr.outcome);
+    return;
+  }
+  // Full crypto: the receiving agent's §3.5.3 path, same drops as inline.
+  const auto parsed = TransactionReport::deserialize(dr.wire);
+  if (!parsed) return;
+  std::optional<crypto::RsaPublicKey> sp;
+  {
+    util::MutexLock lock(*rt.mu);
+    sp = rt.agent->lookup_key(parsed->reporter);
+  }
+  if (!sp) return;  // unknown reporter: §3.5.3 drop
+  const auto opened = verify_report(*sp, *parsed);
+  if (!opened) return;  // bad signature: drop
+  util::MutexLock lock(*rt.mu);
+  rt.agent->accept_report(opened->subject, opened->outcome);
+}
+
 void HirepSystem::report_batch(TxnCtx& ctx, Peer& reporter,
                                const crypto::NodeId& subject_id,
                                double outcome) {
@@ -764,20 +821,30 @@ void HirepSystem::report_batch(TxnCtx& ctx, Peer& reporter,
   // agent application commutes across distinct agents, so tallying after
   // the batch is equivalent to the per-entry sequential form.
   std::vector<net::ReliableChannel::BatchRequest> requests;
-  std::vector<AgentRuntime*> targets;
+  std::vector<AgentRef> targets;
   for (auto& entry : reporter.agents().entries()) {
-    AgentRuntime* rt = runtime_of(entry.agent_id);
-    if (rt == nullptr || !rt->online) continue;
+    const AgentRef ref = resolve_agent(entry.agent_id);
+    if (!ref || !agent_online_[ref.ip]) continue;
     requests.push_back({reporter.ip(), &entry.relay_path, {}});
-    targets.push_back(rt);
+    targets.push_back(ref);
   }
   const auto routed =
       ctx.channel->request_batch(net::EnvelopeType::kReport, requests);
   for (std::size_t i = 0; i < routed.size(); ++i) {
     ctx.trust_messages += routed[i].messages;
     if (!routed[i].applied) continue;  // report lost: agent never learns
-    util::MutexLock lock(*targets[i]->mu);
-    targets[i]->agent->accept_report(subject_id, outcome);
+    if (defer_cross_shard(ctx, targets[i].ip)) {
+      if constexpr (obs::kEnabled) {
+        static obs::Counter& deferred = obs::Registry::global().counter(
+            "hirep.engine.cross_shard_reports");
+        deferred.add();
+      }
+      ctx.report_outbox->push_back(
+          {ctx.txn_index, targets[i].ip, subject_id, outcome, {}});
+      continue;
+    }
+    util::MutexLock lock(*targets[i].rt->mu);
+    targets[i].rt->agent->accept_report(subject_id, outcome);
   }
 }
 
@@ -884,18 +951,22 @@ util::Rng HirepSystem::txn_stream(std::uint64_t index) const {
 
 std::vector<HirepSystem::TransactionRecord> HirepSystem::run_transactions(
     std::span<const std::pair<net::NodeIndex, net::NodeIndex>> pairs,
-    const ExecutionPolicy& exec) {
+    const Executor& exec) {
   // Judge the policy actually installed, not just the configured kind: a
   // chaos wrapper (sim::ChaosDelivery) swapped in over an instant config
-  // still drops and delays, so it forfeits both parallel execution and the
-  // up-front sq reservation below.
+  // still drops and delays, so it forfeits both concurrent execution and
+  // the up-front sq reservation below.
   const bool instant =
       options_.delivery.policy == net::DeliveryPolicyKind::kInstant &&
       std::string_view(transport_.policy().name()) == "instant";
-  if (exec.parallel && !instant) {
+  if (exec.concurrent() && !instant) {
     throw std::invalid_argument(
-        "run_transactions: parallel execution requires instant delivery "
-        "(lossy/delayed/chaotic transports are order-dependent)");
+        "run_transactions: parallel/sharded execution requires instant "
+        "delivery (lossy/delayed/chaotic transports are order-dependent)");
+  }
+  if (exec.shards != 0 && exec.mode != ExecutionMode::kSharded) {
+    throw std::invalid_argument(
+        "run_transactions: shards requires ExecutionMode::kSharded");
   }
   for (const auto& [r, p] : pairs) {
     if (r >= peers_.size() || p >= peers_.size() || r == p) {
@@ -908,12 +979,20 @@ std::vector<HirepSystem::TransactionRecord> HirepSystem::run_transactions(
     maintenance_rng_.emplace(util::splitmix64(s));
   }
 
+  const bool sharded = exec.mode == ExecutionMode::kSharded;
   std::size_t lane_count = 1;
-  if (exec.parallel) {
+  std::size_t shard_count = 1;
+  if (exec.concurrent()) {
     if (!pool_ || (exec.threads != 0 && pool_->size() != exec.threads)) {
       pool_ = std::make_unique<util::ThreadPool>(exec.threads);
     }
-    lane_count = pool_->size();
+    // Sharded: one lane per shard, keyed by shard id, stable across waves.
+    // Parallel: one lane per worker, keyed by chunk index.  Lane transports
+    // draw nothing under instant delivery, so lane count/assignment cannot
+    // perturb a single byte.
+    lane_count = sharded ? (exec.shards != 0 ? exec.shards : pool_->size())
+                         : pool_->size();
+    if (sharded) shard_count = lane_count;
     while (lanes_.size() < lane_count) {
       lanes_.push_back(std::make_unique<net::Transport>(
           &overlay_, options_.delivery,
@@ -929,23 +1008,32 @@ std::vector<HirepSystem::TransactionRecord> HirepSystem::run_transactions(
   std::vector<std::uint8_t> busy(peers_.size(), 0);
   std::vector<std::size_t> wave;
   std::vector<std::vector<std::uint64_t>> reserved;
+  // Sharded scratch, reused across waves (DESIGN.md §14).
+  std::vector<std::vector<std::size_t>> shard_slots;
+  std::vector<std::vector<DeferredReport>> outboxes;
+  std::vector<DeferredReport> exchange;
+  std::vector<std::uint32_t> exchange_order;
+  std::vector<net::ReceiptGroup> exchange_groups;
   std::size_t next = 0;
 
   while (next < pairs.size()) {
     // Wave formation: the maximal conflict-free PREFIX of the remaining
-    // transactions.  A transaction joins until one shows up whose
-    // requestor or provider node is already claimed — those are the only
-    // peers a transaction mutates, so wave members touch disjoint peer
-    // state (agents are shared but internally locked; their transitions
-    // commute per subject, DESIGN §9).  The prefix rule — rather than
-    // skipping ahead past conflicts — keeps execution equivalent to
-    // strict index-order serial execution, so splitting a batch at any
-    // boundary yields byte-identical records (checkpointed experiments
-    // compose).
+    // transactions, capped at exec.wave_window members.  A transaction
+    // joins until one shows up whose requestor or provider node is already
+    // claimed — those are the only peers a transaction mutates, so wave
+    // members touch disjoint peer state (agents are shared but internally
+    // locked; their transitions commute per subject, DESIGN §9).  The
+    // prefix rule — rather than skipping ahead past conflicts — keeps
+    // execution equivalent to strict index-order serial execution, so
+    // splitting a batch at any boundary yields byte-identical records
+    // (checkpointed experiments compose).  NOTE: the window cap moves wave
+    // BARRIERS (hence refill timing), so byte-identity across engines
+    // holds for equal wave_window values.
     wave.clear();
     std::fill(busy.begin(), busy.end(), std::uint8_t{0});
     std::size_t stop = next;
     for (; stop < pairs.size(); ++stop) {
+      if (exec.wave_window != 0 && wave.size() >= exec.wave_window) break;
       const auto [r, p] = pairs[stop];
       if (busy[r] || busy[p]) break;
       busy[r] = busy[p] = 1;
@@ -962,9 +1050,9 @@ std::vector<HirepSystem::TransactionRecord> HirepSystem::run_transactions(
       for (std::size_t j = 0; j < wave.size(); ++j) {
         Peer& rp = peers_[pairs[wave[j]].first];
         for (const AgentEntry& entry : rp.agents().entries()) {
-          AgentRuntime* rt = runtime_of(entry.agent_id);
-          if (rt == nullptr || !rt->online) continue;
-          const std::uint64_t sq = rt->sq++;
+          const AgentRef ref = resolve_agent(entry.agent_id);
+          if (!ref || !agent_online_[ref.ip]) continue;
+          const std::uint64_t sq = agent_sq_[ref.ip]++;
           router_.note_issued(entry.agent_id, sq);
           reserved[j].push_back(sq);
         }
@@ -972,7 +1060,9 @@ std::vector<HirepSystem::TransactionRecord> HirepSystem::run_transactions(
     }
 
     const auto run_one = [&](std::size_t j, net::Transport& lane,
-                             net::ReliableChannel& channel) {
+                             net::ReliableChannel& channel,
+                             std::size_t home_shard,
+                             std::vector<DeferredReport>* outbox) {
       const std::size_t i = wave[j];
       util::Rng rng = txn_stream(txn_counter_ + i);
       TxnCtx ctx;
@@ -981,6 +1071,10 @@ std::vector<HirepSystem::TransactionRecord> HirepSystem::run_transactions(
       ctx.channel = &channel;
       if (instant) ctx.reserved_sqs = &reserved[j];
       ctx.defer_refill = true;
+      ctx.shard_count = shard_count;
+      ctx.home_shard = home_shard;
+      ctx.txn_index = txn_counter_ + i;
+      ctx.report_outbox = outbox;
       const auto [r, p] = pairs[i];
       const QueryResult query = query_trust(ctx, r, p);
       records[i] = complete_transaction(ctx, r, p, query);
@@ -988,14 +1082,76 @@ std::vector<HirepSystem::TransactionRecord> HirepSystem::run_transactions(
       wants_refill[i] = ctx.wants_refill ? 1 : 0;
     };
 
-    if (exec.parallel && lane_count > 1 && wave.size() > 1) {
+    if (sharded && wave.size() > 1) {
+      // Shard partition: a transaction's home shard is its requestor's
+      // `node % shard_count`.  Ascending j within a slot keeps each
+      // shard's slice in transaction order; every report a transaction
+      // sends lands in its home shard's outbox in send order.
+      shard_slots.assign(shard_count, {});
+      outboxes.assign(shard_count, {});
+      for (std::size_t j = 0; j < wave.size(); ++j) {
+        shard_slots[pairs[wave[j]].first % shard_count].push_back(j);
+      }
+      pool_->parallel_for(shard_count, [&](std::size_t s) {
+        for (const std::size_t j : shard_slots[s]) {
+          run_one(j, *lanes_[s], *lane_channels_[s], s, &outboxes[s]);
+        }
+      });
+
+      // Barrier step 1 — deterministic cross-shard report exchange: merge
+      // every shard's outbox, restore serial transaction order (stable
+      // sort keeps one transaction's reports in send order), then group by
+      // destination shard through the same grouped-visit engine the
+      // envelope batches drain with.  Groups touch disjoint agents
+      // (destination shards partition agents), so they apply in parallel;
+      // within a group, reports apply in serial order.
+      exchange.clear();
+      for (auto& outbox : outboxes) {
+        for (auto& dr : outbox) exchange.push_back(std::move(dr));
+      }
+      std::stable_sort(exchange.begin(), exchange.end(),
+                       [](const DeferredReport& a, const DeferredReport& b) {
+                         return a.txn < b.txn;
+                       });
+      exchange_groups.clear();
+      net::visit_groups(
+          exchange.size(), [](std::uint32_t) { return true; },
+          [&](std::uint32_t i) {
+            return static_cast<std::uint64_t>(exchange[i].agent_ip) %
+                   shard_count;
+          },
+          exchange_order,
+          [&](const net::ReceiptGroup& g) { exchange_groups.push_back(g); });
+      pool_->parallel_for(exchange_groups.size(), [&](std::size_t g) {
+        for (const std::uint32_t i : exchange_groups[g].entries) {
+          apply_deferred_report(exchange[i]);
+        }
+      });
+
+      // Barrier step 2 — fold lane envelope counters back into the primary
+      // transport so its totals match a serial run, release each lane's
+      // payload arena (batches never outlive a wave, so lane memory stays
+      // flat), and align every shard's event clock to the latest shard
+      // (a no-op under instant delivery, where clocks never move).
+      double latest = transport_.sim().now();
+      for (std::size_t s = 0; s < shard_count; ++s) {
+        transport_.absorb_envelopes(*lanes_[s]);
+        lanes_[s]->arena().reset();
+        latest = std::max(latest, lanes_[s]->sim().now());
+      }
+      transport_.sim().advance_to(latest);
+      for (std::size_t s = 0; s < shard_count; ++s) {
+        lanes_[s]->sim().advance_to(latest);
+      }
+    } else if (!sharded && exec.concurrent() && lane_count > 1 &&
+               wave.size() > 1) {
       const std::size_t lanes_used = std::min(lane_count, wave.size());
       const std::size_t per = (wave.size() + lanes_used - 1) / lanes_used;
       pool_->parallel_for(lanes_used, [&](std::size_t lane) {
         const std::size_t begin = lane * per;
         const std::size_t end = std::min(wave.size(), begin + per);
         for (std::size_t j = begin; j < end; ++j) {
-          run_one(j, *lanes_[lane], *lane_channels_[lane]);
+          run_one(j, *lanes_[lane], *lane_channels_[lane], 0, nullptr);
         }
       });
       // Barrier: fold lane envelope counters back into the primary
@@ -1007,13 +1163,19 @@ std::vector<HirepSystem::TransactionRecord> HirepSystem::run_transactions(
         lanes_[lane]->arena().reset();
       }
     } else {
+      // Serial reference (also a single-transaction wave under any mode:
+      // with one transaction there is nothing to exchange, so the
+      // home-shard context is irrelevant and inline application matches
+      // the barrier replay byte for byte).
       for (std::size_t j = 0; j < wave.size(); ++j) {
-        run_one(j, transport_, reliable_);
+        run_one(j, transport_, reliable_, 0, nullptr);
       }
     }
 
     // Deferred §3.4.3 maintenance: serial, in transaction order, on its
-    // own stream — refills never perturb any transaction's draws.
+    // own stream — refills never perturb any transaction's draws.  Runs
+    // after the cross-shard exchange, matching the serial order in which
+    // every report of a wave precedes every refill of that wave.
     for (std::size_t j = 0; j < wave.size(); ++j) {
       const std::size_t i = wave[j];
       if (!wants_refill[i]) continue;

@@ -33,6 +33,7 @@
 
 #include "hirep/agent.hpp"
 #include "hirep/discovery.hpp"
+#include "hirep/execution.hpp"
 #include "hirep/peer.hpp"
 #include "hirep/protocol.hpp"
 #include "net/overlay.hpp"
@@ -90,12 +91,6 @@ struct HirepOptions {
   trust::WorldParams world;        ///< .nodes is overridden by `nodes`
   net::LatencyParams latency;
   std::uint64_t seed = 1;
-};
-
-/// How run_transactions() executes a batch of independent transactions.
-struct ExecutionPolicy {
-  bool parallel = true;     ///< conflict-free waves on a thread pool
-  std::size_t threads = 0;  ///< worker count; 0 = hardware concurrency
 };
 
 class HirepSystem {
@@ -219,20 +214,27 @@ class HirepSystem {
   ///
   /// Each transaction draws from its own RNG stream derived from
   /// (options.seed, lifetime transaction index), never from rng(), so the
-  /// result is a pure function of the transaction sequence: serial and
-  /// parallel execution return byte-identical records, and splitting a
-  /// sequence into consecutive batches (checkpointed experiments) yields
-  /// the same records as one big batch.  Execution proceeds in maximal
-  /// conflict-free prefix waves — transactions run concurrently while
-  /// their requestor/provider nodes are all distinct — and §3.4.3 refills
-  /// are deferred to each wave's barrier, serial in transaction order.
+  /// result is a pure function of the transaction sequence: serial,
+  /// parallel, and sharded execution return byte-identical records, and
+  /// splitting a sequence into consecutive batches (checkpointed
+  /// experiments) yields the same records as one big batch.  Execution
+  /// proceeds in conflict-free prefix waves — transactions run
+  /// concurrently while their requestor/provider nodes are all distinct,
+  /// capped at exec.wave_window per wave — and §3.4.3 refills are deferred
+  /// to each wave's barrier, serial in transaction order.
+  ///
+  /// Under ExecutionMode::kSharded, agents are partitioned into
+  /// exec.shards shards by node index; each wave splits by the requestor's
+  /// home shard, shards execute their slices on their own transport
+  /// lane/arena/event queue, and cross-shard report envelopes are
+  /// exchanged deterministically at the wave barrier (DESIGN.md §14).
   ///
   /// Throws std::invalid_argument on an out-of-range or requestor==provider
-  /// pair, and when exec.parallel is set while the delivery policy is not
+  /// pair, and when exec is concurrent while the delivery policy is not
   /// instant (lossy/delayed transports are inherently order-dependent).
   std::vector<TransactionRecord> run_transactions(
       std::span<const std::pair<net::NodeIndex, net::NodeIndex>> pairs,
-      const ExecutionPolicy& exec = {});
+      const Executor& exec = {});
 
   /// Second half of a transaction when the trust query already happened
   /// (e.g. the requestor compared several QueryHit candidates): download,
@@ -260,8 +262,6 @@ class HirepSystem {
   struct AgentRuntime {
     std::unique_ptr<ReputationAgent> agent;  ///< null: node is not an agent
     std::vector<onion::RelayInfo> relays;
-    std::uint64_t sq = 1;
-    bool online = true;
     /// Serializes agent-side mutation when engine waves share the agent
     /// (requestors/providers are exclusive per wave; agents are not).
     /// Allocated only for actual agents; unique_ptr keeps Runtime movable.
@@ -269,9 +269,34 @@ class HirepSystem {
     std::unique_ptr<AgentRecovery> recovery;  ///< allocated for agents only
   };
 
-  AgentRuntime* runtime_of(const crypto::NodeId& id);
+  /// A resolved agent: the runtime record plus its overlay index, from one
+  /// nodeId binary search (the old runtime_of + ip_of pair cost two).
+  struct AgentRef {
+    AgentRuntime* rt = nullptr;  ///< null: unknown id or not an agent
+    net::NodeIndex ip = net::kInvalidNode;  ///< set for any known id
+    explicit operator bool() const noexcept { return rt != nullptr; }
+  };
+  AgentRef resolve_agent(const crypto::NodeId& id);
+  AgentRuntime* runtime_of(const crypto::NodeId& id) {
+    return resolve_agent(id).rt;
+  }
   /// Installs agent state for node v (relays shared with its peer).
   void make_agent(net::NodeIndex v, const crypto::Identity* identity);
+
+  /// One report whose wire delivery already happened on the sending shard's
+  /// lane but whose agent-state application crosses a shard boundary.
+  /// Collected per shard during a wave and replayed at the barrier in
+  /// serial transaction order (DESIGN.md §14).  An empty `wire` marks a
+  /// fast-crypto report (subject + outcome applied directly); a non-empty
+  /// `wire` is a full-crypto TransactionReport envelope payload that still
+  /// needs lookup_key / verify / accept at the receiving agent.
+  struct DeferredReport {
+    std::uint64_t txn = 0;          ///< lifetime transaction index
+    net::NodeIndex agent_ip = net::kInvalidNode;
+    crypto::NodeId subject{};
+    double outcome = 0.0;
+    util::Bytes wire;
+  };
 
   /// Everything one in-flight transaction threads through the protocol
   /// stack: its RNG stream, the transport lane it sends on, pre-reserved
@@ -294,6 +319,15 @@ class HirepSystem {
     /// inside the wave (it mutates shared discovery state).
     bool defer_refill = false;
     bool wants_refill = false;
+    // Sharded engine (DESIGN.md §14): agents are partitioned by
+    // `node index % shard_count`.  A report whose receiving agent lives on
+    // a foreign shard is sent on this shard's lane (wire traffic and
+    // message accounting stay local) but its state application is queued
+    // into `report_outbox` and replayed at the wave barrier.
+    std::size_t shard_count = 1;
+    std::size_t home_shard = 0;
+    std::uint64_t txn_index = 0;       ///< lifetime index, for barrier ordering
+    std::vector<DeferredReport>* report_outbox = nullptr;
   };
   TxnCtx legacy_ctx() noexcept { return TxnCtx{&rng_, &transport_, &reliable_}; }
   /// The (seed, index)-derived RNG stream for lifetime transaction `index`.
@@ -332,6 +366,17 @@ class HirepSystem {
   void send_report(TxnCtx& ctx, Peer& reporter, AgentEntry& entry,
                    const crypto::NodeId& subject_id, double outcome);
 
+  /// True when ctx runs sharded and the receiving agent lives on a foreign
+  /// shard — its state application must be queued, not run inline.
+  static bool defer_cross_shard(const TxnCtx& ctx, net::NodeIndex agent_ip) {
+    return ctx.report_outbox != nullptr &&
+           agent_ip % ctx.shard_count != ctx.home_shard;
+  }
+  /// Replays one cross-shard report at the wave barrier: fast-crypto
+  /// reports apply subject+outcome under the agent mutex; full-crypto
+  /// reports run the receiving agent's lookup_key / verify / accept path.
+  void apply_deferred_report(const DeferredReport& dr);
+
   /// Fast-crypto §3.6 fan-out: all of one transaction's reports in one
   /// envelope batch through ctx.channel.
   void report_batch(TxnCtx& ctx, Peer& reporter,
@@ -364,6 +409,11 @@ class HirepSystem {
   /// Flat agent storage, one slot per node (agent == nullptr for non-agent
   /// nodes): index-based hot-path lookups instead of map pointer chasing.
   std::vector<AgentRuntime> agent_runtimes_;
+  /// SoA per-node engine state, split out of AgentRuntime so the scale
+  /// engine's hottest scans (liveness checks, sq reservation) touch two
+  /// dense arrays instead of striding 100+-byte runtime records.
+  std::vector<std::uint64_t> agent_sq_;    ///< next onion sequence number
+  std::vector<std::uint8_t> agent_online_; ///< 1 = live agent (0 otherwise)
   std::size_t agent_count_ = 0;
   /// Reverse nodeId -> index mapping as a sorted flat vector (binary
   /// search); rebuilt incrementally on join/rotation.

@@ -151,6 +151,29 @@ struct DeliveryReceipt {
 
 class Transport;
 
+/// One contiguous run of a grouped drain: the shared key and the entry
+/// indices carrying it, in original (stable) order.  The span points into
+/// the caller-visible order scratch and stays valid until the next grouped
+/// visit on the same owner.
+struct ReceiptGroup {
+  std::uint64_t key = 0;
+  std::span<const std::uint32_t> entries;
+};
+
+/// The grouping engine shared by EnvelopeBatch::drain_groups and the scale
+/// engine's shard-boundary exchange (DESIGN.md §14): appends to `order` the
+/// indices in [0, count) accepted by `filter`, stable-sorts them by
+/// `key_of` ascending, then invokes `fn` once per contiguous key run.
+/// `order` is caller-owned scratch (cleared here, reusable across calls);
+/// the ReceiptGroup spans handed to `fn` point into it and remain valid
+/// until `order` is next mutated, so callers may collect groups and fan
+/// them out to workers after this returns.
+void visit_groups(std::size_t count,
+                  const std::function<bool(std::uint32_t)>& filter,
+                  const std::function<std::uint64_t(std::uint32_t)>& key_of,
+                  std::vector<std::uint32_t>& order,
+                  const std::function<void(const ReceiptGroup&)>& fn);
+
 /// A set of independent envelopes built up by one call site and carried by
 /// Transport::send_batch in one pass.  Payload bytes are interned into the
 /// owning transport's PayloadArena at push() time (zero per-envelope heap
@@ -183,12 +206,23 @@ class EnvelopeBatch {
     return receipts_.at(i);
   }
 
-  /// Visits every *delivered* receipt grouped by destination (ascending
-  /// node index, stable by entry order within a destination), so a
-  /// consumer touching per-receiver state absorbs contiguous runs per
-  /// receiving node.  `fn(entry_index, receipt)`.  Only valid for
-  /// order-insensitive consumers — per-destination state is fine, a
-  /// cross-entry float accumulation is not.
+  /// Visits every *delivered* receipt grouped by `key_of(entry, receipt)`
+  /// (ascending key, stable by entry order within a key), one ReceiptGroup
+  /// per distinct key, so a consumer touching per-key state absorbs
+  /// contiguous runs — per-destination absorption (key = destination) and
+  /// the scale engine's shard-boundary exchange (key = destination shard)
+  /// are the same visit.  Only valid for order-insensitive consumers —
+  /// per-key state is fine, a cross-entry float accumulation is not.
+  void drain_groups(
+      const std::function<std::uint64_t(std::size_t, const DeliveryReceipt&)>&
+          key_of,
+      const std::function<void(const ReceiptGroup&)>& fn) const;
+
+  /// Deprecated flat form of drain_groups keyed by destination: visits
+  /// `fn(entry_index, receipt)` per delivered receipt, grouped by
+  /// destination ascending, stable within.  Kept as a thin wrapper for one
+  /// PR; migrate consumers to drain_groups.
+  [[deprecated("use drain_groups(key_of, fn)")]]
   void drain_sorted(
       const std::function<void(std::size_t, const DeliveryReceipt&)>& fn)
       const;
@@ -210,7 +244,7 @@ class EnvelopeBatch {
   std::vector<Entry> entries_;
   std::vector<NodeIndex> path_pool_;
   std::vector<DeliveryReceipt> receipts_;
-  mutable std::vector<std::uint32_t> order_;  ///< drain_sorted scratch
+  mutable std::vector<std::uint32_t> order_;  ///< grouped-drain scratch
 };
 
 class Transport {

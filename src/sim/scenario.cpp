@@ -116,10 +116,14 @@ const std::vector<OptionSpec>& Scenario::option_table() {
        "active provider community size (0 = whole population)"},
       // ---- scale engine --------------------------------------------------
       {"execution", &Params::execution,
-       "transaction engine: parallel|serial (parallel needs "
-       "delivery=instant; byte-identical results either way)"},
+       "transaction engine: parallel|serial|sharded (concurrent engines "
+       "need delivery=instant; byte-identical results either way)"},
       {"threads", &Params::threads,
-       "worker threads for execution=parallel (0 = hardware)"},
+       "worker threads for execution=parallel|sharded (0 = hardware)"},
+      {"shards", &Params::shards,
+       "agent partitions for execution=sharded (0 = thread count)"},
+      {"wave_window", &Params::wave_window,
+       "max transactions per engine wave (0 = unbounded)"},
       // ---- reliable request channel --------------------------------------
       {"retry_max_attempts", &Params::retry_max_attempts,
        "attempts per reliable request (1 = fire once, no retry)"},
@@ -196,8 +200,16 @@ const Scenario& Scenario::validate() const {
           "crypto must be fast|full");
   require(net::policy_kind_by_name(p.delivery).has_value(),
           "delivery must be instant|latency|faulty");
-  require(p.execution == "parallel" || p.execution == "serial",
-          "execution must be parallel|serial");
+  require(core::execution_mode_by_name(p.execution).has_value(),
+          "execution must be parallel|serial|sharded");
+  // threads/shards/wave_window parse through int64, so a negative CLI
+  // value would wrap to a huge uint64 — bound them above to catch that.
+  require(p.threads <= 4096, "threads must be <= 4096 (negative values wrap)");
+  require(p.shards <= 4096, "shards must be <= 4096 (negative values wrap)");
+  require(p.wave_window <= 1000000000,
+          "wave_window must be <= 1e9 (negative values wrap)");
+  require(p.shards == 0 || p.execution == "sharded",
+          "shards requires execution=sharded");
   require(p.drop_rate >= 0.0 && p.drop_rate <= 1.0 &&
               p.duplicate_rate >= 0.0 && p.duplicate_rate <= 1.0,
           "drop_rate/duplicate_rate must be in [0,1]");
@@ -267,15 +279,19 @@ const Scenario& Scenario::validate() const {
   return *this;
 }
 
-core::ExecutionPolicy Scenario::execution_policy() const {
-  core::ExecutionPolicy exec;
-  // Chaos schedules faults against the global transaction tick, which the
-  // parallel engine's wave boundaries do not preserve hop-for-hop — a
-  // chaotic run downgrades to serial just like a lossy transport does.
-  exec.parallel = params_.execution == "parallel" &&
-                  params_.delivery == "instant" && params_.chaos != "on";
+core::Executor Scenario::execution_policy() const {
+  core::Executor exec;
+  exec.mode = *core::execution_mode_by_name(params_.execution);
   exec.threads = params_.threads;
-  return exec;
+  exec.shards = params_.shards;
+  exec.wave_window = params_.wave_window;
+  // Environment-driven downgrades (chaos schedules faults against the
+  // global transaction tick; lossy/delayed transports are order-dependent)
+  // live in Executor::validate, with a logged diagnostic.
+  core::Executor::Environment env;
+  env.instant_delivery = params_.delivery == "instant";
+  env.chaos = params_.chaos == "on";
+  return exec.validate(env);
 }
 
 }  // namespace hirep::sim

@@ -3,7 +3,7 @@
 // Unifies the former split between sim::Params (bench-side key=value bag)
 // and core::HirepOptions (engine-side struct): a Scenario owns the full
 // parameter set, validates it as a whole, and projects it into every
-// per-system option struct plus the scale engine's ExecutionPolicy.
+// per-system option struct plus the scale engine's core::Executor.
 //
 //   auto sc = sim::Scenario()
 //                 .network_size(10'000)
@@ -77,6 +77,8 @@ class Scenario {
   Scenario& delivery(std::string policy) { params_.delivery = std::move(policy); return *this; }
   Scenario& execution(std::string mode) { params_.execution = std::move(mode); return *this; }
   Scenario& threads(std::size_t n) { params_.threads = n; return *this; }
+  Scenario& shards(std::size_t n) { params_.shards = n; return *this; }
+  Scenario& wave_window(std::size_t n) { params_.wave_window = n; return *this; }
   Scenario& trusted_agents(std::size_t c) { params_.trusted_agents = c; return *this; }
   Scenario& malicious_ratio(double r) { params_.malicious_ratio = r; return *this; }
 
@@ -94,11 +96,13 @@ class Scenario {
   net::DeliveryConfig delivery_config() const {
     return params_.delivery_config();
   }
-  /// The scale engine's execution policy.  execution=parallel applies under
-  /// delivery=instant with chaos=off; lossy/delayed transports and chaos
-  /// fault schedules are order-dependent, so either downgrades to serial
-  /// execution (same results, one thread).
-  core::ExecutionPolicy execution_policy() const;
+  /// The scale engine's Executor, fully validated: execution=parallel or
+  /// =sharded applies under delivery=instant with chaos=off; lossy/delayed
+  /// transports and chaos fault schedules are order-dependent, so either
+  /// downgrades to serial execution with a logged diagnostic (same
+  /// results, one thread).  This is the ONLY construction path bench mains
+  /// and examples should use — never hand-build a core::Executor.
+  core::Executor execution_policy() const;
   util::Table table1() const { return params_.table1(); }
 
  private:

@@ -15,7 +15,7 @@
 namespace hirep {
 namespace {
 
-using core::ExecutionPolicy;
+using core::Executor;
 using core::HirepOptions;
 using core::HirepSystem;
 using Record = core::HirepSystem::TransactionRecord;
@@ -73,9 +73,9 @@ TEST(ScaleEngine, ParallelMatchesSerialFastCrypto) {
       HirepSystem serial(opts);
       HirepSystem parallel(opts);
       const auto serial_records =
-          serial.run_transactions(pairs, {.parallel = false});
+          serial.run_transactions(pairs, Executor::serial());
       const auto parallel_records = parallel.run_transactions(
-          pairs, {.parallel = true, .threads = threads});
+          pairs, Executor::parallel(threads));
 
       expect_records_identical(serial_records, parallel_records);
       EXPECT_EQ(serial.trust_message_total(), parallel.trust_message_total());
@@ -96,9 +96,9 @@ TEST(ScaleEngine, ParallelMatchesSerialFullCrypto) {
   HirepSystem serial(opts);
   HirepSystem parallel(opts);
   const auto serial_records =
-      serial.run_transactions(pairs, {.parallel = false});
+      serial.run_transactions(pairs, Executor::serial());
   const auto parallel_records =
-      parallel.run_transactions(pairs, {.parallel = true, .threads = 4});
+      parallel.run_transactions(pairs, Executor::parallel(4));
 
   expect_records_identical(serial_records, parallel_records);
   EXPECT_EQ(serial.trust_message_total(), parallel.trust_message_total());
@@ -110,13 +110,13 @@ TEST(ScaleEngine, ChunkedBatchesMatchOneBatch) {
 
   HirepSystem whole(opts);
   HirepSystem chunked(opts);
-  const auto whole_records = whole.run_transactions(pairs, {.threads = 4});
+  const auto whole_records = whole.run_transactions(pairs, Executor::parallel(4));
 
   std::vector<Record> chunk_records;
   for (std::size_t at = 0; at < pairs.size(); at += 25) {
     const std::size_t n = std::min<std::size_t>(25, pairs.size() - at);
     const auto part = chunked.run_transactions(
-        std::span(pairs).subspan(at, n), {.threads = 4});
+        std::span(pairs).subspan(at, n), Executor::parallel(4));
     chunk_records.insert(chunk_records.end(), part.begin(), part.end());
   }
 
@@ -136,8 +136,8 @@ TEST(ScaleEngine, SharedAgentsAcrossDistinctPairsStayConsistent) {
   HirepSystem serial(opts);
   HirepSystem parallel(opts);
   expect_records_identical(
-      serial.run_transactions(pairs, {.parallel = false}),
-      parallel.run_transactions(pairs, {.parallel = true, .threads = 4}));
+      serial.run_transactions(pairs, Executor::serial()),
+      parallel.run_transactions(pairs, Executor::parallel(4)));
 }
 
 TEST(ScaleEngine, ParallelRequiresInstantDelivery) {
@@ -145,10 +145,10 @@ TEST(ScaleEngine, ParallelRequiresInstantDelivery) {
   opts.delivery.policy = net::DeliveryPolicyKind::kFaulty;
   HirepSystem system(opts);
   const std::vector<Pair> pairs = {{0, 1}};
-  EXPECT_THROW(system.run_transactions(pairs, {.parallel = true}),
+  EXPECT_THROW(system.run_transactions(pairs, Executor::parallel()),
                std::invalid_argument);
   // Serial batched execution over a faulty transport is still legal.
-  EXPECT_NO_THROW(system.run_transactions(pairs, {.parallel = false}));
+  EXPECT_NO_THROW(system.run_transactions(pairs, Executor::serial()));
 }
 
 TEST(ScaleEngine, RejectsInvalidPairs) {
@@ -164,7 +164,7 @@ TEST(ScaleEngine, SerialEngineAdvancesSystemLikeLegacyLoop) {
   // and the legacy single-transaction API still works afterwards.
   HirepSystem system(fast_options(9, 100));
   const auto pairs = draw_pairs(9, 100, 20);
-  const auto records = system.run_transactions(pairs, {.threads = 2});
+  const auto records = system.run_transactions(pairs, Executor::parallel(2));
   ASSERT_EQ(records.size(), pairs.size());
   for (std::size_t i = 0; i < records.size(); ++i) {
     EXPECT_EQ(records[i].requestor, pairs[i].first);

@@ -1,0 +1,252 @@
+// The sharded scale engine's acceptance bar (DESIGN.md §14): a K-shard run
+// must be byte-identical to the serial reference — records, message
+// totals, envelope counters, and protocol-level obs counters — across
+// many seeds and shard counts, including workloads where every
+// transaction crosses a shard boundary.
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hirep/system.hpp"
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace hirep {
+namespace {
+
+using core::Executor;
+using core::HirepOptions;
+using core::HirepSystem;
+using Record = core::HirepSystem::TransactionRecord;
+using Pair = std::pair<net::NodeIndex, net::NodeIndex>;
+
+HirepOptions fast_options(std::uint64_t seed, std::size_t nodes) {
+  HirepOptions opts;
+  opts.nodes = nodes;
+  opts.crypto = core::CryptoMode::kFast;
+  opts.seed = seed;
+  return opts;
+}
+
+std::vector<Pair> draw_pairs(std::uint64_t seed, std::size_t nodes,
+                             std::size_t count) {
+  util::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  std::vector<Pair> pairs;
+  pairs.reserve(count);
+  while (pairs.size() < count) {
+    const auto r = static_cast<net::NodeIndex>(rng.below(nodes));
+    const auto p = static_cast<net::NodeIndex>(rng.below(nodes));
+    if (r != p) pairs.emplace_back(r, p);
+  }
+  return pairs;
+}
+
+void expect_records_identical(const std::vector<Record>& a,
+                              const std::vector<Record>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("record " + std::to_string(i));
+    EXPECT_EQ(a[i].requestor, b[i].requestor);
+    EXPECT_EQ(a[i].provider, b[i].provider);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a[i].estimate),
+              std::bit_cast<std::uint64_t>(b[i].estimate));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a[i].truth_value),
+              std::bit_cast<std::uint64_t>(b[i].truth_value));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a[i].outcome),
+              std::bit_cast<std::uint64_t>(b[i].outcome));
+    EXPECT_EQ(a[i].responses, b[i].responses);
+    EXPECT_EQ(a[i].trust_messages, b[i].trust_messages);
+  }
+}
+
+/// Everything one engine run leaves behind that the determinism contract
+/// covers: the record stream, message totals, per-type envelope counters,
+/// and the protocol-level obs counters.
+struct RunTrace {
+  std::vector<Record> records;
+  std::uint64_t trust_messages = 0;
+  std::uint64_t overlay_total = 0;
+  std::vector<net::EnvelopeMetrics::Counters> envelopes;
+  /// hirep.* counters except hirep.engine.* (cross-shard bookkeeping is
+  /// engine-internal and legitimately differs between engines).
+  std::vector<obs::Snapshot::CounterEntry> protocol_counters;
+};
+
+RunTrace run_trace(const HirepOptions& opts, std::span<const Pair> pairs,
+                   const Executor& exec) {
+  if constexpr (obs::kEnabled) obs::Registry::global().reset();
+  HirepSystem system(opts);
+  RunTrace trace;
+  trace.records = system.run_transactions(pairs, exec);
+  trace.trust_messages = system.trust_message_total();
+  trace.overlay_total = system.overlay().metrics().total();
+  const auto count = static_cast<std::size_t>(net::EnvelopeType::kCount);
+  for (std::size_t t = 0; t < count; ++t) {
+    trace.envelopes.push_back(
+        system.transport().envelopes().of(static_cast<net::EnvelopeType>(t)));
+  }
+  if constexpr (obs::kEnabled) {
+    for (auto& entry : obs::Registry::global().snapshot().counters) {
+      if (entry.name.rfind("hirep.", 0) != 0) continue;
+      if (entry.name.rfind("hirep.engine.", 0) == 0) continue;
+      trace.protocol_counters.push_back(std::move(entry));
+    }
+  }
+  return trace;
+}
+
+void expect_traces_identical(const RunTrace& serial, const RunTrace& other) {
+  expect_records_identical(serial.records, other.records);
+  EXPECT_EQ(serial.trust_messages, other.trust_messages);
+  EXPECT_EQ(serial.overlay_total, other.overlay_total);
+  ASSERT_EQ(serial.envelopes.size(), other.envelopes.size());
+  for (std::size_t t = 0; t < serial.envelopes.size(); ++t) {
+    SCOPED_TRACE("envelope type " + std::to_string(t));
+    const auto& a = serial.envelopes[t];
+    const auto& b = other.envelopes[t];
+    EXPECT_EQ(a.sent, b.sent);
+    EXPECT_EQ(a.delivered, b.delivered);
+    EXPECT_EQ(a.dropped, b.dropped);
+    EXPECT_EQ(a.hop_messages, b.hop_messages);
+    EXPECT_EQ(a.payload_bytes_sent, b.payload_bytes_sent);
+    EXPECT_EQ(a.payload_bytes_delivered, b.payload_bytes_delivered);
+  }
+  ASSERT_EQ(serial.protocol_counters.size(), other.protocol_counters.size());
+  for (std::size_t i = 0; i < serial.protocol_counters.size(); ++i) {
+    EXPECT_EQ(serial.protocol_counters[i].name,
+              other.protocol_counters[i].name);
+    EXPECT_EQ(serial.protocol_counters[i].value,
+              other.protocol_counters[i].value)
+        << serial.protocol_counters[i].name;
+  }
+}
+
+TEST(ShardEngine, ShardedMatchesSerialAcrossSeedsAndShardCounts) {
+  // The pinned golden property: for >= 20 seeds and K in {2, 4, 7}, the
+  // K-shard engine reproduces the serial reference to the bit.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto opts = fast_options(seed, 96);
+    const auto pairs = draw_pairs(seed, opts.nodes, 48);
+    const auto serial = run_trace(opts, pairs, Executor::serial());
+    for (std::size_t shards : {2UL, 4UL, 7UL}) {
+      SCOPED_TRACE("seed " + std::to_string(seed) + " shards " +
+                   std::to_string(shards));
+      const auto sharded =
+          run_trace(opts, pairs, Executor::sharded(shards, 2));
+      expect_traces_identical(serial, sharded);
+    }
+  }
+}
+
+TEST(ShardEngine, EveryTransactionCrossingShardsStaysIdentical) {
+  // Boundary stress: requestor and provider always live on different
+  // shards (r % K != p % K for K = 4), and the tiny network guarantees
+  // most trusted agents are foreign too, so the barrier exchange carries
+  // real traffic instead of degenerating to the inline path.
+  constexpr std::size_t kShards = 4;
+  const auto opts = fast_options(23, 64);
+  util::Rng rng(0xcafef00dULL);
+  std::vector<Pair> pairs;
+  while (pairs.size() < 96) {
+    const auto r = static_cast<net::NodeIndex>(rng.below(opts.nodes));
+    const auto p = static_cast<net::NodeIndex>(rng.below(opts.nodes));
+    if (r == p || r % kShards == p % kShards) continue;
+    pairs.emplace_back(r, p);
+  }
+
+  const auto serial = run_trace(opts, pairs, Executor::serial());
+  if constexpr (obs::kEnabled) obs::Registry::global().reset();
+  HirepSystem sharded_system(opts);
+  const auto sharded_records =
+      sharded_system.run_transactions(pairs, Executor::sharded(kShards, 4));
+  expect_records_identical(serial.records, sharded_records);
+  EXPECT_EQ(serial.trust_messages, sharded_system.trust_message_total());
+  if constexpr (obs::kEnabled) {
+    // The exchange actually exercised the cross-shard path.
+    EXPECT_GT(obs::Registry::global()
+                  .counter("hirep.engine.cross_shard_reports")
+                  .value(),
+              0);
+  }
+}
+
+TEST(ShardEngine, ShardedMatchesSerialFullCrypto) {
+  HirepOptions opts;
+  opts.nodes = 48;
+  opts.crypto = core::CryptoMode::kFull;
+  opts.seed = 3;
+  const auto pairs = draw_pairs(3, opts.nodes, 8);
+
+  HirepSystem serial(opts);
+  HirepSystem sharded(opts);
+  expect_records_identical(
+      serial.run_transactions(pairs, Executor::serial()),
+      sharded.run_transactions(pairs, Executor::sharded(3, 2)));
+  EXPECT_EQ(serial.trust_message_total(), sharded.trust_message_total());
+}
+
+TEST(ShardEngine, EqualWaveWindowsCompareAcrossEngines) {
+  // The wave window moves barriers (hence deferred-maintenance timing), so
+  // the byte-identity contract is per-window: serial and sharded agree
+  // whenever their windows agree.
+  const auto opts = fast_options(31, 96);
+  const auto pairs = draw_pairs(31, opts.nodes, 64);
+  for (std::size_t window : {1UL, 5UL, 16UL}) {
+    SCOPED_TRACE("wave_window " + std::to_string(window));
+    Executor serial = Executor::serial();
+    serial.wave_window = window;
+    Executor sharded = Executor::sharded(4, 2);
+    sharded.wave_window = window;
+    HirepSystem a(opts);
+    HirepSystem b(opts);
+    expect_records_identical(a.run_transactions(pairs, serial),
+                             b.run_transactions(pairs, sharded));
+    EXPECT_EQ(a.trust_message_total(), b.trust_message_total());
+  }
+}
+
+TEST(ShardEngine, CheckpointedShardedBatchesCompose) {
+  // Splitting a sharded run into consecutive batches (experiment
+  // checkpointing) yields the same records as one big batch.
+  const auto opts = fast_options(17, 96);
+  const auto pairs = draw_pairs(17, opts.nodes, 60);
+
+  HirepSystem whole(opts);
+  HirepSystem chunked(opts);
+  const auto whole_records =
+      whole.run_transactions(pairs, Executor::sharded(4, 2));
+  std::vector<Record> chunk_records;
+  for (std::size_t at = 0; at < pairs.size(); at += 20) {
+    const std::size_t n = std::min<std::size_t>(20, pairs.size() - at);
+    const auto part = chunked.run_transactions(
+        std::span(pairs).subspan(at, n), Executor::sharded(4, 2));
+    chunk_records.insert(chunk_records.end(), part.begin(), part.end());
+  }
+  expect_records_identical(whole_records, chunk_records);
+  EXPECT_EQ(whole.trust_message_total(), chunked.trust_message_total());
+}
+
+TEST(ShardEngine, ShardedRequiresInstantDeliveryAndShardedMode) {
+  auto opts = fast_options(1, 64);
+  opts.delivery.policy = net::DeliveryPolicyKind::kFaulty;
+  HirepSystem faulty(opts);
+  const std::vector<Pair> pairs = {{0, 1}};
+  EXPECT_THROW(faulty.run_transactions(pairs, Executor::sharded(2)),
+               std::invalid_argument);
+
+  // A shard count on a non-sharded executor is rejected at the engine too
+  // (Executor::validate would have caught it earlier on the Scenario path).
+  HirepSystem instant(fast_options(1, 64));
+  Executor misplaced = Executor::parallel(2);
+  misplaced.shards = 2;
+  EXPECT_THROW(instant.run_transactions(pairs, misplaced),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hirep

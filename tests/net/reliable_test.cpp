@@ -255,8 +255,8 @@ TEST(ReliableBatch, DefaultPolicyIsRequestForRequestIdenticalToSequential) {
     for (int round = 0; round < 25; ++round) {
       if (batched) {
         const ReliableChannel::BatchRequest requests[] = {
-            {.sender = 0, .path = &path_a},
-            {.sender = 0, .path = &path_b},
+            {.sender = 0, .path = &path_a, .payload = {}},
+            {.sender = 0, .path = &path_b, .payload = {}},
         };
         for (const auto& r :
              channel.request_batch(EnvelopeType::kTrustRequest, requests)) {

@@ -2,8 +2,9 @@
 // envelopes strictly one at a time in push order, so a batch must be
 // byte-identical — receipts, metrics, clock — to the same sends issued
 // sequentially, under every delivery policy (Instant, Latency, Faulty,
-// Chaos).  Plus the drain_sorted grouping rules, the arena lifecycle of a
-// batch, the payload byte counters, and the scale-engine lane-arena reset.
+// Chaos).  Plus the drain_groups grouping rules (and the deprecated
+// drain_sorted shim), the arena lifecycle of a batch, the payload byte
+// counters, and the scale-engine lane-arena reset.
 #include <array>
 #include <bit>
 #include <cstdint>
@@ -221,7 +222,7 @@ TEST(TransportBatchProperty, ChaosBatchMatchesSequential) {
   }
 }
 
-TEST(EnvelopeBatch, DrainSortedGroupsByDestinationStableWithinGroup) {
+TEST(EnvelopeBatch, DrainGroupsPartitionsByKeyStableWithinGroup) {
   Overlay overlay = make_overlay();
   Transport transport(&overlay, DeliveryConfig{}, 1);
   EnvelopeBatch batch = transport.make_batch();
@@ -234,12 +235,72 @@ TEST(EnvelopeBatch, DrainSortedGroupsByDestinationStableWithinGroup) {
   batch.push(EnvelopeType::kProbe, 0, std::vector<NodeIndex>{2});
   transport.send_batch(batch);
 
+  std::vector<std::uint64_t> keys;
+  std::vector<std::vector<std::uint32_t>> groups;
+  batch.drain_groups(
+      [](std::size_t, const DeliveryReceipt& r) {
+        return static_cast<std::uint64_t>(r.destination);
+      },
+      [&](const ReceiptGroup& g) {
+        keys.push_back(g.key);
+        groups.emplace_back(g.entries.begin(), g.entries.end());
+      });
+  // One group per delivered destination, ascending; entry order within a
+  // group follows push order (stable).
+  EXPECT_EQ(keys, (std::vector<std::uint64_t>{1, 2, 5}));
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0], (std::vector<std::uint32_t>{4}));
+  EXPECT_EQ(groups[1], (std::vector<std::uint32_t>{1, 5}));
+  EXPECT_EQ(groups[2], (std::vector<std::uint32_t>{0, 3}));
+}
+
+TEST(EnvelopeBatch, DrainGroupsSupportsArbitraryKeys) {
+  Overlay overlay = make_overlay();
+  Transport transport(&overlay, DeliveryConfig{}, 1);
+  EnvelopeBatch batch = transport.make_batch();
+  for (NodeIndex dest : {5, 2, 7, 1, 4}) {
+    batch.push(EnvelopeType::kProbe, 0, std::vector<NodeIndex>{dest});
+  }
+  transport.send_batch(batch);
+
+  // Key by destination parity — the shard-exchange shape (ip % K).
+  std::vector<std::uint64_t> keys;
+  std::vector<std::size_t> sizes;
+  batch.drain_groups(
+      [](std::size_t, const DeliveryReceipt& r) {
+        return static_cast<std::uint64_t>(r.destination % 2);
+      },
+      [&](const ReceiptGroup& g) {
+        keys.push_back(g.key);
+        sizes.push_back(g.entries.size());
+      });
+  EXPECT_EQ(keys, (std::vector<std::uint64_t>{0, 1}));
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{2, 3}));
+}
+
+TEST(EnvelopeBatch, DeprecatedDrainSortedStillMatchesGroupedOrder) {
+  // drain_sorted is a one-PR deprecation shim over drain_groups; pin its
+  // flattened visit order until it is removed.
+  Overlay overlay = make_overlay();
+  Transport transport(&overlay, DeliveryConfig{}, 1);
+  EnvelopeBatch batch = transport.make_batch();
+  batch.push(EnvelopeType::kProbe, 0, std::vector<NodeIndex>{5});
+  batch.push(EnvelopeType::kProbe, 0, std::vector<NodeIndex>{2});
+  batch.push(EnvelopeType::kProbe, 0, {});  // empty path: never delivered
+  batch.push(EnvelopeType::kProbe, 0, std::vector<NodeIndex>{3, 5});
+  batch.push(EnvelopeType::kProbe, 0, std::vector<NodeIndex>{1});
+  batch.push(EnvelopeType::kProbe, 0, std::vector<NodeIndex>{2});
+  transport.send_batch(batch);
+
   std::vector<std::size_t> order;
   std::vector<NodeIndex> destinations;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   batch.drain_sorted([&](std::size_t i, const DeliveryReceipt& r) {
     order.push_back(i);
     destinations.push_back(r.destination);
   });
+#pragma GCC diagnostic pop
   EXPECT_EQ(order, (std::vector<std::size_t>{4, 1, 5, 0, 3}));
   EXPECT_EQ(destinations, (std::vector<NodeIndex>{1, 2, 2, 5, 5}));
 }
@@ -314,13 +375,14 @@ TEST(ScaleLanes, ParallelLaneAbsorptionMatchesSerialAndResetsLaneArenas) {
 
   core::HirepSystem serial(opts);
   core::HirepSystem parallel(opts);
-  const auto serial_records = serial.run_transactions(pairs, {.parallel = false});
+  const auto serial_records =
+      serial.run_transactions(pairs, core::Executor::serial());
   std::uint64_t resets_before = 0;
   if constexpr (obs::kEnabled) {
     resets_before = obs::Registry::global().counter("net.arena.resets").value();
   }
   const auto parallel_records =
-      parallel.run_transactions(pairs, {.parallel = true, .threads = 2});
+      parallel.run_transactions(pairs, core::Executor::parallel(2));
   if constexpr (obs::kEnabled) {
     EXPECT_GT(obs::Registry::global().counter("net.arena.resets").value(),
               resets_before);

@@ -272,18 +272,32 @@ TEST(ChaosExecution, ParallelBatchesAreRejectedUnderChaos) {
   core::HirepSystem sys(p.hirep_options());
   install_chaos(sys, p);
   const std::vector<std::pair<net::NodeIndex, net::NodeIndex>> pairs{{0, 1}};
-  core::ExecutionPolicy exec;
-  exec.parallel = true;
-  EXPECT_THROW(sys.run_transactions(pairs, exec), std::invalid_argument);
+  EXPECT_THROW(sys.run_transactions(pairs, core::Executor::parallel()),
+               std::invalid_argument);
+  // The sharded engine falls under the same rule.
+  EXPECT_THROW(sys.run_transactions(pairs, core::Executor::sharded(2)),
+               std::invalid_argument);
 }
 
 TEST(ChaosExecution, ScenarioDowngradesToSerialWhenChaosIsOn) {
   Params p = small_params();
   p.execution = "parallel";
   p.chaos = "on";
-  EXPECT_FALSE(Scenario(p).execution_policy().parallel);
+  EXPECT_EQ(Scenario(p).execution_policy().mode,
+            core::ExecutionMode::kSerial);
   p.chaos = "off";
-  EXPECT_TRUE(Scenario(p).execution_policy().parallel);
+  EXPECT_EQ(Scenario(p).execution_policy().mode,
+            core::ExecutionMode::kParallel);
+  // chaos + sharded downgrades exactly like chaos + parallel.
+  p.execution = "sharded";
+  p.shards = 4;
+  p.chaos = "on";
+  const auto downgraded = Scenario(p).execution_policy();
+  EXPECT_EQ(downgraded.mode, core::ExecutionMode::kSerial);
+  EXPECT_EQ(downgraded.shards, 0u);
+  p.chaos = "off";
+  EXPECT_EQ(Scenario(p).execution_policy().mode,
+            core::ExecutionMode::kSharded);
 }
 
 TEST(ChaosReplay, FullChaoticRunIsBitIdentical) {
@@ -311,8 +325,7 @@ TEST(ChaosReplay, FullChaoticRunIsBitIdentical) {
     std::vector<core::HirepSystem::TransactionRecord> records;
     const std::span<const std::pair<net::NodeIndex, net::NodeIndex>> all(
         pairs);
-    core::ExecutionPolicy exec;
-    exec.parallel = false;
+    const auto exec = core::Executor::serial();
     for (std::size_t i = 0; i < pairs.size(); ++i) {
       records.push_back(sys.run_transactions(all.subspan(i, 1), exec)[0]);
       engine->advance_to(i + 1);

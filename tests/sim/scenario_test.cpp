@@ -168,17 +168,52 @@ TEST(ScenarioBuilder, FluentChainProjectsIntoEngineOptions) {
 
 TEST(ScenarioExecutionPolicy, ParallelOnlyUnderInstantDelivery) {
   auto sc = Scenario().execution("parallel").threads(4);
-  EXPECT_TRUE(sc.execution_policy().parallel);
+  EXPECT_EQ(sc.execution_policy().mode, core::ExecutionMode::kParallel);
   EXPECT_EQ(sc.execution_policy().threads, 4u);
 
   // Lossy/delayed transports are order-dependent: downgrade to serial.
   sc.delivery("latency");
-  EXPECT_FALSE(sc.execution_policy().parallel);
+  EXPECT_EQ(sc.execution_policy().mode, core::ExecutionMode::kSerial);
   sc.delivery("instant");
-  EXPECT_TRUE(sc.execution_policy().parallel);
+  EXPECT_EQ(sc.execution_policy().mode, core::ExecutionMode::kParallel);
 
   sc.execution("serial");
-  EXPECT_FALSE(sc.execution_policy().parallel);
+  EXPECT_EQ(sc.execution_policy().mode, core::ExecutionMode::kSerial);
+}
+
+TEST(ScenarioExecutionPolicy, ShardedKnobsProjectAndValidate) {
+  auto sc = Scenario().execution("sharded").shards(4).threads(2).wave_window(64);
+  sc.validate();
+  const auto exec = sc.execution_policy();
+  EXPECT_EQ(exec.mode, core::ExecutionMode::kSharded);
+  EXPECT_EQ(exec.shards, 4u);
+  EXPECT_EQ(exec.threads, 2u);
+  EXPECT_EQ(exec.wave_window, 64u);
+
+  // Downgrade clears the shard count with the mode.
+  sc.delivery("latency");
+  const auto downgraded = sc.execution_policy();
+  EXPECT_EQ(downgraded.mode, core::ExecutionMode::kSerial);
+  EXPECT_EQ(downgraded.shards, 0u);
+}
+
+TEST(ScenarioValidate, RejectsNonsenseEngineKnobs) {
+  // A negative CLI value wraps through int64 into a huge uint64; validate()
+  // rejects it at config time rather than OOMing in the thread pool.
+  EXPECT_THROW(Scenario(Params{.threads = 5000}).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(
+      Scenario(Params{.execution = "sharded", .shards = 5000}).validate(),
+      std::invalid_argument);
+  EXPECT_THROW(Scenario(Params{.wave_window = 2'000'000'000}).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(Scenario(Params{.execution = "bogus"}).validate(),
+               std::invalid_argument);
+  // shards only makes sense under the sharded engine.
+  EXPECT_THROW(Scenario(Params{.execution = "parallel", .shards = 2}).validate(),
+               std::invalid_argument);
+  EXPECT_NO_THROW(
+      Scenario(Params{.execution = "sharded", .shards = 8}).validate());
 }
 
 TEST(ScenarioBackCompat, ParamsFromConfigDelegatesToScenario) {
