@@ -1,13 +1,17 @@
-// Beyond the paper's figures: all four reputation architectures side by
-// side — hiREP (hierarchical), pure voting (fully distributed polling,
-// P2PREP-style), TrustMe-style (random THAs + double broadcast), and a
-// centralized RCA (Gupta et al.) — on the same world parameters.
+// Beyond the paper's figures: six reputation architectures side by side —
+// hiREP (hierarchical), pure voting (fully distributed polling,
+// P2PREP-style), TrustMe-style (random THAs + double broadcast), a
+// centralized RCA (Gupta et al.), Absolute Trust (weighted global fixed
+// point, arXiv:1601.01419), and differential gossip (push-sum mass,
+// arXiv:1210.4301) — on the same world parameters.
 //
 // Columns: trust messages per transaction, measured MSE after the same
 // training budget, and what happens when the architecture's critical
 // node(s) fail.
 #include <iostream>
 
+#include "baselines/absolute_trust.hpp"
+#include "baselines/differential_gossip.hpp"
 #include "baselines/rca.hpp"
 #include "bench_common.hpp"
 #include "sim/attacks.hpp"
@@ -120,13 +124,61 @@ Row run_rca(const sim::Params& params) {
   return row;
 }
 
+Row run_absolute_trust(const sim::Params& params) {
+  baselines::AbsoluteTrustSystem system(params.absolute_trust_options());
+  util::MseAccumulator mse;
+  std::uint64_t msgs = 0;
+  for (std::size_t t = 0; t < kTrain + kMeasure; ++t) {
+    // Random draws from concentrated pools so every provider accumulates
+    // raters beyond a single fixed requestor (a lone malicious rater would
+    // otherwise own that provider's score).
+    const auto requestor =
+        static_cast<net::NodeIndex>(system.rng().below(50));
+    const auto provider =
+        static_cast<net::NodeIndex>(50 + system.rng().below(100));
+    const auto rec = system.run_transaction(requestor, provider);
+    if (t >= kTrain) {
+      mse.add(rec.estimate, rec.truth_value);
+      msgs += rec.trust_messages;
+    }
+  }
+  Row row;
+  row.msgs_per_txn = static_cast<double>(msgs) / static_cast<double>(kMeasure);
+  row.mse = mse.mse();
+  row.failure_note = "identity-keyed: whitewash wipes standing";
+  return row;
+}
+
+Row run_differential_gossip(const sim::Params& params) {
+  baselines::DifferentialGossipSystem system(
+      params.differential_gossip_options());
+  util::MseAccumulator mse;
+  std::uint64_t msgs = 0;
+  for (std::size_t t = 0; t < kTrain + kMeasure; ++t) {
+    const auto requestor =
+        static_cast<net::NodeIndex>(system.rng().below(50));
+    const auto provider =
+        static_cast<net::NodeIndex>(50 + system.rng().below(100));
+    const auto rec = system.run_transaction(requestor, provider);
+    if (t >= kTrain) {
+      mse.add(rec.estimate, rec.truth_value);
+      msgs += rec.trust_messages;
+    }
+  }
+  Row row;
+  row.msgs_per_txn = static_cast<double>(msgs) / static_cast<double>(kMeasure);
+  row.mse = mse.mse();
+  row.failure_note = "anonymous mass: lost pushes lose opinions";
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   return bench::run_exhibit(
       argc, argv,
-      "Comparison — hiREP vs pure voting vs TrustMe-style vs centralized "
-      "RCA (same world, 10% attackers)",
+      "Comparison — hiREP vs pure voting, TrustMe-style, centralized RCA, "
+      "Absolute Trust, and differential gossip (same world, 10% attackers)",
       [](sim::Scenario& sc, const util::Config& cfg) {
         if (!cfg.has("network_size")) sc.network_size(400);
       },
@@ -136,6 +188,8 @@ int main(int argc, char** argv) {
         const Row voting = run_voting(params);
         const Row trustme = run_trustme(params);
         const Row rca = run_rca(params);
+        const Row abs_trust = run_absolute_trust(params);
+        const Row gossip = run_differential_gossip(params);
 
         util::Table table({"system", "trust_msgs_per_txn", "mse",
                            "failure behaviour"});
@@ -147,6 +201,11 @@ int main(int argc, char** argv) {
                        trustme.msgs_per_txn, trustme.mse, trustme.failure_note});
         table.add_row({std::string("centralized RCA"), rca.msgs_per_txn,
                        rca.mse, rca.failure_note});
+        table.add_row({std::string("Absolute Trust (global fixed point)"),
+                       abs_trust.msgs_per_txn, abs_trust.mse,
+                       abs_trust.failure_note});
+        table.add_row({std::string("differential gossip (push-sum)"),
+                       gossip.msgs_per_txn, gossip.mse, gossip.failure_note});
 
         sim::ExperimentResult result{std::move(table), {}};
         result.checks.push_back(
@@ -156,10 +215,23 @@ int main(int argc, char** argv) {
              ""});
         result.checks.push_back(
             {"hiREP is at least as accurate as every decentralized baseline",
-             hirep.mse <= voting.mse + 0.01 && hirep.mse <= trustme.mse + 0.01,
+             hirep.mse <= voting.mse + 0.01 &&
+                 hirep.mse <= trustme.mse + 0.01 &&
+                 hirep.mse <= abs_trust.mse + 0.01 &&
+                 hirep.mse <= gossip.mse + 0.01,
              "hirep=" + std::to_string(hirep.mse) + " voting=" +
                  std::to_string(voting.mse) + " trustme=" +
-                 std::to_string(trustme.mse)});
+                 std::to_string(trustme.mse) + " abs_trust=" +
+                 std::to_string(abs_trust.mse) + " gossip=" +
+                 std::to_string(gossip.mse)});
+        result.checks.push_back(
+            {"gossip is the cheapest non-centralized dissemination; the "
+             "global fixed point converges below the flooding baselines",
+             gossip.msgs_per_txn < voting.msgs_per_txn &&
+                 abs_trust.mse < voting.mse + 0.01,
+             "gossip_msgs=" + std::to_string(gossip.msgs_per_txn) +
+                 " voting_msgs=" + std::to_string(voting.msgs_per_txn) +
+                 " abs_mse=" + std::to_string(abs_trust.mse)});
         result.checks.push_back(
             {"only the centralized design goes blind on a single failure "
              "(§3.1)",

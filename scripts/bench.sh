@@ -113,7 +113,7 @@ echo "wrote $out_micro"
 
 # --- figure / analysis exhibits (hirep-bench-v1) --------------------------
 figure_benches=(fig5_traffic fig6_accuracy fig7_malicious fig8_response
-                analysis_traffic_bound)
+                analysis_traffic_bound adversary_curves)
 for bench in "${figure_benches[@]}"; do
   echo "== bench.sh: $bench ($profile params) =="
   rc=0

@@ -1,0 +1,130 @@
+#include "baselines/differential_gossip.hpp"
+
+#include <algorithm>
+
+namespace hirep::baselines {
+
+namespace {
+
+trust::WorldParams world_with_nodes(trust::WorldParams world,
+                                    std::size_t nodes) {
+  world.nodes = nodes;
+  return world;
+}
+
+constexpr double kMinMass = 1e-9;  ///< below this a holder stops gossiping
+
+}  // namespace
+
+DifferentialGossipSystem::DifferentialGossipSystem(
+    DifferentialGossipOptions options)
+    : options_(std::move(options)),
+      rng_(options_.seed),
+      truth_(rng_, world_with_nodes(options_.world, options_.nodes)),
+      overlay_(net::power_law(rng_, options_.nodes, options_.average_degree),
+               options_.latency, options_.seed ^ 0x0ddba111ULL),
+      transport_(&overlay_, options_.delivery, options_.seed ^ 0x90111e57ULL),
+      nodes_(options_.nodes),
+      value_(options_.nodes * options_.nodes, 0.0),
+      weight_(options_.nodes * options_.nodes, 0.0) {}
+
+double DifferentialGossipSystem::estimate_at(net::NodeIndex node,
+                                             net::NodeIndex subject) const {
+  const double w = weight_.at(node * nodes_ + subject);
+  return w > kMinMass ? value_[node * nodes_ + subject] / w : 0.5;
+}
+
+DifferentialGossipSystem::TransactionRecord
+DifferentialGossipSystem::run_transaction(net::NodeIndex requestor,
+                                          net::NodeIndex provider) {
+  TransactionRecord record;
+  record.requestor = requestor;
+  record.provider = provider;
+  record.estimate = estimate_at(requestor, provider);
+  record.truth_value = truth_.true_trust(provider);
+  const std::uint64_t before = overlay_.metrics().total();
+
+  // Transact, then inject the claimed outcome as fresh opinion mass at the
+  // requestor — recruited ring members / front peers falsify through
+  // reported_outcome.
+  const double outcome = truth_.transaction_outcome(provider);
+  const double honest =
+      truth_.poor_evaluator(requestor) ? 1.0 - outcome : outcome;
+  const double opinion = truth_.reported_outcome(requestor, provider, honest);
+  value_[requestor * nodes_ + provider] += opinion;
+  weight_[requestor * nodes_ + provider] += 1.0;
+
+  // Differential dissemination: only holders of mass about this subject
+  // gossip, for a fixed number of rounds.
+  for (std::size_t r = 0; r < options_.gossip_rounds; ++r) {
+    gossip_round(provider);
+  }
+  record.trust_messages = overlay_.metrics().total() - before;
+  return record;
+}
+
+void DifferentialGossipSystem::gossip_round(net::NodeIndex subject) {
+  struct Push {
+    net::NodeIndex to;
+    double dv;
+    double dw;
+  };
+  auto batch = transport_.make_batch();
+  std::vector<Push> pending;
+  for (std::size_t v = 0; v < nodes_; ++v) {
+    if (weight_[v * nodes_ + subject] <= kMinMass) continue;
+    const auto holder = static_cast<net::NodeIndex>(v);
+    const auto nbs = overlay_.graph().neighbors(holder);
+    if (nbs.empty()) continue;
+    const net::NodeIndex to = nbs[rng_.below(nbs.size())];
+    // Push-sum: keep half, push half.  The sender halves unconditionally —
+    // a lost push loses its mass in flight.
+    const double dv = value_[v * nodes_ + subject] * 0.5;
+    const double dw = weight_[v * nodes_ + subject] * 0.5;
+    value_[v * nodes_ + subject] -= dv;
+    weight_[v * nodes_ + subject] -= dw;
+    const net::NodeIndex hop[1] = {to};
+    batch.push(net::EnvelopeType::kReport, holder, hop);
+    pending.push_back(Push{to, dv, dw});
+  }
+  transport_.send_batch(batch);
+  const auto receipts = batch.receipts();
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    if (!receipts[i].delivered) continue;
+    value_[pending[i].to * nodes_ + subject] += pending[i].dv;
+    weight_[pending[i].to * nodes_ + subject] += pending[i].dw;
+  }
+}
+
+void DifferentialGossipSystem::reset_reputation(net::NodeIndex v) {
+  for (std::size_t u = 0; u < nodes_; ++u) {
+    value_[u * nodes_ + v] = 0.0;
+    weight_[u * nodes_ + v] = 0.0;
+  }
+}
+
+net::NodeIndex DifferentialGossipSystem::add_node(std::size_t degree) {
+  const std::size_t n = nodes_;
+  degree = std::max<std::size_t>(1, std::min(degree, n));
+  std::vector<net::NodeIndex> attach;
+  for (std::size_t idx : rng_.sample_indices(n, degree)) {
+    attach.push_back(static_cast<net::NodeIndex>(idx));
+  }
+  const net::NodeIndex v = overlay_.add_node(attach);
+  (void)truth_.add_node(rng_);
+  const std::size_t m = n + 1;
+  std::vector<double> value(m * m, 0.0);
+  std::vector<double> weight(m * m, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      value[i * m + j] = value_[i * n + j];
+      weight[i * m + j] = weight_[i * n + j];
+    }
+  }
+  value_.swap(value);
+  weight_.swap(weight);
+  nodes_ = m;
+  return v;
+}
+
+}  // namespace hirep::baselines

@@ -1,0 +1,91 @@
+// Differential-gossip baseline — reputation aggregation by push-sum gossip
+// in the style of Gupta & Somani (arXiv:1210.4301): opinions about a
+// subject circulate as (value, weight) mass pairs; each gossip step a
+// holder keeps half its mass and pushes half to a random neighbor, and any
+// node's local estimate is value/weight of the mass it currently holds.
+// "Differential" refers to gossiping only where mass (i.e. new opinion
+// evidence) actually sits, instead of flooding the whole network each
+// round.
+//
+// Comparator role: a *decentralized, unauthenticated* aggregate.  Cheap in
+// messages and naturally convergent, but opinions are anonymous mass — a
+// bad-mouthing clique's falsified mass mixes in unweighted, and a
+// whitewashed identity starts from zero mass (the neutral prior).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/overlay.hpp"
+#include "net/topology.hpp"
+#include "net/transport.hpp"
+#include "trust/ground_truth.hpp"
+#include "util/rng.hpp"
+
+namespace hirep::baselines {
+
+struct DifferentialGossipOptions {
+  std::size_t nodes = 1000;
+  double average_degree = 4.0;
+  trust::WorldParams world;
+  net::LatencyParams latency;
+  net::DeliveryConfig delivery;
+  std::uint64_t seed = 1;
+  std::size_t gossip_rounds = 3;  ///< push-sum rounds run after each opinion
+};
+
+class DifferentialGossipSystem {
+ public:
+  explicit DifferentialGossipSystem(DifferentialGossipOptions options);
+
+  net::Overlay& overlay() noexcept { return overlay_; }
+  net::Transport& transport() noexcept { return transport_; }
+  trust::GroundTruth& truth() noexcept { return truth_; }
+  util::Rng& rng() noexcept { return rng_; }
+  const DifferentialGossipOptions& options() const noexcept {
+    return options_;
+  }
+  std::size_t node_count() const noexcept { return nodes_; }
+
+  struct TransactionRecord {
+    net::NodeIndex requestor = net::kInvalidNode;
+    net::NodeIndex provider = net::kInvalidNode;
+    double estimate = 0.5;     ///< requestor's push-sum estimate beforehand
+    double truth_value = 0.0;
+    std::uint64_t trust_messages = 0;
+  };
+  /// One transaction: the requestor reads its current push-sum estimate of
+  /// the provider, transacts, injects its (possibly falsified) opinion as
+  /// fresh mass, and the network runs `gossip_rounds` differential rounds
+  /// for that subject (the counted message cost).
+  TransactionRecord run_transaction(net::NodeIndex requestor,
+                                    net::NodeIndex provider);
+
+  /// `node`'s local estimate of `subject`: value/weight of held mass, or
+  /// the neutral prior when it holds none.
+  double estimate_at(net::NodeIndex node, net::NodeIndex subject) const;
+
+  /// Whitewash surface: drop every circulating mass pair about v — a shed
+  /// identity's history evaporates and estimates fall back to the prior.
+  void reset_reputation(net::NodeIndex v);
+
+  /// Sybil surface: a fresh identity joining at `degree` random points.
+  net::NodeIndex add_node(std::size_t degree);
+
+ private:
+  /// One differential push-sum round for `subject`; lost pushes lose their
+  /// mass (the realism the transport's delivery policy provides).
+  void gossip_round(net::NodeIndex subject);
+
+  DifferentialGossipOptions options_;
+  util::Rng rng_;
+  trust::GroundTruth truth_;
+  net::Overlay overlay_;
+  net::Transport transport_;
+  std::size_t nodes_;
+  /// Dense mass matrices: value_[holder * n + subject] / weight_[...].
+  std::vector<double> value_;
+  std::vector<double> weight_;
+};
+
+}  // namespace hirep::baselines

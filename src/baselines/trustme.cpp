@@ -114,9 +114,12 @@ TrustMeSystem::TransactionRecord TrustMeSystem::run_transaction(
                         ? sum / static_cast<double>(record.responses)
                         : 0.5;
 
-  // The transaction happens; broadcast #2 spreads the result so the
+  // The transaction happens; broadcast #2 spreads the result the requestor
+  // *claims* (identical to the observation unless an adversary engine
+  // recruited the requestor as a ring member or front peer) so the
   // provider's THAs can store it.
   const double outcome = truth_.transaction_outcome(provider);
+  const double reported = truth_.reported_outcome(requestor, provider, outcome);
   const auto report_flood = net::flood(transport_, requestor, options_.ttl,
                                        net::EnvelopeType::kReport);
   for (net::NodeIndex node : report_flood.reached) {
@@ -127,12 +130,18 @@ TrustMeSystem::TransactionRecord TrustMeSystem::run_transaction(
       if (it == stores_.end()) {
         it = stores_.emplace(key, model_factory_()).first;
       }
-      it->second->record(outcome);
+      it->second->record(reported);
     }
   }
 
   record.trust_messages = overlay_.metrics().total() - before;
   return record;
+}
+
+void TrustMeSystem::reset_reputation(net::NodeIndex v) {
+  for (auto it = stores_.begin(); it != stores_.end();) {
+    it = it->first.second == v ? stores_.erase(it) : std::next(it);
+  }
 }
 
 }  // namespace hirep::baselines

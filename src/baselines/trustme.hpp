@@ -61,6 +61,10 @@ class TrustMeSystem {
   TransactionRecord run_transaction(net::NodeIndex requestor,
                                     net::NodeIndex provider);
 
+  /// Whitewash surface: drop every THA-stored model about v — a shed
+  /// identity's history disappears from its trust-holding agents.
+  void reset_reputation(net::NodeIndex v);
+
  private:
   /// What a THA answers about its subject: its stored model value, or its
   /// own (possibly malicious) evaluation before any report arrived.

@@ -909,11 +909,19 @@ HirepSystem::TransactionRecord HirepSystem::complete_transaction(
   }
 
   // Signed transaction reports to all remaining trusted agents (§3.6).
+  // Reports carry the reporter's *claimed* outcome: honest peers forward
+  // the observation verbatim (bit-identical to the pre-hook path), while
+  // adversary-recruited reporters — front peers, bad-mouthing rings — may
+  // falsify it.  The peer's own first-hand memory and expertise updates
+  // above keep the true observation: liars know the truth, they just
+  // don't report it.
+  const double reported =
+      truth_.reported_outcome(requestor, provider, record.outcome);
   if (options_.crypto == CryptoMode::kFast) {
-    report_batch(ctx, p, subject_id, record.outcome);
+    report_batch(ctx, p, subject_id, reported);
   } else {
     for (auto& entry : p.agents().entries()) {
-      send_report(ctx, p, entry, subject_id, record.outcome);
+      send_report(ctx, p, entry, subject_id, reported);
     }
   }
 

@@ -153,17 +153,6 @@ void EnvelopeBatch::drain_groups(
       order_, fn);
 }
 
-void EnvelopeBatch::drain_sorted(
-    const std::function<void(std::size_t, const DeliveryReceipt&)>& fn) const {
-  drain_groups(
-      [](std::size_t, const DeliveryReceipt& r) {
-        return static_cast<std::uint64_t>(r.destination);
-      },
-      [this, &fn](const ReceiptGroup& g) {
-        for (std::uint32_t i : g.entries) fn(i, receipts_[i]);
-      });
-}
-
 // ---------------------------------------------------------------------------
 // Transport
 

@@ -218,15 +218,6 @@ class EnvelopeBatch {
           key_of,
       const std::function<void(const ReceiptGroup&)>& fn) const;
 
-  /// Deprecated flat form of drain_groups keyed by destination: visits
-  /// `fn(entry_index, receipt)` per delivered receipt, grouped by
-  /// destination ascending, stable within.  Kept as a thin wrapper for one
-  /// PR; migrate consumers to drain_groups.
-  [[deprecated("use drain_groups(key_of, fn)")]]
-  void drain_sorted(
-      const std::function<void(std::size_t, const DeliveryReceipt&)>& fn)
-      const;
-
  private:
   friend class Transport;
 

@@ -1,0 +1,370 @@
+#include "sim/adversary.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+#include "sim/attacks.hpp"
+
+namespace hirep::sim {
+
+namespace {
+
+/// Salt for deriving the adversary stream from the master seed
+/// (adversary_seed=0).  Distinct from every other derived-stream salt, so
+/// installing the engine never perturbs the world, workload, chaos, or
+/// transport streams.
+constexpr std::uint64_t kAdversarySeedSalt = 0xbadf00d5badf00d5ULL;
+
+/// Disarmed schedule slot.
+constexpr std::uint64_t kNever = ~0ULL;
+
+struct AdversaryCells {
+  obs::Counter* ring_recruits;
+  obs::Counter* ring_targets;
+  obs::Counter* sybil_joins;
+  obs::Counter* sybil_evaluator_corruptions;
+  obs::Counter* sybil_agent_corruptions;
+  obs::Counter* whitewash_rotations;
+  obs::Counter* whitewash_resets;
+  obs::Counter* oscillator_defections;
+  obs::Counter* oscillator_recoveries;
+  obs::Counter* front_recruits;
+};
+
+const AdversaryCells& adversary_cells() {
+  static const AdversaryCells cells = [] {
+    auto& reg = obs::Registry::global();
+    return AdversaryCells{
+        &reg.counter("sim.adversary.ring_recruits"),
+        &reg.counter("sim.adversary.ring_targets"),
+        &reg.counter("sim.adversary.sybil_joins"),
+        &reg.counter("sim.adversary.sybil_evaluator_corruptions"),
+        &reg.counter("sim.adversary.sybil_agent_corruptions"),
+        &reg.counter("sim.adversary.whitewash_rotations"),
+        &reg.counter("sim.adversary.whitewash_resets"),
+        &reg.counter("sim.adversary.oscillator_defections"),
+        &reg.counter("sim.adversary.oscillator_recoveries"),
+        &reg.counter("sim.adversary.front_recruits")};
+  }();
+  return cells;
+}
+
+}  // namespace
+
+AdversaryParams adversary_params_from(const Params& p) {
+  AdversaryParams a;
+  a.seed = p.adversary_seed;
+  a.requestor_pool = p.requestor_pool;
+  a.provider_pool = p.provider_pool;
+  a.ring_size = p.adversary_ring_size;
+  a.ring_at = p.adversary_ring_at;
+  a.ring_targets = p.adversary_ring_targets;
+  a.sybil_count = p.adversary_sybil_count;
+  a.sybil_at = p.adversary_sybil_at;
+  a.sybil_period = p.adversary_sybil_period;
+  a.sybil_corrupt = p.adversary_sybil_corrupt;
+  a.whitewash_count = p.adversary_whitewash_count;
+  a.whitewash_threshold = p.adversary_whitewash_threshold;
+  a.whitewash_cooldown = p.adversary_whitewash_cooldown;
+  a.oscillator_count = p.adversary_oscillator_count;
+  a.oscillator_on = p.adversary_oscillator_on;
+  a.oscillator_burst = p.adversary_oscillator_burst;
+  a.front_count = p.adversary_front_count;
+  a.front_at = p.adversary_front_at;
+  a.static_ratio = p.malicious_ratio;
+  return a;
+}
+
+// ---- HirepAdversaryHost ----------------------------------------------------
+
+std::optional<net::NodeIndex> HirepAdversaryHost::spawn_identity() {
+  return system_->join_peer();
+}
+
+bool HirepAdversaryHost::rotate_identity(net::NodeIndex v) {
+  // §3.5: the rotation protocol migrates the peer's reputation standing to
+  // the fresh key, which is exactly why whitewashing fails against hiREP.
+  (void)system_->rotate_peer_key(v);
+  return true;
+}
+
+std::vector<net::NodeIndex> HirepAdversaryHost::corrupt_fringe_agents(
+    std::size_t count) {
+  return sybil_corrupt_agents(*system_, count);
+}
+
+std::vector<std::vector<core::AgentEntry>> HirepAdversaryHost::hostile_lists(
+    const std::vector<net::NodeIndex>& targets,
+    const std::vector<net::NodeIndex>& members, std::size_t list_count) {
+  return hostile_recommendations(*system_, targets, members, list_count);
+}
+
+// ---- Adversary -------------------------------------------------------------
+
+Adversary::Adversary(std::unique_ptr<AdversaryHost> host,
+                     AdversaryParams params, std::uint64_t master_seed)
+    : host_(std::move(host)),
+      params_(params),
+      rng_(params.seed != 0 ? params.seed : master_seed ^ kAdversarySeedSalt),
+      next_sybil_(kNever) {
+  util::MutexLock lock(mu_);
+  claimed_.assign(host_->node_count(), 0);
+  // Fixed activation/recruitment order so a schedule replays identically:
+  // ring, fronts, whitewashers, oscillators, sybil.
+  if (params_.ring_size > 0 && params_.ring_at == 0) form_ring();
+  if (params_.front_count > 0 && params_.front_at == 0) recruit_fronts();
+  recruit_whitewashers();
+  recruit_oscillators();
+  if (params_.sybil_count > 0) {
+    if (params_.sybil_at == 0) {
+      sybil_wave();
+      next_sybil_ = params_.sybil_period != 0 ? params_.sybil_period : kNever;
+    } else {
+      next_sybil_ = params_.sybil_at;
+    }
+  }
+}
+
+void Adversary::advance_to(std::uint64_t tick) {
+  util::MutexLock lock(mu_);
+  while (now_ < tick) step(++now_);
+}
+
+void Adversary::observe(net::NodeIndex provider, double estimate) {
+  util::MutexLock lock(mu_);
+  for (auto& t : whitewash_) {
+    if (t.peer == provider) t.estimate = estimate;
+  }
+  for (auto& t : oscillators_) {
+    if (t.peer == provider) t.estimate = estimate;
+  }
+}
+
+void Adversary::step(std::uint64_t tick) {
+  // 1. Delayed ring formation / front recruitment.
+  if (!ring_formed_ && params_.ring_size > 0 && tick == params_.ring_at) {
+    form_ring();
+  }
+  if (!fronts_recruited_ && params_.front_count > 0 &&
+      tick == params_.front_at) {
+    recruit_fronts();
+  }
+  // 2. Sybil waves on their schedule.
+  if (tick == next_sybil_) {
+    sybil_wave();
+    next_sybil_ = params_.sybil_period != 0 ? tick + params_.sybil_period
+                                            : kNever;
+  }
+  // 3. Whitewash trigger: once the community's estimate of a tracked peer
+  //    collapses below the threshold (and the cooldown has elapsed), shed
+  //    the identity.  Against hiREP the §3.5 rotation migrates standing
+  //    (the defense holds); against identity-keyed stores the reputation
+  //    is wiped (the attack works).
+  for (auto& t : whitewash_) {
+    if (t.estimate < 0.0 || t.estimate >= params_.whitewash_threshold ||
+        tick < t.last_action + params_.whitewash_cooldown) {
+      continue;
+    }
+    if (host_->rotate_identity(t.peer)) {
+      ++counters_.whitewash_rotations;
+      if constexpr (obs::kEnabled) adversary_cells().whitewash_rotations->add();
+    } else {
+      host_->reset_reputation(t.peer);
+      ++counters_.whitewash_resets;
+      if constexpr (obs::kEnabled) adversary_cells().whitewash_resets->add();
+    }
+    t.estimate = -1.0;
+    t.last_action = tick;
+  }
+  // 4. On-off oscillators: play nice until trusted, then defect in bursts.
+  for (auto& t : oscillators_) {
+    if (!t.defecting) {
+      if (t.estimate >= params_.oscillator_on) {
+        host_->truth().force_service(t.peer, false);
+        t.defecting = true;
+        t.defect_until = tick + params_.oscillator_burst;
+        t.estimate = -1.0;
+        ++counters_.oscillator_defections;
+        if constexpr (obs::kEnabled) {
+          adversary_cells().oscillator_defections->add();
+        }
+      }
+    } else if (tick >= t.defect_until) {
+      host_->truth().force_service(t.peer, true);
+      t.defecting = false;
+      t.estimate = -1.0;
+      ++counters_.oscillator_recoveries;
+      if constexpr (obs::kEnabled) {
+        adversary_cells().oscillator_recoveries->add();
+      }
+    }
+  }
+}
+
+template <typename Pred>
+std::vector<net::NodeIndex> Adversary::recruit(std::size_t pool,
+                                               std::size_t count, Pred pred) {
+  const std::size_t n = claimed_.size();
+  const std::size_t limit = pool == 0 ? n : std::min(pool, n);
+  std::vector<net::NodeIndex> candidates;
+  for (std::size_t v = 0; v < limit; ++v) {
+    const auto node = static_cast<net::NodeIndex>(v);
+    if (claimed_[v] == 0 && pred(node)) candidates.push_back(node);
+  }
+  count = std::min(count, candidates.size());
+  std::vector<net::NodeIndex> picked;
+  picked.reserve(count);
+  for (std::size_t idx : rng_.sample_indices(candidates.size(), count)) {
+    picked.push_back(candidates[idx]);
+    claimed_[candidates[idx]] = 1;
+  }
+  std::sort(picked.begin(), picked.end());
+  return picked;
+}
+
+void Adversary::form_ring() {
+  ring_formed_ = true;
+  auto& truth = host_->truth();
+  // The clique is drawn from the whole population (members coordinate in
+  // whatever role — evaluator, voter, agent — they happen to hold).
+  ring_members_ = recruit(0, params_.ring_size,
+                          [](net::NodeIndex) { return true; });
+  for (net::NodeIndex m : ring_members_) {
+    truth.set_behavior(m, trust::Behavior::kBadmouth);
+    truth.set_ring_member(m, true);
+    ++counters_.ring_recruits;
+    if constexpr (obs::kEnabled) adversary_cells().ring_recruits->add();
+  }
+  // Targets are good providers from the active provider pool — the peers
+  // whose standing a bad-mouthing campaign actually damages.
+  ring_targets_ =
+      recruit(params_.provider_pool, params_.ring_targets,
+              [&truth](net::NodeIndex v) { return truth.trustable(v); });
+  for (net::NodeIndex t : ring_targets_) {
+    truth.set_ring_target(t, true);
+    ++counters_.ring_targets_marked;
+    if constexpr (obs::kEnabled) adversary_cells().ring_targets->add();
+  }
+}
+
+void Adversary::recruit_fronts() {
+  fronts_recruited_ = true;
+  auto& truth = host_->truth();
+  // Fronts sit in the requestor pool: they transact constantly, deliver
+  // honest service, and poison every evaluation and report they file.
+  fronts_ = recruit(params_.requestor_pool, params_.front_count,
+                    [](net::NodeIndex) { return true; });
+  for (net::NodeIndex v : fronts_) {
+    truth.set_behavior(v, trust::Behavior::kFront);
+    truth.force_service(v, true);
+    ++counters_.front_recruits;
+    if constexpr (obs::kEnabled) adversary_cells().front_recruits->add();
+  }
+}
+
+void Adversary::recruit_whitewashers() {
+  auto& truth = host_->truth();
+  // Whitewashers are untrustable providers: they earn the bad reputation
+  // they will try to shed.
+  for (net::NodeIndex v :
+       recruit(params_.provider_pool, params_.whitewash_count,
+               [&truth](net::NodeIndex v) { return !truth.trustable(v); })) {
+    Tracked t;
+    t.peer = v;
+    whitewash_.push_back(t);
+  }
+}
+
+void Adversary::recruit_oscillators() {
+  auto& truth = host_->truth();
+  for (net::NodeIndex v :
+       recruit(params_.provider_pool, params_.oscillator_count,
+               [&truth](net::NodeIndex v) { return !truth.trustable(v); })) {
+    Tracked t;
+    t.peer = v;
+    truth.force_service(v, true);  // open in the play-nice phase
+    oscillators_.push_back(t);
+  }
+}
+
+void Adversary::sybil_wave() {
+  auto& truth = host_->truth();
+  for (std::size_t i = 0; i < params_.sybil_count; ++i) {
+    if (auto v = host_->spawn_identity()) {
+      truth.set_malicious(*v, true);
+      sybil_converts_.push_back(*v);
+      ++counters_.sybil_joins;
+      if constexpr (obs::kEnabled) adversary_cells().sybil_joins->add();
+    } else {
+      // No open membership on this host: each sybil identity degrades to
+      // one more corrupted evaluator.
+      truth.corrupt_evaluators(rng_, 1);
+      ++counters_.sybil_evaluator_corruptions;
+      if constexpr (obs::kEnabled) {
+        adversary_cells().sybil_evaluator_corruptions->add();
+      }
+    }
+  }
+  if (params_.sybil_corrupt > 0) {
+    const auto converts = host_->corrupt_fringe_agents(params_.sybil_corrupt);
+    sybil_converts_.insert(sybil_converts_.end(), converts.begin(),
+                           converts.end());
+    counters_.sybil_agent_corruptions += converts.size();
+    if constexpr (obs::kEnabled) {
+      adversary_cells().sybil_agent_corruptions->add(converts.size());
+    }
+  }
+}
+
+std::vector<net::NodeIndex> Adversary::ring_members() const {
+  util::MutexLock lock(mu_);
+  return ring_members_;
+}
+
+std::vector<net::NodeIndex> Adversary::ring_targets() const {
+  util::MutexLock lock(mu_);
+  return ring_targets_;
+}
+
+std::vector<net::NodeIndex> Adversary::whitewashers() const {
+  util::MutexLock lock(mu_);
+  std::vector<net::NodeIndex> out;
+  out.reserve(whitewash_.size());
+  for (const auto& t : whitewash_) out.push_back(t.peer);
+  return out;
+}
+
+std::vector<net::NodeIndex> Adversary::oscillators() const {
+  util::MutexLock lock(mu_);
+  std::vector<net::NodeIndex> out;
+  out.reserve(oscillators_.size());
+  for (const auto& t : oscillators_) out.push_back(t.peer);
+  return out;
+}
+
+std::vector<net::NodeIndex> Adversary::front_peers() const {
+  util::MutexLock lock(mu_);
+  return fronts_;
+}
+
+std::vector<net::NodeIndex> Adversary::sybil_converts() const {
+  util::MutexLock lock(mu_);
+  return sybil_converts_;
+}
+
+std::vector<std::vector<core::AgentEntry>> Adversary::ring_recommendations(
+    std::size_t list_count) const {
+  util::MutexLock lock(mu_);
+  if (ring_members_.empty()) return {};
+  return host_->hostile_lists(ring_targets_, ring_members_, list_count);
+}
+
+std::shared_ptr<Adversary> install_adversary(core::HirepSystem& system,
+                                             const Params& params) {
+  if (params.adversary != "on") return nullptr;
+  return std::make_shared<Adversary>(
+      std::make_unique<HirepAdversaryHost>(&system),
+      adversary_params_from(params), params.seed);
+}
+
+}  // namespace hirep::sim

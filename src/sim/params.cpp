@@ -94,6 +94,42 @@ baselines::TrustMeOptions Params::trustme_options() const {
   return o;
 }
 
+namespace {
+
+/// The world/latency/delivery fields every baseline shares.
+template <typename Options>
+void fill_common(Options& o, const Params& p) {
+  o.nodes = p.network_size;
+  o.average_degree = p.neighbors_per_node;
+  o.world.trustable_ratio = p.trustable_ratio;
+  o.world.agent_capable_ratio = p.agent_capable_ratio;
+  o.world.malicious_ratio = p.malicious_ratio;
+  o.world.good_rating_lo = p.good_rating_lo;
+  o.world.good_rating_hi = p.good_rating_hi;
+  o.world.bad_rating_lo = p.bad_rating_lo;
+  o.world.bad_rating_hi = p.bad_rating_hi;
+  o.latency.link_min_ms = p.link_min_ms;
+  o.latency.link_max_ms = p.link_max_ms;
+  o.latency.processing_ms = p.processing_ms;
+  o.delivery = p.delivery_config();
+  o.seed = p.seed;
+}
+
+}  // namespace
+
+baselines::AbsoluteTrustOptions Params::absolute_trust_options() const {
+  baselines::AbsoluteTrustOptions o;
+  fill_common(o, *this);
+  return o;
+}
+
+baselines::DifferentialGossipOptions Params::differential_gossip_options()
+    const {
+  baselines::DifferentialGossipOptions o;
+  fill_common(o, *this);
+  return o;
+}
+
 util::Table Params::table1() const {
   util::Table t({"name", "value", "provenance", "description"});
   auto row = [&t](const std::string& name, util::Table::Cell value,

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <string>
 
+#include "baselines/absolute_trust.hpp"
+#include "baselines/differential_gossip.hpp"
 #include "baselines/pure_voting.hpp"
 #include "baselines/trustme.hpp"
 #include "hirep/system.hpp"
@@ -98,6 +100,32 @@ struct Params {
   double chaos_slowdown_fraction = 0.0;  ///< fraction of nodes slowed down
   double chaos_slowdown_ms = 0.0;        ///< extra per-hop delay for slowed nodes
 
+  // ---- adversary strategy engine (src/sim/adversary.hpp) ---------------
+  // Tick-scheduled attack campaigns; a strategy is armed by its count knob
+  // and fires at its *_at tick (0 = at install, before the first
+  // transaction).  adversary=off keeps every knob inert: install_adversary
+  // returns nullptr and the run is bit-identical to a build without the
+  // engine.  The static Figure-7 strategy is malicious_ratio itself,
+  // applied at world bootstrap — the engine performs no runtime action
+  // for it.
+  std::string adversary = "off";           ///< "off" | "on"
+  std::uint64_t adversary_seed = 0;        ///< 0 = derive from the master seed
+  std::size_t adversary_ring_size = 0;     ///< collusion-ring members (0 = off)
+  std::size_t adversary_ring_at = 0;       ///< ring formation tick (0 = install)
+  std::size_t adversary_ring_targets = 4;  ///< good providers bad-mouthed
+  std::size_t adversary_sybil_count = 0;   ///< fresh identities per wave (0 = off)
+  std::size_t adversary_sybil_at = 0;      ///< first wave tick (0 = install)
+  std::size_t adversary_sybil_period = 0;  ///< ticks between waves (0 = one wave)
+  std::size_t adversary_sybil_corrupt = 0; ///< fringe agents corrupted per wave
+  std::size_t adversary_whitewash_count = 0;    ///< tracked whitewashers (0 = off)
+  double adversary_whitewash_threshold = 0.3;   ///< rotate below this estimate
+  std::size_t adversary_whitewash_cooldown = 10;///< min ticks between rotations
+  std::size_t adversary_oscillator_count = 0;   ///< on-off peers (0 = off)
+  double adversary_oscillator_on = 0.7;    ///< defect once estimate >= this
+  std::size_t adversary_oscillator_burst = 5;   ///< defection burst (ticks)
+  std::size_t adversary_front_count = 0;   ///< front peers recruited (0 = off)
+  std::size_t adversary_front_at = 0;      ///< front recruitment tick (0 = install)
+
   /// Applies key=value overrides (keys match the field names above).
   /// Thin back-compat wrapper over sim::Scenario::from_config — new code
   /// should build a Scenario (table-driven parsing + whole-config
@@ -107,6 +135,8 @@ struct Params {
   core::HirepOptions hirep_options() const;
   baselines::VotingOptions voting_options() const;
   baselines::TrustMeOptions trustme_options() const;
+  baselines::AbsoluteTrustOptions absolute_trust_options() const;
+  baselines::DifferentialGossipOptions differential_gossip_options() const;
   /// The delivery policy every system above is built with.
   net::DeliveryConfig delivery_config() const;
 

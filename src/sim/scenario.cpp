@@ -169,6 +169,41 @@ const std::vector<OptionSpec>& Scenario::option_table() {
        "fraction of nodes given extra per-hop delay"},
       {"chaos_slowdown_ms", &Params::chaos_slowdown_ms,
        "extra per-hop delay for slowed-down nodes"},
+      // ---- adversary strategy engine --------------------------------------
+      {"adversary", &Params::adversary,
+       "deterministic attack-campaign scheduler: off|on"},
+      {"adversary_seed", &Params::adversary_seed,
+       "adversary RNG seed (0 = derive from the master seed)"},
+      {"adversary_ring_size", &Params::adversary_ring_size,
+       "collusive bad-mouthing ring members (0 = strategy off)"},
+      {"adversary_ring_at", &Params::adversary_ring_at,
+       "ring formation tick (0 = at install)"},
+      {"adversary_ring_targets", &Params::adversary_ring_targets,
+       "good providers the ring bad-mouths"},
+      {"adversary_sybil_count", &Params::adversary_sybil_count,
+       "fresh sybil identities per wave (0 = strategy off)"},
+      {"adversary_sybil_at", &Params::adversary_sybil_at,
+       "first sybil wave tick (0 = at install)"},
+      {"adversary_sybil_period", &Params::adversary_sybil_period,
+       "ticks between sybil waves (0 = a single wave)"},
+      {"adversary_sybil_corrupt", &Params::adversary_sybil_corrupt,
+       "least-referenced good agents corrupted per sybil wave"},
+      {"adversary_whitewash_count", &Params::adversary_whitewash_count,
+       "malicious peers that whitewash via §3.5 key rotation (0 = off)"},
+      {"adversary_whitewash_threshold", &Params::adversary_whitewash_threshold,
+       "observed estimate below which a whitewasher rotates its key"},
+      {"adversary_whitewash_cooldown", &Params::adversary_whitewash_cooldown,
+       "minimum ticks between one peer's key rotations"},
+      {"adversary_oscillator_count", &Params::adversary_oscillator_count,
+       "on-off oscillator peers (0 = strategy off)"},
+      {"adversary_oscillator_on", &Params::adversary_oscillator_on,
+       "observed estimate at which an oscillator starts defecting"},
+      {"adversary_oscillator_burst", &Params::adversary_oscillator_burst,
+       "defection burst length in ticks"},
+      {"adversary_front_count", &Params::adversary_front_count,
+       "front peers: honest service, dishonest reports (0 = off)"},
+      {"adversary_front_at", &Params::adversary_front_at,
+       "front-peer recruitment tick (0 = at install)"},
   };
   return table;
 }
@@ -276,6 +311,34 @@ const Scenario& Scenario::validate() const {
   require(p.chaos_burst_until == 0 || p.chaos_burst_at == 0 ||
               p.chaos_burst_until >= p.chaos_burst_at,
           "chaos_burst_until must be >= chaos_burst_at (0 = never)");
+  // ---- adversary strategy engine ------------------------------------------
+  require(p.adversary == "off" || p.adversary == "on",
+          "adversary must be off|on");
+  require(p.adversary_ring_size <= p.network_size,
+          "adversary_ring_size must be <= network_size");
+  require(p.adversary_ring_targets <= p.network_size,
+          "adversary_ring_targets must be <= network_size");
+  require(p.adversary_whitewash_count <= p.network_size,
+          "adversary_whitewash_count must be <= network_size");
+  require(p.adversary_oscillator_count <= p.network_size,
+          "adversary_oscillator_count must be <= network_size");
+  require(p.adversary_front_count <= p.network_size,
+          "adversary_front_count must be <= network_size");
+  require(p.adversary_whitewash_threshold >= 0.0 &&
+              p.adversary_whitewash_threshold <= 1.0,
+          "adversary_whitewash_threshold must be in [0,1]");
+  require(p.adversary_oscillator_on >= 0.0 && p.adversary_oscillator_on <= 1.0,
+          "adversary_oscillator_on must be in [0,1]");
+  require(p.adversary_whitewash_cooldown >= 1,
+          "adversary_whitewash_cooldown must be >= 1");
+  require(p.adversary_oscillator_burst >= 1,
+          "adversary_oscillator_burst must be >= 1");
+  // Sybil waves join fresh identities every period; bound the per-wave
+  // size like the other counts (negative CLI values wrap to huge uint64).
+  require(p.adversary_sybil_count <= p.network_size,
+          "adversary_sybil_count must be <= network_size");
+  require(p.adversary_sybil_corrupt <= p.network_size,
+          "adversary_sybil_corrupt must be <= network_size");
   return *this;
 }
 
@@ -291,6 +354,10 @@ core::Executor Scenario::execution_policy() const {
   core::Executor::Environment env;
   env.instant_delivery = params_.delivery == "instant";
   env.chaos = params_.chaos == "on";
+  // The adversary engine deliberately does NOT downgrade the executor:
+  // unlike chaos it never touches the wire — every campaign action is a
+  // state mutation applied at a tick boundary between batches — so
+  // adversarial runs stay byte-identical across serial|parallel|sharded.
   return exec.validate(env);
 }
 

@@ -10,7 +10,11 @@ GroundTruth::GroundTruth(util::Rng& rng, const WorldParams& params)
     : params_(params),
       trustable_(params.nodes),
       bandwidth_(params.nodes),
-      poor_(params.nodes, false) {
+      poor_(params.nodes, false),
+      behavior_(params.nodes, 0),
+      ring_member_(params.nodes, 0),
+      ring_target_(params.nodes, 0),
+      service_override_(params.nodes, -1) {
   if (params.nodes == 0) throw std::invalid_argument("empty world");
   for (std::size_t v = 0; v < params.nodes; ++v) {
     trustable_[v] = rng.chance(params.trustable_ratio);
@@ -42,13 +46,56 @@ std::vector<net::NodeIndex> GroundTruth::agent_capable_nodes() const {
 
 double GroundTruth::evaluate(net::NodeIndex evaluator, net::NodeIndex subject,
                              util::Rng& rng) const {
-  const bool subject_good = trustable(subject);
-  // A good evaluator reports consistently with the truth; a poor/malicious
-  // one inverts. Both use the Table-1 rating scopes.
-  const bool report_high = poor_evaluator(evaluator) ? !subject_good : subject_good;
+  // Deception is judged against the subject's *effective* service phase:
+  // honest evaluators rate an oscillator in its play-nice phase as good,
+  // which is exactly the opening the on-off strategy exploits.
+  const bool subject_good = effective_trustable(subject);
+  bool report_high;
+  switch (behavior(evaluator)) {
+    case Behavior::kBadmouth:
+      // Collusion ring: minimum weight for campaign targets, ballot
+      // stuffing for fellow members, honest (stealthy) otherwise.
+      if (ring_target_.at(subject) != 0) {
+        report_high = false;
+      } else if (ring_member_.at(subject) != 0) {
+        report_high = true;
+      } else {
+        report_high =
+            poor_evaluator(evaluator) ? !subject_good : subject_good;
+      }
+      break;
+    case Behavior::kFront:
+      report_high = !subject_good;
+      break;
+    case Behavior::kDefault:
+    default:
+      // A good evaluator reports consistently with the truth; a
+      // poor/malicious one inverts. Both use the Table-1 rating scopes.
+      report_high =
+          poor_evaluator(evaluator) ? !subject_good : subject_good;
+      break;
+  }
+  // Every branch draws exactly one uniform, so recruiting a node never
+  // shifts any other caller's RNG stream.
   return report_high
              ? rng.uniform(params_.good_rating_lo, params_.good_rating_hi)
              : rng.uniform(params_.bad_rating_lo, params_.bad_rating_hi);
+}
+
+double GroundTruth::reported_outcome(net::NodeIndex reporter,
+                                     net::NodeIndex subject,
+                                     double actual) const {
+  switch (behavior(reporter)) {
+    case Behavior::kBadmouth:
+      if (ring_target_.at(subject) != 0) return 0.0;
+      if (ring_member_.at(subject) != 0) return 1.0;
+      return actual;
+    case Behavior::kFront:
+      return actual >= 0.5 ? 0.0 : 1.0;
+    case Behavior::kDefault:
+    default:
+      return actual;
+  }
 }
 
 void GroundTruth::corrupt_evaluators(util::Rng& rng, std::size_t count) {
@@ -79,6 +126,10 @@ net::NodeIndex GroundTruth::add_node(util::Rng& rng) {
     bandwidth_.push_back(rng.uniform(16.0, 64.0));
   }
   poor_.push_back(rng.chance(params_.malicious_ratio));
+  behavior_.push_back(0);
+  ring_member_.push_back(0);
+  ring_target_.push_back(0);
+  service_override_.push_back(-1);
   params_.nodes = trustable_.size();
   return static_cast<net::NodeIndex>(trustable_.size() - 1);
 }

@@ -19,6 +19,17 @@
 
 namespace hirep::trust {
 
+/// Adversarial evaluation/reporting modes the strategy engine
+/// (sim::Adversary) assigns to individual nodes.  kDefault is the seeded
+/// world behavior — honesty follows the poor-evaluator flag — and is what
+/// every node has unless an engine recruits it, so runs without an
+/// adversary are bit-identical to the pre-engine world.
+enum class Behavior : std::uint8_t {
+  kDefault = 0,  ///< honesty follows the seeded poor-evaluator flag
+  kBadmouth,     ///< collusion ring: min-rates targets, max-rates members
+  kFront,        ///< front peer: honest service, dishonest evaluation/reports
+};
+
 struct WorldParams {
   std::size_t nodes = 1000;
   double trustable_ratio = 0.5;    ///< fraction of nodes with true trust 1
@@ -42,8 +53,18 @@ class GroundTruth {
   const WorldParams& params() const noexcept { return params_; }
 
   bool trustable(net::NodeIndex v) const { return trustable_.at(v); }
-  /// True trust value: 1.0 or 0.0.
-  double true_trust(net::NodeIndex v) const { return trustable(v) ? 1.0 : 0.0; }
+  /// Service quality the node *currently* delivers: the seeded trustable
+  /// flag unless the adversary engine forces a phase (on-off oscillators
+  /// play nice until trusted, then defect; front peers always serve well).
+  bool effective_trustable(net::NodeIndex v) const {
+    const std::int8_t forced = service_override_.at(v);
+    return forced < 0 ? trustable_.at(v) : forced != 0;
+  }
+  /// True trust value: 1.0 or 0.0.  Tracks the effective behavior, so MSE
+  /// accounting measures an oscillator against the phase it is actually in.
+  double true_trust(net::NodeIndex v) const {
+    return effective_trustable(v) ? 1.0 : 0.0;
+  }
 
   double bandwidth_kbps(net::NodeIndex v) const { return bandwidth_.at(v); }
   /// Paper rule: any peer with bandwidth greater than 64k can claim itself
@@ -62,6 +83,44 @@ class GroundTruth {
   /// Transaction outcome with `provider` (1 success / 0 failure).
   double transaction_outcome(net::NodeIndex provider) const {
     return true_trust(provider);
+  }
+
+  /// The outcome `reporter` *claims* in a §3.6 transaction report about
+  /// `subject`, given the outcome it actually observed.  Honest reporters
+  /// (and seeded poor evaluators, whose dishonesty lives in the rating
+  /// path) forward the observation verbatim; engine-recruited behaviors
+  /// falsify: a ring member files minimum-weight reports against campaign
+  /// targets and ballot-stuffs fellow members, a front peer inverts every
+  /// report.  Deterministic (no RNG draw), so runs without recruited nodes
+  /// are bit-identical.
+  double reported_outcome(net::NodeIndex reporter, net::NodeIndex subject,
+                          double actual) const;
+
+  // ---- adversary engine hooks (sim::Adversary) -------------------------
+  Behavior behavior(net::NodeIndex v) const {
+    return static_cast<Behavior>(behavior_.at(v));
+  }
+  void set_behavior(net::NodeIndex v, Behavior b) {
+    behavior_.at(v) = static_cast<std::uint8_t>(b);
+  }
+  bool ring_member(net::NodeIndex v) const { return ring_member_.at(v) != 0; }
+  bool ring_target(net::NodeIndex v) const { return ring_target_.at(v) != 0; }
+  void set_ring_member(net::NodeIndex v, bool member) {
+    ring_member_.at(v) = member ? 1 : 0;
+  }
+  void set_ring_target(net::NodeIndex v, bool target) {
+    ring_target_.at(v) = target ? 1 : 0;
+  }
+  /// Forces the service phase of v (true = deliver good service) until
+  /// clear_service_override; drives on-off oscillators and front peers.
+  void force_service(net::NodeIndex v, bool good) {
+    service_override_.at(v) = good ? 1 : 0;
+  }
+  void clear_service_override(net::NodeIndex v) {
+    service_override_.at(v) = -1;
+  }
+  bool service_forced(net::NodeIndex v) const {
+    return service_override_.at(v) >= 0;
   }
 
   /// Flips `count` additional good evaluators to malicious, chosen
@@ -87,6 +146,13 @@ class GroundTruth {
   std::vector<bool> trustable_;
   std::vector<double> bandwidth_;
   std::vector<bool> poor_;
+  // Adversary-engine per-node state; all-default (0 / -1) unless an
+  // installed sim::Adversary recruits nodes, so the seeded world behaves
+  // exactly as before the engine existed.
+  std::vector<std::uint8_t> behavior_;
+  std::vector<std::uint8_t> ring_member_;
+  std::vector<std::uint8_t> ring_target_;
+  std::vector<std::int8_t> service_override_;  ///< -1 none, 0 fail, 1 succeed
 };
 
 }  // namespace hirep::trust

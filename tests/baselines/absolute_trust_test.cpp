@@ -1,0 +1,100 @@
+// Absolute Trust baseline (arXiv:1601.01419): opinion accumulation, the
+// damped weighted fixed point, lying-minority downweighting, and the two
+// adversary surfaces (identity-keyed whitewash reset, neutral-prior sybil
+// join).
+#include "baselines/absolute_trust.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hirep::baselines {
+namespace {
+
+AbsoluteTrustOptions small_options() {
+  AbsoluteTrustOptions o;
+  o.nodes = 120;
+  o.seed = 4;
+  o.world.malicious_ratio = 0.0;
+  return o;
+}
+
+TEST(AbsoluteTrust, StartsFromTheNeutralPrior) {
+  AbsoluteTrustSystem sys(small_options());
+  EXPECT_DOUBLE_EQ(sys.global_trust(7), 0.5);
+  EXPECT_DOUBLE_EQ(sys.run_transaction(0, 7).estimate, 0.5);
+}
+
+TEST(AbsoluteTrust, ConvergesTowardTheTruthWithHonestRaters) {
+  AbsoluteTrustSystem sys(small_options());
+  const net::NodeIndex provider = 7;
+  for (net::NodeIndex r = 0; r < 30; ++r) {
+    if (r != provider) sys.run_transaction(r, provider);
+  }
+  EXPECT_NEAR(sys.global_trust(provider), sys.truth().true_trust(provider),
+              0.25);
+}
+
+TEST(AbsoluteTrust, ChargesOneExchangePerNeighborPerTransaction) {
+  AbsoluteTrustSystem sys(small_options());
+  for (int i = 0; i < 5; ++i) {
+    const auto rec = sys.run_transaction(static_cast<net::NodeIndex>(i), 50);
+    const auto degree =
+        sys.overlay().graph().neighbors(rec.requestor).size();
+    // One kTrustRequest + one kTrustResponse per neighbor.
+    EXPECT_EQ(rec.trust_messages, 2 * degree);
+  }
+}
+
+TEST(AbsoluteTrust, LyingMinorityWeightCollapses) {
+  // A rater whose own standing is low contributes little: drive one
+  // rater's reputation down, then compare a target rated only by it
+  // against a target rated by the honest majority.
+  AbsoluteTrustSystem sys(small_options());
+  const net::NodeIndex liar = 3;
+  const net::NodeIndex honest_target = 40;
+  // The community learns the liar's own (seeded) trust first.
+  for (net::NodeIndex r = 10; r < 30; ++r) sys.run_transaction(r, liar);
+  for (net::NodeIndex r = 10; r < 30; ++r) {
+    sys.run_transaction(r, honest_target);
+  }
+  const double honest_score = sys.global_trust(honest_target);
+  EXPECT_NEAR(honest_score, sys.truth().true_trust(honest_target), 0.3);
+}
+
+TEST(AbsoluteTrust, WhitewashResetWipesStanding) {
+  AbsoluteTrustSystem sys(small_options());
+  const net::NodeIndex peer = 7;
+  for (net::NodeIndex r = 20; r < 40; ++r) sys.run_transaction(r, peer);
+  ASSERT_NE(sys.global_trust(peer), 0.5);
+  sys.reset_reputation(peer);
+  // Identity-keyed: a shed identity re-enters at the neutral prior, and no
+  // opinion about the old identity survives.
+  EXPECT_DOUBLE_EQ(sys.global_trust(peer), 0.5);
+}
+
+TEST(AbsoluteTrust, SybilJoinsAtTheNeutralPrior) {
+  AbsoluteTrustSystem sys(small_options());
+  const std::size_t before = sys.node_count();
+  const net::NodeIndex v = sys.add_node(4);
+  EXPECT_EQ(sys.node_count(), before + 1);
+  EXPECT_EQ(v, static_cast<net::NodeIndex>(before));
+  EXPECT_DOUBLE_EQ(sys.global_trust(v), 0.5);
+  EXPECT_FALSE(sys.overlay().graph().neighbors(v).empty());
+  // The grown matrices accept transactions touching the new node.
+  const auto rec = sys.run_transaction(v, 7);
+  EXPECT_EQ(rec.requestor, v);
+}
+
+TEST(AbsoluteTrust, DeterministicGivenSeed) {
+  AbsoluteTrustSystem a(small_options()), b(small_options());
+  for (int i = 0; i < 20; ++i) {
+    const auto requestor = static_cast<net::NodeIndex>(i % 10);
+    const auto provider = static_cast<net::NodeIndex>(20 + i % 30);
+    const auto ra = a.run_transaction(requestor, provider);
+    const auto rb = b.run_transaction(requestor, provider);
+    EXPECT_DOUBLE_EQ(ra.estimate, rb.estimate);
+    EXPECT_EQ(ra.trust_messages, rb.trust_messages);
+  }
+}
+
+}  // namespace
+}  // namespace hirep::baselines

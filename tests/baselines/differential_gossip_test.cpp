@@ -1,0 +1,99 @@
+// Differential-gossip baseline (arXiv:1210.4301): push-sum mass
+// conservation toward the truth, the differential (mass-only) message
+// cost, and the two adversary surfaces (mass evaporation on whitewash,
+// neutral-prior sybil join).
+#include "baselines/differential_gossip.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hirep::baselines {
+namespace {
+
+DifferentialGossipOptions small_options() {
+  DifferentialGossipOptions o;
+  o.nodes = 120;
+  o.seed = 4;
+  o.world.malicious_ratio = 0.0;
+  return o;
+}
+
+TEST(DifferentialGossip, StartsFromTheNeutralPrior) {
+  DifferentialGossipSystem sys(small_options());
+  EXPECT_DOUBLE_EQ(sys.estimate_at(0, 7), 0.5);
+  EXPECT_DOUBLE_EQ(sys.run_transaction(0, 7).estimate, 0.5);
+}
+
+TEST(DifferentialGossip, MassSpreadsAndEstimatesTrackTheTruth) {
+  DifferentialGossipSystem sys(small_options());
+  const net::NodeIndex provider = 7;
+  for (net::NodeIndex r = 0; r < 40; ++r) {
+    if (r != provider) sys.run_transaction(r, provider);
+  }
+  // Raters who transacted (and their gossip recipients) hold mass whose
+  // value/weight tracks the provider's truth.
+  std::size_t informed = 0;
+  const double truth = sys.truth().true_trust(provider);
+  for (net::NodeIndex v = 0; v < 40; ++v) {
+    const double e = sys.estimate_at(v, provider);
+    if (e == 0.5) continue;  // still on the prior: no mass reached v
+    ++informed;
+    EXPECT_NEAR(e, truth, 0.45) << "node " << v;
+  }
+  EXPECT_GT(informed, 10u);
+}
+
+TEST(DifferentialGossip, GossipIsDifferentialNotFlooding) {
+  // Message cost per transaction is bounded by the number of mass holders
+  // (at most raters + their push chains), never the whole network.
+  auto o = small_options();
+  o.gossip_rounds = 3;
+  DifferentialGossipSystem sys(o);
+  const auto rec = sys.run_transaction(0, 7);
+  // A single fresh opinion: at most one push per round, so at most
+  // gossip_rounds... plus the spread it seeds.  It must be far below one
+  // message per node.
+  EXPECT_LE(rec.trust_messages, o.gossip_rounds * 4);
+  EXPECT_LT(rec.trust_messages, o.nodes);
+}
+
+TEST(DifferentialGossip, WhitewashEvaporatesCirculatingMass) {
+  DifferentialGossipSystem sys(small_options());
+  const net::NodeIndex peer = 7;
+  for (net::NodeIndex r = 20; r < 40; ++r) sys.run_transaction(r, peer);
+  bool any_mass = false;
+  for (net::NodeIndex v = 0; v < 60; ++v) {
+    any_mass = any_mass || sys.estimate_at(v, peer) != 0.5;
+  }
+  ASSERT_TRUE(any_mass);
+  sys.reset_reputation(peer);
+  for (net::NodeIndex v = 0;
+       v < static_cast<net::NodeIndex>(sys.node_count()); ++v) {
+    EXPECT_DOUBLE_EQ(sys.estimate_at(v, peer), 0.5) << "node " << v;
+  }
+}
+
+TEST(DifferentialGossip, SybilJoinsAtTheNeutralPrior) {
+  DifferentialGossipSystem sys(small_options());
+  const std::size_t before = sys.node_count();
+  const net::NodeIndex v = sys.add_node(4);
+  EXPECT_EQ(sys.node_count(), before + 1);
+  EXPECT_DOUBLE_EQ(sys.estimate_at(0, v), 0.5);
+  EXPECT_FALSE(sys.overlay().graph().neighbors(v).empty());
+  const auto rec = sys.run_transaction(v, 7);
+  EXPECT_EQ(rec.requestor, v);
+}
+
+TEST(DifferentialGossip, DeterministicGivenSeed) {
+  DifferentialGossipSystem a(small_options()), b(small_options());
+  for (int i = 0; i < 20; ++i) {
+    const auto requestor = static_cast<net::NodeIndex>(i % 10);
+    const auto provider = static_cast<net::NodeIndex>(20 + i % 30);
+    const auto ra = a.run_transaction(requestor, provider);
+    const auto rb = b.run_transaction(requestor, provider);
+    EXPECT_DOUBLE_EQ(ra.estimate, rb.estimate);
+    EXPECT_EQ(ra.trust_messages, rb.trust_messages);
+  }
+}
+
+}  // namespace
+}  // namespace hirep::baselines

@@ -2,9 +2,9 @@
 // envelopes strictly one at a time in push order, so a batch must be
 // byte-identical — receipts, metrics, clock — to the same sends issued
 // sequentially, under every delivery policy (Instant, Latency, Faulty,
-// Chaos).  Plus the drain_groups grouping rules (and the deprecated
-// drain_sorted shim), the arena lifecycle of a batch, the payload byte
-// counters, and the scale-engine lane-arena reset.
+// Chaos).  Plus the drain_groups grouping rules, the arena lifecycle of
+// a batch, the payload byte counters, and the scale-engine lane-arena
+// reset.
 #include <array>
 #include <bit>
 #include <cstdint>
@@ -278,9 +278,9 @@ TEST(EnvelopeBatch, DrainGroupsSupportsArbitraryKeys) {
   EXPECT_EQ(sizes, (std::vector<std::size_t>{2, 3}));
 }
 
-TEST(EnvelopeBatch, DeprecatedDrainSortedStillMatchesGroupedOrder) {
-  // drain_sorted is a one-PR deprecation shim over drain_groups; pin its
-  // flattened visit order until it is removed.
+TEST(EnvelopeBatch, DrainGroupsByDestinationFlattensToSortedOrder) {
+  // Grouping by destination visits groups in ascending key order and
+  // preserves push order within each group.
   Overlay overlay = make_overlay();
   Transport transport(&overlay, DeliveryConfig{}, 1);
   EnvelopeBatch batch = transport.make_batch();
@@ -294,13 +294,16 @@ TEST(EnvelopeBatch, DeprecatedDrainSortedStillMatchesGroupedOrder) {
 
   std::vector<std::size_t> order;
   std::vector<NodeIndex> destinations;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  batch.drain_sorted([&](std::size_t i, const DeliveryReceipt& r) {
-    order.push_back(i);
-    destinations.push_back(r.destination);
-  });
-#pragma GCC diagnostic pop
+  batch.drain_groups(
+      [](std::size_t, const DeliveryReceipt& r) {
+        return static_cast<std::uint64_t>(r.destination);
+      },
+      [&](const ReceiptGroup& g) {
+        for (const std::uint32_t i : g.entries) {
+          order.push_back(i);
+          destinations.push_back(batch.receipt(i).destination);
+        }
+      });
   EXPECT_EQ(order, (std::vector<std::size_t>{4, 1, 5, 0, 3}));
   EXPECT_EQ(destinations, (std::vector<NodeIndex>{1, 2, 2, 5, 5}));
 }

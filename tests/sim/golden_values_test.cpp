@@ -174,6 +174,35 @@ TEST(GoldenValues, ChaosStackDisabledLeavesEveryGoldenBitAlone) {
   expect_table_equals(run_fig6_accuracy(p).table, kFig6Golden);
 }
 
+TEST(GoldenValues, AdversaryStackDisabledLeavesEveryGoldenBitAlone) {
+  // The adversary engine's golden-safety contract: with the engine
+  // compiled in but off, the figure pipelines — which now call
+  // install_adversary() unconditionally (fig7) and share GroundTruth's
+  // behavior/override vectors — reproduce the pins bit for bit.  Every
+  // adversary knob is pinned explicitly, by name, so a future default
+  // change that would silently perturb the goldens fails here.
+  Params p = golden_params();
+  p.adversary = "off";
+  p.adversary_seed = 0;
+  p.adversary_ring_size = 0;
+  p.adversary_ring_at = 0;
+  p.adversary_ring_targets = 4;
+  p.adversary_sybil_count = 0;
+  p.adversary_sybil_at = 0;
+  p.adversary_sybil_period = 0;
+  p.adversary_sybil_corrupt = 0;
+  p.adversary_whitewash_count = 0;
+  p.adversary_whitewash_threshold = 0.3;
+  p.adversary_whitewash_cooldown = 10;
+  p.adversary_oscillator_count = 0;
+  p.adversary_oscillator_on = 0.7;
+  p.adversary_oscillator_burst = 5;
+  p.adversary_front_count = 0;
+  p.adversary_front_at = 0;
+  expect_table_equals(run_fig5_traffic(p).table, kFig5Golden);
+  expect_table_equals(run_fig6_accuracy(p).table, kFig6Golden);
+}
+
 TEST(AverageOverSeeds, ParallelMatchesSerialBitForBit) {
   Params p = golden_params();
   p.seeds = 4;

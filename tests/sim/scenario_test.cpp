@@ -140,6 +140,48 @@ TEST(ScenarioValidate, RejectsImpossibleChaosSchedules) {
           "chaos_burst_at=4 chaos_burst_until=0")));
 }
 
+TEST(ScenarioValidate, RejectsImpossibleAdversaryCampaigns) {
+  EXPECT_THROW(Scenario::from_config(cfg("adversary=sometimes")),
+               std::invalid_argument);
+  EXPECT_THROW(
+      Scenario::from_config(cfg("adversary_whitewash_threshold=1.5")),
+      std::invalid_argument);
+  EXPECT_THROW(Scenario::from_config(cfg("adversary_oscillator_on=-0.1")),
+               std::invalid_argument);
+  EXPECT_THROW(Scenario::from_config(cfg("adversary_whitewash_cooldown=0")),
+               std::invalid_argument);
+  EXPECT_THROW(Scenario::from_config(cfg("adversary_oscillator_burst=0")),
+               std::invalid_argument);
+  // Recruitment counts can never exceed the population.
+  EXPECT_THROW(
+      Scenario::from_config(cfg("network_size=100 adversary_ring_size=101")),
+      std::invalid_argument);
+  EXPECT_THROW(Scenario::from_config(
+                   cfg("network_size=100 adversary_ring_targets=101")),
+               std::invalid_argument);
+  EXPECT_THROW(Scenario::from_config(
+                   cfg("network_size=100 adversary_whitewash_count=101")),
+               std::invalid_argument);
+  EXPECT_THROW(Scenario::from_config(
+                   cfg("network_size=100 adversary_oscillator_count=101")),
+               std::invalid_argument);
+  EXPECT_THROW(Scenario::from_config(
+                   cfg("network_size=100 adversary_front_count=101")),
+               std::invalid_argument);
+  EXPECT_THROW(Scenario::from_config(
+                   cfg("network_size=100 adversary_sybil_count=101")),
+               std::invalid_argument);
+  EXPECT_THROW(Scenario::from_config(
+                   cfg("network_size=100 adversary_sybil_corrupt=101")),
+               std::invalid_argument);
+  // A full campaign with every strategy armed parses cleanly.
+  EXPECT_NO_THROW(Scenario::from_config(
+      cfg("adversary=on adversary_ring_size=8 adversary_ring_at=5 "
+          "adversary_sybil_count=4 adversary_sybil_period=10 "
+          "adversary_whitewash_count=6 adversary_oscillator_count=3 "
+          "adversary_front_count=2")));
+}
+
 TEST(ScenarioValidate, AcceptsPoolsDisabledOrWithinBounds) {
   EXPECT_NO_THROW(Scenario::from_config(
       cfg("network_size=50 requestor_pool=0 provider_pool=0")));
